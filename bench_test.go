@@ -1,0 +1,323 @@
+package locality_test
+
+// One benchmark per table and figure in the paper's evaluation
+// section, each reporting the headline quantity it reproduces as a
+// custom metric, plus micro-benchmarks for the solver and simulator
+// and the ablations called out in DESIGN.md.
+//
+// Simulation-backed benchmarks (Figures 3–5) use reduced measurement
+// windows so a full -bench=. run stays tractable; cmd/figures runs the
+// paper-scale study.
+
+import (
+	"fmt"
+	"testing"
+
+	"locality/internal/core"
+	"locality/internal/experiments"
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/netsim"
+	"locality/internal/topology"
+)
+
+// benchValidationConfig is the reduced validation study used by the
+// Figure 3–5 benchmarks.
+func benchValidationConfig() experiments.ValidationConfig {
+	tor := topology.MustNew(8, 2)
+	return experiments.ValidationConfig{
+		Radix:    8,
+		Dims:     2,
+		Contexts: []int{1, 2, 4},
+		Warmup:   2000,
+		Window:   6000,
+		Mappings: []*mapping.Mapping{
+			mapping.Identity(tor),
+			mapping.DiagonalShift(tor, 2),
+			mapping.Random(tor, 1),
+			mapping.Optimize(tor, 2, +1, 40),
+		},
+	}
+}
+
+// BenchmarkFigure3 regenerates the application message curves: the
+// simulator sweep plus least-squares fits. Reported metric: the fitted
+// latency-sensitivity slope for two contexts (paper: ≈2× the
+// one-context slope).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := experiments.RunValidation(benchValidationConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v.Curves[1].S/v.Curves[0].S, "slope-ratio-p2/p1")
+	}
+}
+
+// BenchmarkFigure4 regenerates message rate vs distance with model
+// overlay. Reported metric: mean relative model error on message rate
+// at one context (paper: within a few percent).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := experiments.RunValidation(benchValidationConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		errs := v.Curves[0].RateErrors()
+		for _, e := range errs {
+			sum += e
+		}
+		b.ReportMetric(sum/float64(len(errs))*100, "rate-err-%")
+	}
+}
+
+// BenchmarkFigure5 regenerates message latency vs distance with model
+// overlay. Reported metric: mean absolute model error on message
+// latency at one context in network cycles (paper: a few).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := experiments.RunValidation(benchValidationConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		errs := v.Curves[0].LatencyErrors()
+		for _, e := range errs {
+			sum += e
+		}
+		b.ReportMetric(sum/float64(len(errs)), "latency-err-Ncycles")
+	}
+}
+
+// BenchmarkFigure6 regenerates the per-hop latency saturation curve.
+// Reported metric: the fraction of the Th limit reached at 4,096
+// processors (paper: over 80% by a few thousand).
+func BenchmarkFigure6(b *testing.B) {
+	sizes := core.LogSizes(10, 1e6, 4)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure6(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := core.RandomMappingDistance(2, 4096)
+		th, err := core.HopLatencyAtDistance(core.AlewifeLargeScale(2, 1), d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(th/res.Limit, "frac-of-limit@4096")
+	}
+}
+
+// BenchmarkFigure7 regenerates the expected-gain curves. Reported
+// metric: the one-context gain at a million processors (paper: ≈41).
+func BenchmarkFigure7(b *testing.B) {
+	sizes := core.LogSizes(10, 1e6, 4)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure7(sizes, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gains := res.Curves[0].Gains
+		b.ReportMetric(gains.Y[gains.Len()-1], "gain-p1@1e6")
+	}
+}
+
+// BenchmarkFigure8 regenerates the issue-time decompositions.
+// Reported metric: the net ideal→random impact at one context
+// (paper: about two).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cases, err := experiments.RunFigure8(1000, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cases[1].IssueTime/cases[0].IssueTime, "impact-p1")
+	}
+}
+
+// BenchmarkTable1 regenerates the network-speed sensitivity table.
+// Reported metric: the gain growth from slowing the network 8×
+// (paper: roughly 3×).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[3].Gain1e3/rows[0].Gain1e3, "8x-slowdown-gain-ratio")
+	}
+}
+
+// BenchmarkUCLvsNUCL regenerates the organization-comparison extension.
+// Reported metric: relative performance of the UCL organization at a
+// million processors (the price of uniform latency).
+func BenchmarkUCLvsNUCL(b *testing.B) {
+	sizes := core.LogSizes(64, 1e6, 2)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunUCLvsNUCL(sizes, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].RelIndirect, "ucl-rel-perf@1e6")
+	}
+}
+
+// BenchmarkTolerance regenerates the latency-tolerance extension on a
+// reduced machine. Reported metric: prefetching speedup over blocking.
+func BenchmarkTolerance(b *testing.B) {
+	cfg := experiments.ToleranceConfig{Radix: 8, Dims: 2, Warmup: 1500, Window: 5000, Mapping: "random:1"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTolerance(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].SpeedupVsBase, "prefetch-speedup")
+	}
+}
+
+// BenchmarkDimensionStudy regenerates the mesh-dimension extension.
+// Reported metric: locality gain at n=2 relative to n=4.
+func BenchmarkDimensionStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunDimensionStudy(4096, []int{2, 3, 4}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Gain/rows[2].Gain, "gain-ratio-n2/n4")
+	}
+}
+
+// BenchmarkCombinedSolve measures the bisection solver.
+func BenchmarkCombinedSolve(b *testing.B) {
+	cfg := core.Alewife(2, 15.83)
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosedFormSolve measures the quadratic fast path.
+func BenchmarkClosedFormSolve(b *testing.B) {
+	cfg := core.AlewifeLargeScale(2, 15.83)
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.SolveClosedForm(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkStep measures raw fabric simulation throughput under
+// sustained uniform random load on a 64-node torus.
+func BenchmarkNetworkStep(b *testing.B) {
+	tor := topology.MustNew(8, 2)
+	nw, err := netsim.New(netsim.Config{Topo: tor, BufferDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.SetDelivery(func(now int64, m *netsim.Message) {})
+	seed := 12345
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%40 == 0 {
+			for v := 0; v < 64; v++ {
+				seed = seed*1103515245 + 12345
+				dst := (seed >> 16) & 63
+				if dst == v {
+					continue
+				}
+				if err := nw.Send(&netsim.Message{Src: v, Dst: dst, Size: 12}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		nw.Step()
+	}
+}
+
+// BenchmarkMachineCycle measures full-system simulation speed: one
+// processor cycle of a 64-node machine (processors + protocol + two
+// network cycles).
+func BenchmarkMachineCycle(b *testing.B) {
+	tor := topology.MustNew(8, 2)
+	mach, err := machine.New(machine.DefaultConfig(tor, mapping.Random(tor, 1), 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach.Run(2000) // warm up into steady state
+	b.ResetTimer()
+	mach.Run(int64(b.N))
+}
+
+// BenchmarkAblationBufferDepth quantifies how switch buffering shifts
+// latency between source queueing and the fabric (the wormhole
+// head-of-line blocking discussion in EXPERIMENTS.md). Reported
+// metric: total message latency.
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	tor := topology.MustNew(8, 2)
+	for _, depth := range []int{2, 8, 32} {
+		b.Run(benchName("depth", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := machine.DefaultConfig(tor, mapping.Random(tor, 1), 2)
+				cfg.BufferDepth = depth
+				mach, err := machine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				met := mach.RunMeasured(2000, 6000)
+				b.ReportMetric(met.MsgLatency, "Tm-Ncycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDirectoryPointers quantifies the LimitLESS
+// software-extension cost: full-map vs hardware pointer budgets below
+// the workload's sharer count. Reported metric: inter-transaction
+// issue time.
+func BenchmarkAblationDirectoryPointers(b *testing.B) {
+	tor := topology.MustNew(8, 2)
+	for _, ptrs := range []int{0, 5, 2, 1} {
+		b.Run(benchName("ptrs", ptrs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := machine.DefaultConfig(tor, mapping.Identity(tor), 1)
+				cfg.HWPointers = ptrs
+				mach, err := machine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				met := mach.RunMeasured(2000, 6000)
+				b.ReportMetric(met.InterTxnTime, "tt-Pcycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationChannelContention quantifies the node-channel
+// contention extension's effect on model predictions (the term the
+// paper's large-scale studies omit). Reported metric: predicted gain
+// at 10^3 processors.
+func BenchmarkAblationChannelContention(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.Alewife(1, 1)
+				cfg.Net.NodeChannelContention = on
+				g, err := core.ExpectedGain(cfg, 1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(g.Gain, "gain@1e3")
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return fmt.Sprintf("%s=%d", prefix, v)
+}

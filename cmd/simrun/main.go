@@ -1,0 +1,78 @@
+// Command simrun executes one full-system simulation — multithreaded
+// processors, coherent caches, directory protocol, and wormhole torus
+// network — running the synthetic relaxation workload, and prints the
+// measured quantities the paper's models consume.
+//
+//	simrun -k 8 -n 2 -contexts 2 -mapping random:1
+//	simrun -mapping diag:3 -window 40000
+//	simrun -mapping antilocal -contexts 4 -ratio 1
+//
+// Mapping selectors are parsed by internal/mapsel: identity,
+// transpose, bitrev, antilocal[:seed], local[:seed], diag[:shift],
+// dilation[:factor], rowshuffle[:seed], random[:seed].
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"locality/internal/machine"
+	"locality/internal/mapsel"
+	"locality/internal/topology"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrun:", err)
+	os.Exit(1)
+}
+
+func main() {
+	k := flag.Int("k", 8, "torus radix")
+	n := flag.Int("n", 2, "torus dimensions")
+	contexts := flag.Int("contexts", 1, "hardware contexts per processor")
+	mapSel := flag.String("mapping", "identity", "thread-to-processor mapping selector")
+	warmup := flag.Int64("warmup", 5000, "warmup P-cycles (excluded from measurement)")
+	window := flag.Int64("window", 20000, "measurement window P-cycles")
+	ratio := flag.Int("ratio", 2, "network cycles per processor cycle")
+	buffers := flag.Int("buffers", 8, "switch buffer depth per virtual channel (flits)")
+	pointers := flag.Int("pointers", 0, "directory hardware sharer pointers (0 = full map)")
+	flag.Parse()
+
+	tor, err := topology.New(*k, *n)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := mapsel.Parse(tor, *mapSel)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := machine.DefaultConfig(tor, m, *contexts)
+	cfg.ClockRatio = *ratio
+	cfg.BufferDepth = *buffers
+	cfg.HWPointers = *pointers
+	mach, err := machine.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	met := mach.RunMeasured(*warmup, *window)
+
+	fmt.Printf("machine                  %v, %d context(s), network %dx processor clock\n", tor, *contexts, *ratio)
+	fmt.Printf("mapping                  %s (d = %.2f hops)\n", m.Name, m.AvgDistance(tor))
+	fmt.Printf("window                   %d P-cycles (%d N-cycles) after %d warmup\n", met.PCycles, met.NCycles, *warmup)
+	fmt.Printf("transactions             %d\n", met.Transactions)
+	fmt.Printf("fabric messages          %d\n", met.Messages)
+	fmt.Printf("avg communication dist   %.2f hops\n", met.AvgDistance)
+	fmt.Printf("avg message size B       %.2f flits\n", met.MsgSize)
+	fmt.Printf("messages/transaction g   %.2f\n", met.MsgsPerTxn)
+	fmt.Printf("inter-message time tm    %.2f N-cycles\n", met.InterMsgTime)
+	fmt.Printf("message rate rm          %.5f msgs/N-cycle/node\n", met.MsgRate)
+	fmt.Printf("message latency Tm       %.2f N-cycles\n", met.MsgLatency)
+	fmt.Printf("transaction latency Tt   %.2f P-cycles\n", met.TxnLatency)
+	fmt.Printf("inter-transaction tt     %.2f P-cycles\n", met.InterTxnTime)
+	fmt.Printf("transaction rate rt      %.5f txns/P-cycle/proc\n", met.TxnRate)
+	fmt.Printf("channel utilization      %.3f\n", met.ChannelUtilization)
+	if met.SWTraps > 0 {
+		fmt.Printf("LimitLESS traps          %d\n", met.SWTraps)
+	}
+}

@@ -1,0 +1,125 @@
+// Command sweep runs a grid of full-system simulations — mappings ×
+// context counts — and emits one CSV row of measurements per run, for
+// custom studies beyond the canned figures:
+//
+//	sweep -mappings suite -contexts 1,2,4
+//	sweep -k 4 -mappings identity,random:1,antilocal -contexts 1 -ratio 1
+//	sweep -mappings random:1 -contexts 1 -prefetch -out results.csv
+//
+// Columns: mapping, d, contexts, prefetch, B, g, tm, rm, Tm, Tt, tt,
+// rt, utilization.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"locality/internal/machine"
+	"locality/internal/mapsel"
+	"locality/internal/topology"
+	"locality/internal/workload"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}
+
+func parseContexts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("sweep: bad context count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: empty context list %q", s)
+	}
+	return out, nil
+}
+
+func main() {
+	k := flag.Int("k", 8, "torus radix")
+	n := flag.Int("n", 2, "torus dimensions")
+	contextsFlag := flag.String("contexts", "1", "comma-separated context counts")
+	mappingsFlag := flag.String("mappings", "suite", "comma-separated mapping selectors (see internal/mapsel)")
+	warmup := flag.Int64("warmup", 4000, "warmup P-cycles")
+	window := flag.Int64("window", 12000, "measurement window P-cycles")
+	ratio := flag.Int("ratio", 2, "network cycles per processor cycle")
+	prefetch := flag.Bool("prefetch", false, "enable neighbor prefetching in the workload")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	flag.Parse()
+
+	tor, err := topology.New(*k, *n)
+	if err != nil {
+		fatal(err)
+	}
+	maps, err := mapsel.List(tor, *mappingsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	contexts, err := parseContexts(*contextsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{"mapping", "d", "contexts", "prefetch", "B", "g", "tm", "rm", "Tm", "Tt", "tt", "rt", "utilization"}
+	if err := cw.Write(header); err != nil {
+		fatal(err)
+	}
+
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, p := range contexts {
+		for _, m := range maps {
+			cfg := machine.DefaultConfig(tor, m, p)
+			cfg.ClockRatio = *ratio
+			if *prefetch {
+				cfg.Workload = workload.RelaxationConfig{
+					Graph:        tor,
+					Map:          m,
+					Instances:    p,
+					LineSize:     cfg.LineSize,
+					ReadCompute:  cfg.ReadCompute,
+					WriteCompute: cfg.WriteCompute,
+					Prefetch:     true,
+				}
+			}
+			mach, err := machine.New(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			met := mach.RunMeasured(*warmup, *window)
+			row := []string{
+				m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch),
+				f(met.MsgSize), f(met.MsgsPerTxn), f(met.InterMsgTime), f(met.MsgRate),
+				f(met.MsgLatency), f(met.TxnLatency), f(met.InterTxnTime), f(met.TxnRate),
+				f(met.ChannelUtilization),
+			}
+			if err := cw.Write(row); err != nil {
+				fatal(err)
+			}
+			cw.Flush() // stream rows as runs finish
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package locality reproduces Kirk L. Johnson's ISCA 1992 paper "The
+// Impact of Communication Locality on Large-Scale Multiprocessor
+// Performance": an analytical framework combining application,
+// transaction, and network models with feedback (internal/core), a
+// full-system simulator of an Alewife-class multiprocessor used to
+// validate it (internal/machine and its substrates), and drivers that
+// regenerate every figure and table in the paper's evaluation
+// (internal/experiments, cmd/figures).
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package locality

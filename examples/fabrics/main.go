@@ -1,0 +1,69 @@
+// Fabrics: run the same application model over three interconnect
+// organizations using the Fabric interface — a torus exploiting
+// physical locality, a torus ignoring it, and a multistage (UCL)
+// network where locality cannot help — and watch why scalable machines
+// expose non-uniform latency. Also demonstrates the distance-mixture
+// refinement of the paper's single-number d.
+//
+//	go run ./examples/fabrics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locality/internal/core"
+	"locality/internal/mapping"
+	"locality/internal/topology"
+)
+
+func main() {
+	// One application, expressed as its fitted message curve.
+	cfg := core.AlewifeLargeScale(1, 1)
+	node := cfg.Node()
+	curve := core.NodeCurve{S: node.Sensitivity(), K: node.Intercept()}
+	torus := cfg.Net
+
+	fmt.Println("Application message curve: Tm =", curve.S, "· tm −", curve.K)
+	fmt.Println()
+	fmt.Println("        N   torus+ideal   torus+random   indirect(UCL)   (message latency, N-cycles)")
+	for _, n := range []float64{64, 1024, 16384, 262144, 1048576} {
+		_, tmIdeal, err := core.SolveOnFabric(curve, torus, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, tmRandom, err := core.SolveOnFabric(curve, torus, core.RandomMappingDistance(2, n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, tmUCL, err := core.SolveOnFabric(curve, core.IndirectFor(n, 2, torus.MsgSize), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9.0f   %11.1f   %12.1f   %13.1f\n", n, tmIdeal, tmRandom, tmUCL)
+	}
+
+	// Distance mixtures: the paper compresses a mapping's communication
+	// pattern to its mean distance; the mixture fabric keeps the whole
+	// histogram. Compare both against each other for a real mapping.
+	fmt.Println("\nMean-distance vs exact-histogram predictions (64-node torus):")
+	tor := topology.MustNew(8, 2)
+	for _, m := range []*mapping.Mapping{mapping.RowShuffle(tor, 1), mapping.Random(tor, 1)} {
+		d := m.AvgDistance(tor)
+		mix, err := core.NeighborDistanceMix(m.DistanceHistogram(tor))
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, tmMean, err := core.SolveOnFabric(curve, torus, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, tmMix, err := core.SolveOnFabric(curve, core.MixedDistanceNetwork{Net: torus, Mix: mix}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s d=%.2f   Tm(mean)=%.1f   Tm(histogram)=%.1f\n", m.Name, d, tmMean, tmMix)
+	}
+	fmt.Println("\nThe mean-distance compression loses little for torus mappings —")
+	fmt.Println("the paper's single-parameter d is a good operational definition.")
+}

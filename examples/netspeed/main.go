@@ -1,0 +1,63 @@
+// Network-speed study: reproduce Table 1's sensitivity analysis — how
+// the value of exploiting locality rises as the network slows relative
+// to the processors — and extend it with a simulation cross-check on a
+// 64-node machine.
+//
+//	go run ./examples/netspeed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locality/internal/core"
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/topology"
+)
+
+func main() {
+	fmt.Println("Model (Table 1): expected locality gains, one context")
+	fmt.Println("network speed    gain @ 10^3    gain @ 10^6")
+	for _, row := range []struct {
+		label  string
+		factor float64
+	}{
+		{"2x faster (base)", 1},
+		{"same", 0.5},
+		{"2x slower", 0.25},
+		{"4x slower", 0.125},
+	} {
+		cfg := core.AlewifeLargeScale(1, 1).WithNetworkSpeed(row.factor)
+		g3, err := core.ExpectedGain(cfg, 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g6, err := core.ExpectedGain(cfg, 1e6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %10.1f %14.1f\n", row.label, g3.Gain, g6.Gain)
+	}
+
+	// Simulation cross-check at 64 nodes: a slower network amplifies
+	// the ideal-vs-random performance ratio there too.
+	fmt.Println("\nSimulation cross-check (64 nodes, 1 context):")
+	fmt.Println("clock ratio    tt ideal    tt random    ratio")
+	tor := topology.MustNew(8, 2)
+	for _, ratio := range []int{2, 1} {
+		var tts [2]float64
+		for i, m := range []*mapping.Mapping{mapping.Identity(tor), mapping.Random(tor, 1)} {
+			cfg := machine.DefaultConfig(tor, m, 1)
+			cfg.ClockRatio = ratio
+			mach, err := machine.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tts[i] = mach.RunMeasured(4000, 12000).InterTxnTime
+		}
+		fmt.Printf("%6dx %13.1f %11.1f %9.2fx\n", ratio, tts[0], tts[1], tts[1]/tts[0])
+	}
+	fmt.Println("\nThe richer the network relative to computation, the less locality")
+	fmt.Println("matters; starve the network and placement becomes critical.")
+}

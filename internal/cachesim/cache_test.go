@@ -1,0 +1,191 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	return MustNew(Config{Lines: 8, LineSize: 16})
+}
+
+func TestNewValidation(t *testing.T) {
+	good := []Config{{Lines: 1, LineSize: 1}, {Lines: 4096, LineSize: 16}}
+	for _, cfg := range good {
+		if _, err := New(cfg); err != nil {
+			t.Errorf("New(%+v) = %v, want ok", cfg, err)
+		}
+	}
+	bad := []Config{{Lines: 0, LineSize: 16}, {Lines: 3, LineSize: 16}, {Lines: 8, LineSize: 0}, {Lines: 8, LineSize: 12}, {Lines: -8, LineSize: 16}}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) should fail", cfg)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad config should panic")
+		}
+	}()
+	MustNew(Config{Lines: 3, LineSize: 16})
+}
+
+func TestLineAddr(t *testing.T) {
+	c := small()
+	tests := []struct{ addr, want uint64 }{
+		{0, 0}, {15, 0}, {16, 16}, {17, 16}, {0x1234, 0x1230},
+	}
+	for _, tc := range tests {
+		if got := c.LineAddr(tc.addr); got != tc.want {
+			t.Errorf("LineAddr(%#x) = %#x, want %#x", tc.addr, got, tc.want)
+		}
+	}
+}
+
+func TestReadMissInstallHit(t *testing.T) {
+	c := small()
+	if c.AccessRead(0x100) {
+		t.Error("cold read should miss")
+	}
+	c.Install(0x100, Shared)
+	if !c.AccessRead(0x100) {
+		t.Error("read after install should hit")
+	}
+	if !c.AccessRead(0x10F) {
+		t.Error("read within same line should hit")
+	}
+	if c.AccessRead(0x200) {
+		t.Error("different line should miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", c.Hits(), c.Misses())
+	}
+}
+
+func TestWriteRequiresModified(t *testing.T) {
+	c := small()
+	c.Install(0x40, Shared)
+	if c.AccessWrite(0x40) {
+		t.Error("write to Shared line should miss (needs upgrade)")
+	}
+	c.SetState(0x40, Modified)
+	if !c.AccessWrite(0x40) {
+		t.Error("write to Modified line should hit")
+	}
+	if c.AccessWrite(0x80) {
+		t.Error("write to absent line should miss")
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	c := small() // 8 lines × 16 B: addresses 0 and 8·16 = 0x80 conflict
+	c.Install(0x10, Modified)
+	ev, had := c.Install(0x10+8*16, Shared)
+	if !had {
+		t.Fatal("conflicting install should evict")
+	}
+	if ev.LineAddr != 0x10 || ev.State != Modified {
+		t.Errorf("eviction = %+v, want line 0x10 state M", ev)
+	}
+	if c.Lookup(0x10) != Invalid {
+		t.Error("evicted line should be absent")
+	}
+	if c.Lookup(0x10+8*16) != Shared {
+		t.Error("new line should be present Shared")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestReinstallSameLineNoEviction(t *testing.T) {
+	c := small()
+	c.Install(0x10, Shared)
+	if _, had := c.Install(0x10, Modified); had {
+		t.Error("reinstalling the same line must not report an eviction")
+	}
+	if c.Lookup(0x10) != Modified {
+		t.Error("state should be updated")
+	}
+}
+
+func TestInstallInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Install(Invalid) should panic")
+		}
+	}()
+	small().Install(0x10, Invalid)
+}
+
+func TestSetStateAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetState on absent line should panic")
+		}
+	}()
+	small().SetState(0x10, Shared)
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Install(0x30, Modified)
+	prior, had := c.Invalidate(0x30)
+	if !had || prior != Modified {
+		t.Errorf("Invalidate = %v,%v, want Modified,true", prior, had)
+	}
+	if _, had := c.Invalidate(0x30); had {
+		t.Error("second invalidate should report absent")
+	}
+	if _, had := c.Invalidate(0x999); had {
+		t.Error("invalidate of never-present line should report absent")
+	}
+}
+
+func TestStateCensus(t *testing.T) {
+	c := small()
+	c.Install(0x00, Shared)
+	c.Install(0x10, Shared)
+	c.Install(0x20, Modified)
+	s, m := c.StateCensus()
+	if s != 2 || m != 1 {
+		t.Errorf("census = %d,%d, want 2,1", s, m)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Error("state strings wrong")
+	}
+	if State(9).String() != "State(9)" {
+		t.Error("unknown state string wrong")
+	}
+}
+
+func TestLookupNeverLies(t *testing.T) {
+	// Property: after Install(addr, s), Lookup(addr) == s until the
+	// frame is invalidated or overwritten by a conflicting line.
+	c := MustNew(Config{Lines: 16, LineSize: 16})
+	f := func(addrRaw uint32, write bool) bool {
+		addr := uint64(addrRaw % 4096)
+		st := Shared
+		if write {
+			st = Modified
+		}
+		c.Install(addr, st)
+		return c.Lookup(addr) == st && c.LineAddr(addr)%16 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	c := MustNew(Config{Lines: 4096, LineSize: 16})
+	if c.Lines() != 4096 || c.LineSize() != 16 {
+		t.Error("geometry accessors wrong")
+	}
+}

@@ -1,0 +1,156 @@
+package cohsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"locality/internal/cachesim"
+)
+
+// TestProtocolRandomizedInvariants drives the protocol with seeded
+// random access sequences — overlapping reads, writes, and
+// conflict-evicting accesses from every node — and checks the global
+// coherence invariants after quiescing:
+//
+//  1. at most one Modified copy of any line machine-wide;
+//  2. never a Modified copy alongside Shared copies;
+//  3. the directory's owner matches the actual Modified holder;
+//  4. the directory's sharer list covers every actual Shared holder
+//     (it may over-approximate because Shared evictions are silent);
+//  5. every started transaction completed.
+func TestProtocolRandomizedInvariants(t *testing.T) {
+	const nodes = 8
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Nodes: nodes,
+			Cache: cachesim.Config{Lines: 8, LineSize: 16}, // tiny: forces evictions
+			Home:  func(addr uint64) int { return int(addr/16) % nodes },
+			// Alternate between full-map and tight-pointer directories.
+			HWPointers: int(seed % 3),
+		}
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := &fakeNet{p: p, delay: 3 + seed%7}
+		p.SetTransport(net)
+
+		// Addresses: 24 lines, some of which conflict in the 8-line
+		// caches (lines 0 and 8 share a frame, etc.).
+		addrs := make([]uint64, 24)
+		for i := range addrs {
+			addrs[i] = uint64(i) * 16
+		}
+
+		issued := 0
+		for step := 0; step < 300; step++ {
+			node := rng.Intn(nodes)
+			addr := addrs[rng.Intn(len(addrs))]
+			write := rng.Intn(3) == 0
+			p.Access(node, 0, addr, write, net.now)
+			issued++
+			// Let traffic interleave: advance a random number of
+			// cycles without requiring quiescence.
+			horizon := net.now + int64(rng.Intn(40))
+			for net.now < horizon {
+				var due, still []pendingMsg
+				for _, pm := range net.queue {
+					if pm.due <= net.now {
+						due = append(due, pm)
+					} else {
+						still = append(still, pm)
+					}
+				}
+				net.queue = still
+				for _, pm := range due {
+					p.Deliver(pm.dst, pm.m, net.now)
+				}
+				p.Tick(net.now)
+				net.now++
+			}
+		}
+		net.run(t, net.now+1_000_000)
+
+		for _, addr := range addrs {
+			owners, shared := 0, 0
+			owner := -1
+			var sharedNodes []int
+			for n := 0; n < nodes; n++ {
+				switch p.Cache(n).Lookup(addr) {
+				case cachesim.Modified:
+					owners++
+					owner = n
+				case cachesim.Shared:
+					shared++
+					sharedNodes = append(sharedNodes, n)
+				}
+			}
+			if owners > 1 {
+				t.Fatalf("seed %d addr %#x: %d Modified copies", seed, addr, owners)
+			}
+			if owners == 1 && shared > 0 {
+				t.Fatalf("seed %d addr %#x: Modified at %d with %d Shared copies", seed, addr, owner, shared)
+			}
+			dir := p.Directory(addr)
+			if dir.Busy || dir.Queued != 0 {
+				t.Fatalf("seed %d addr %#x: directory still busy after quiesce: %+v", seed, addr, dir)
+			}
+			if owners == 1 {
+				if dir.State != "modified" || dir.Owner != owner {
+					t.Fatalf("seed %d addr %#x: directory %+v disagrees with owner %d", seed, addr, dir, owner)
+				}
+			}
+			if owners == 0 {
+				// Directory sharer list must cover all actual sharers.
+				listed := map[int]bool{}
+				for _, s := range dir.Sharers {
+					listed[s] = true
+				}
+				for _, n := range sharedNodes {
+					if !listed[n] {
+						t.Fatalf("seed %d addr %#x: node %d holds Shared but is not in directory %+v", seed, addr, n, dir)
+					}
+				}
+			}
+		}
+		// Conservation: every access that missed produced a completed
+		// transaction (coalesced accesses share one).
+		s := p.Snapshot()
+		if s.Transactions == 0 {
+			t.Fatalf("seed %d: no transactions completed out of %d accesses", seed, issued)
+		}
+		if s.Transactions != s.ReadMisses+s.WriteMisses {
+			t.Fatalf("seed %d: %d transactions != %d read + %d write misses",
+				seed, s.Transactions, s.ReadMisses, s.WriteMisses)
+		}
+	}
+}
+
+// TestProtocolMessageConservation checks that every fabric message
+// sent is eventually delivered and that per-transaction attribution
+// sums to the global count.
+func TestProtocolMessageConservation(t *testing.T) {
+	p, net := newTestProtocol(t, 8, nil)
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 100; step++ {
+		p.Access(rng.Intn(8), 0, lineFor(rng.Intn(8)), rng.Intn(2) == 0, net.now)
+		net.run(t, net.now+100000)
+	}
+	var attributed int
+	for _, txn := range p.Completed() {
+		attributed += txn.NetMessages
+	}
+	fabric := 0
+	for _, lm := range net.log {
+		if lm.src != lm.dst {
+			fabric++
+		}
+	}
+	if int64(fabric) != p.Snapshot().NetMessages {
+		t.Errorf("transport saw %d fabric messages, protocol counted %d", fabric, p.Snapshot().NetMessages)
+	}
+	if attributed != fabric {
+		t.Errorf("per-transaction attribution %d != fabric total %d", attributed, fabric)
+	}
+}

@@ -1,0 +1,62 @@
+package cohsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKindConservationLaws drives random traffic and checks the
+// protocol's message-pairing invariants at quiescence:
+//
+//	#RReq  == #RData        (every read request is answered)
+//	#WReq  == #WGrant + #WGrantData
+//	#Inv   == #InvAck
+//	#WBData ≤ #Fetch + #FetchInv (fetches crossed by evictions go unanswered;
+//	                              the eviction's WB fills in)
+func TestKindConservationLaws(t *testing.T) {
+	p, net := newTestProtocol(t, 8, nil)
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 400; step++ {
+		p.Access(rng.Intn(8), 0, lineFor(rng.Intn(8)), rng.Intn(3) == 0, net.now)
+		if step%5 == 0 {
+			net.run(t, net.now+1000000)
+		}
+	}
+	net.run(t, net.now+1000000)
+
+	if got, want := p.KindCount(MsgRData), p.KindCount(MsgRReq); got != want {
+		t.Errorf("RData %d != RReq %d", got, want)
+	}
+	grants := p.KindCount(MsgWGrant) + p.KindCount(MsgWGrantData)
+	if got := p.KindCount(MsgWReq); got != grants {
+		t.Errorf("WReq %d != grants %d", got, grants)
+	}
+	if got, want := p.KindCount(MsgInvAck), p.KindCount(MsgInv); got != want {
+		t.Errorf("InvAck %d != Inv %d", got, want)
+	}
+	fetches := p.KindCount(MsgFetch) + p.KindCount(MsgFetchInv)
+	if wb := p.KindCount(MsgWBData); wb > fetches {
+		t.Errorf("WBData %d exceeds fetches %d", wb, fetches)
+	}
+	// The per-kind counts sum to the global fabric-message count.
+	var sum int64
+	for k := MsgRReq; k <= MsgWB; k++ {
+		sum += p.KindCount(k)
+	}
+	if got := p.Snapshot().NetMessages; sum != got {
+		t.Errorf("kind counts sum to %d, global count %d", sum, got)
+	}
+}
+
+func TestKindCountsResetWithStats(t *testing.T) {
+	p, net := newTestProtocol(t, 4, nil)
+	p.Access(0, 0, lineFor(2), false, 0)
+	net.run(t, 100000)
+	if p.KindCount(MsgRReq) != 1 {
+		t.Fatalf("RReq count = %d, want 1", p.KindCount(MsgRReq))
+	}
+	p.ResetStats()
+	if p.KindCount(MsgRReq) != 0 {
+		t.Error("kind counts should reset with statistics")
+	}
+}

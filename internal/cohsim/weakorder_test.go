@@ -1,0 +1,69 @@
+package cohsim
+
+import (
+	"testing"
+
+	"locality/internal/cachesim"
+)
+
+func TestWriteBehindAcquiresOwnership(t *testing.T) {
+	p, net := newTestProtocol(t, 4, nil)
+	addr := lineFor(2)
+	if !p.WriteBehind(0, addr, 0) {
+		t.Fatal("cold write-behind should start a transaction")
+	}
+	if !p.Outstanding(0, addr) {
+		t.Fatal("transaction should be outstanding")
+	}
+	net.run(t, 100000)
+	if p.Cache(0).Lookup(addr) != cachesim.Modified {
+		t.Error("write-behind should end with the line Modified")
+	}
+	if p.Outstanding(0, addr) {
+		t.Error("transaction should have drained")
+	}
+	// Repeat on an already-Modified line: no-op.
+	if p.WriteBehind(0, addr, net.now) {
+		t.Error("write-behind on a Modified line should be a no-op")
+	}
+}
+
+func TestWriteBehindChainsBehindRead(t *testing.T) {
+	ready := 0
+	p, net := newTestProtocol(t, 4, func(node, th int, now int64) { ready++ })
+	addr := lineFor(2)
+	p.Access(0, 0, addr, false, 0) // read outstanding
+	if !p.WriteBehind(0, addr, 0) {
+		t.Fatal("write-behind should chain behind the outstanding read")
+	}
+	if p.WriteBehind(0, addr, 0) {
+		t.Error("second write-behind on the same line should be a no-op")
+	}
+	net.run(t, 1000000)
+	if p.Cache(0).Lookup(addr) != cachesim.Modified {
+		t.Error("chained write-behind should end Modified")
+	}
+	if ready != 1 {
+		t.Errorf("reader woken %d times, want 1", ready)
+	}
+}
+
+func TestJoinBlocksOnInFlightOnly(t *testing.T) {
+	woken := map[int]bool{}
+	p, net := newTestProtocol(t, 4, func(node, th int, now int64) { woken[th] = true })
+	addr := lineFor(2)
+	if p.Join(0, 7, addr, 0) {
+		t.Fatal("join with nothing outstanding should not block")
+	}
+	p.WriteBehind(0, addr, 0)
+	if !p.Join(0, 7, addr, 0) {
+		t.Fatal("join on an in-flight write-behind should block")
+	}
+	net.run(t, 100000)
+	if !woken[7] {
+		t.Error("joined thread was not woken at completion")
+	}
+	if p.Join(0, 7, addr, net.now) {
+		t.Error("join after completion should not block")
+	}
+}

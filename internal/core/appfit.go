@@ -1,0 +1,86 @@
+package core
+
+import "fmt"
+
+// This file closes the loop between measurements and model parameters:
+// given quantities a real (or simulated) machine reports — fitted
+// application message curves, measured g, B and transaction mix — it
+// recovers the application/transaction model parameters the paper's
+// framework is expressed in.
+
+// FittedParams are application/transaction parameters recovered from
+// an empirical node curve.
+type FittedParams struct {
+	// Sensitivity is the curve slope s; CriticalPath is the implied
+	// c = p·g/s.
+	Sensitivity, CriticalPath float64
+	// FixedBudget is Tr + Tc + Tf in P-cycles, recovered from the
+	// curve intercept: K = R·(Tr + Tc + Tf)/c. The split between grain
+	// and fixed overhead is not identifiable from the curve alone;
+	// SplitFixedBudget apportions it given one of the two.
+	FixedBudget float64
+}
+
+// RecoverParams inverts the node model: from a fitted message curve
+// (slope s, intercept K in N-cycles), the context count, messages per
+// transaction, and the clock ratio, recover c and the total fixed
+// budget Tr + Tc + Tf.
+func RecoverParams(curve NodeCurve, contexts int, messagesPer, clockRatio float64) (FittedParams, error) {
+	if curve.S <= 0 {
+		return FittedParams{}, fmt.Errorf("core: fitted slope %g, must be positive", curve.S)
+	}
+	if contexts < 1 {
+		return FittedParams{}, fmt.Errorf("core: context count %d, must be ≥ 1", contexts)
+	}
+	if messagesPer <= 0 || clockRatio <= 0 {
+		return FittedParams{}, fmt.Errorf("core: g = %g and R = %g must be positive", messagesPer, clockRatio)
+	}
+	c := float64(contexts) * messagesPer / curve.S
+	return FittedParams{
+		Sensitivity:  curve.S,
+		CriticalPath: c,
+		FixedBudget:  curve.K * c / clockRatio,
+	}, nil
+}
+
+// SplitFixedBudget apportions the recovered fixed budget into grain
+// and fixed transaction overhead given known Tr and Tc (e.g. from the
+// workload definition): Tf = budget − Tr − Tc. Negative results are
+// clamped to zero with an error, signaling an inconsistent fit.
+func (f FittedParams) SplitFixedBudget(grain, switchTime float64) (fixedOverhead float64, err error) {
+	tf := f.FixedBudget - grain - switchTime
+	if tf < 0 {
+		return 0, fmt.Errorf("core: fixed budget %g smaller than Tr+Tc = %g", f.FixedBudget, grain+switchTime)
+	}
+	return tf, nil
+}
+
+// ConfigFromFit assembles a solvable Config from recovered parameters
+// plus the remaining architectural constants. The grain/switch/fixed
+// split follows SplitFixedBudget.
+func ConfigFromFit(f FittedParams, contexts int, grain, switchTime, messagesPer float64, net NetworkModel, clockRatio, d float64) (Config, error) {
+	tf, err := f.SplitFixedBudget(grain, switchTime)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		App: ApplicationModel{
+			Grain:      grain,
+			SwitchTime: switchTime,
+			Contexts:   contexts,
+		},
+		Txn: TransactionModel{
+			CriticalPath:  f.CriticalPath,
+			MessagesPer:   messagesPer,
+			FixedOverhead: tf,
+		},
+		Net:            net,
+		ClockRatio:     clockRatio,
+		D:              d,
+		AssumeUnmasked: true,
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

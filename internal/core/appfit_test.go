@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecoverParamsRoundTrip(t *testing.T) {
+	// Build a node model from known parameters, read off its curve,
+	// and recover the parameters.
+	for _, p := range []int{1, 2, 4} {
+		cfg := Alewife(p, 1)
+		node := cfg.Node()
+		curve := NodeCurve{S: node.Sensitivity(), K: node.Intercept()}
+		fit, err := RecoverParams(curve, p, cfg.Txn.MessagesPer, cfg.ClockRatio)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if math.Abs(fit.CriticalPath-cfg.Txn.CriticalPath) > 1e-9 {
+			t.Errorf("p=%d: recovered c = %g, want %g", p, fit.CriticalPath, cfg.Txn.CriticalPath)
+		}
+		wantBudget := cfg.App.Grain + cfg.Txn.FixedOverhead
+		if p > 1 {
+			wantBudget += cfg.App.SwitchTime
+		}
+		if math.Abs(fit.FixedBudget-wantBudget) > 1e-9 {
+			t.Errorf("p=%d: recovered budget = %g, want %g", p, fit.FixedBudget, wantBudget)
+		}
+	}
+}
+
+func TestRecoverParamsValidation(t *testing.T) {
+	good := NodeCurve{S: 3.26, K: 60}
+	if _, err := RecoverParams(NodeCurve{S: 0, K: 60}, 2, 3.2, 2); err == nil {
+		t.Error("zero slope should error")
+	}
+	if _, err := RecoverParams(good, 0, 3.2, 2); err == nil {
+		t.Error("zero contexts should error")
+	}
+	if _, err := RecoverParams(good, 2, 0, 2); err == nil {
+		t.Error("zero g should error")
+	}
+	if _, err := RecoverParams(good, 2, 3.2, 0); err == nil {
+		t.Error("zero clock ratio should error")
+	}
+}
+
+func TestSplitFixedBudget(t *testing.T) {
+	f := FittedParams{FixedBudget: 59}
+	tf, err := f.SplitFixedBudget(24, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf != 24 {
+		t.Errorf("Tf = %g, want 24", tf)
+	}
+	if _, err := f.SplitFixedBudget(50, 20); err == nil {
+		t.Error("over-budget split should error")
+	}
+}
+
+func TestConfigFromFitSolvesLikeOriginal(t *testing.T) {
+	// Recover a config from the Alewife preset's own curve; the
+	// reassembled config must produce the same operating points.
+	orig := Alewife(2, 4.06)
+	node := orig.Node()
+	curve := NodeCurve{S: node.Sensitivity(), K: node.Intercept()}
+	fit, err := RecoverParams(curve, 2, orig.Txn.MessagesPer, orig.ClockRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := ConfigFromFit(fit, 2, orig.App.Grain, orig.App.SwitchTime, orig.Txn.MessagesPer, orig.Net, orig.ClockRatio, orig.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := orig.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rebuilt.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MsgRate-b.MsgRate) > 1e-9 || math.Abs(a.IssueTime-b.IssueTime) > 1e-6 {
+		t.Errorf("rebuilt config diverges: (%g,%g) vs (%g,%g)", a.MsgRate, a.IssueTime, b.MsgRate, b.IssueTime)
+	}
+}
+
+func TestConfigFromFitRejectsInconsistent(t *testing.T) {
+	fit := FittedParams{Sensitivity: 3.26, CriticalPath: 2, FixedBudget: 10}
+	if _, err := ConfigFromFit(fit, 2, 24, 11, 3.2, NetworkModel{Dims: 2, MsgSize: 12}, 2, 1); err == nil {
+		t.Error("budget smaller than Tr+Tc should error")
+	}
+}

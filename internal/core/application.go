@@ -1,0 +1,120 @@
+// Package core implements the paper's analytical modeling framework:
+// an application model, a transaction model, and a network model that
+// compose — with feedback — into a combined model predicting message
+// rates, latencies, and end performance for large-scale multiprocessors
+// with k-ary n-dimensional mesh interconnects (Johnson, ISCA 1992).
+//
+// # Units and clock domains
+//
+// Two clock domains appear throughout: processor cycles (P-cycles) and
+// network cycles (N-cycles). Application and transaction quantities
+// (Tr, Tc, Tf, transaction latency Tt, inter-transaction time tt) are
+// P-cycles. Network quantities (message latency Tm, per-hop latency
+// Th, message size B, inter-message time tm inside the network model)
+// are N-cycles. ClockRatio R converts between them: a duration of x
+// P-cycles spans x·R N-cycles (the base Alewife-like architecture has
+// R = 2 — network switches clocked twice as fast as processors).
+package core
+
+import (
+	"fmt"
+)
+
+// ApplicationModel characterizes how fast one processor issues
+// communication transactions as a function of observed transaction
+// latency. It captures computational grain (Tr), the block
+// multithreading configuration (Contexts, SwitchTime), and — through
+// those — the application transaction curve of Section 2.1.
+type ApplicationModel struct {
+	// Grain is Tr: the average useful work between successive
+	// communication transactions by one thread, in P-cycles.
+	Grain float64
+	// SwitchTime is Tc: the context switch overhead in P-cycles.
+	// Ignored when Contexts == 1 (no switching occurs).
+	SwitchTime float64
+	// Contexts is p: the number of hardware contexts (degree of block
+	// multithreading). p = 1 models a conventional processor.
+	Contexts int
+}
+
+// Validate reports an error for physically meaningless parameters.
+func (a ApplicationModel) Validate() error {
+	if a.Grain <= 0 {
+		return fmt.Errorf("core: application grain Tr = %g, must be positive", a.Grain)
+	}
+	if a.SwitchTime < 0 {
+		return fmt.Errorf("core: context switch time Tc = %g, must be non-negative", a.SwitchTime)
+	}
+	if a.Contexts < 1 {
+		return fmt.Errorf("core: context count p = %d, must be at least 1", a.Contexts)
+	}
+	return nil
+}
+
+// effSwitch is the context switch cost actually paid per run slice:
+// zero on a single-context processor.
+func (a ApplicationModel) effSwitch() float64 {
+	if a.Contexts == 1 {
+		return 0
+	}
+	return a.SwitchTime
+}
+
+// MinIssueTime is the floor on average inter-transaction issue time
+// (Equation 4): with latency fully masked, a transaction issues every
+// run slice, tt = Tr + Tc.
+func (a ApplicationModel) MinIssueTime() float64 {
+	return a.Grain + a.effSwitch()
+}
+
+// MaskingThreshold is the transaction latency below which a
+// p-context processor completely hides communication latency: the
+// transaction returns before the issuing thread's next turn,
+// Tt ≤ (p−1)·(Tr + Tc). For p = 1 the threshold is zero (any latency
+// is exposed).
+func (a ApplicationModel) MaskingThreshold() float64 {
+	return float64(a.Contexts-1) * (a.Grain + a.effSwitch())
+}
+
+// Masked reports whether transaction latency Tt (P-cycles) is fully
+// hidden by multithreading.
+func (a ApplicationModel) Masked(tt float64) bool {
+	return tt <= a.MaskingThreshold()
+}
+
+// UnmaskedIssueTime is the latency-bound branch of the application
+// transaction curve (Equations 2 and 5): tt = (Tr + Tc + Tt)/p with no
+// floor applied. The paper drops the Equation 4 floor because none of
+// its experiments approached it; Config.AssumeUnmasked selects this
+// branch unconditionally to reproduce the paper's curves.
+func (a ApplicationModel) UnmaskedIssueTime(transactionLatency float64) float64 {
+	return (a.Grain + a.effSwitch() + transactionLatency) / float64(a.Contexts)
+}
+
+// IssueTime is the application transaction curve (Equations 1–6): the
+// average inter-transaction issue time tt (P-cycles) for a given
+// average transaction latency Tt (P-cycles). In the masked regime the
+// processor pipelines transactions at its floor rate; otherwise it
+// operates latency-bound, issuing p transactions every Tr + Tc + Tt
+// cycles.
+func (a ApplicationModel) IssueTime(transactionLatency float64) float64 {
+	unmasked := a.UnmaskedIssueTime(transactionLatency)
+	if floor := a.MinIssueTime(); unmasked < floor {
+		return floor
+	}
+	return unmasked
+}
+
+// TransactionLatency inverts IssueTime on the unmasked branch
+// (Equation 6): the transaction latency that would produce the given
+// inter-transaction issue time, Tt = p·tt − Tr − Tc.
+func (a ApplicationModel) TransactionLatency(issueTime float64) float64 {
+	return float64(a.Contexts)*issueTime - a.Grain - a.effSwitch()
+}
+
+// TransactionCurveSlope is the slope of the t–T application transaction
+// curve (latency per unit issue time): p. Doubling the curve slope
+// halves the performance impact of a latency increase.
+func (a ApplicationModel) TransactionCurveSlope() float64 {
+	return float64(a.Contexts)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplicationValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		app    ApplicationModel
+		wantOK bool
+	}{
+		{"base", ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 2}, true},
+		{"single context", ApplicationModel{Grain: 1, Contexts: 1}, true},
+		{"zero grain", ApplicationModel{Grain: 0, Contexts: 1}, false},
+		{"negative grain", ApplicationModel{Grain: -1, Contexts: 1}, false},
+		{"negative switch", ApplicationModel{Grain: 1, SwitchTime: -1, Contexts: 1}, false},
+		{"zero contexts", ApplicationModel{Grain: 1, Contexts: 0}, false},
+	}
+	for _, tc := range tests {
+		if err := tc.app.Validate(); (err == nil) != tc.wantOK {
+			t.Errorf("%s: Validate() = %v, wantOK %v", tc.name, err, tc.wantOK)
+		}
+	}
+}
+
+func TestSingleContextIssueTime(t *testing.T) {
+	// Equation 1: tt = Tr + Tt; the context switch time is irrelevant.
+	app := ApplicationModel{Grain: 100, SwitchTime: 11, Contexts: 1}
+	if got := app.IssueTime(40); got != 140 {
+		t.Errorf("IssueTime(40) = %g, want 140", got)
+	}
+	if got := app.IssueTime(0); got != 100 {
+		t.Errorf("IssueTime(0) = %g, want 100 (floor = grain)", got)
+	}
+}
+
+func TestMultithreadedIssueTimeUnmasked(t *testing.T) {
+	// Equation 5: tt = (Tr + Tc + Tt)/p in the latency-bound regime.
+	app := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 4}
+	tt := app.IssueTime(1000)
+	want := (24.0 + 11 + 1000) / 4
+	if tt != want {
+		t.Errorf("IssueTime(1000) = %g, want %g", tt, want)
+	}
+}
+
+func TestMultithreadedIssueTimeMasked(t *testing.T) {
+	// Equation 4: with latency fully hidden, tt = Tr + Tc.
+	app := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 4}
+	if got, want := app.IssueTime(0), 35.0; got != want {
+		t.Errorf("IssueTime(0) = %g, want %g", got, want)
+	}
+	if got := app.IssueTime(app.MaskingThreshold()); got != app.MinIssueTime() {
+		t.Errorf("at the masking threshold, issue time should equal the floor")
+	}
+}
+
+func TestMaskingThreshold(t *testing.T) {
+	app := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 4}
+	if got, want := app.MaskingThreshold(), 3*35.0; got != want {
+		t.Errorf("MaskingThreshold = %g, want %g", got, want)
+	}
+	one := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 1}
+	if got := one.MaskingThreshold(); got != 0 {
+		t.Errorf("single context threshold = %g, want 0", got)
+	}
+	if !app.Masked(50) {
+		t.Error("Tt=50 below threshold should be masked")
+	}
+	if app.Masked(200) {
+		t.Error("Tt=200 above threshold should not be masked")
+	}
+}
+
+func TestIssueTimeContinuousAtThreshold(t *testing.T) {
+	// The masked and unmasked branches must agree at the threshold.
+	for _, p := range []int{2, 3, 4, 8} {
+		app := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: p}
+		thr := app.MaskingThreshold()
+		below := app.IssueTime(thr * (1 - 1e-9))
+		above := app.IssueTime(thr * (1 + 1e-9))
+		if math.Abs(below-above) > 1e-6 {
+			t.Errorf("p=%d: discontinuity at threshold: %g vs %g", p, below, above)
+		}
+	}
+}
+
+func TestTransactionLatencyInvertsIssueTime(t *testing.T) {
+	f := func(grain, latency float64, pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		grain = 1 + math.Abs(math.Mod(grain, 1000))
+		latency = math.Abs(math.Mod(latency, 1e6))
+		app := ApplicationModel{Grain: grain, SwitchTime: 11, Contexts: p}
+		if app.Masked(latency) {
+			return true // inverse only defined on the unmasked branch
+		}
+		tt := app.IssueTime(latency)
+		back := app.TransactionLatency(tt)
+		return math.Abs(back-latency) < 1e-6*(1+latency)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionCurveSlope(t *testing.T) {
+	// Section 2.1: the only difference p makes to the transaction curve
+	// is a factor of p in the slope. Doubling contexts halves the
+	// issue-time increase from a latency increase.
+	a := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 1}
+	b := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 2}
+	if a.TransactionCurveSlope() != 1 || b.TransactionCurveSlope() != 2 {
+		t.Fatalf("slopes = %g, %g; want 1, 2", a.TransactionCurveSlope(), b.TransactionCurveSlope())
+	}
+	const bump = 500.0
+	base := 1000.0
+	dA := a.IssueTime(base+bump) - a.IssueTime(base)
+	dB := b.IssueTime(base+bump) - b.IssueTime(base)
+	if math.Abs(dA-2*dB) > 1e-9 {
+		t.Errorf("issue-time increase: p=1 %g, p=2 %g; want 2:1 ratio", dA, dB)
+	}
+}
+
+func TestIssueTimeMonotoneInLatency(t *testing.T) {
+	f := func(l1, l2 float64, pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		app := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: p}
+		l1 = math.Abs(math.Mod(l1, 1e9))
+		l2 = math.Abs(math.Mod(l2, 1e9))
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		return app.IssueTime(l1) <= app.IssueTime(l2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinIssueTime(t *testing.T) {
+	app := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 2}
+	if got, want := app.MinIssueTime(), 35.0; got != want {
+		t.Errorf("MinIssueTime = %g, want %g", got, want)
+	}
+	one := ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 1}
+	if got, want := one.MinIssueTime(), 24.0; got != want {
+		t.Errorf("single-context MinIssueTime = %g, want %g (no switches)", got, want)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+// Breakdown decomposes average inter-transaction issue time into the
+// four components of Equation 18 (all in P-cycles):
+//
+//	tt = c·n·kd·Th/(R·p)  — variable message overhead
+//	   + c·(B + W)/(R·p)  — fixed message overhead (incl. node-channel wait W)
+//	   + Tf/p             — fixed transaction overhead
+//	   + (Tr + Tc)/p      — actual CPU cycles
+//
+// Only the first component grows with communication distance, which is
+// why the benefit of exploiting physical locality is capped: once the
+// variable component is on par with the fixed ones, halving it cannot
+// even halve tt (Figure 8).
+type Breakdown struct {
+	VariableMessage  float64
+	FixedMessage     float64
+	FixedTransaction float64
+	CPU              float64
+}
+
+// Total returns the sum of the components, equal to the solution's
+// issue time in the unmasked regime.
+func (b Breakdown) Total() float64 {
+	return b.VariableMessage + b.FixedMessage + b.FixedTransaction + b.CPU
+}
+
+// DecomposeIssueTime splits a solved operating point into Equation 18's
+// components. For masked solutions the per-transaction communication
+// components are computed at the floor injection rate and the CPU
+// component absorbs the remainder of the floor issue time: with
+// latency fully hidden, the processor pipeline spends the balance
+// running other contexts' work rather than stalled on communication.
+func (c Config) DecomposeIssueTime(sol Solution) Breakdown {
+	p := float64(c.App.Contexts)
+	kd := c.D / float64(c.Net.Dims)
+	variable := c.Txn.CriticalPath * float64(c.Net.Dims) * kd * sol.HopLatency / (c.ClockRatio * p)
+	fixedMsg := c.Txn.CriticalPath * (c.Net.MsgSize + c.Net.NodeChannelWait(sol.MsgRate)) / (c.ClockRatio * p)
+	fixedTxn := c.Txn.FixedOverhead / p
+	cpu := (c.App.Grain + c.App.effSwitch()) / p
+	if sol.Masked {
+		cpu = sol.IssueTime - variable - fixedMsg - fixedTxn
+	}
+	return Breakdown{
+		VariableMessage:  variable,
+		FixedMessage:     fixedMsg,
+		FixedTransaction: fixedTxn,
+		CPU:              cpu,
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"locality/internal/numeric"
+)
+
+// Config assembles the component models into one solvable system
+// (Section 2.5). D is the average communication distance in network
+// hops — the operational measure of physical locality at execution
+// time. ClockRatio is R, network cycles per processor cycle.
+type Config struct {
+	App        ApplicationModel
+	Txn        TransactionModel
+	Net        NetworkModel
+	ClockRatio float64
+	D          float64
+	// AssumeUnmasked drops the Equation 4 issue-time floor and keeps
+	// the application on the linear (latency-bound) branch of its
+	// transaction curve at all latencies. The paper does exactly this
+	// ("none of the experiments yielded inter-transaction issue times
+	// approaching the lower bound"), so the Alewife presets set it.
+	// With the flag clear, Solve enforces the physical floor and
+	// reports Masked solutions.
+	AssumeUnmasked bool
+}
+
+// Validate checks every component.
+func (c Config) Validate() error {
+	if err := c.App.Validate(); err != nil {
+		return err
+	}
+	if err := c.Txn.Validate(); err != nil {
+		return err
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.ClockRatio <= 0 {
+		return fmt.Errorf("core: clock ratio R = %g, must be positive", c.ClockRatio)
+	}
+	if c.D < 0 {
+		return fmt.Errorf("core: communication distance d = %g, must be non-negative", c.D)
+	}
+	return nil
+}
+
+// Node returns the node model implied by the configuration.
+func (c Config) Node() NodeModel {
+	return NodeModel{App: c.App, Txn: c.Txn, ClockRatio: c.ClockRatio}
+}
+
+// Solution is the combined model's prediction for one configuration:
+// the operating point where the rate the node wants to inject at the
+// latency it observes equals the latency the network delivers at that
+// rate.
+type Solution struct {
+	// MsgRate is rm: messages injected per node per N-cycle.
+	MsgRate float64
+	// MsgTime is tm = 1/rm in N-cycles.
+	MsgTime float64
+	// MsgLatency is Tm in N-cycles.
+	MsgLatency float64
+	// HopLatency is Th in N-cycles per hop.
+	HopLatency float64
+	// Utilization is ρ, the network channel utilization.
+	Utilization float64
+	// TxnLatency is Tt in P-cycles.
+	TxnLatency float64
+	// IssueTime is tt in P-cycles.
+	IssueTime float64
+	// TxnRate is rt = 1/tt: transactions per P-cycle per processor.
+	TxnRate float64
+	// Masked reports that multithreading fully hides latency and the
+	// processor runs at its issue-rate floor.
+	Masked bool
+}
+
+// solverTolerance bounds the bisection bracket width on rm. Rates are
+// O(10⁻²) messages/cycle, so this gives ≈10 significant digits.
+const solverTolerance = 1e-14
+
+// Solve computes the combined model operating point. The node curve
+// Tm = s·tm − K falls with injection rate while the network curve
+// rises, so the feedback fixed point exists and is unique whenever the
+// node curve starts above the zero-load network latency; otherwise the
+// processor is compute-bound and runs masked at its floor rate.
+func (c Config) Solve() (Solution, error) {
+	if err := c.Validate(); err != nil {
+		return Solution{}, err
+	}
+	node := c.Node()
+	rate, err := solveMessageRate(node.Sensitivity(), node.Intercept(), c.Net, c.D)
+	if err != nil {
+		return Solution{}, err
+	}
+	sol, err := c.solutionAtRate(rate, false)
+	if err != nil {
+		return Solution{}, err
+	}
+
+	// Masked-regime cap: the unmasked branch can predict issue times
+	// below the multithreading floor Tr + Tc; the processor then runs
+	// at the floor rate and the network is evaluated open-loop.
+	if floor := c.App.MinIssueTime(); !c.AssumeUnmasked && c.App.Contexts > 1 && c.App.Masked(sol.TxnLatency) {
+		floorRate := c.Txn.MessagesPer / (floor * c.ClockRatio) // messages per N-cycle
+		capped, err := c.solutionAtRate(floorRate, true)
+		if err != nil {
+			return Solution{}, fmt.Errorf("core: masked-regime evaluation failed: %w", err)
+		}
+		capped.IssueTime = floor
+		capped.TxnRate = 1 / floor
+		return capped, nil
+	}
+	return sol, nil
+}
+
+// solveMessageRate finds the injection rate where the node message
+// curve Tm = s·tm − K meets the fabric's latency curve, by bisection
+// on the monotone residual.
+func solveMessageRate(s, k float64, net Fabric, d float64) (float64, error) {
+	if s <= 0 {
+		return 0, fmt.Errorf("core: latency sensitivity s = %g, must be positive", s)
+	}
+	residual := func(rate float64) float64 {
+		tm, err := net.MessageLatency(rate, d)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return (s/rate - k) - tm
+	}
+	// Bracket the root in (0, maxRate). At rate → 0⁺ the node curve
+	// diverges to +∞ while the network latency stays finite, so the
+	// residual is positive; at the saturation rate it is −∞.
+	hi := net.MaxRate(d)
+	if math.IsInf(hi, 1) {
+		// Contention-free regime (d = 0 corner): bound by the node
+		// curve alone.
+		hi = s
+		if k > 0 {
+			hi = s / k * 2
+		}
+	}
+	lo := hi * 1e-12
+	for residual(lo) <= 0 {
+		// Even infinitesimal rates cannot meet the node curve: only
+		// possible when the curve is negative everywhere.
+		lo /= 1e3
+		if lo < 1e-300 {
+			return 0, fmt.Errorf("core: combined model has no feasible operating point (d=%g)", d)
+		}
+	}
+	hiProbe := hi * (1 - 1e-12)
+	if residual(hiProbe) > 0 {
+		// The node curve lies above the network curve all the way to
+		// channel saturation: the application is capacity-bound. The
+		// paper's contention-free (kd < 1) extension does not model
+		// this regime; report it rather than invent a latency.
+		return 0, fmt.Errorf("core: %w at d=%g: node demands more bandwidth than the network supplies", ErrSaturated, d)
+	}
+	rate, err := numeric.Bisect(residual, lo, hiProbe, solverTolerance, 400)
+	if err != nil {
+		return 0, fmt.Errorf("core: combined solve failed: %w", err)
+	}
+	return rate, nil
+}
+
+// NodeCurve is an application message curve in network cycles,
+// Tm = S·tm − K, typically fitted from measured (tm, Tm) points as in
+// Figure 3. It lets the combined model run directly on empirical
+// curves without decomposing them into application and transaction
+// parameters.
+type NodeCurve struct {
+	// S is the latency sensitivity (slope).
+	S float64
+	// K is the curve intercept in N-cycles.
+	K float64
+}
+
+// SolveWithCurve computes the combined-model operating point for an
+// empirical node curve over the given network at distance d. Only the
+// message-level fields of the Solution are populated.
+func SolveWithCurve(curve NodeCurve, net NetworkModel, d float64) (Solution, error) {
+	if err := net.Validate(); err != nil {
+		return Solution{}, err
+	}
+	rate, err := solveMessageRate(curve.S, curve.K, net, d)
+	if err != nil {
+		return Solution{}, err
+	}
+	tm, err := net.MessageLatency(rate, d)
+	if err != nil {
+		return Solution{}, err
+	}
+	kd := d / float64(net.Dims)
+	rho := net.Utilization(rate, kd)
+	return Solution{
+		MsgRate:     rate,
+		MsgTime:     1 / rate,
+		MsgLatency:  tm,
+		HopLatency:  net.HopLatency(rho, kd),
+		Utilization: rho,
+	}, nil
+}
+
+// solutionAtRate evaluates all derived quantities at a given injection
+// rate (messages per N-cycle).
+func (c Config) solutionAtRate(rate float64, masked bool) (Solution, error) {
+	tmNet, err := c.Net.MessageLatency(rate, c.D)
+	if err != nil {
+		return Solution{}, err
+	}
+	kd := c.D / float64(c.Net.Dims)
+	rho := c.Net.Utilization(rate, kd)
+	txnLat := c.Txn.Latency(tmNet / c.ClockRatio)
+	var tt float64
+	if c.AssumeUnmasked {
+		tt = c.App.UnmaskedIssueTime(txnLat)
+	} else {
+		tt = c.App.IssueTime(txnLat)
+	}
+	return Solution{
+		MsgRate:     rate,
+		MsgTime:     1 / rate,
+		MsgLatency:  tmNet,
+		HopLatency:  c.Net.HopLatency(rho, kd),
+		Utilization: rho,
+		TxnLatency:  txnLat,
+		IssueTime:   tt,
+		TxnRate:     1 / tt,
+		Masked:      masked,
+	}, nil
+}
+
+// SolveClosedForm computes the unmasked operating point analytically
+// for configurations without node-channel contention, by reducing the
+// feedback equation to a quadratic in channel utilization ρ (the
+// approach sketched in Section 2.5). It exists both as independent
+// verification of Solve and as a fast path for large parameter sweeps.
+// Configurations in the masked regime, with kd < 1, or with
+// node-channel contention enabled fall back to Solve.
+func (c Config) SolveClosedForm() (Solution, error) {
+	if err := c.Validate(); err != nil {
+		return Solution{}, err
+	}
+	kd := c.D / float64(c.Net.Dims)
+	if c.Net.NodeChannelContention || kd < 1 {
+		return c.Solve()
+	}
+	node := c.Node()
+	s := node.Sensitivity()
+	k := node.Intercept()
+	nf := float64(c.Net.Dims)
+	b := c.Net.MsgSize
+
+	// With ρ = rm·B·kd/2 and Th = 1 + ρ·B·C/(1−ρ), equating the node
+	// and network curves and clearing denominators yields
+	//   (2·A2 − 2·A1 − 2K)·ρ² + (2·A1 + S1 + 2K)·ρ − S1 = 0
+	// where A1 = n·kd + B, A2 = n·kd·B·C, S1 = s·B·kd.
+	contC := (kd - 1) / (kd * kd) * (nf + 1) / nf
+	a1 := nf*kd + b + c.Net.FixedOverhead
+	a2 := nf * kd * b * contC
+	s1 := s * b * kd
+	roots := numeric.Quadratic(2*a2-2*a1-2*k, 2*a1+s1+2*k, -s1)
+	var rho float64
+	found := false
+	for _, r := range roots {
+		if r > 0 && r < 1 {
+			rho = r
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Solution{}, fmt.Errorf("core: closed-form solve found no utilization root in (0,1); roots=%v", roots)
+	}
+	rate := 2 * rho / (b * kd)
+	sol, err := c.solutionAtRate(rate, false)
+	if err != nil {
+		return Solution{}, err
+	}
+	if !c.AssumeUnmasked && c.App.Contexts > 1 && c.App.Masked(sol.TxnLatency) {
+		return c.Solve() // masked regime: use the general path
+	}
+	return sol, nil
+}

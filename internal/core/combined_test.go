@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveFixedPointConsistency(t *testing.T) {
+	// At the solution, the node curve and the network curve must agree:
+	// Tm(node at rate) == Tm(network at rate).
+	for _, p := range []int{1, 2, 4} {
+		for _, d := range []float64{1, 2, 4.06, 6.2, 15.8, 100, 500} {
+			cfg := Alewife(p, d)
+			sol, err := cfg.Solve()
+			if err != nil {
+				t.Fatalf("p=%d d=%g: %v", p, d, err)
+			}
+			nodeTm := cfg.Node().MessageLatency(sol.MsgTime)
+			netTm, err := cfg.Net.MessageLatency(sol.MsgRate, d)
+			if err != nil {
+				t.Fatalf("p=%d d=%g network eval: %v", p, d, err)
+			}
+			if sol.Masked {
+				continue // masked solutions sit off the node curve by design
+			}
+			if math.Abs(nodeTm-netTm) > 1e-6*(1+netTm) {
+				t.Errorf("p=%d d=%g: node Tm %g != network Tm %g", p, d, nodeTm, netTm)
+			}
+			if math.Abs(sol.MsgLatency-netTm) > 1e-9*(1+netTm) {
+				t.Errorf("p=%d d=%g: solution Tm %g != network Tm %g", p, d, sol.MsgLatency, netTm)
+			}
+		}
+	}
+}
+
+func TestSolveDerivedQuantities(t *testing.T) {
+	cfg := Alewife(2, 4.06)
+	sol, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.MsgRate*sol.MsgTime-1) > 1e-12 {
+		t.Errorf("rate·time = %g, want 1", sol.MsgRate*sol.MsgTime)
+	}
+	if math.Abs(sol.TxnRate*sol.IssueTime-1) > 1e-12 {
+		t.Errorf("txn rate·issue time = %g, want 1", sol.TxnRate*sol.IssueTime)
+	}
+	wantTt := cfg.Txn.Latency(sol.MsgLatency / cfg.ClockRatio)
+	if math.Abs(sol.TxnLatency-wantTt) > 1e-9 {
+		t.Errorf("TxnLatency = %g, want %g", sol.TxnLatency, wantTt)
+	}
+	wantIssue := cfg.App.UnmaskedIssueTime(sol.TxnLatency) // presets assume unmasked
+	if math.Abs(sol.IssueTime-wantIssue) > 1e-9 {
+		t.Errorf("IssueTime = %g, want %g", sol.IssueTime, wantIssue)
+	}
+	if sol.Utilization <= 0 || sol.Utilization >= 1 {
+		t.Errorf("utilization = %g, want in (0,1)", sol.Utilization)
+	}
+}
+
+func TestSolveMatchesClosedForm(t *testing.T) {
+	// The bisection solver and the quadratic reduction must agree when
+	// node-channel contention is off and kd ≥ 1.
+	for _, p := range []int{1, 2, 4} {
+		for _, d := range []float64{2, 4.06, 6.2, 15.83, 50, 500} {
+			cfg := AlewifeLargeScale(p, d)
+			a, err := cfg.Solve()
+			if err != nil {
+				t.Fatalf("Solve p=%d d=%g: %v", p, d, err)
+			}
+			b, err := cfg.SolveClosedForm()
+			if err != nil {
+				t.Fatalf("SolveClosedForm p=%d d=%g: %v", p, d, err)
+			}
+			if math.Abs(a.MsgRate-b.MsgRate) > 1e-8*a.MsgRate {
+				t.Errorf("p=%d d=%g: bisect rate %g != closed-form rate %g", p, d, a.MsgRate, b.MsgRate)
+			}
+			if math.Abs(a.IssueTime-b.IssueTime) > 1e-7*a.IssueTime {
+				t.Errorf("p=%d d=%g: issue times differ: %g vs %g", p, d, a.IssueTime, b.IssueTime)
+			}
+		}
+	}
+}
+
+func TestSolveValidatesConfig(t *testing.T) {
+	bad := Alewife(2, 4)
+	bad.App.Grain = -1
+	if _, err := bad.Solve(); err == nil {
+		t.Error("invalid config should fail Solve")
+	}
+	bad = Alewife(2, 4)
+	bad.D = -1
+	if _, err := bad.Solve(); err == nil {
+		t.Error("negative distance should fail Solve")
+	}
+	bad = Alewife(2, 4)
+	bad.ClockRatio = 0
+	if _, err := bad.Solve(); err == nil {
+		t.Error("zero clock ratio should fail Solve")
+	}
+}
+
+func TestSolveLatencyIncreasesWithDistance(t *testing.T) {
+	cfg := Alewife(2, 0)
+	var prevTm, prevRate float64
+	prevRate = math.Inf(1)
+	for d := 1.0; d <= 512; d *= 2 {
+		sol, err := cfg.WithDistance(d).Solve()
+		if err != nil {
+			t.Fatalf("d=%g: %v", d, err)
+		}
+		if sol.MsgLatency < prevTm {
+			t.Errorf("message latency fell from %g to %g at d=%g", prevTm, sol.MsgLatency, d)
+		}
+		if sol.MsgRate > prevRate {
+			t.Errorf("message rate rose from %g to %g at d=%g (feedback should slow nodes down)", prevRate, sol.MsgRate, d)
+		}
+		prevTm, prevRate = sol.MsgLatency, sol.MsgRate
+	}
+}
+
+func TestSolveMoreContextsMoreThroughput(t *testing.T) {
+	// At equal distance, more hardware contexts should never reduce the
+	// transaction issue rate.
+	for _, d := range []float64{1, 4.06, 15.83} {
+		var prev float64
+		for _, p := range []int{1, 2, 4} {
+			sol, err := Alewife(p, d).Solve()
+			if err != nil {
+				t.Fatalf("p=%d d=%g: %v", p, d, err)
+			}
+			if sol.TxnRate < prev*0.999 {
+				t.Errorf("d=%g: txn rate fell from %g to %g at p=%d", d, prev, sol.TxnRate, p)
+			}
+			prev = sol.TxnRate
+		}
+	}
+}
+
+func TestSolveMaskedRegime(t *testing.T) {
+	// A huge grain with many contexts and a short network puts the
+	// processor in the fully-masked regime: issue time equals the floor.
+	// The floor only applies when the paper's simplification is off.
+	cfg := Alewife(4, 1)
+	cfg.AssumeUnmasked = false
+	cfg.App.Grain = 10000
+	sol, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Masked {
+		t.Fatal("expected masked solution")
+	}
+	if got, want := sol.IssueTime, cfg.App.MinIssueTime(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("masked issue time = %g, want floor %g", got, want)
+	}
+	// The transaction latency must indeed be under the masking threshold.
+	if sol.TxnLatency > cfg.App.MaskingThreshold() {
+		t.Errorf("masked solution has Tt %g above threshold %g", sol.TxnLatency, cfg.App.MaskingThreshold())
+	}
+}
+
+func TestSolveNeverMaskedSingleContext(t *testing.T) {
+	cfg := Alewife(1, 1)
+	cfg.AssumeUnmasked = false
+	cfg.App.Grain = 1e6
+	sol, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Masked {
+		t.Error("single-context processors cannot mask latency")
+	}
+}
+
+func TestSolveResidualIsRoot(t *testing.T) {
+	f := func(dRaw float64, pRaw, grainRaw uint16) bool {
+		d := math.Abs(math.Mod(dRaw, 300))
+		p := int(pRaw%4) + 1
+		grain := float64(grainRaw%2000) + 1
+		cfg := Alewife(p, d)
+		cfg.App.Grain = grain
+		sol, err := cfg.Solve()
+		if err != nil {
+			return true // infeasible corners may error; that is allowed
+		}
+		if sol.Masked {
+			return sol.IssueTime == cfg.App.MinIssueTime()
+		}
+		nodeTm := cfg.Node().MessageLatency(sol.MsgTime)
+		return math.Abs(nodeTm-sol.MsgLatency) < 1e-5*(1+sol.MsgLatency)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveZeroDistance(t *testing.T) {
+	// d = 0 is the degenerate all-local corner: no network hops, only
+	// message serialization.
+	cfg := AlewifeLargeScale(1, 0)
+	sol, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MsgLatency != cfg.Net.MsgSize {
+		t.Errorf("d=0 latency = %g, want B = %g", sol.MsgLatency, cfg.Net.MsgSize)
+	}
+}
+
+func TestWorkRateAndAggregate(t *testing.T) {
+	cfg := Alewife(1, 1)
+	sol, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cfg.WorkRate(sol), cfg.App.Grain/sol.IssueTime; got != want {
+		t.Errorf("WorkRate = %g, want %g", got, want)
+	}
+	if got, want := AggregateRate(sol, 64), 64*sol.TxnRate; got != want {
+		t.Errorf("AggregateRate = %g, want %g", got, want)
+	}
+	faster, _ := Alewife(4, 1).Solve()
+	if s := Speedup(faster, sol); s <= 1 {
+		t.Errorf("4-context speedup over 1-context = %g, want > 1", s)
+	}
+}

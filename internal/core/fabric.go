@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fabric is the contract the combined solver requires from an
+// interconnection-network model: average message latency as a function
+// of per-node injection rate and average communication distance, and
+// the saturation rate beyond which no steady state exists. The k-ary
+// n-cube NetworkModel implements it; IndirectNetwork provides the
+// multistage (UCL) alternative of Section 2.4's reference to indirect
+// network models.
+type Fabric interface {
+	// MessageLatency returns the average message latency in network
+	// cycles at the given injection rate (messages per node per
+	// N-cycle) and average communication distance (ignored by
+	// distance-oblivious fabrics).
+	MessageLatency(rate, d float64) (float64, error)
+	// MaxRate returns the least upper bound on sustainable injection
+	// rate at distance d.
+	MaxRate(d float64) float64
+}
+
+// NetworkModel satisfies Fabric.
+var _ Fabric = NetworkModel{}
+
+// SolveOnFabric computes the combined-model operating point for an
+// application message curve over any Fabric: the feedback fixed point
+// where the latency the fabric delivers at the node's injection rate
+// equals the latency the node can sustain at that rate. It returns the
+// injection rate (messages per node per N-cycle) and message latency
+// (N-cycles).
+func SolveOnFabric(curve NodeCurve, fab Fabric, d float64) (rate, latency float64, err error) {
+	rate, err = solveMessageRate(curve.S, curve.K, fab, d)
+	if err != nil {
+		return 0, 0, err
+	}
+	latency, err = fab.MessageLatency(rate, d)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rate, latency, nil
+}
+
+// IndirectNetwork models a packet-switched, buffered, multistage
+// (indirect) network in the style Kruskal and Snir analyze: N = k^n
+// processors connected through n stages of k×k switches. Every message
+// traverses all n stages regardless of which processors communicate —
+// the defining property of a uniform communication latency (UCL)
+// network — so the model ignores communication distance. Latency is
+//
+//	Tm = n·(1 + W) + B,
+//
+// where the per-stage queueing delay W follows the M/D/1-style form
+// with the (k−1)/k factor accounting for the fraction of arrivals that
+// actually conflict inside a k×k switch:
+//
+//	W = (k−1)/k · ρ·B / (2(1−ρ)),   ρ = rm·B.
+//
+// Link utilization is rm·B because each of the N messages in flight
+// per unit rate occupies one link per stage and each stage provides
+// exactly N links.
+type IndirectNetwork struct {
+	// Stages is n: the number of switch stages (log_k N).
+	Stages int
+	// Radix is k: the switch degree.
+	Radix int
+	// MsgSize is B in flits.
+	MsgSize float64
+}
+
+// Validate reports an error for physically meaningless parameters.
+func (m IndirectNetwork) Validate() error {
+	if m.Stages < 1 {
+		return fmt.Errorf("core: indirect network stages = %d, must be ≥ 1", m.Stages)
+	}
+	if m.Radix < 2 {
+		return fmt.Errorf("core: indirect network radix = %d, must be ≥ 2", m.Radix)
+	}
+	if m.MsgSize <= 0 {
+		return fmt.Errorf("core: indirect network message size B = %g, must be positive", m.MsgSize)
+	}
+	return nil
+}
+
+// IndirectFor builds the smallest indirect network of the given switch
+// radix that connects at least `nodes` processors.
+func IndirectFor(nodes float64, radix int, msgSize float64) IndirectNetwork {
+	stages := 1
+	capacity := float64(radix)
+	for capacity < nodes {
+		capacity *= float64(radix)
+		stages++
+	}
+	return IndirectNetwork{Stages: stages, Radix: radix, MsgSize: msgSize}
+}
+
+// Utilization returns per-link utilization ρ = rm·B.
+func (m IndirectNetwork) Utilization(rate float64) float64 {
+	return rate * m.MsgSize
+}
+
+// StageDelay returns the average per-stage delay (service plus
+// queueing) at utilization rho.
+func (m IndirectNetwork) StageDelay(rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	conflict := float64(m.Radix-1) / float64(m.Radix)
+	return 1 + conflict*rho*m.MsgSize/(2*(1-rho))
+}
+
+// MessageLatency implements Fabric. The distance argument is ignored:
+// indirect networks deliver uniform latency.
+func (m IndirectNetwork) MessageLatency(rate, d float64) (float64, error) {
+	if rate < 0 {
+		return 0, fmt.Errorf("core: negative injection rate %g", rate)
+	}
+	rho := m.Utilization(rate)
+	if rho >= 1 {
+		return 0, ErrSaturated
+	}
+	return float64(m.Stages)*m.StageDelay(rho) + m.MsgSize, nil
+}
+
+// MaxRate implements Fabric: links saturate at one flit per cycle.
+func (m IndirectNetwork) MaxRate(d float64) float64 {
+	return 1 / m.MsgSize
+}
+
+var _ Fabric = IndirectNetwork{}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandomMappingDistanceEquation17(t *testing.T) {
+	// 64-node 8×8 torus: d = 2·8·64/(4·63) ≈ 4.06 ("just over four").
+	got := RandomMappingDistance(2, 64)
+	want := 2.0 * 8 * 64 / (4 * 63)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RandomMappingDistance(2,64) = %g, want %g", got, want)
+	}
+	// 1,000 nodes: "nearly a factor of 16 larger" than one hop.
+	d1000 := RandomMappingDistance(2, 1000)
+	if d1000 < 15 || d1000 > 16 {
+		t.Errorf("RandomMappingDistance(2,1000) = %g, want nearly 16", d1000)
+	}
+	// Degenerate sizes.
+	if RandomMappingDistance(2, 1) != 0 {
+		t.Error("single node distance should be 0")
+	}
+}
+
+func TestRandomMappingDistanceHigherDims(t *testing.T) {
+	// Increasing dimension shortens random-mapping distances at equal N
+	// (Section 4.2's closing observation).
+	d2 := RandomMappingDistance(2, 4096)
+	d3 := RandomMappingDistance(3, 4096)
+	d4 := RandomMappingDistance(4, 4096)
+	if !(d2 > d3 && d3 > d4) {
+		t.Errorf("distances should fall with dimension: %g, %g, %g", d2, d3, d4)
+	}
+}
+
+func TestExpectedGainPaperAnchors(t *testing.T) {
+	// Figure 7's anchors with the large-scale preset: unity gain at ten
+	// processors, about two at a thousand, tens at a million. The
+	// Equation 4 floor is enforced here: the p=4 ideal-mapping point
+	// lies below the multithreading floor, and without the floor the
+	// p=4 gain curve leaves the paper's 40–55 band entirely.
+	for _, p := range []int{1, 2, 4} {
+		cfg := AlewifeLargeScale(p, 1)
+		cfg.AssumeUnmasked = false
+		g10, err := ExpectedGain(cfg, 10)
+		if err != nil {
+			t.Fatalf("p=%d N=10: %v", p, err)
+		}
+		if g10.Gain < 0.99 || g10.Gain > 1.15 {
+			t.Errorf("p=%d gain at N=10 is %g, want ≈1", p, g10.Gain)
+		}
+		g1000, err := ExpectedGain(cfg, 1000)
+		if err != nil {
+			t.Fatalf("p=%d N=1000: %v", p, err)
+		}
+		if g1000.Gain < 1.7 || g1000.Gain > 3.0 {
+			t.Errorf("p=%d gain at N=1000 is %g, want ≈2 (paper)", p, g1000.Gain)
+		}
+		g1e6, err := ExpectedGain(cfg, 1e6)
+		if err != nil {
+			t.Fatalf("p=%d N=1e6: %v", p, err)
+		}
+		if g1e6.Gain < 35 || g1e6.Gain > 75 {
+			t.Errorf("p=%d gain at N=1e6 is %g, want tens (paper: 40–55)", p, g1e6.Gain)
+		}
+	}
+}
+
+func TestExpectedGainTable1Anchors(t *testing.T) {
+	// Table 1, one context. Paper values with tolerances wide enough to
+	// allow calibration drift but tight enough to pin the shape.
+	rows := []struct {
+		speedFactor float64
+		want1e3     float64
+		want1e6     float64
+	}{
+		{1, 2.1, 41.2},      // "2x faster" — the base architecture
+		{0.5, 3.1, 68.3},    // "same"
+		{0.25, 4.5, 101.6},  // "2x slower"
+		{0.125, 5.9, 134.3}, // "4x slower"
+	}
+	for _, row := range rows {
+		cfg := AlewifeLargeScale(1, 1).WithNetworkSpeed(row.speedFactor)
+		g3, err := ExpectedGain(cfg, 1000)
+		if err != nil {
+			t.Fatalf("factor %g: %v", row.speedFactor, err)
+		}
+		g6, err := ExpectedGain(cfg, 1e6)
+		if err != nil {
+			t.Fatalf("factor %g: %v", row.speedFactor, err)
+		}
+		if rel := math.Abs(g3.Gain-row.want1e3) / row.want1e3; rel > 0.10 {
+			t.Errorf("factor %g: gain(10^3) = %.2f, paper %.1f (off %.0f%%)", row.speedFactor, g3.Gain, row.want1e3, rel*100)
+		}
+		if rel := math.Abs(g6.Gain-row.want1e6) / row.want1e6; rel > 0.10 {
+			t.Errorf("factor %g: gain(10^6) = %.2f, paper %.1f (off %.0f%%)", row.speedFactor, g6.Gain, row.want1e6, rel*100)
+		}
+	}
+}
+
+func TestSlowNetworkIncreasesGain(t *testing.T) {
+	// Section 4.2: the greater the relative cost of communication, the
+	// greater the benefit of exploiting physical locality. 8× slowdown
+	// raises the bounds by roughly 3×.
+	base := AlewifeLargeScale(1, 1)
+	slow := base.WithNetworkSpeed(0.125)
+	gBase, err := ExpectedGain(base, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSlow, err := ExpectedGain(slow, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := gSlow.Gain / gBase.Gain
+	if ratio < 2.3 || ratio > 3.5 {
+		t.Errorf("8x slowdown changed gain by %.2fx, paper reports ≈3x", ratio)
+	}
+}
+
+func TestGainMonotoneInMachineSize(t *testing.T) {
+	cfg := AlewifeLargeScale(2, 1)
+	var prev float64
+	for _, n := range LogSizes(10, 1e6, 4) {
+		g, err := ExpectedGain(cfg, n)
+		if err != nil {
+			t.Fatalf("N=%g: %v", n, err)
+		}
+		if g.Gain < prev-1e-9 {
+			t.Errorf("gain fell from %g to %g at N=%g", prev, g.Gain, n)
+		}
+		prev = g.Gain
+	}
+}
+
+func TestGainSweep(t *testing.T) {
+	cfg := AlewifeLargeScale(1, 1)
+	sizes := []float64{10, 100, 1000}
+	rows, err := GainSweep(cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("sweep returned %d rows, want 3", len(rows))
+	}
+	for i, row := range rows {
+		if row.Nodes != sizes[i] {
+			t.Errorf("row %d nodes = %g, want %g", i, row.Nodes, sizes[i])
+		}
+		if row.IdealDistance != 1 {
+			t.Errorf("row %d ideal distance = %g, want 1", i, row.IdealDistance)
+		}
+		if got := row.Random.IssueTime / row.Ideal.IssueTime; math.Abs(got-row.Gain) > 1e-12 {
+			t.Errorf("row %d gain inconsistent with solutions", i)
+		}
+	}
+}
+
+func TestExpectedGainErrors(t *testing.T) {
+	if _, err := ExpectedGain(AlewifeLargeScale(1, 1), 1); err == nil {
+		t.Error("N=1 should error")
+	}
+	bad := AlewifeLargeScale(1, 1)
+	bad.App.Grain = -5
+	if _, err := ExpectedGain(bad, 100); err == nil {
+		t.Error("invalid config should propagate an error")
+	}
+}
+
+func TestLogSizes(t *testing.T) {
+	sizes := LogSizes(10, 1e6, 1)
+	if len(sizes) != 6 {
+		t.Fatalf("LogSizes(10,1e6,1) has %d points, want 6", len(sizes))
+	}
+	if sizes[0] != 10 {
+		t.Errorf("first size = %g, want 10", sizes[0])
+	}
+	if math.Abs(sizes[5]-1e6)/1e6 > 1e-9 {
+		t.Errorf("last size = %g, want 1e6", sizes[5])
+	}
+	if LogSizes(-1, 10, 1) != nil || LogSizes(10, 1, 1) != nil || LogSizes(1, 10, 0) != nil {
+		t.Error("degenerate arguments should yield nil")
+	}
+}
+
+func TestHigherDimensionLowersGain(t *testing.T) {
+	// Section 4.2's closing result: n > 2 reduces the impact of
+	// exploiting physical locality.
+	cfg2 := AlewifeLargeScale(1, 1)
+	cfg3 := cfg2
+	cfg3.Net.Dims = 3
+	g2, err := ExpectedGain(cfg2, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := ExpectedGain(cfg3, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Gain >= g2.Gain {
+		t.Errorf("3-D gain %g should be below 2-D gain %g", g3.Gain, g2.Gain)
+	}
+}

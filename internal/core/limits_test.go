@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestHopLatencyLimitEquation16(t *testing.T) {
+	// Th∞ = B·s/(2n). Paper: ≈9.8 network cycles for s=3.26, B=12, n=2.
+	cfg := Alewife(2, 1)
+	got := HopLatencyLimit(cfg)
+	if math.Abs(got-9.78) > 0.05 {
+		t.Errorf("HopLatencyLimit = %g, want ≈9.8 (paper)", got)
+	}
+	// The limit scales with sensitivity (and therefore contexts).
+	one := HopLatencyLimit(Alewife(1, 1))
+	two := HopLatencyLimit(Alewife(2, 1))
+	if math.Abs(two-2*one) > 1e-9 {
+		t.Errorf("limit should double with contexts at equal c: %g vs %g", one, two)
+	}
+}
+
+func TestHopLatencyLimitIndependentOfGrain(t *testing.T) {
+	// Figure 6: increasing grain 10× leaves the limit unchanged; only
+	// the approach slows.
+	base := AlewifeLargeScale(2, 1)
+	big := base.WithGrainFactor(10)
+	if HopLatencyLimit(base) != HopLatencyLimit(big) {
+		t.Error("hop latency limit must not depend on computational grain")
+	}
+}
+
+func TestHopLatencyApproachesLimitFromBelow(t *testing.T) {
+	cfg := AlewifeLargeScale(2, 1)
+	limit := HopLatencyLimit(cfg)
+	var prev float64
+	for _, n := range []float64{100, 1000, 1e4, 1e5, 1e6} {
+		d := RandomMappingDistance(2, n)
+		th, err := HopLatencyAtDistance(cfg, d)
+		if err != nil {
+			t.Fatalf("N=%g: %v", n, err)
+		}
+		if th >= limit {
+			t.Errorf("N=%g: Th = %g exceeds limit %g", n, th, limit)
+		}
+		if th < prev {
+			t.Errorf("N=%g: Th fell from %g to %g", n, prev, th)
+		}
+		prev = th
+	}
+	// Paper: Th reaches over 80% of its limit with a few thousand
+	// processors for the small-grain application.
+	d4000 := RandomMappingDistance(2, 4000)
+	th, err := HopLatencyAtDistance(cfg, d4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th < 0.8*limit {
+		t.Errorf("Th at 4000 processors = %g, want ≥ 80%% of limit %g", th, limit)
+	}
+}
+
+func TestLargerGrainApproachesLimitMoreSlowly(t *testing.T) {
+	base := AlewifeLargeScale(2, 1)
+	big := base.WithGrainFactor(10)
+	d := RandomMappingDistance(2, 4000)
+	thBase, err := HopLatencyAtDistance(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thBig, err := HopLatencyAtDistance(big, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thBig >= thBase {
+		t.Errorf("10x grain Th %g should lag small-grain Th %g", thBig, thBase)
+	}
+}
+
+func TestDistanceToReachFraction(t *testing.T) {
+	cfg := AlewifeLargeScale(2, 1)
+	d80, err := DistanceToReachFraction(cfg, 0.8, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the bracketing: just below should be under the target,
+	// just above at or over.
+	limit := HopLatencyLimit(cfg)
+	th, err := HopLatencyAtDistance(cfg, d80*1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th < 0.8*limit {
+		t.Errorf("Th just past the reported distance = %g, want ≥ %g", th, 0.8*limit)
+	}
+	th, err = HopLatencyAtDistance(cfg, d80*0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th >= 0.8*limit {
+		t.Errorf("Th well before the reported distance = %g, want < %g", th, 0.8*limit)
+	}
+}
+
+func TestDistanceToReachFractionUnreachable(t *testing.T) {
+	cfg := AlewifeLargeScale(2, 1)
+	d, err := DistanceToReachFraction(cfg, 0.999999, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Errorf("unreachable fraction should report +Inf, got %g", d)
+	}
+}
+
+func TestCommunicationLatencyLinearInDistance(t *testing.T) {
+	// Section 4.1's headline: because Th approaches a constant, message
+	// latency becomes linear in distance. Check that Tm(2d)/Tm(d) → 2
+	// at large distances.
+	cfg := AlewifeLargeScale(2, 1)
+	tm1, err := cfg.WithDistance(2000).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm2, err := cfg.WithDistance(4000).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := tm2.MsgLatency / tm1.MsgLatency
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("Tm(4000)/Tm(2000) = %g, want ≈2 (linearity in distance)", ratio)
+	}
+}
+
+func TestLinearGainBoundHoldsEverywhere(t *testing.T) {
+	// The paper's headline theorem: locality gains are at most linear
+	// in the distance-reduction factor. Check the explicit bound
+	// gain(N) ≤ d_random(N)/d_ideal · Th∞ across machine sizes,
+	// context counts, and network speeds.
+	for _, p := range []int{1, 2, 4} {
+		for _, speed := range []float64{1, 0.25} {
+			cfg := AlewifeLargeScale(p, 1).WithNetworkSpeed(speed)
+			for _, n := range LogSizes(10, 1e6, 2) {
+				g, err := ExpectedGain(cfg, n)
+				if errors.Is(err, ErrSaturated) {
+					// Capacity-bound corner (tiny machine, slow
+					// network, many contexts, unmasked model): outside
+					// the contention-free extension's domain.
+					continue
+				}
+				if err != nil {
+					t.Fatalf("p=%d speed=%g N=%g: %v", p, speed, n, err)
+				}
+				bound := LinearGainBound(cfg, g.RandomDistance, 1)
+				if g.Gain > bound {
+					t.Errorf("p=%d speed=%g N=%g: gain %.2f exceeds linear bound %.2f", p, speed, n, g.Gain, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestLinearGainBoundDegenerate(t *testing.T) {
+	cfg := AlewifeLargeScale(1, 1)
+	if !math.IsInf(LinearGainBound(cfg, 10, 0), 1) {
+		t.Error("zero target distance should give an infinite bound")
+	}
+	if got, want := LinearGainBound(cfg, 10, 1), 10*HopLatencyLimit(cfg); math.Abs(got-want) > 1e-12 {
+		t.Errorf("bound = %g, want %g", got, want)
+	}
+}
+
+func TestBreakdownSumsToIssueTime(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		for _, d := range []float64{1, 4.06, 15.83, 100} {
+			cfg := Alewife(p, d)
+			sol, err := cfg.Solve()
+			if err != nil {
+				t.Fatalf("p=%d d=%g: %v", p, d, err)
+			}
+			b := cfg.DecomposeIssueTime(sol)
+			if math.Abs(b.Total()-sol.IssueTime) > 1e-6*(1+sol.IssueTime) {
+				t.Errorf("p=%d d=%g: breakdown total %g != issue time %g", p, d, b.Total(), sol.IssueTime)
+			}
+			for name, v := range map[string]float64{
+				"variable": b.VariableMessage,
+				"fixedMsg": b.FixedMessage,
+				"fixedTxn": b.FixedTransaction,
+				"cpu":      b.CPU,
+			} {
+				if v < 0 {
+					t.Errorf("p=%d d=%g: %s component negative: %g", p, d, name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBreakdownOnlyVariableGrowsWithDistance(t *testing.T) {
+	cfg := AlewifeLargeScale(2, 1)
+	near := cfg.WithDistance(1)
+	far := cfg.WithDistance(15.83)
+	solNear, err := near.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solFar, err := far.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bNear := near.DecomposeIssueTime(solNear)
+	bFar := far.DecomposeIssueTime(solFar)
+	if bFar.VariableMessage <= bNear.VariableMessage {
+		t.Error("variable message overhead should grow with distance")
+	}
+	if bFar.FixedTransaction != bNear.FixedTransaction {
+		t.Error("fixed transaction overhead must not change with distance")
+	}
+	if bFar.CPU != bNear.CPU {
+		t.Error("CPU component must not change with distance")
+	}
+	if math.Abs(bFar.FixedMessage-bNear.FixedMessage) > 1e-9 {
+		t.Error("fixed message overhead must not change with distance when node contention is off")
+	}
+}
+
+func TestBreakdownFixedTransactionShare(t *testing.T) {
+	// Figure 8: fixed transaction overhead is around two-thirds of the
+	// total fixed component in all six cases.
+	for _, p := range []int{1, 2, 4} {
+		for _, d := range []float64{1, RandomMappingDistance(2, 1000)} {
+			cfg := AlewifeLargeScale(p, d)
+			sol, err := cfg.Solve()
+			if err != nil {
+				t.Fatalf("p=%d d=%g: %v", p, d, err)
+			}
+			b := cfg.DecomposeIssueTime(sol)
+			share := b.FixedTransaction / (b.FixedTransaction + b.FixedMessage)
+			if share < 0.55 || share > 0.75 {
+				t.Errorf("p=%d d=%g: fixed txn share = %.2f, want ≈2/3", p, d, share)
+			}
+		}
+	}
+}
+
+func TestBreakdownMasked(t *testing.T) {
+	cfg := Alewife(4, 1)
+	cfg.AssumeUnmasked = false
+	cfg.App.Grain = 10000
+	sol, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Masked {
+		t.Fatal("expected masked solution")
+	}
+	b := cfg.DecomposeIssueTime(sol)
+	if math.Abs(b.Total()-sol.IssueTime) > 1e-9 {
+		t.Errorf("masked breakdown total %g != floor issue time %g", b.Total(), sol.IssueTime)
+	}
+	// The CPU component absorbs the floor slack; it must cover at
+	// least the per-context grain plus switch.
+	if b.CPU < (cfg.App.Grain+cfg.App.SwitchTime)/float64(cfg.App.Contexts) {
+		t.Errorf("masked CPU component %g too small", b.CPU)
+	}
+}
+
+func TestFigure8NetEffect(t *testing.T) {
+	// Figure 8's conclusion: moving ideal→random at N=1000 increases
+	// variable message overhead drastically but only brings it on par
+	// with the fixed components, limiting the net impact to ≈2x.
+	cfg := AlewifeLargeScale(2, 1)
+	dRand := RandomMappingDistance(2, 1000)
+	ideal, err := cfg.WithDistance(1).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := cfg.WithDistance(dRand).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bIdeal := cfg.WithDistance(1).DecomposeIssueTime(ideal)
+	bRandom := cfg.WithDistance(dRand).DecomposeIssueTime(random)
+	if bRandom.VariableMessage < 10*bIdeal.VariableMessage {
+		t.Errorf("variable overhead should grow drastically: %g -> %g", bIdeal.VariableMessage, bRandom.VariableMessage)
+	}
+	fixed := bRandom.FixedMessage + bRandom.FixedTransaction + bRandom.CPU
+	if bRandom.VariableMessage > 3*fixed {
+		t.Errorf("variable overhead %g should be on par with fixed %g, not dwarf it", bRandom.VariableMessage, fixed)
+	}
+	impact := random.IssueTime / ideal.IssueTime
+	if impact < 1.5 || impact > 3.5 {
+		t.Errorf("net impact = %.2f, want ≈2 (paper)", impact)
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+// This file implements the performance metrics of Section 2.6.
+// With computational grain Tr held constant, useful work proceeds at
+// Tr/tt per processor cycle, proportional to the transaction issue
+// rate rt = 1/tt; rt therefore serves as the per-processor performance
+// metric and N·rt as the aggregate metric.
+
+// WorkRate returns the fraction of processor cycles spent on useful
+// work: Tr/tt. It equals processor efficiency for the single-context
+// case and can exceed intuition for multithreaded processors, where p
+// threads share one pipeline.
+func (c Config) WorkRate(sol Solution) float64 {
+	return c.App.Grain / sol.IssueTime
+}
+
+// AggregateRate returns the machine-wide transaction issue rate
+// N·rt (transactions per P-cycle) — the paper's aggregate performance
+// metric for an N-processor machine.
+func AggregateRate(sol Solution, nodes float64) float64 {
+	return nodes * sol.TxnRate
+}
+
+// Speedup compares two operating points of the same application:
+// the factor by which a runs faster than b (ratio of issue rates).
+func Speedup(a, b Solution) float64 {
+	return b.IssueTime / a.IssueTime
+}

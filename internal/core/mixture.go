@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper folds all information about communication patterns into a
+// single number, the average distance d, and notes that "for
+// interconnection networks with topologies more complex than k-ary
+// n-dimensional meshes, more detailed representations might be
+// necessary." MixedDistanceNetwork is that more detailed
+// representation: a distance *distribution*. Channel utilization is
+// driven by the mean distance (flit-hops are linear in distance), but
+// per-message latency is averaged over the distribution, with each
+// distance class seeing its own contention factor. Because the
+// contention term is convex in distance, spread-out distributions
+// yield higher average latency than the paper's mean-distance
+// approximation — the mixture model quantifies that gap.
+
+// DistanceClass is one component of a communication-distance
+// distribution.
+type DistanceClass struct {
+	// Distance in hops.
+	Distance float64
+	// Weight is the fraction of messages traveling this distance.
+	Weight float64
+}
+
+// MixedDistanceNetwork is a Fabric wrapping the torus NetworkModel
+// with a distance distribution. The d argument of MessageLatency is
+// ignored; the mixture defines the traffic pattern.
+type MixedDistanceNetwork struct {
+	Net NetworkModel
+	Mix []DistanceClass
+}
+
+// Validate checks the distribution: positive weights summing to one
+// and non-negative distances.
+func (m MixedDistanceNetwork) Validate() error {
+	if err := m.Net.Validate(); err != nil {
+		return err
+	}
+	if len(m.Mix) == 0 {
+		return fmt.Errorf("core: empty distance mixture")
+	}
+	sum := 0.0
+	for _, c := range m.Mix {
+		if c.Weight <= 0 {
+			return fmt.Errorf("core: distance class weight %g, must be positive", c.Weight)
+		}
+		if c.Distance < 0 {
+			return fmt.Errorf("core: negative distance %g in mixture", c.Distance)
+		}
+		sum += c.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("core: distance mixture weights sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// MeanDistance returns E[d] over the mixture.
+func (m MixedDistanceNetwork) MeanDistance() float64 {
+	sum := 0.0
+	for _, c := range m.Mix {
+		sum += c.Weight * c.Distance
+	}
+	return sum
+}
+
+// MessageLatency implements Fabric. Utilization follows the mean
+// distance; each class then sees the shared channel utilization with
+// its own per-hop contention factor and path length.
+func (m MixedDistanceNetwork) MessageLatency(rate, _ float64) (float64, error) {
+	if rate < 0 {
+		return 0, fmt.Errorf("core: negative injection rate %g", rate)
+	}
+	meanKd := m.MeanDistance() / float64(m.Net.Dims)
+	rho := m.Net.Utilization(rate, meanKd)
+	if rho >= 1 {
+		return 0, ErrSaturated
+	}
+	if m.Net.NodeChannelContention && rate*m.Net.MsgSize >= 1 {
+		return 0, ErrSaturated
+	}
+	var latency float64
+	for _, c := range m.Mix {
+		kd := c.Distance / float64(m.Net.Dims)
+		th := m.Net.HopLatency(rho, kd)
+		latency += c.Weight * float64(m.Net.Dims) * kd * th
+	}
+	latency += m.Net.MsgSize + m.Net.FixedOverhead + m.Net.NodeChannelWait(rate)
+	return latency, nil
+}
+
+// MaxRate implements Fabric.
+func (m MixedDistanceNetwork) MaxRate(_ float64) float64 {
+	return m.Net.MaxRate(m.MeanDistance())
+}
+
+var _ Fabric = MixedDistanceNetwork{}
+
+// NeighborDistanceMix builds the exact distance distribution of a
+// mapped torus application: the histogram of hop distances between
+// graph-adjacent threads. It is the drop-in refinement of
+// Mapping.AvgDistance for use with MixedDistanceNetwork. distances
+// maps hop count → fraction of neighbor pairs.
+func NeighborDistanceMix(distances map[int]float64) ([]DistanceClass, error) {
+	if len(distances) == 0 {
+		return nil, fmt.Errorf("core: empty distance histogram")
+	}
+	var mix []DistanceClass
+	sum := 0.0
+	for d, w := range distances {
+		if d < 0 {
+			return nil, fmt.Errorf("core: negative distance %d", d)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("core: non-positive weight %g for distance %d", w, d)
+		}
+		sum += w
+	}
+	for d, w := range distances {
+		mix = append(mix, DistanceClass{Distance: float64(d), Weight: w / sum})
+	}
+	return mix, nil
+}

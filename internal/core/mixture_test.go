@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func baseNet() NetworkModel {
+	return NetworkModel{Dims: 2, MsgSize: 12}
+}
+
+func TestMixtureValidate(t *testing.T) {
+	good := MixedDistanceNetwork{Net: baseNet(), Mix: []DistanceClass{{Distance: 2, Weight: 0.5}, {Distance: 6, Weight: 0.5}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid mixture rejected: %v", err)
+	}
+	bad := []MixedDistanceNetwork{
+		{Net: baseNet(), Mix: nil},
+		{Net: baseNet(), Mix: []DistanceClass{{Distance: 2, Weight: 0.5}}},                         // weights don't sum to 1
+		{Net: baseNet(), Mix: []DistanceClass{{Distance: -1, Weight: 1}}},                          // negative distance
+		{Net: baseNet(), Mix: []DistanceClass{{Distance: 2, Weight: 0}, {Distance: 3, Weight: 1}}}, // zero weight
+		{Net: NetworkModel{Dims: 0, MsgSize: 12}, Mix: []DistanceClass{{Distance: 2, Weight: 1}}},  // bad net
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("mixture case %d should fail validation", i)
+		}
+	}
+}
+
+func TestMixtureMeanDistance(t *testing.T) {
+	m := MixedDistanceNetwork{Net: baseNet(), Mix: []DistanceClass{
+		{Distance: 1, Weight: 0.25},
+		{Distance: 5, Weight: 0.75},
+	}}
+	if got, want := m.MeanDistance(), 4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanDistance = %g, want %g", got, want)
+	}
+}
+
+func TestSingleClassMixtureEqualsBaseModel(t *testing.T) {
+	for _, d := range []float64{1, 4.06, 15.83, 100} {
+		mix := MixedDistanceNetwork{Net: baseNet(), Mix: []DistanceClass{{Distance: d, Weight: 1}}}
+		for _, rate := range []float64{0.001, 0.01, 0.02} {
+			a, errA := mix.MessageLatency(rate, 0)
+			b, errB := baseNet().MessageLatency(rate, d)
+			if errA != nil || errB != nil {
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("d=%g rate=%g: error mismatch %v vs %v", d, rate, errA, errB)
+				}
+				continue
+			}
+			if math.Abs(a-b) > 1e-9 {
+				t.Errorf("d=%g rate=%g: mixture %g != base %g", d, rate, a, b)
+			}
+		}
+	}
+}
+
+func TestMixtureSaturationMatchesMean(t *testing.T) {
+	mix := MixedDistanceNetwork{Net: baseNet(), Mix: []DistanceClass{
+		{Distance: 2, Weight: 0.5}, {Distance: 6, Weight: 0.5},
+	}}
+	if got, want := mix.MaxRate(0), baseNet().MaxRate(4); got != want {
+		t.Errorf("MaxRate = %g, want mean-distance %g", got, want)
+	}
+	if _, err := mix.MessageLatency(mix.MaxRate(0), 0); err == nil {
+		t.Error("rate at saturation should error")
+	}
+	if _, err := mix.MessageLatency(-1, 0); err == nil {
+		t.Error("negative rate should error")
+	}
+}
+
+func TestMixtureSolvesOnFabric(t *testing.T) {
+	mix := MixedDistanceNetwork{Net: baseNet(), Mix: []DistanceClass{
+		{Distance: 1, Weight: 0.5},
+		{Distance: 8, Weight: 0.5},
+	}}
+	curve := NodeCurve{S: 3.26, K: 60}
+	rate, tm, err := SolveOnFabric(curve, mix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeTm := curve.S/rate - curve.K
+	if math.Abs(nodeTm-tm) > 1e-6 {
+		t.Errorf("fixed point violated: %g vs %g", nodeTm, tm)
+	}
+}
+
+func TestMixtureVsMeanApproximation(t *testing.T) {
+	// The paper's single-number d is an approximation; for mixtures
+	// concentrated near the mean it should be very good, and short-haul
+	// classes (kd < 1, contention-free) make the mean-distance model
+	// pessimistic for the mixture.
+	net := baseNet()
+	rate := 0.015
+	tight := MixedDistanceNetwork{Net: net, Mix: []DistanceClass{
+		{Distance: 7, Weight: 0.5}, {Distance: 9, Weight: 0.5},
+	}}
+	tightTm, err := tight.MessageLatency(rate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanTm, err := net.MessageLatency(rate, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(tightTm-meanTm) / meanTm; rel > 0.02 {
+		t.Errorf("tight mixture deviates %.1f%% from the mean model, want < 2%%", rel*100)
+	}
+
+	spread := MixedDistanceNetwork{Net: net, Mix: []DistanceClass{
+		{Distance: 1, Weight: 0.5}, {Distance: 15, Weight: 0.5},
+	}}
+	spreadTm, err := spread.MessageLatency(rate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the traffic rides the contention-free kd < 1 regime, so the
+	// mixture must beat the mean-distance prediction.
+	if spreadTm >= meanTm {
+		t.Errorf("spread mixture %g should be below the mean-distance model %g", spreadTm, meanTm)
+	}
+}
+
+func TestNeighborDistanceMix(t *testing.T) {
+	mix, err := NeighborDistanceMix(map[int]float64{1: 2, 3: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 {
+		t.Fatalf("mix has %d classes, want 2", len(mix))
+	}
+	total := 0.0
+	for _, c := range mix {
+		total += c.Weight
+		if c.Weight != 0.5 {
+			t.Errorf("class %+v weight, want normalized 0.5", c)
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("weights sum to %g", total)
+	}
+	if _, err := NeighborDistanceMix(nil); err == nil {
+		t.Error("empty histogram should error")
+	}
+	if _, err := NeighborDistanceMix(map[int]float64{-1: 1}); err == nil {
+		t.Error("negative distance should error")
+	}
+	if _, err := NeighborDistanceMix(map[int]float64{1: 0}); err == nil {
+		t.Error("zero weight should error")
+	}
+}

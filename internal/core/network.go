@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSaturated is returned when a requested injection rate would drive
+// a network channel to utilization ≥ 1, where the open network model
+// has no finite-latency solution.
+var ErrSaturated = errors.New("core: injection rate saturates the network (ρ ≥ 1)")
+
+// NetworkModel is Agarwal's contention model for packet-switched,
+// wormhole-routed k-ary n-dimensional torus networks with separate
+// unidirectional channels in both directions (Section 2.4, Equations
+// 10–14), plus the paper's two extensions: Th is clamped to 1 when the
+// average per-dimension distance falls below one hop, and contention
+// for the channels connecting each node to its switch can be included
+// (it contributed 2–5 N-cycles in the validation experiments).
+//
+// All quantities are in network cycles; rates are messages per network
+// cycle per node.
+type NetworkModel struct {
+	// Dims is n: the number of mesh dimensions.
+	Dims int
+	// MsgSize is B: the average message size in flits (one flit
+	// crosses a channel per N-cycle).
+	MsgSize float64
+	// NodeChannelContention enables the M/D/1-style model of queueing
+	// for the single injection and ejection channel on each node.
+	NodeChannelContention bool
+	// FixedOverhead is a per-message constant latency outside the
+	// fabric contention model (N-cycles): switch injection/ejection
+	// pipeline stages. Zero for the paper's bare Equation 11; the
+	// validation harness sets it to the simulator's known pipeline
+	// constant.
+	FixedOverhead float64
+}
+
+// Validate reports an error for physically meaningless parameters.
+func (m NetworkModel) Validate() error {
+	if m.Dims < 1 {
+		return fmt.Errorf("core: network dimension n = %d, must be at least 1", m.Dims)
+	}
+	if m.MsgSize <= 0 {
+		return fmt.Errorf("core: message size B = %g flits, must be positive", m.MsgSize)
+	}
+	if m.FixedOverhead < 0 {
+		return fmt.Errorf("core: negative fixed overhead %g", m.FixedOverhead)
+	}
+	return nil
+}
+
+// Utilization is Equation 10: channel utilization ρ for per-node
+// injection rate rm (messages per N-cycle) at average per-dimension
+// distance kd. Each message occupies B flit-cycles on each of n·kd
+// channels, spread over the node's 2n outgoing channels.
+func (m NetworkModel) Utilization(rate, kd float64) float64 {
+	return rate * m.MsgSize * kd / 2
+}
+
+// HopLatency is Equation 14 with the kd < 1 extension: the average
+// per-hop latency of a message head at channel utilization rho. The
+// contention term vanishes for kd < 1 because nearly-ideal mappings
+// encounter almost no blocking.
+func (m NetworkModel) HopLatency(rho, kd float64) float64 {
+	if kd < 1 {
+		return 1
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	contFactor := (kd - 1) / (kd * kd) * (float64(m.Dims) + 1) / float64(m.Dims)
+	return 1 + rho*m.MsgSize/(1-rho)*contFactor
+}
+
+// NodeChannelWait models the mean queueing delay on the pair of
+// node↔switch channels: each message serializes for B cycles on the
+// injection channel (utilization rm·B) and again on the destination's
+// ejection channel. The M/D/1 mean wait ρ·S/(2(1−ρ)) applies at each
+// end.
+func (m NetworkModel) NodeChannelWait(rate float64) float64 {
+	if !m.NodeChannelContention {
+		return 0
+	}
+	rho := rate * m.MsgSize
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	perEnd := rho * m.MsgSize / (2 * (1 - rho))
+	return 2 * perEnd
+}
+
+// MessageLatency is Equation 11 (plus extensions): the average message
+// latency Tm (N-cycles) for messages traveling d hops when every node
+// injects rate messages per N-cycle. It returns ErrSaturated when the
+// rate is unsustainable.
+func (m NetworkModel) MessageLatency(rate, d float64) (float64, error) {
+	if rate < 0 {
+		return 0, fmt.Errorf("core: negative injection rate %g", rate)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("core: negative communication distance %g", d)
+	}
+	kd := d / float64(m.Dims)
+	rho := m.Utilization(rate, kd)
+	if rho >= 1 {
+		return 0, ErrSaturated
+	}
+	if m.NodeChannelContention && rate*m.MsgSize >= 1 {
+		return 0, ErrSaturated
+	}
+	th := m.HopLatency(rho, kd)
+	return float64(m.Dims)*kd*th + m.MsgSize + m.FixedOverhead + m.NodeChannelWait(rate), nil
+}
+
+// MaxRate returns the least upper bound on sustainable injection rate
+// at distance d: the rate at which some channel reaches utilization 1.
+func (m NetworkModel) MaxRate(d float64) float64 {
+	kd := d / float64(m.Dims)
+	limit := math.Inf(1)
+	if kd > 0 {
+		limit = 2 / (m.MsgSize * kd)
+	}
+	if m.NodeChannelContention {
+		if nodeLimit := 1 / m.MsgSize; nodeLimit < limit {
+			limit = nodeLimit
+		}
+	}
+	return limit
+}

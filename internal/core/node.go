@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// NodeModel is the application message curve of Section 2.3: it
+// describes one multiprocessor node as the interconnect sees it, by
+// combining the application and transaction models. In network cycles
+// the curve is linear,
+//
+//	Tm = s·tm − K,
+//
+// with latency sensitivity s = p·g/c (dimensionless — the clock ratio
+// cancels out of the slope) and intercept K = R·(Tr + Tc + Tf)/c
+// (N-cycles). Larger s means the node's injection rate is less
+// sensitive to latency increases; s is proportional to the number of
+// outstanding transactions p.
+type NodeModel struct {
+	App ApplicationModel
+	Txn TransactionModel
+	// ClockRatio is R: network cycles per processor cycle. The base
+	// architecture clocks switches twice as fast as processors (R=2);
+	// Table 1 explores slower networks (R < 2).
+	ClockRatio float64
+}
+
+// Validate checks the component models and the clock ratio.
+func (n NodeModel) Validate() error {
+	if err := n.App.Validate(); err != nil {
+		return err
+	}
+	if err := n.Txn.Validate(); err != nil {
+		return err
+	}
+	if n.ClockRatio <= 0 {
+		return fmt.Errorf("core: clock ratio R = %g, must be positive", n.ClockRatio)
+	}
+	return nil
+}
+
+// Sensitivity is the latency sensitivity s = p·g/c: the slope of the
+// application message curve.
+func (n NodeModel) Sensitivity() float64 {
+	return float64(n.App.Contexts) * n.Txn.MessagesPer / n.Txn.CriticalPath
+}
+
+// Intercept is K (N-cycles): the constant offset of the application
+// message curve, determined by computational grain and the fixed
+// overheads of the transaction mechanism.
+func (n NodeModel) Intercept() float64 {
+	return n.ClockRatio * (n.App.Grain + n.App.effSwitch() + n.Txn.FixedOverhead) / n.Txn.CriticalPath
+}
+
+// MessageLatency evaluates the application message curve (Equation 9):
+// the message latency Tm (N-cycles) the node can sustain while
+// injecting one message every tm N-cycles. Values below zero indicate
+// the node cannot inject that fast at any latency.
+func (n NodeModel) MessageLatency(interMessageTimeNet float64) float64 {
+	return n.Sensitivity()*interMessageTimeNet - n.Intercept()
+}
+
+// MessageTime inverts the application message curve: the inter-message
+// injection time tm (N-cycles) at observed message latency Tm
+// (N-cycles), on the unmasked branch.
+func (n NodeModel) MessageTime(messageLatencyNet float64) float64 {
+	return (messageLatencyNet + n.Intercept()) / n.Sensitivity()
+}
+
+// MinMessageTime is the floor on inter-message injection time
+// (N-cycles), reached when multithreading fully masks latency:
+// tm = R·(Tr + Tc)/g.
+func (n NodeModel) MinMessageTime() float64 {
+	return n.ClockRatio * n.App.MinIssueTime() / n.Txn.MessagesPer
+}

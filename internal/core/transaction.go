@@ -1,0 +1,58 @@
+package core
+
+import "fmt"
+
+// TransactionModel describes the resources a communication transaction
+// consumes (Section 2.2): how many network messages it takes, how many
+// of them serialize on the critical path, and the fixed processing
+// overhead (protocol handling, send/receive occupancy, memory access)
+// independent of message latency.
+//
+// For the cache-coherent architecture of the paper's experiments a
+// transaction is a coherence transaction: a read miss costs a request
+// plus a data reply (c = 2 messages on the critical path), and
+// invalidations push the average messages per transaction to g ≈ 3.2.
+type TransactionModel struct {
+	// CriticalPath is c: the number of messages whose latency
+	// serializes into transaction latency. Simple request/reply
+	// exchanges have c = 2.
+	CriticalPath float64
+	// MessagesPer is g: the average number of network messages sent
+	// per transaction (critical path plus side traffic such as
+	// invalidations and acknowledgments).
+	MessagesPer float64
+	// FixedOverhead is Tf: the latency component independent of
+	// message latency, in P-cycles.
+	FixedOverhead float64
+}
+
+// Validate reports an error for physically meaningless parameters.
+func (t TransactionModel) Validate() error {
+	if t.CriticalPath <= 0 {
+		return fmt.Errorf("core: critical path c = %g, must be positive", t.CriticalPath)
+	}
+	if t.MessagesPer < t.CriticalPath {
+		return fmt.Errorf("core: messages per transaction g = %g below critical path c = %g", t.MessagesPer, t.CriticalPath)
+	}
+	if t.FixedOverhead < 0 {
+		return fmt.Errorf("core: fixed overhead Tf = %g, must be non-negative", t.FixedOverhead)
+	}
+	return nil
+}
+
+// Latency is Equation 7: average transaction latency Tt (P-cycles)
+// given average message latency Tm expressed in P-cycles.
+func (t TransactionModel) Latency(messageLatencyProc float64) float64 {
+	return t.CriticalPath*messageLatencyProc + t.FixedOverhead
+}
+
+// MessageTime is Equation 8: the average inter-message injection time
+// tm (same units as tt) given the inter-transaction issue time.
+func (t TransactionModel) MessageTime(issueTime float64) float64 {
+	return issueTime / t.MessagesPer
+}
+
+// IssueTimeFromMessageTime inverts Equation 8.
+func (t TransactionModel) IssueTimeFromMessageTime(messageTime float64) float64 {
+	return messageTime * t.MessagesPer
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransactionValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		txn    TransactionModel
+		wantOK bool
+	}{
+		{"alewife", TransactionModel{CriticalPath: 2, MessagesPer: 3.2, FixedOverhead: 24}, true},
+		{"minimal", TransactionModel{CriticalPath: 1, MessagesPer: 1}, true},
+		{"zero critical path", TransactionModel{CriticalPath: 0, MessagesPer: 2}, false},
+		{"g below c", TransactionModel{CriticalPath: 2, MessagesPer: 1.5}, false},
+		{"negative overhead", TransactionModel{CriticalPath: 2, MessagesPer: 3, FixedOverhead: -1}, false},
+	}
+	for _, tc := range tests {
+		if err := tc.txn.Validate(); (err == nil) != tc.wantOK {
+			t.Errorf("%s: Validate() = %v, wantOK %v", tc.name, err, tc.wantOK)
+		}
+	}
+}
+
+func TestTransactionLatencyEquation7(t *testing.T) {
+	txn := TransactionModel{CriticalPath: 2, MessagesPer: 3.2, FixedOverhead: 24}
+	// Tt = c·Tm + Tf.
+	if got, want := txn.Latency(50), 124.0; got != want {
+		t.Errorf("Latency(50) = %g, want %g", got, want)
+	}
+	if got, want := txn.Latency(0), 24.0; got != want {
+		t.Errorf("Latency(0) = %g, want Tf = %g", got, want)
+	}
+}
+
+func TestMessageTimeEquation8(t *testing.T) {
+	txn := TransactionModel{CriticalPath: 2, MessagesPer: 3.2, FixedOverhead: 24}
+	// tm = tt/g and its inverse.
+	if got, want := txn.MessageTime(64), 20.0; got != want {
+		t.Errorf("MessageTime(64) = %g, want %g", got, want)
+	}
+	if got, want := txn.IssueTimeFromMessageTime(20), 64.0; got != want {
+		t.Errorf("IssueTimeFromMessageTime(20) = %g, want %g", got, want)
+	}
+}
+
+func TestNodeModelSensitivity(t *testing.T) {
+	// s = p·g/c. The paper's measured value: s = 3.26 at p = 2.
+	node := Alewife(2, 1).Node()
+	if s := node.Sensitivity(); math.Abs(s-3.26) > 0.01 {
+		t.Errorf("Alewife p=2 sensitivity = %g, want ≈3.26 (paper)", s)
+	}
+	one := Alewife(1, 1).Node()
+	if s := one.Sensitivity(); math.Abs(s-1.63) > 0.01 {
+		t.Errorf("Alewife p=1 sensitivity = %g, want ≈1.63", s)
+	}
+	// s is proportional to p at equal c.
+	if r := node.Sensitivity() / one.Sensitivity(); math.Abs(r-2) > 1e-9 {
+		t.Errorf("sensitivity ratio p=2/p=1 = %g, want 2", r)
+	}
+}
+
+func TestNodeModelCurve(t *testing.T) {
+	node := NodeModel{
+		App:        ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 2},
+		Txn:        TransactionModel{CriticalPath: 2, MessagesPer: 3.2, FixedOverhead: 24},
+		ClockRatio: 2,
+	}
+	// Equation 9: Tm = s·tm − K with K = R·(Tr+Tc+Tf)/c.
+	wantK := 2.0 * (24 + 11 + 24) / 2
+	if got := node.Intercept(); math.Abs(got-wantK) > 1e-12 {
+		t.Errorf("Intercept = %g, want %g", got, wantK)
+	}
+	tm := 40.0
+	wantTm := node.Sensitivity()*tm - wantK
+	if got := node.MessageLatency(tm); math.Abs(got-wantTm) > 1e-12 {
+		t.Errorf("MessageLatency(%g) = %g, want %g", tm, got, wantTm)
+	}
+	// MessageTime inverts MessageLatency.
+	if got := node.MessageTime(wantTm); math.Abs(got-tm) > 1e-9 {
+		t.Errorf("MessageTime(%g) = %g, want %g", wantTm, got, tm)
+	}
+}
+
+func TestNodeModelClockRatioScalesInterceptOnly(t *testing.T) {
+	mk := func(r float64) NodeModel {
+		return NodeModel{
+			App:        ApplicationModel{Grain: 24, SwitchTime: 11, Contexts: 2},
+			Txn:        TransactionModel{CriticalPath: 2, MessagesPer: 3.2, FixedOverhead: 24},
+			ClockRatio: r,
+		}
+	}
+	fast, slow := mk(2), mk(0.5)
+	if fast.Sensitivity() != slow.Sensitivity() {
+		t.Error("sensitivity must be independent of clock ratio")
+	}
+	if math.Abs(fast.Intercept()-4*slow.Intercept()) > 1e-12 {
+		t.Errorf("intercept should scale with R: %g vs %g", fast.Intercept(), slow.Intercept())
+	}
+}
+
+func TestNodeModelValidate(t *testing.T) {
+	bad := NodeModel{
+		App:        ApplicationModel{Grain: 24, Contexts: 1},
+		Txn:        TransactionModel{CriticalPath: 2, MessagesPer: 3.2},
+		ClockRatio: 0,
+	}
+	if bad.Validate() == nil {
+		t.Error("zero clock ratio should fail validation")
+	}
+	bad.ClockRatio = 2
+	bad.App.Grain = -1
+	if bad.Validate() == nil {
+		t.Error("invalid application model should fail node validation")
+	}
+	bad.App.Grain = 24
+	bad.Txn.CriticalPath = 0
+	if bad.Validate() == nil {
+		t.Error("invalid transaction model should fail node validation")
+	}
+}
+
+func TestMinMessageTime(t *testing.T) {
+	node := Alewife(2, 1).Node()
+	want := 2.0 * (24 + 11) / 3.2 // R·(Tr+Tc)/g in network cycles
+	if got := node.MinMessageTime(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinMessageTime = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"locality/internal/core"
+)
+
+// ContentionRow quantifies how much of average message latency is due
+// to network contention (as opposed to base hop delay and message
+// serialization) at one machine size under random placement.
+type ContentionRow struct {
+	Nodes float64
+	// D is the random-mapping distance.
+	D float64
+	// Tm is the solved message latency; TmZeroLoad is what the same
+	// route costs in an empty network (Th = 1).
+	Tm, TmZeroLoad float64
+	// ContentionShare is (Tm − TmZeroLoad)/Tm.
+	ContentionShare float64
+	// Utilization is the solved channel utilization.
+	Utilization float64
+}
+
+// RunContentionShare reproduces the Section 5 cross-check against
+// Chittor and Enbody: on machines up to ~144 nodes the effect of
+// network contention is observable but does not dominate end
+// performance, while extrapolation to thousands of nodes makes it
+// substantial. Both conclusions fall out of the combined model.
+func RunContentionShare(sizes []float64, contexts int) ([]ContentionRow, error) {
+	cfg := core.AlewifeLargeScale(contexts, 1)
+	var rows []ContentionRow
+	for _, n := range sizes {
+		d := core.RandomMappingDistance(cfg.Net.Dims, n)
+		sol, err := cfg.WithDistance(d).Solve()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: contention share at N=%g: %w", n, err)
+		}
+		zero := d + cfg.Net.MsgSize // Th = 1 per hop, plus serialization
+		rows = append(rows, ContentionRow{
+			Nodes:           n,
+			D:               d,
+			Tm:              sol.MsgLatency,
+			TmZeroLoad:      zero,
+			ContentionShare: (sol.MsgLatency - zero) / sol.MsgLatency,
+			Utilization:     sol.Utilization,
+		})
+	}
+	return rows, nil
+}
+
+// RenderContentionShare prints the contention decomposition.
+func RenderContentionShare(w io.Writer, rows []ContentionRow) {
+	fmt.Fprintln(w, "== Contention share of message latency under random placement (Section 5 cross-check)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "N\td\tTm\tTm(zero-load)\tcontention share\tutilization")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.1f\t%.1f\t%.1f\t%.0f%%\t%.3f\n",
+			r.Nodes, r.D, r.Tm, r.TmZeroLoad, r.ContentionShare*100, r.Utilization)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

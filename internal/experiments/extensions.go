@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"locality/internal/core"
+	"locality/internal/machine"
+	"locality/internal/mapsel"
+	"locality/internal/topology"
+	"locality/internal/workload"
+)
+
+// This file contains the extension studies that go beyond the paper's
+// published figures while staying inside its framework:
+//
+//   - ToleranceStudy compares the latency-tolerance mechanisms of
+//     Section 2.1 (block multithreading vs data prefetching) head to
+//     head on the full-system simulator;
+//   - DimensionStudy quantifies Section 4.2's closing observation that
+//     higher-dimensional networks reduce the payoff of exploiting
+//     physical locality.
+
+// ToleranceRow is one simulated configuration of the tolerance study.
+type ToleranceRow struct {
+	Label   string
+	Mapping string
+	D       float64
+	// Measured inter-transaction time and message latency.
+	InterTxnTime, MsgLatency float64
+	// SpeedupVsBase is the throughput ratio against the blocking
+	// single-context run on the same mapping.
+	SpeedupVsBase float64
+}
+
+// ToleranceConfig controls the study.
+type ToleranceConfig struct {
+	Radix, Dims    int
+	Warmup, Window int64
+	// Mapping selector (mapsel syntax) for the placement under test.
+	Mapping string
+}
+
+// DefaultToleranceConfig compares mechanisms on the 64-node machine
+// under a random mapping, where there is substantial latency to hide.
+func DefaultToleranceConfig() ToleranceConfig {
+	return ToleranceConfig{Radix: 8, Dims: 2, Warmup: 4000, Window: 12000, Mapping: "random:1"}
+}
+
+// RunTolerance simulates six machines on the same workload and
+// placement: blocking single-context (the baseline), single-context
+// with prefetching, with weak ordering, with both combined, and
+// block-multithreaded with two and four contexts.
+func RunTolerance(cfg ToleranceConfig) ([]ToleranceRow, error) {
+	tor, err := topology.New(cfg.Radix, cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mapsel.Parse(tor, cfg.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	d := m.AvgDistance(tor)
+
+	type variant struct {
+		label    string
+		contexts int
+		prefetch bool
+		weak     bool
+	}
+	variants := []variant{
+		{"blocking (p=1)", 1, false, false},
+		{"prefetching (p=1)", 1, true, false},
+		{"weak ordering (p=1)", 1, false, true},
+		{"prefetch + weak (p=1)", 1, true, true},
+		{"multithreaded (p=2)", 2, false, false},
+		{"multithreaded (p=4)", 4, false, false},
+	}
+	var rows []ToleranceRow
+	var baseTT float64
+	for _, v := range variants {
+		mc := machine.DefaultConfig(tor, m, v.contexts)
+		if v.prefetch || v.weak {
+			mc.Workload = workload.RelaxationConfig{
+				Graph:        tor,
+				Map:          m,
+				Instances:    v.contexts,
+				LineSize:     mc.LineSize,
+				ReadCompute:  mc.ReadCompute,
+				WriteCompute: mc.WriteCompute,
+				Prefetch:     v.prefetch,
+				WeakOrdering: v.weak,
+			}
+		}
+		mach, err := machine.New(mc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tolerance %q: %w", v.label, err)
+		}
+		met := mach.RunMeasured(cfg.Warmup, cfg.Window)
+		row := ToleranceRow{
+			Label:        v.label,
+			Mapping:      m.Name,
+			D:            d,
+			InterTxnTime: met.InterTxnTime,
+			MsgLatency:   met.MsgLatency,
+		}
+		if baseTT == 0 {
+			baseTT = met.InterTxnTime
+		}
+		row.SpeedupVsBase = baseTT / met.InterTxnTime
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTolerance prints the tolerance comparison.
+func RenderTolerance(w io.Writer, rows []ToleranceRow) {
+	fmt.Fprintln(w, "== Latency tolerance mechanisms (extension): blocking vs prefetching vs multithreading")
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "   mapping %s, d = %.2f hops\n", rows[0].Mapping, rows[0].D)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mechanism\ttt (P-cycles)\tTm (N-cycles)\tspeedup vs blocking")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.2fx\n", r.Label, r.InterTxnTime, r.MsgLatency, r.SpeedupVsBase)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// DimensionRow is one network dimension's model evaluation at a fixed
+// machine size.
+type DimensionRow struct {
+	Dims int
+	// RandomDistance is Equation 17's expectation for this dimension.
+	RandomDistance float64
+	// Gain is the ideal-vs-random locality gain.
+	Gain float64
+	// RandomIssueTime is absolute performance with random placement.
+	RandomIssueTime float64
+	// HopLimit is Th∞ = B·s/2n.
+	HopLimit float64
+}
+
+// RunDimensionStudy evaluates the combined model across mesh
+// dimensions at one machine size (Section 4.2's closing analysis:
+// higher n shortens random-mapping distances and lowers Th, shrinking
+// both the need for and the benefit of exploiting locality).
+func RunDimensionStudy(nodes float64, dims []int, contexts int) ([]DimensionRow, error) {
+	var rows []DimensionRow
+	for _, n := range dims {
+		cfg := core.AlewifeLargeScale(contexts, 1)
+		cfg.Net.Dims = n
+		g, err := core.ExpectedGain(cfg, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dimension study n=%d: %w", n, err)
+		}
+		rows = append(rows, DimensionRow{
+			Dims:            n,
+			RandomDistance:  g.RandomDistance,
+			Gain:            g.Gain,
+			RandomIssueTime: g.Random.IssueTime,
+			HopLimit:        core.HopLatencyLimit(cfg),
+		})
+	}
+	return rows, nil
+}
+
+// RenderDimensionStudy prints the dimension sweep.
+func RenderDimensionStudy(w io.Writer, nodes float64, rows []DimensionRow) {
+	fmt.Fprintf(w, "== Network dimension study (extension) at N = %.0f processors\n", nodes)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\td(random)\tTh limit\tlocality gain\ttt(random, P-cycles)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.2f\t%.2f\t%.1f\n", r.Dims, r.RandomDistance, r.HopLimit, r.Gain, r.RandomIssueTime)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"locality/internal/core"
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/topology"
+)
+
+// GainSimRow compares the locality gain *measured* on the full-system
+// simulator (ideal vs random mapping at one machine size) against the
+// combined model's prediction for the same size. Figure 7 only exists
+// as a model curve in the paper — machines with 10⁶ nodes cannot be
+// simulated — but at simulable sizes the two must agree on the trend.
+type GainSimRow struct {
+	Radix, Nodes int
+	// RandomD is the random mapping's exact average neighbor distance.
+	RandomD float64
+	// MeasuredGain is tt(random)/tt(ideal) from simulation.
+	MeasuredGain float64
+	// ModelGain is the combined model's prediction using the measured
+	// node curve of the simulated machine.
+	ModelGain float64
+}
+
+// GainSimConfig controls the study.
+type GainSimConfig struct {
+	// Radices are the torus side lengths to simulate (dims fixed at 2).
+	Radices []int
+	// Contexts is the hardware context count.
+	Contexts int
+	// Warmup and Window are per-run P-cycle counts.
+	Warmup, Window int64
+	// Seed selects the random mapping.
+	Seed int64
+}
+
+// DefaultGainSimConfig simulates 16-, 36- and 64-node machines.
+func DefaultGainSimConfig() GainSimConfig {
+	return GainSimConfig{Radices: []int{4, 6, 8}, Contexts: 1, Warmup: 3000, Window: 10000, Seed: 1}
+}
+
+// RunGainSim measures locality gain on real simulations and pairs each
+// measurement with the model's prediction. The model runs on the
+// Alewife-calibrated preset with the simulator's grain estimate, so no
+// per-size fitting is involved — this is a genuine cross-validation.
+func RunGainSim(cfg GainSimConfig) ([]GainSimRow, error) {
+	if len(cfg.Radices) == 0 {
+		return nil, fmt.Errorf("experiments: no radices configured")
+	}
+	var rows []GainSimRow
+	for _, k := range cfg.Radices {
+		tor, err := topology.New(k, 2)
+		if err != nil {
+			return nil, err
+		}
+		ideal := mapping.Identity(tor)
+		random := mapping.Random(tor, cfg.Seed)
+
+		measure := func(m *mapping.Mapping) (machine.Metrics, error) {
+			mach, err := machine.New(machine.DefaultConfig(tor, m, cfg.Contexts))
+			if err != nil {
+				return machine.Metrics{}, err
+			}
+			return mach.RunMeasured(cfg.Warmup, cfg.Window), nil
+		}
+		idealMet, err := measure(ideal)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: gain sim k=%d ideal: %w", k, err)
+		}
+		randMet, err := measure(random)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: gain sim k=%d random: %w", k, err)
+		}
+
+		// Model prediction at the random mapping's *actual* distance,
+		// with the simulated machine's grain (the machine defaults) and
+		// channel contention on (small machine regime).
+		dRand := random.AvgDistance(tor)
+		model := core.Alewife(cfg.Contexts, 1)
+		modelIdeal, err := model.WithDistance(1).Solve()
+		if err != nil {
+			return nil, err
+		}
+		modelRandom, err := model.WithDistance(dRand).Solve()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, GainSimRow{
+			Radix:        k,
+			Nodes:        tor.Nodes(),
+			RandomD:      dRand,
+			MeasuredGain: randMet.InterTxnTime / idealMet.InterTxnTime,
+			ModelGain:    modelRandom.IssueTime / modelIdeal.IssueTime,
+		})
+	}
+	return rows, nil
+}
+
+// RenderGainSim prints the cross-validation table.
+func RenderGainSim(w io.Writer, rows []GainSimRow) {
+	fmt.Fprintln(w, "== Measured vs modeled locality gain at simulable machine sizes")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "radix\tN\td(random)\tgain (simulated)\tgain (model)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.2f\t%.2f\n", r.Radix, r.Nodes, r.RandomD, r.MeasuredGain, r.ModelGain)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

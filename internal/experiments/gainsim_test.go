@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunGainSim(t *testing.T) {
+	cfg := GainSimConfig{Radices: []int{4, 8}, Contexts: 1, Warmup: 2000, Window: 8000, Seed: 1}
+	rows, err := RunGainSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeasuredGain <= 1 {
+			t.Errorf("k=%d: measured gain %g should exceed 1", r.Radix, r.MeasuredGain)
+		}
+		if r.ModelGain <= 1 {
+			t.Errorf("k=%d: model gain %g should exceed 1", r.Radix, r.ModelGain)
+		}
+		// At these scales both are modest (~1.1–1.6); they should agree
+		// within ~25%.
+		if rel := math.Abs(r.MeasuredGain-r.ModelGain) / r.ModelGain; rel > 0.25 {
+			t.Errorf("k=%d: measured %g vs model %g diverge %.0f%%", r.Radix, r.MeasuredGain, r.ModelGain, rel*100)
+		}
+	}
+	// The gain grows with machine size in both views.
+	if rows[1].MeasuredGain <= rows[0].MeasuredGain {
+		t.Errorf("measured gain should grow with size: %g then %g", rows[0].MeasuredGain, rows[1].MeasuredGain)
+	}
+	if rows[1].ModelGain <= rows[0].ModelGain {
+		t.Errorf("model gain should grow with size: %g then %g", rows[0].ModelGain, rows[1].ModelGain)
+	}
+}
+
+func TestRunGainSimErrors(t *testing.T) {
+	if _, err := RunGainSim(GainSimConfig{}); err == nil {
+		t.Error("empty radices should error")
+	}
+	if _, err := RunGainSim(GainSimConfig{Radices: []int{1}, Contexts: 1, Warmup: 10, Window: 10}); err == nil {
+		t.Error("invalid radix should error")
+	}
+}
+
+func TestRenderGainSim(t *testing.T) {
+	rows := []GainSimRow{{Radix: 4, Nodes: 16, RandomD: 2.1, MeasuredGain: 1.1, ModelGain: 1.12}}
+	var buf bytes.Buffer
+	RenderGainSim(&buf, rows)
+	if !strings.Contains(buf.String(), "Measured vs modeled") {
+		t.Error("rendering missing header")
+	}
+}

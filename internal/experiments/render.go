@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// RenderValidation prints the Figures 3–5 data: one block per context
+// count with the fitted application message curve and, per mapping,
+// the measured and modeled message rates and latencies.
+func RenderValidation(w io.Writer, v *Validation) {
+	for _, cv := range v.Curves {
+		fmt.Fprintf(w, "== %d hardware context(s): application message curve Tm = %.3f·tm − %.1f (R²=%.4f)\n",
+			cv.P, cv.S, cv.K, cv.R2)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "mapping\td\tB\tg\ttm\trm(sim)\trm(model)\tTm(sim)\tTm(model)\tTm(mix)\ttt\tTt\tutil")
+		for _, pt := range cv.Points {
+			fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%.2f\t%.1f\t%.5f\t%.5f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.3f\n",
+				pt.Mapping, pt.D, pt.MsgSize, pt.MsgsPerTxn, pt.MsgTime,
+				pt.MsgRate, pt.MsgRateModel, pt.Tm, pt.TmModel, pt.TmModelMix,
+				pt.InterTxnTime, pt.TxnLatency, pt.Utilization)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure6 prints Th against machine size for both grains.
+func RenderFigure6(w io.Writer, r Figure6Result) {
+	fmt.Fprintf(w, "== Figure 6: per-hop latency Th vs machine size (limit Th∞ = %.2f N-cycles)\n", r.Limit)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "N\tTh(base grain)\tTh(10x grain)\tfraction of limit (base)")
+	for i := range r.Base.X {
+		fmt.Fprintf(tw, "%.0f\t%.2f\t%.2f\t%.2f\n", r.Base.X[i], r.Base.Y[i], r.Big.Y[i], r.Base.Y[i]/r.Limit)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// RenderFigure7 prints the expected-gain curves.
+func RenderFigure7(w io.Writer, r Figure7Result) {
+	fmt.Fprintln(w, "== Figure 7: expected gain from exploiting physical locality vs machine size")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "N"
+	for _, c := range r.Curves {
+		header += fmt.Sprintf("\tgain p=%d", c.P)
+	}
+	fmt.Fprintln(tw, header)
+	if len(r.Curves) > 0 {
+		for i := range r.Curves[0].Gains.X {
+			row := fmt.Sprintf("%.0f", r.Curves[0].Gains.X[i])
+			for _, c := range r.Curves {
+				row += fmt.Sprintf("\t%.2f", c.Gains.Y[i])
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// RenderFigure8 prints the issue-time decompositions.
+func RenderFigure8(w io.Writer, cases []Figure8Case) {
+	fmt.Fprintln(w, "== Figure 8: inter-transaction time decomposition at N=1000 (P-cycles)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "contexts\tmapping\td\tvariable msg\tfixed msg\tfixed txn\tCPU\ttotal tt")
+	for _, c := range cases {
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			c.P, c.Mapping, c.D,
+			c.Breakdown.VariableMessage, c.Breakdown.FixedMessage,
+			c.Breakdown.FixedTransaction, c.Breakdown.CPU, c.IssueTime)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// RenderTable1 prints the network-speed sensitivity table.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "== Table 1: impact of relative network speed on expected gains (1 context)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "network speed\tgain at 10^3 processors\tgain at 10^6 processors")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\n", r.Label, r.Gain1e3, r.Gain1e6)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"locality/internal/core"
+)
+
+// UCLvsNUCLRow compares, at one machine size, application performance
+// on three organizations of the same technology: a 2-D torus with an
+// ideal mapping (NUCL exploiting physical locality), the same torus
+// with a random mapping (NUCL ignoring it), and a multistage indirect
+// network (UCL — locality cannot be exploited at all). This quantifies
+// the introduction's argument for why scalable machines should expose
+// non-uniform latency.
+type UCLvsNUCLRow struct {
+	Nodes float64
+	// Message latencies (N-cycles) at the solved operating points.
+	TorusIdeal, TorusRandom, Indirect float64
+	// Issue rates relative to the torus-ideal case.
+	RelRandom, RelIndirect float64
+}
+
+// RunUCLvsNUCL evaluates the comparison across machine sizes using the
+// Alewife-calibrated application at the given context count. The
+// indirect network uses radix-2 switches (log₂N stages), the classic
+// building block for butterflies.
+func RunUCLvsNUCL(sizes []float64, contexts int) ([]UCLvsNUCLRow, error) {
+	cfg := core.AlewifeLargeScale(contexts, 1)
+	node := cfg.Node()
+	curve := core.NodeCurve{S: node.Sensitivity(), K: node.Intercept()}
+	torus := cfg.Net
+
+	var rows []UCLvsNUCLRow
+	for _, n := range sizes {
+		row := UCLvsNUCLRow{Nodes: n}
+
+		rateIdeal, tmIdeal, err := core.SolveOnFabric(curve, torus, 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ucl-nucl ideal at N=%g: %w", n, err)
+		}
+		row.TorusIdeal = tmIdeal
+
+		dRandom := core.RandomMappingDistance(torus.Dims, n)
+		rateRandom, tmRandom, err := core.SolveOnFabric(curve, torus, dRandom)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ucl-nucl random at N=%g: %w", n, err)
+		}
+		row.TorusRandom = tmRandom
+
+		indirect := core.IndirectFor(n, 2, torus.MsgSize)
+		rateInd, tmInd, err := core.SolveOnFabric(curve, indirect, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ucl-nucl indirect at N=%g: %w", n, err)
+		}
+		row.Indirect = tmInd
+
+		// Message rate is proportional to transaction rate at fixed g,
+		// so rate ratios are performance ratios.
+		row.RelRandom = rateRandom / rateIdeal
+		row.RelIndirect = rateInd / rateIdeal
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderUCLvsNUCL prints the comparison table.
+func RenderUCLvsNUCL(w io.Writer, rows []UCLvsNUCLRow) {
+	fmt.Fprintln(w, "== UCL vs NUCL: message latency and relative performance by organization")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "N\tTm torus+ideal\tTm torus+random\tTm indirect (UCL)\tperf random/ideal\tperf UCL/ideal")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n",
+			r.Nodes, r.TorusIdeal, r.TorusRandom, r.Indirect, r.RelRandom, r.RelIndirect)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

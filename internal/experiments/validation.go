@@ -1,0 +1,230 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation, plus the model-vs-simulation validation study of
+// Section 3.3. Simulation-backed drivers (Figures 3–5) run the
+// full-system simulator across the mapping suite; model-backed drivers
+// (Figures 6–8, Table 1) evaluate the combined model. The drivers
+// return plain data structures; cmd/figures renders them as the rows
+// and series the paper reports, and bench_test.go regenerates them as
+// benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"locality/internal/core"
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/stats"
+	"locality/internal/topology"
+)
+
+// ValidationConfig controls the simulation study used for Figures 3–5.
+type ValidationConfig struct {
+	// Radix and Dims define the machine (8 and 2 in the paper).
+	Radix, Dims int
+	// Contexts lists the hardware context counts to sweep (1, 2, 4).
+	Contexts []int
+	// Warmup and Window are per-run P-cycle counts.
+	Warmup, Window int64
+	// Mappings overrides the standard mapping suite (for fast tests).
+	Mappings []*mapping.Mapping
+}
+
+// DefaultValidationConfig mirrors the paper's experiments: a 64-node
+// 8×8 torus, nine mappings spanning d from 1 to just over 6 hops, and
+// one, two, and four hardware contexts.
+func DefaultValidationConfig() ValidationConfig {
+	return ValidationConfig{
+		Radix:    8,
+		Dims:     2,
+		Contexts: []int{1, 2, 4},
+		Warmup:   5000,
+		Window:   20000,
+	}
+}
+
+// MappingPoint is one simulation run: a mapping at one context count.
+type MappingPoint struct {
+	Mapping string
+	// D is the mapping's exact average neighbor distance; MeasuredD is
+	// the per-message average the simulator observed.
+	D, MeasuredD float64
+	// Measured quantities (network cycles for message-level, processor
+	// cycles for transaction-level).
+	Tm, TmModel  float64
+	MsgTime      float64 // tm
+	MsgRate      float64 // rm
+	MsgRateModel float64
+	MsgSize      float64 // B
+	MsgsPerTxn   float64 // g
+	TxnLatency   float64 // Tt
+	InterTxnTime float64 // tt
+	Utilization  float64
+	// TmModelMix and MsgRateModelMix refine the model predictions with
+	// the mapping's exact neighbor-distance histogram instead of its
+	// mean (core.MixedDistanceNetwork).
+	TmModelMix, MsgRateModelMix float64
+	// Mix is the distance distribution used for the refined prediction.
+	Mix []core.DistanceClass
+}
+
+// ContextValidation gathers one context count's mapping sweep and the
+// application message curve fitted through it (Figure 3).
+type ContextValidation struct {
+	P      int
+	Points []MappingPoint
+	// Fit is the least-squares application message curve Tm = S·tm − K.
+	S, K, R2 float64
+}
+
+// Validation is the full study: the data behind Figures 3, 4, and 5.
+type Validation struct {
+	Config ValidationConfig
+	Curves []ContextValidation
+}
+
+// RunValidation executes the simulation suite and fits the application
+// message curves. Model predictions use the fitted curves with the
+// Agarwal network model plus node-channel contention — the same
+// procedure the paper uses to draw its model lines through the
+// simulator's points.
+func RunValidation(cfg ValidationConfig) (*Validation, error) {
+	tor, err := topology.New(cfg.Radix, cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	maps := cfg.Mappings
+	if maps == nil {
+		maps = mapping.Suite(tor)
+	}
+	if len(cfg.Contexts) == 0 {
+		return nil, fmt.Errorf("experiments: no context counts configured")
+	}
+	out := &Validation{Config: cfg}
+	for _, p := range cfg.Contexts {
+		cv := ContextValidation{P: p}
+		cv.Points = make([]MappingPoint, len(maps))
+		// The mapping runs are independent simulations; run them
+		// concurrently (a full paper-scale study is 27 machines).
+		var wg sync.WaitGroup
+		errs := make([]error, len(maps))
+		for i, m := range maps {
+			wg.Add(1)
+			go func(i int, m *mapping.Mapping) {
+				defer wg.Done()
+				mc := machine.DefaultConfig(tor, m, p)
+				mach, err := machine.New(mc)
+				if err != nil {
+					errs[i] = fmt.Errorf("experiments: building machine for %s p=%d: %w", m.Name, p, err)
+					return
+				}
+				met := mach.RunMeasured(cfg.Warmup, cfg.Window)
+				if met.Messages == 0 {
+					errs[i] = fmt.Errorf("experiments: no traffic measured for %s p=%d", m.Name, p)
+					return
+				}
+				mix, err := core.NeighborDistanceMix(m.DistanceHistogram(tor))
+				if err != nil {
+					errs[i] = fmt.Errorf("experiments: histogram for %s: %w", m.Name, err)
+					return
+				}
+				cv.Points[i] = MappingPoint{
+					Mapping:      m.Name,
+					Mix:          mix,
+					D:            m.AvgDistance(tor),
+					MeasuredD:    met.AvgDistance,
+					Tm:           met.MsgLatency,
+					MsgTime:      met.InterMsgTime,
+					MsgRate:      met.MsgRate,
+					MsgSize:      met.MsgSize,
+					MsgsPerTxn:   met.MsgsPerTxn,
+					TxnLatency:   met.TxnLatency,
+					InterTxnTime: met.InterTxnTime,
+					Utilization:  met.ChannelUtilization,
+				}
+			}(i, m)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Fit the application message curve through the sweep.
+		var xs, ys []float64
+		for _, pt := range cv.Points {
+			xs = append(xs, pt.MsgTime)
+			ys = append(ys, pt.Tm)
+		}
+		fit, err := stats.FitLine(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fitting message curve for p=%d: %w", p, err)
+		}
+		cv.S, cv.K, cv.R2 = fit.Slope, -fit.Intercept, fit.R2
+		// Model predictions at each mapping's distance.
+		if err := cv.addModelPredictions(cfg.Dims); err != nil {
+			return nil, err
+		}
+		out.Curves = append(out.Curves, cv)
+	}
+	return out, nil
+}
+
+// addModelPredictions solves the combined model at each point's
+// distance using the fitted curve and the measured average message
+// size.
+func (cv *ContextValidation) addModelPredictions(dims int) error {
+	for i := range cv.Points {
+		pt := &cv.Points[i]
+		net := core.NetworkModel{
+			Dims:                  dims,
+			MsgSize:               pt.MsgSize,
+			NodeChannelContention: true,
+		}
+		sol, err := core.SolveWithCurve(core.NodeCurve{S: cv.S, K: cv.K}, net, pt.D)
+		if err != nil {
+			return fmt.Errorf("experiments: model solve at d=%g p=%d: %w", pt.D, cv.P, err)
+		}
+		pt.MsgRateModel = sol.MsgRate
+		pt.TmModel = sol.MsgLatency
+
+		// Refined prediction: the exact neighbor-distance histogram in
+		// place of the single mean distance.
+		mixNet := core.MixedDistanceNetwork{Net: net, Mix: pt.Mix}
+		rate, tm, err := core.SolveOnFabric(core.NodeCurve{S: cv.S, K: cv.K}, mixNet, 0)
+		if err != nil {
+			return fmt.Errorf("experiments: mixture solve for %s p=%d: %w", pt.Mapping, cv.P, err)
+		}
+		pt.MsgRateModelMix = rate
+		pt.TmModelMix = tm
+	}
+	return nil
+}
+
+// RateErrors returns the relative errors |model−sim|/sim on message
+// rate across all points of one curve (Figure 4's agreement metric).
+func (cv ContextValidation) RateErrors() []float64 {
+	out := make([]float64, len(cv.Points))
+	for i, pt := range cv.Points {
+		out[i] = abs(pt.MsgRateModel-pt.MsgRate) / pt.MsgRate
+	}
+	return out
+}
+
+// LatencyErrors returns the absolute errors |model−sim| on message
+// latency in network cycles (Figure 5's agreement metric).
+func (cv ContextValidation) LatencyErrors() []float64 {
+	out := make([]float64, len(cv.Points))
+	for i, pt := range cv.Points {
+		out[i] = abs(pt.TmModel - pt.Tm)
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"locality/internal/mapping"
+	"locality/internal/topology"
+)
+
+// The machine generalizes past the paper's 2-D experiments: the same
+// substrates assemble 1-D rings and 3-D cubes.
+
+func TestThreeDimensionalMachine(t *testing.T) {
+	tor := topology.MustNew(4, 3) // 64 nodes as a 4-ary 3-cube
+	mach, err := New(DefaultConfig(tor, mapping.Identity(tor), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := mach.RunMeasured(2000, 8000)
+	if met.Transactions == 0 {
+		t.Fatal("no transactions on the 3-D machine")
+	}
+	if math.Abs(met.AvgDistance-1) > 1e-9 {
+		t.Errorf("identity mapping distance = %g, want 1", met.AvgDistance)
+	}
+	// Six neighbors per thread: 6 reads + 1 write per iteration keeps
+	// g below the 2-D value (more 2-message read transactions per
+	// 8-message write transaction: (6·2+6+6)/7 ≈ 3.43 at full sharing).
+	if met.MsgsPerTxn < 2 || met.MsgsPerTxn > 4 {
+		t.Errorf("g = %g out of range", met.MsgsPerTxn)
+	}
+}
+
+func TestThreeDimensionalLocalityStillWins(t *testing.T) {
+	tor := topology.MustNew(4, 3)
+	ideal, err := New(DefaultConfig(tor, mapping.Identity(tor), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := New(DefaultConfig(tor, mapping.Random(tor, 1), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := ideal.RunMeasured(2000, 8000)
+	rm := random.RunMeasured(2000, 8000)
+	if im.InterTxnTime >= rm.InterTxnTime {
+		t.Errorf("3-D ideal tt %g should beat random tt %g", im.InterTxnTime, rm.InterTxnTime)
+	}
+	// But by less than on a topologically-equal 2-D machine at the
+	// same node count: higher dimension shrinks random distances
+	// (8×8 random ≈ 4.06 hops vs 4×4×4 random ≈ 3.05 hops).
+	tor2 := topology.MustNew(8, 2)
+	ideal2, err := New(DefaultConfig(tor2, mapping.Identity(tor2), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random2, err := New(DefaultConfig(tor2, mapping.Random(tor2, 1), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain3 := rm.InterTxnTime / im.InterTxnTime
+	gain2 := random2.RunMeasured(2000, 8000).InterTxnTime / ideal2.RunMeasured(2000, 8000).InterTxnTime
+	if gain3 >= gain2 {
+		t.Errorf("3-D locality gain %.3f should be below 2-D gain %.3f at 64 nodes", gain3, gain2)
+	}
+}
+
+func TestOneDimensionalRingMachine(t *testing.T) {
+	tor := topology.MustNew(8, 1)
+	mach, err := New(DefaultConfig(tor, mapping.Identity(tor), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := mach.RunMeasured(1000, 5000)
+	if met.Transactions == 0 {
+		t.Fatal("no transactions on the ring machine")
+	}
+	if math.Abs(met.AvgDistance-1) > 1e-9 {
+		t.Errorf("ring identity distance = %g, want 1", met.AvgDistance)
+	}
+}

@@ -1,0 +1,46 @@
+package machine
+
+import (
+	"testing"
+
+	"locality/internal/mapping"
+	"locality/internal/topology"
+)
+
+// TestRadixTwoMachine exercises the k=2 corner where a node's positive
+// and negative neighbors coincide: the workload degree drops from 2n
+// to n, the dateline logic sees every hop as a wrap, and messages
+// still flow.
+func TestRadixTwoMachine(t *testing.T) {
+	tor := topology.MustNew(2, 3) // 8 nodes, 3 neighbors each
+	mach, err := New(DefaultConfig(tor, mapping.Identity(tor), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := mach.RunMeasured(1000, 5000)
+	if met.Transactions == 0 {
+		t.Fatal("no transactions on the 2-ary 3-cube")
+	}
+	if met.AvgDistance != 1 {
+		t.Errorf("identity distance = %g, want 1", met.AvgDistance)
+	}
+	// Every transaction mix with 3 neighbors: 3 reads (2 msgs) + 1
+	// write (3 Inv + 3 Ack): g = 12/4 = 3 at full sharing.
+	if met.MsgsPerTxn < 2 || met.MsgsPerTxn > 3.5 {
+		t.Errorf("g = %g out of the 3-neighbor range", met.MsgsPerTxn)
+	}
+}
+
+// TestMinimalMachine is the smallest multiprocessor the substrates
+// support: a 2-ary 1-cube (two nodes, one neighbor each).
+func TestMinimalMachine(t *testing.T) {
+	tor := topology.MustNew(2, 1)
+	mach, err := New(DefaultConfig(tor, mapping.Identity(tor), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := mach.RunMeasured(500, 3000)
+	if met.Transactions == 0 {
+		t.Fatal("no transactions on the two-node machine")
+	}
+}

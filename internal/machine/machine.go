@@ -1,0 +1,342 @@
+// Package machine assembles the full-system simulator validating the
+// paper's combined model: block-multithreaded processors (procsim),
+// coherent caches driven by a limited-pointer directory protocol
+// (cohsim), and a wormhole-routed torus network (netsim), with network
+// switches clocked ClockRatio times faster than processors (2× in the
+// reference architecture). The synthetic relaxation workload of
+// Section 3.2 runs on top, and the machine reports exactly the
+// quantities the paper measures: average inter-message injection time
+// tm, message latency Tm, message rate rm, message size B, messages
+// per transaction g, communication distance d, transaction latency Tt,
+// and inter-transaction issue time tt.
+package machine
+
+import (
+	"fmt"
+
+	"locality/internal/cachesim"
+	"locality/internal/cohsim"
+	"locality/internal/mapping"
+	"locality/internal/netsim"
+	"locality/internal/procsim"
+	"locality/internal/topology"
+	"locality/internal/trace"
+	"locality/internal/workload"
+)
+
+// Config describes one simulated machine plus workload.
+type Config struct {
+	// Topo is the machine's torus; the workload's communication graph
+	// matches it, as in the paper's experiments.
+	Topo *topology.Torus
+	// Mapping assigns application threads to processors.
+	Mapping *mapping.Mapping
+	// Contexts is the hardware context count p (one application
+	// instance per context).
+	Contexts int
+	// SwitchTime is the context switch cost Tc in P-cycles.
+	SwitchTime int
+	// HitLatency is the cache hit cost in P-cycles.
+	HitLatency int
+	// ClockRatio is the integer number of network cycles per processor
+	// cycle (2 in the reference architecture).
+	ClockRatio int
+	// BufferDepth is the per-VC switch buffer depth in flits.
+	BufferDepth int
+	// CacheLines and LineSize size each node's cache.
+	CacheLines, LineSize int
+	// HWPointers bounds the directory's hardware sharer pointers
+	// (0 = full map).
+	HWPointers int
+	// ReadCompute and WriteCompute are the workload compute bursts.
+	ReadCompute, WriteCompute int
+	// Workload overrides the default synthetic relaxation application.
+	// When nil, the machine runs workload.RelaxationConfig built from
+	// the fields above.
+	Workload workload.Workload
+	// Trace, when non-nil, receives message send/delivery and
+	// transaction completion events.
+	Trace *trace.Tracer
+	// Protocol latencies; zero values take cohsim defaults.
+	ReqLatency, DirLatency, MemLatency, CacheRespLatency, FillLatency, SWTrapLatency int
+}
+
+// DefaultConfig returns the reference-architecture configuration for a
+// given torus, mapping and context count: 11-cycle switches, 2× network
+// clock, 4096-line caches with 16-byte lines, full-map directory, and
+// the small-grain workload of Section 3.2.
+func DefaultConfig(topo *topology.Torus, m *mapping.Mapping, contexts int) Config {
+	return Config{
+		Topo:         topo,
+		Mapping:      m,
+		Contexts:     contexts,
+		SwitchTime:   11,
+		HitLatency:   1,
+		ClockRatio:   2,
+		BufferDepth:  8,
+		CacheLines:   4096,
+		LineSize:     16,
+		HWPointers:   0,
+		ReadCompute:  20,
+		WriteCompute: 20,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Topo == nil {
+		return fmt.Errorf("machine: nil topology")
+	}
+	if c.Mapping == nil {
+		return fmt.Errorf("machine: nil mapping")
+	}
+	if err := c.Mapping.Validate(); err != nil {
+		return err
+	}
+	if len(c.Mapping.Place) != c.Topo.Nodes() {
+		return fmt.Errorf("machine: mapping covers %d threads, machine has %d nodes", len(c.Mapping.Place), c.Topo.Nodes())
+	}
+	if c.Contexts < 1 {
+		return fmt.Errorf("machine: context count %d, must be ≥ 1", c.Contexts)
+	}
+	if c.ClockRatio < 1 {
+		return fmt.Errorf("machine: clock ratio %d, must be ≥ 1 (network at least as fast as processors)", c.ClockRatio)
+	}
+	if c.Workload == nil && c.Contexts*c.Topo.Nodes() > c.CacheLines {
+		return fmt.Errorf("machine: %d state words exceed %d cache lines (workload assumes conflict-free caching)", c.Contexts*c.Topo.Nodes(), c.CacheLines)
+	}
+	return nil
+}
+
+// Machine is one assembled simulation.
+type Machine struct {
+	cfg   Config
+	wl    workload.Workload
+	net   *netsim.Network
+	proto *cohsim.Protocol
+	procs []*procsim.Processor
+	pnow  int64
+	// pCyclesSince tracks the measurement window origin.
+	windowStart int64
+}
+
+// transport adapts netsim to the protocol's Transport interface.
+type transport struct{ m *Machine }
+
+func (t transport) Send(src, dst, sizeFlits int, msg cohsim.Msg) {
+	t.m.cfg.Trace.Emit(trace.Event{
+		Cycle: t.m.pnow, Kind: trace.KindMsgSend,
+		Node: src, Peer: dst, Addr: msg.Addr, Info: int64(msg.Kind),
+	})
+	err := t.m.net.Send(&netsim.Message{Src: src, Dst: dst, Size: sizeFlits, Payload: msg})
+	if err != nil {
+		panic(fmt.Sprintf("machine: transport send failed: %v", err))
+	}
+}
+
+// New builds the machine, its workload, and all substrates.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg}
+
+	if cfg.Workload != nil {
+		m.wl = cfg.Workload
+	} else {
+		m.wl = workload.RelaxationConfig{
+			Graph:        cfg.Topo,
+			Map:          cfg.Mapping,
+			Instances:    cfg.Contexts,
+			LineSize:     cfg.LineSize,
+			ReadCompute:  cfg.ReadCompute,
+			WriteCompute: cfg.WriteCompute,
+		}
+	}
+	programs, err := m.wl.Programs()
+	if err != nil {
+		return nil, err
+	}
+
+	net, err := netsim.New(netsim.Config{Topo: cfg.Topo, BufferDepth: cfg.BufferDepth})
+	if err != nil {
+		return nil, err
+	}
+	m.net = net
+
+	proto, err := cohsim.New(cohsim.Config{
+		Nodes:            cfg.Topo.Nodes(),
+		Cache:            cachesim.Config{Lines: cfg.CacheLines, LineSize: cfg.LineSize},
+		Home:             m.wl.HomeFunc(),
+		HWPointers:       cfg.HWPointers,
+		ReqLatency:       cfg.ReqLatency,
+		DirLatency:       cfg.DirLatency,
+		MemLatency:       cfg.MemLatency,
+		CacheRespLatency: cfg.CacheRespLatency,
+		FillLatency:      cfg.FillLatency,
+		SWTrapLatency:    cfg.SWTrapLatency,
+		OnReady: func(node, thread int, now int64) {
+			m.procs[node].Ready(thread, now)
+		},
+		OnComplete: func(txn *cohsim.Transaction) {
+			m.cfg.Trace.Emit(trace.Event{
+				Cycle: txn.Completed, Kind: trace.KindTxnComplete,
+				Node: txn.Node, Peer: -1, Addr: txn.Addr,
+				Info: txn.Completed - txn.Started,
+			})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.proto = proto
+	proto.SetTransport(transport{m})
+	net.SetDelivery(func(nowN int64, msg *netsim.Message) {
+		cm := msg.Payload.(cohsim.Msg)
+		m.cfg.Trace.Emit(trace.Event{
+			Cycle: m.pnow, Kind: trace.KindMsgDeliver,
+			Node: msg.Dst, Peer: msg.Src, Addr: cm.Addr, Info: msg.Latency(),
+		})
+		proto.Deliver(msg.Dst, cm, m.pnow)
+	})
+
+	m.procs = make([]*procsim.Processor, cfg.Topo.Nodes())
+	pcfg := procsim.Config{Contexts: cfg.Contexts, SwitchTime: cfg.SwitchTime, HitLatency: cfg.HitLatency}
+	for nodeID := range m.procs {
+		proc, err := procsim.New(nodeID, pcfg, memAdapter{proto}, programs[nodeID])
+		if err != nil {
+			return nil, err
+		}
+		m.procs[nodeID] = proc
+	}
+	return m, nil
+}
+
+// memAdapter narrows the protocol to procsim's MemorySystem.
+type memAdapter struct{ p *cohsim.Protocol }
+
+func (a memAdapter) Access(node, context int, addr uint64, write bool, now int64) bool {
+	return a.p.Access(node, context, addr, write, now)
+}
+
+func (a memAdapter) Prefetch(node int, addr uint64, now int64) bool {
+	return a.p.Prefetch(node, addr, now)
+}
+
+func (a memAdapter) WriteBehind(node int, addr uint64, now int64) bool {
+	return a.p.WriteBehind(node, addr, now)
+}
+
+func (a memAdapter) Join(node, thread int, addr uint64, now int64) bool {
+	return a.p.Join(node, thread, addr, now)
+}
+
+// Run advances the machine by pCycles processor cycles.
+func (m *Machine) Run(pCycles int64) {
+	for i := int64(0); i < pCycles; i++ {
+		m.proto.Tick(m.pnow)
+		for _, p := range m.procs {
+			p.Tick(m.pnow)
+		}
+		for r := 0; r < m.cfg.ClockRatio; r++ {
+			m.net.Step()
+		}
+		m.pnow++
+	}
+}
+
+// Now returns the current processor cycle.
+func (m *Machine) Now() int64 { return m.pnow }
+
+// ResetStats starts a fresh measurement window (used after warmup).
+func (m *Machine) ResetStats() {
+	m.net.ResetStats()
+	m.proto.ResetStats()
+	m.windowStart = m.pnow
+}
+
+// Protocol exposes the coherence engine for invariant checks.
+func (m *Machine) Protocol() *cohsim.Protocol { return m.proto }
+
+// Network exposes the interconnect for detailed statistics.
+func (m *Machine) Network() *netsim.Network { return m.net }
+
+// Processor exposes one node's processor statistics.
+func (m *Machine) Processor(node int) *procsim.Processor { return m.procs[node] }
+
+// Workload exposes the machine's workload.
+func (m *Machine) Workload() workload.Workload { return m.wl }
+
+// Metrics are the paper's measured quantities for one simulation
+// window. Message quantities are in network cycles; transaction
+// quantities in processor cycles.
+type Metrics struct {
+	PCycles int64 // measurement window length, P-cycles
+	NCycles int64 // same window in N-cycles
+
+	Transactions int64
+	Messages     int64 // fabric messages injected
+
+	// tm: average inter-message injection time per node, N-cycles.
+	InterMsgTime float64
+	// rm = 1/tm: messages per node per N-cycle.
+	MsgRate float64
+	// Tm: average message latency including source queueing, N-cycles.
+	MsgLatency float64
+	// B: average message size in flits.
+	MsgSize float64
+	// d: average hops per fabric message.
+	AvgDistance float64
+	// g: fabric messages per transaction.
+	MsgsPerTxn float64
+	// Tt: average transaction latency, P-cycles.
+	TxnLatency float64
+	// tt: average inter-transaction issue time per processor, P-cycles.
+	InterTxnTime float64
+	// rt = 1/tt.
+	TxnRate float64
+	// ChannelUtilization is the mean directional-channel occupancy.
+	ChannelUtilization float64
+	// SWTraps counts LimitLESS software-extension invocations.
+	SWTraps int64
+}
+
+// Measure returns the metrics accumulated since the last ResetStats.
+func (m *Machine) Measure() Metrics {
+	ns := m.net.Snapshot()
+	ps := m.proto.Snapshot()
+	window := m.pnow - m.windowStart
+	nodes := float64(m.cfg.Topo.Nodes())
+	mt := Metrics{
+		PCycles:            window,
+		NCycles:            ns.Cycles,
+		Transactions:       ps.Transactions,
+		Messages:           ns.Injected,
+		MsgLatency:         ns.AvgLatency,
+		MsgSize:            ns.AvgSize,
+		AvgDistance:        ns.AvgHops,
+		MsgsPerTxn:         ps.AvgTxnMsgs,
+		TxnLatency:         ps.AvgTxnLatency,
+		ChannelUtilization: ns.ChannelUtilization,
+		SWTraps:            ps.SWTraps,
+	}
+	if ns.Injected > 0 && ns.Cycles > 0 {
+		mt.InterMsgTime = float64(ns.Cycles) * nodes / float64(ns.Injected)
+		mt.MsgRate = 1 / mt.InterMsgTime
+	}
+	if ps.Transactions > 0 && window > 0 {
+		mt.InterTxnTime = float64(window) * nodes / float64(ps.Transactions)
+		mt.TxnRate = 1 / mt.InterTxnTime
+	}
+	return mt
+}
+
+// RunMeasured performs the standard experiment protocol: warm up for
+// warmup P-cycles, reset statistics, run the measurement window, and
+// return its metrics.
+func (m *Machine) RunMeasured(warmup, window int64) Metrics {
+	m.Run(warmup)
+	m.ResetStats()
+	m.Run(window)
+	return m.Measure()
+}

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"locality/internal/mapping"
+	"locality/internal/topology"
+	"locality/internal/workload"
+)
+
+func uniformMachine(t *testing.T, m *mapping.Mapping) *Machine {
+	t.Helper()
+	tor := topology.MustNew(4, 2)
+	cfg := DefaultConfig(tor, m, 1)
+	cfg.Workload = workload.UniformConfig{
+		Graph:             tor,
+		Map:               m,
+		Instances:         1,
+		LineSize:          cfg.LineSize,
+		ReadCompute:       20,
+		WriteCompute:      20,
+		ReadsPerIteration: 4,
+		Seed:              1,
+	}
+	mach, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+func TestUniformWorkloadHasNoLocalityToExploit(t *testing.T) {
+	// With uniformly random communication, the mapping is irrelevant:
+	// ideal placement buys (essentially) nothing — the situation the
+	// paper describes for applications without physical locality.
+	tor := topology.MustNew(4, 2)
+	identMet := uniformMachine(t, mapping.Identity(tor)).RunMeasured(3000, 10000)
+	randMet := uniformMachine(t, mapping.Random(tor, 7)).RunMeasured(3000, 10000)
+
+	// Measured communication distance approaches the Equation 17
+	// expectation regardless of the mapping...
+	want := tor.RandomAvgDistance()
+	for _, met := range []Metrics{identMet, randMet} {
+		if math.Abs(met.AvgDistance-want) > 0.35 {
+			t.Errorf("uniform-traffic distance = %g, want ≈ %g for any mapping", met.AvgDistance, want)
+		}
+	}
+	// ...and performance is mapping-independent to within noise.
+	ratio := randMet.InterTxnTime / identMet.InterTxnTime
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("mapping changed uniform-traffic tt by %.2fx; locality-free workloads should not care", ratio)
+	}
+}
+
+func TestUniformVsRelaxationLocality(t *testing.T) {
+	// The relaxation workload under an ideal mapping communicates at
+	// one hop; the uniform workload cannot do better than the random
+	// expectation, so it runs strictly slower on the same machine.
+	tor := topology.MustNew(4, 2)
+	relax, err := New(DefaultConfig(tor, mapping.Identity(tor), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxMet := relax.RunMeasured(3000, 10000)
+	uniMet := uniformMachine(t, mapping.Identity(tor)).RunMeasured(3000, 10000)
+	if uniMet.MsgLatency <= relaxMet.MsgLatency {
+		t.Errorf("uniform Tm %g should exceed single-hop relaxation Tm %g", uniMet.MsgLatency, relaxMet.MsgLatency)
+	}
+}

@@ -1,0 +1,43 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"locality/internal/topology"
+)
+
+func TestDistanceHistogramIdentity(t *testing.T) {
+	tor := topology.MustNew(8, 2)
+	h := Identity(tor).DistanceHistogram(tor)
+	if len(h) != 1 || h[1] != 1 {
+		t.Errorf("identity histogram = %v, want all mass at 1 hop", h)
+	}
+}
+
+func TestDistanceHistogramMeanMatchesAvgDistance(t *testing.T) {
+	tor := topology.MustNew(8, 2)
+	for _, m := range Suite(tor) {
+		h := m.DistanceHistogram(tor)
+		var mean, total float64
+		for d, w := range h {
+			mean += float64(d) * w
+			total += w
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Errorf("%s: histogram mass = %g, want 1", m.Name, total)
+		}
+		if want := m.AvgDistance(tor); math.Abs(mean-want) > 1e-9 {
+			t.Errorf("%s: histogram mean %g != AvgDistance %g", m.Name, mean, want)
+		}
+	}
+}
+
+func TestDistanceHistogramDilation(t *testing.T) {
+	tor := topology.MustNew(8, 2)
+	h := Dilation(tor, 3).DistanceHistogram(tor)
+	// Every neighbor lands exactly 3 hops away.
+	if len(h) != 1 || h[3] != 1 {
+		t.Errorf("dilation-3 histogram = %v, want all mass at 3 hops", h)
+	}
+}

@@ -1,0 +1,291 @@
+// Package mapping constructs and evaluates thread-to-processor
+// mappings for torus-structured applications. The paper varies average
+// communication distance d from one hop (ideal mapping) to just over
+// six hops (anti-local mappings) on a 64-node 8×8 torus by choosing
+// different mappings; this package reproduces that suite and provides
+// an optimizer for generating mappings with extremal locality.
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"locality/internal/topology"
+)
+
+// Mapping is a bijective assignment of application threads to
+// processors. Place[i] is the processor that runs thread i.
+type Mapping struct {
+	Name  string
+	Place []int
+}
+
+// Placer returns a function suitable for topology.AvgNeighborDistance.
+func (m *Mapping) Placer() func(int) int {
+	return func(thread int) int { return m.Place[thread] }
+}
+
+// Validate reports an error unless Place is a permutation of [0, n).
+func (m *Mapping) Validate() error {
+	seen := make([]bool, len(m.Place))
+	for t, p := range m.Place {
+		if p < 0 || p >= len(m.Place) {
+			return fmt.Errorf("mapping %q: thread %d placed on processor %d, out of range [0,%d)", m.Name, t, p, len(m.Place))
+		}
+		if seen[p] {
+			return fmt.Errorf("mapping %q: processor %d assigned more than one thread", m.Name, p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// AvgDistance returns the average hop distance between torus-adjacent
+// thread pairs under this mapping — the operational definition of the
+// paper's communication distance parameter d.
+func (m *Mapping) AvgDistance(tor *topology.Torus) float64 {
+	return tor.AvgNeighborDistance(m.Placer())
+}
+
+// DistanceHistogram returns the distribution of hop distances between
+// torus-adjacent thread pairs under this mapping: hop count → fraction
+// of neighbor pairs. It is the detailed-refinement companion of
+// AvgDistance for use with distance-mixture network models.
+func (m *Mapping) DistanceHistogram(tor *topology.Torus) map[int]float64 {
+	counts := map[int]int{}
+	total := 0
+	for u := 0; u < tor.Nodes(); u++ {
+		pu := m.Place[u]
+		for _, v := range tor.Neighbors(u) {
+			counts[tor.Distance(pu, m.Place[v])]++
+			total++
+		}
+	}
+	out := make(map[int]float64, len(counts))
+	for d, c := range counts {
+		out[d] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Identity maps thread i to processor i: the ideal mapping for an
+// application whose communication graph matches the network topology
+// (every communication is a single hop).
+func Identity(tor *topology.Torus) *Mapping {
+	place := make([]int, tor.Nodes())
+	for i := range place {
+		place[i] = i
+	}
+	return &Mapping{Name: "identity", Place: place}
+}
+
+// Transpose exchanges the first two coordinates. Requires n ≥ 2. It
+// preserves adjacency (d = 1) and exists as a sanity baseline: a
+// non-trivial permutation that is still ideal.
+func Transpose(tor *topology.Torus) *Mapping {
+	if tor.N() < 2 {
+		panic("mapping: Transpose requires at least 2 dimensions")
+	}
+	place := make([]int, tor.Nodes())
+	for i := range place {
+		c := tor.Coords(i)
+		c[0], c[1] = c[1], c[0]
+		place[i] = tor.ID(c)
+	}
+	return &Mapping{Name: "transpose", Place: place}
+}
+
+// DiagonalShift skews dimension 0 by shift·(coordinate 1): thread at
+// (x, y, …) runs on ((x + shift·y) mod k, y, …). Dimension-0 neighbors
+// stay adjacent; dimension-1 neighbors move shift extra hops apart,
+// giving intermediate average distances.
+func DiagonalShift(tor *topology.Torus, shift int) *Mapping {
+	if tor.N() < 2 {
+		panic("mapping: DiagonalShift requires at least 2 dimensions")
+	}
+	k := tor.K()
+	place := make([]int, tor.Nodes())
+	for i := range place {
+		c := tor.Coords(i)
+		c[0] = ((c[0]+shift*c[1])%k + k) % k
+		place[i] = tor.ID(c)
+	}
+	return &Mapping{Name: fmt.Sprintf("diag-shift-%d", shift), Place: place}
+}
+
+// Dilation multiplies every coordinate by factor modulo k. The factor
+// must be coprime with k for the result to be a permutation; adjacent
+// threads land min(factor, k−factor) hops apart in every dimension.
+func Dilation(tor *topology.Torus, factor int) *Mapping {
+	k := tor.K()
+	if gcd(factor%k, k) != 1 {
+		panic(fmt.Sprintf("mapping: dilation factor %d not coprime with radix %d", factor, k))
+	}
+	place := make([]int, tor.Nodes())
+	for i := range place {
+		c := tor.Coords(i)
+		for d := range c {
+			c[d] = (c[d] * factor) % k
+		}
+		place[i] = tor.ID(c)
+	}
+	return &Mapping{Name: fmt.Sprintf("dilation-%d", factor), Place: place}
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// BitReverse reverses the binary representation of every coordinate.
+// The radix must be a power of two. Low-order adjacency becomes
+// high-order separation, scattering neighbors across the machine.
+func BitReverse(tor *topology.Torus) *Mapping {
+	k := tor.K()
+	bits := 0
+	for 1<<bits < k {
+		bits++
+	}
+	if 1<<bits != k {
+		panic(fmt.Sprintf("mapping: BitReverse requires power-of-two radix, got %d", k))
+	}
+	place := make([]int, tor.Nodes())
+	for i := range place {
+		c := tor.Coords(i)
+		for d := range c {
+			c[d] = reverseBits(c[d], bits)
+		}
+		place[i] = tor.ID(c)
+	}
+	return &Mapping{Name: "bit-reverse", Place: place}
+}
+
+func reverseBits(v, bits int) int {
+	out := 0
+	for b := 0; b < bits; b++ {
+		out = out<<1 | (v & 1)
+		v >>= 1
+	}
+	return out
+}
+
+// RowShuffle permutes coordinate-1 slices ("rows") by a seeded random
+// permutation while preserving within-row structure. Dimension-0
+// neighbors stay one hop apart; dimension-1 neighbors land in random
+// rows. Requires n ≥ 2.
+func RowShuffle(tor *topology.Torus, seed int64) *Mapping {
+	if tor.N() < 2 {
+		panic("mapping: RowShuffle requires at least 2 dimensions")
+	}
+	k := tor.K()
+	rng := rand.New(rand.NewSource(seed))
+	rowPerm := rng.Perm(k)
+	place := make([]int, tor.Nodes())
+	for i := range place {
+		c := tor.Coords(i)
+		c[1] = rowPerm[c[1]]
+		place[i] = tor.ID(c)
+	}
+	return &Mapping{Name: fmt.Sprintf("row-shuffle-%d", seed), Place: place}
+}
+
+// Random produces a uniformly random seeded permutation: the expected
+// case when physical locality is ignored. Its average distance matches
+// Equation 17 in expectation.
+func Random(tor *topology.Torus, seed int64) *Mapping {
+	rng := rand.New(rand.NewSource(seed))
+	return &Mapping{
+		Name:  fmt.Sprintf("random-%d", seed),
+		Place: rng.Perm(tor.Nodes()),
+	}
+}
+
+// Optimize runs a seeded simulated-annealing search over permutations,
+// minimizing (direction < 0) or maximizing (direction > 0) average
+// neighbor distance. It is used both to confirm that the identity
+// mapping is optimal and to manufacture the anti-local mappings that
+// stretch d past the random-mapping expectation.
+func Optimize(tor *topology.Torus, seed int64, direction int, sweeps int) *Mapping {
+	if direction == 0 {
+		panic("mapping: Optimize direction must be nonzero")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := tor.Nodes()
+	place := rng.Perm(n)
+
+	// Per-thread neighbor lists of the application graph.
+	neighbors := make([][]int, n)
+	for u := 0; u < n; u++ {
+		neighbors[u] = tor.Neighbors(u)
+	}
+	// cost is the total distance over directed neighbor edges; sign
+	// chosen so we always minimize.
+	sign := 1.0
+	if direction > 0 {
+		sign = -1.0
+	}
+	nodeCost := func(u int) float64 {
+		var sum float64
+		for _, v := range neighbors[u] {
+			sum += float64(tor.Distance(place[u], place[v]))
+		}
+		return sum
+	}
+	total := 0.0
+	for u := 0; u < n; u++ {
+		total += nodeCost(u)
+	}
+	cost := sign * total
+
+	temp := float64(tor.K()) // initial temperature on the scale of hop counts
+	cool := 0.995
+	steps := sweeps * n
+	for step := 0; step < steps; step++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		before := sign * (nodeCost(a) + nodeCost(b))
+		place[a], place[b] = place[b], place[a]
+		after := sign * (nodeCost(a) + nodeCost(b))
+		delta := after - before
+		if delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp)) {
+			cost += delta
+		} else {
+			place[a], place[b] = place[b], place[a] // revert
+		}
+		temp *= cool
+	}
+	_ = cost
+	name := "optimized-min"
+	if direction > 0 {
+		name = "optimized-max"
+	}
+	return &Mapping{Name: fmt.Sprintf("%s-%d", name, seed), Place: place}
+}
+
+// Suite returns the standard experiment suite: a set of mappings whose
+// average communication distances span from 1 hop to past the
+// random-mapping expectation, mirroring the nine mappings of the
+// paper's simulation study. All mappings are deterministic for a given
+// torus.
+func Suite(tor *topology.Torus) []*Mapping {
+	maps := []*Mapping{
+		Identity(tor),
+		DiagonalShift(tor, 1),
+		DiagonalShift(tor, 2),
+		DiagonalShift(tor, 3),
+		Dilation(tor, 3),
+		RowShuffle(tor, 1),
+		BitReverse(tor),
+		Random(tor, 1),
+		Optimize(tor, 2, +1, 40),
+	}
+	return maps
+}

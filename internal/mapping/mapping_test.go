@@ -1,0 +1,286 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locality/internal/topology"
+)
+
+func tor8x8() *topology.Torus { return topology.MustNew(8, 2) }
+
+func TestIdentity(t *testing.T) {
+	tor := tor8x8()
+	m := Identity(tor)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.AvgDistance(tor); d != 1 {
+		t.Errorf("identity avg distance = %g, want 1", d)
+	}
+}
+
+func TestTransposePreservesAdjacency(t *testing.T) {
+	tor := tor8x8()
+	m := Transpose(tor)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.AvgDistance(tor); d != 1 {
+		t.Errorf("transpose avg distance = %g, want 1", d)
+	}
+	// It must not be the identity permutation.
+	identical := true
+	for i, p := range m.Place {
+		if i != p {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Error("transpose equals identity")
+	}
+}
+
+func TestDiagonalShiftDistances(t *testing.T) {
+	tor := tor8x8()
+	// For shift c on an 8×8 torus: x-neighbors stay at 1 hop; y-neighbors
+	// land at 1 + min(c, 8−c) hops. Average over the 4 neighbors:
+	// (2·1 + 2·(1 + min(c,8−c)))/4.
+	for shift := 1; shift <= 4; shift++ {
+		m := DiagonalShift(tor, shift)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		mn := shift
+		if 8-shift < mn {
+			mn = 8 - shift
+		}
+		want := (2.0 + 2.0*(1.0+float64(mn))) / 4.0
+		if d := m.AvgDistance(tor); math.Abs(d-want) > 1e-12 {
+			t.Errorf("diag-shift-%d avg distance = %g, want %g", shift, d, want)
+		}
+	}
+}
+
+func TestDilation(t *testing.T) {
+	tor := tor8x8()
+	m := Dilation(tor, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every neighbor moves min(3, 5) = 3 hops away.
+	if d := m.AvgDistance(tor); d != 3 {
+		t.Errorf("dilation-3 avg distance = %g, want 3", d)
+	}
+}
+
+func TestDilationNotCoprimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dilation(…, 2) on radix 8 should panic")
+		}
+	}()
+	Dilation(tor8x8(), 2)
+}
+
+func TestBitReverse(t *testing.T) {
+	tor := tor8x8()
+	m := BitReverse(tor)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := m.AvgDistance(tor)
+	if d <= 1.5 {
+		t.Errorf("bit-reverse avg distance = %g, want substantially above 1", d)
+	}
+}
+
+func TestBitReverseNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BitReverse on radix 6 should panic")
+		}
+	}()
+	BitReverse(topology.MustNew(6, 2))
+}
+
+func TestReverseBits(t *testing.T) {
+	tests := []struct{ v, bits, want int }{
+		{0b001, 3, 0b100},
+		{0b110, 3, 0b011},
+		{0b101, 3, 0b101},
+		{1, 1, 1},
+		{0, 4, 0},
+	}
+	for _, tc := range tests {
+		if got := reverseBits(tc.v, tc.bits); got != tc.want {
+			t.Errorf("reverseBits(%b,%d) = %b, want %b", tc.v, tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestRowShuffleDeterministicAndValid(t *testing.T) {
+	tor := tor8x8()
+	a := RowShuffle(tor, 42)
+	b := RowShuffle(tor, 42)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Place {
+		if a.Place[i] != b.Place[i] {
+			t.Fatal("RowShuffle not deterministic for equal seeds")
+		}
+	}
+	// Dimension-0 adjacency preserved: average distance below random.
+	d := a.AvgDistance(tor)
+	if d >= tor.RandomAvgDistance() {
+		t.Errorf("row-shuffle distance %g should be below random expectation %g", d, tor.RandomAvgDistance())
+	}
+	if d <= 1 {
+		t.Errorf("row-shuffle distance %g should exceed 1", d)
+	}
+}
+
+func TestRandomMappingValidAndNearEq17(t *testing.T) {
+	tor := tor8x8()
+	var sum float64
+	const trials = 20
+	for seed := int64(0); seed < trials; seed++ {
+		m := Random(tor, seed)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sum += m.AvgDistance(tor)
+	}
+	avg := sum / trials
+	if math.Abs(avg-tor.RandomAvgDistance()) > 0.3 {
+		t.Errorf("random mappings average %g, want ≈ %g", avg, tor.RandomAvgDistance())
+	}
+}
+
+func TestOptimizeMaxStretchesDistance(t *testing.T) {
+	tor := tor8x8()
+	m := Optimize(tor, 2, +1, 40)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := m.AvgDistance(tor)
+	if d <= tor.RandomAvgDistance() {
+		t.Errorf("anti-local mapping d = %g, want above random %g", d, tor.RandomAvgDistance())
+	}
+	// The paper's experiment suite reached just over 6 hops.
+	if d < 5 {
+		t.Errorf("anti-local mapping d = %g, want ≥ 5", d)
+	}
+}
+
+func TestOptimizeMinRecoversNearIdeal(t *testing.T) {
+	tor := topology.MustNew(4, 2) // small instance so annealing converges fast
+	m := Optimize(tor, 7, -1, 200)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := m.AvgDistance(tor)
+	if d > 1.5 {
+		t.Errorf("minimized mapping d = %g, want close to 1", d)
+	}
+}
+
+func TestOptimizeZeroDirectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Optimize with direction 0 should panic")
+		}
+	}()
+	Optimize(tor8x8(), 1, 0, 1)
+}
+
+func TestValidateCatchesBadMappings(t *testing.T) {
+	bad := &Mapping{Name: "dup", Place: []int{0, 0, 2}}
+	if bad.Validate() == nil {
+		t.Error("duplicate placement should fail validation")
+	}
+	oob := &Mapping{Name: "oob", Place: []int{0, 3}}
+	if oob.Validate() == nil {
+		t.Error("out-of-range placement should fail validation")
+	}
+}
+
+func TestSuiteSpansDistanceRange(t *testing.T) {
+	tor := tor8x8()
+	suite := Suite(tor)
+	if len(suite) != 9 {
+		t.Fatalf("suite has %d mappings, want 9 (as in the paper)", len(suite))
+	}
+	var min, max float64 = math.Inf(1), math.Inf(-1)
+	for _, m := range suite {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		d := m.AvgDistance(tor)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min != 1 {
+		t.Errorf("suite min distance = %g, want 1 (ideal mapping present)", min)
+	}
+	if max < 5 {
+		t.Errorf("suite max distance = %g, want > 5 (paper reached just over 6)", max)
+	}
+}
+
+func TestSuiteMappingsAreDistinct(t *testing.T) {
+	tor := tor8x8()
+	suite := Suite(tor)
+	for i := 0; i < len(suite); i++ {
+		for j := i + 1; j < len(suite); j++ {
+			same := true
+			for k := range suite[i].Place {
+				if suite[i].Place[k] != suite[j].Place[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("suite mappings %q and %q are identical", suite[i].Name, suite[j].Name)
+			}
+		}
+	}
+}
+
+func TestAllConstructorsProducePermutations(t *testing.T) {
+	tor := tor8x8()
+	f := func(seed int64, shiftRaw uint8) bool {
+		shift := int(shiftRaw % 8)
+		for _, m := range []*Mapping{
+			Random(tor, seed),
+			RowShuffle(tor, seed),
+			DiagonalShift(tor, shift),
+		} {
+			if m.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	tests := []struct{ a, b, want int }{
+		{3, 8, 1}, {6, 8, 2}, {0, 5, 5}, {-3, 9, 3}, {7, 7, 7},
+	}
+	for _, tc := range tests {
+		if got := gcd(tc.a, tc.b); got != tc.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

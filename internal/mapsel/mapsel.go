@@ -1,0 +1,90 @@
+// Package mapsel parses textual mapping selectors into mappings, so
+// command-line tools and configuration files can name thread-placement
+// strategies compactly:
+//
+//	identity             the ideal mapping
+//	transpose            coordinate swap (also ideal)
+//	bitrev               per-coordinate bit reversal
+//	antilocal[:seed]     annealed anti-locality (maximum distance)
+//	local[:seed]         annealed locality (minimum distance)
+//	diag[:shift]         diagonal skew
+//	dilation[:factor]    coordinate dilation
+//	rowshuffle[:seed]    random row permutation
+//	random[:seed]        uniform random permutation
+//	suite                (List only) every mapping of the standard suite
+package mapsel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"locality/internal/mapping"
+	"locality/internal/topology"
+)
+
+// Parse resolves a selector string against a torus.
+func Parse(tor *topology.Torus, sel string) (*mapping.Mapping, error) {
+	name, argStr, hasArg := strings.Cut(sel, ":")
+	arg := 0
+	if hasArg {
+		v, err := strconv.Atoi(argStr)
+		if err != nil {
+			return nil, fmt.Errorf("mapsel: bad argument %q in selector %q", argStr, sel)
+		}
+		arg = v
+	}
+	argOr := func(def int) int {
+		if hasArg {
+			return arg
+		}
+		return def
+	}
+	switch name {
+	case "identity":
+		return mapping.Identity(tor), nil
+	case "transpose":
+		return mapping.Transpose(tor), nil
+	case "bitrev":
+		return mapping.BitReverse(tor), nil
+	case "antilocal":
+		return mapping.Optimize(tor, int64(argOr(2)), +1, 40), nil
+	case "local":
+		return mapping.Optimize(tor, int64(argOr(2)), -1, 40), nil
+	case "diag":
+		return mapping.DiagonalShift(tor, argOr(1)), nil
+	case "dilation":
+		return mapping.Dilation(tor, argOr(3)), nil
+	case "rowshuffle":
+		return mapping.RowShuffle(tor, int64(argOr(1))), nil
+	case "random":
+		return mapping.Random(tor, int64(argOr(1))), nil
+	default:
+		return nil, fmt.Errorf("mapsel: unknown mapping selector %q (see package mapsel docs)", sel)
+	}
+}
+
+// List resolves a comma-separated list of selectors; the special
+// selector "suite" expands to the standard experiment suite.
+func List(tor *topology.Torus, sels string) ([]*mapping.Mapping, error) {
+	var out []*mapping.Mapping
+	for _, sel := range strings.Split(sels, ",") {
+		sel = strings.TrimSpace(sel)
+		if sel == "" {
+			continue
+		}
+		if sel == "suite" {
+			out = append(out, mapping.Suite(tor)...)
+			continue
+		}
+		m, err := Parse(tor, sel)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mapsel: empty selector list %q", sels)
+	}
+	return out, nil
+}

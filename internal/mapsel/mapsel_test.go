@@ -1,0 +1,128 @@
+package mapsel
+
+import (
+	"testing"
+
+	"locality/internal/topology"
+)
+
+func tor() *topology.Torus { return topology.MustNew(8, 2) }
+
+func TestParseAllSelectors(t *testing.T) {
+	tests := []struct {
+		sel   string
+		wantD float64 // expected average distance, 0 = don't check
+	}{
+		{"identity", 1},
+		{"transpose", 1},
+		{"bitrev", 0},
+		{"antilocal", 0},
+		{"antilocal:7", 0},
+		{"local:3", 0},
+		{"diag", 1.5},   // shift 1
+		{"diag:2", 2},   // (2·1 + 2·3)/4
+		{"dilation", 3}, // factor 3
+		{"dilation:5", 3},
+		{"rowshuffle", 0},
+		{"rowshuffle:9", 0},
+		{"random", 0},
+		{"random:42", 0},
+	}
+	for _, tc := range tests {
+		m, err := Parse(tor(), tc.sel)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.sel, err)
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("Parse(%q) produced invalid mapping: %v", tc.sel, err)
+		}
+		if tc.wantD != 0 {
+			if d := m.AvgDistance(tor()); d != tc.wantD {
+				t.Errorf("Parse(%q) distance = %g, want %g", tc.sel, d, tc.wantD)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, sel := range []string{"", "nope", "random:x", "diag:1.5", "identity:extra:stuff"} {
+		if _, err := Parse(tor(), sel); err == nil {
+			t.Errorf("Parse(%q) should fail", sel)
+		}
+	}
+}
+
+func TestParseSeedsDiffer(t *testing.T) {
+	a, err := Parse(tor(), "random:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(tor(), "random:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Place {
+		if a.Place[i] != b.Place[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical mappings")
+	}
+}
+
+func TestParseDeterministic(t *testing.T) {
+	a, _ := Parse(tor(), "random:5")
+	b, _ := Parse(tor(), "random:5")
+	for i := range a.Place {
+		if a.Place[i] != b.Place[i] {
+			t.Fatal("same selector produced different mappings")
+		}
+	}
+}
+
+func TestLocalSelectorMinimizes(t *testing.T) {
+	small := topology.MustNew(4, 2)
+	m, err := Parse(small, "local:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.AvgDistance(small); d > 2 {
+		t.Errorf("local mapping distance = %g, want near 1", d)
+	}
+}
+
+func TestList(t *testing.T) {
+	maps, err := List(tor(), "identity, random:3 ,diag:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 3 {
+		t.Fatalf("List returned %d mappings, want 3", len(maps))
+	}
+	if maps[0].Name != "identity" || maps[2].Name != "diag-shift-2" {
+		t.Errorf("unexpected names: %s, %s", maps[0].Name, maps[2].Name)
+	}
+}
+
+func TestListSuite(t *testing.T) {
+	maps, err := List(tor(), "suite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 9 {
+		t.Errorf("suite expands to %d mappings, want 9", len(maps))
+	}
+}
+
+func TestListErrors(t *testing.T) {
+	if _, err := List(tor(), ""); err == nil {
+		t.Error("empty list should fail")
+	}
+	if _, err := List(tor(), "identity,bogus"); err == nil {
+		t.Error("list with unknown selector should fail")
+	}
+}

@@ -1,0 +1,625 @@
+// Package netsim is a flit-level simulator of packet-switched, wormhole
+// routed k-ary n-dimensional torus networks, mirroring the interconnect
+// of the architecture in the paper's Section 3: a pair of unidirectional
+// channels between neighboring switches in every dimension, single-cycle
+// base delay through a switch, e-cube (dimension-ordered) routing, a
+// moderate amount of buffering per switch input, and one flit crossing
+// a channel per network cycle.
+//
+// Because minimal routing on torus rings is cyclic, each physical
+// channel carries two virtual channels with the standard dateline
+// discipline: a worm travels on VC0 within a ring until it crosses the
+// wraparound edge (the dateline), after which it uses VC1. Combined
+// with dimension-ordered routing this makes the network provably
+// deadlock-free.
+//
+// The simulator is synchronous: Step advances every switch by one
+// network cycle using a two-phase (decide, commit) update so results
+// are independent of iteration order. Messages destined for their own
+// source node bypass the network and deliver after a configurable local
+// latency; they are excluded from network traffic statistics, matching
+// the paper's convention that nodes never send network messages to
+// themselves.
+package netsim
+
+import (
+	"fmt"
+
+	"locality/internal/stats"
+	"locality/internal/topology"
+)
+
+// Message is one network packet. Callers set Src, Dst, Size and
+// Payload; the network fills in the accounting fields.
+type Message struct {
+	Src, Dst int
+	// Size is the message length in flits (8-bit channel flits in the
+	// reference architecture). Must be ≥ 1.
+	Size int
+	// Payload is opaque to the network.
+	Payload any
+
+	// EnqueuedAt is when Send accepted the message (N-cycles).
+	EnqueuedAt int64
+	// InjectedAt is when the head flit entered the source switch.
+	InjectedAt int64
+	// DeliveredAt is when the tail flit reached the destination node.
+	DeliveredAt int64
+	// Hops is the number of switch-to-switch channels traversed.
+	Hops int
+
+	remaining int // flits not yet emitted by the injector
+	curDim    int // dimension the worm is currently traveling (-1 before first hop)
+	vcClass   int // 0 before the dateline in curDim, 1 after
+}
+
+// Latency returns the end-to-end message latency including source
+// queueing, in network cycles.
+func (m *Message) Latency() int64 { return m.DeliveredAt - m.EnqueuedAt }
+
+// NetworkLatency returns the latency from first flit entering the
+// switch fabric to tail delivery, excluding source queueing.
+func (m *Message) NetworkLatency() int64 { return m.DeliveredAt - m.InjectedAt }
+
+// flit is one channel-width unit of a message in flight.
+type flit struct {
+	msg       *Message
+	seq       int   // 0-based flit index; 0 is the head
+	arrivedAt int64 // cycle the flit entered its current buffer
+}
+
+func (f flit) isHead() bool { return f.seq == 0 }
+func (f flit) isTail() bool { return f.seq == f.msg.Size-1 }
+
+// fifo is a bounded flit queue (one switch input buffer).
+type fifo struct {
+	buf   []flit
+	head  int
+	count int
+}
+
+func newFIFO(depth int) *fifo { return &fifo{buf: make([]flit, depth)} }
+
+func (q *fifo) full() bool  { return q.count == len(q.buf) }
+func (q *fifo) empty() bool { return q.count == 0 }
+
+func (q *fifo) push(f flit) {
+	if q.full() {
+		panic("netsim: push to full buffer")
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = f
+	q.count++
+}
+
+func (q *fifo) peek() flit {
+	if q.empty() {
+		panic("netsim: peek at empty buffer")
+	}
+	return q.buf[q.head]
+}
+
+func (q *fifo) pop() flit {
+	f := q.peek()
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return f
+}
+
+// Config parameterizes the network.
+type Config struct {
+	Topo *topology.Torus
+	// BufferDepth is the per-virtual-channel flit buffer depth at each
+	// switch input.
+	BufferDepth int
+	// LocalDelay is the delivery latency for src == dst messages,
+	// which bypass the fabric (N-cycles). Defaults to 1 when zero.
+	LocalDelay int
+}
+
+// DeliveryFunc receives each message when its tail flit arrives.
+type DeliveryFunc func(now int64, msg *Message)
+
+// Port/buffer indexing at each router, for a topology with n dims:
+//
+//	directional physical ports: o ∈ [0, 2n), o = 2·dim + (dir<0 ? 1 : 0)
+//	virtual input buffers:      o·2 + vc for vc ∈ {0, 1}
+//	injection input buffer:     4n (single buffer, no VC)
+//	virtual output keys:        o·2 + vc, ejection key 4n
+type router struct {
+	inputs []*fifo
+	// owner[key] is the message holding virtual output key, or nil.
+	owner []*Message
+	// ownerInput[key] is the input buffer index feeding that worm.
+	ownerInput []int
+	// lastGranted[key] rotates arbitration among inputs for a key.
+	lastGranted []int
+	// lastVC[o] rotates the physical channel between its two VCs.
+	lastVC []int
+}
+
+// move is one committed flit transfer for the two-phase update.
+type move struct {
+	router  int
+	input   int
+	outKey  int
+	release bool     // tail flit: release virtual output ownership
+	acquire *Message // head flit granted the output this cycle
+	newDim  int      // dimension entered by the acquiring head (fabric moves)
+	crossed bool     // this hop crosses the dateline
+	eject   bool
+	dest    int // destination router for fabric moves
+	destIn  int // destination input buffer index
+}
+
+// Network simulates the whole fabric.
+type Network struct {
+	cfg   Config
+	topo  *topology.Torus
+	dims  int
+	k     int
+	ports int // directional physical ports per router (2·dims)
+
+	routers []router
+	// injectQ[v] holds messages waiting to enter the fabric at node v.
+	injectQ [][]*Message
+	local   []localEntry
+	now     int64
+
+	deliver DeliveryFunc
+
+	// Statistics (since the last ResetStats).
+	statsSince     int64
+	injected       stats.Counter
+	deliveredCount stats.Counter
+	flitHops       stats.Counter // flit-channel traversals (fabric only)
+	latency        stats.Mean    // end-to-end incl. source queueing
+	netLatency     stats.Mean    // fabric-only latency
+	hops           stats.Mean
+	sizes          stats.Mean
+}
+
+type localEntry struct {
+	msg *Message
+	due int64
+}
+
+// New validates the configuration and builds an idle network.
+func New(cfg Config) (*Network, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("netsim: nil topology")
+	}
+	if cfg.BufferDepth < 1 {
+		return nil, fmt.Errorf("netsim: buffer depth %d, must be ≥ 1", cfg.BufferDepth)
+	}
+	if cfg.LocalDelay == 0 {
+		cfg.LocalDelay = 1
+	}
+	if cfg.LocalDelay < 0 {
+		return nil, fmt.Errorf("netsim: negative local delay %d", cfg.LocalDelay)
+	}
+	n := cfg.Topo.Nodes()
+	dims := cfg.Topo.N()
+	ports := 2 * dims
+	nw := &Network{
+		cfg:     cfg,
+		topo:    cfg.Topo,
+		dims:    dims,
+		k:       cfg.Topo.K(),
+		ports:   ports,
+		routers: make([]router, n),
+		injectQ: make([][]*Message, n),
+	}
+	for v := range nw.routers {
+		r := &nw.routers[v]
+		r.inputs = make([]*fifo, 2*ports+1)
+		for i := range r.inputs {
+			r.inputs[i] = newFIFO(cfg.BufferDepth)
+		}
+		r.owner = make([]*Message, 2*ports+1)
+		r.ownerInput = make([]int, 2*ports+1)
+		r.lastGranted = make([]int, 2*ports+1)
+		r.lastVC = make([]int, ports)
+	}
+	return nw, nil
+}
+
+// SetDelivery installs the delivery callback.
+func (nw *Network) SetDelivery(fn DeliveryFunc) { nw.deliver = fn }
+
+// Now returns the current network cycle.
+func (nw *Network) Now() int64 { return nw.now }
+
+// ejectKey is the virtual output key of the ejection port.
+func (nw *Network) ejectKey() int { return 2 * nw.ports }
+
+// injectIn is the input buffer index of the injection port.
+func (nw *Network) injectIn() int { return 2 * nw.ports }
+
+// Send enqueues a message for injection at its source node. Messages
+// with src == dst bypass the fabric and deliver after LocalDelay.
+func (nw *Network) Send(msg *Message) error {
+	if msg.Size < 1 {
+		return fmt.Errorf("netsim: message size %d, must be ≥ 1", msg.Size)
+	}
+	if msg.Src < 0 || msg.Src >= nw.topo.Nodes() || msg.Dst < 0 || msg.Dst >= nw.topo.Nodes() {
+		return fmt.Errorf("netsim: src %d or dst %d out of range [0,%d)", msg.Src, msg.Dst, nw.topo.Nodes())
+	}
+	msg.EnqueuedAt = nw.now
+	msg.remaining = msg.Size
+	msg.curDim = -1
+	msg.vcClass = 0
+	if msg.Src == msg.Dst {
+		msg.InjectedAt = nw.now
+		nw.local = append(nw.local, localEntry{msg: msg, due: nw.now + int64(nw.cfg.LocalDelay)})
+		return nil
+	}
+	nw.injectQ[msg.Src] = append(nw.injectQ[msg.Src], msg)
+	return nil
+}
+
+// outputPortFor returns the directional physical port the head flit
+// requests at router v under e-cube routing (lowest dimension first,
+// minimal direction, ties toward positive), or the ejection key when v
+// is the destination.
+func (nw *Network) outputPortFor(v, dst int) (port int, eject bool) {
+	if v == dst {
+		return 0, true
+	}
+	a, b := v, dst
+	for dim := 0; dim < nw.dims; dim++ {
+		ca, cb := a%nw.k, b%nw.k
+		if ca != cb {
+			d := ((cb-ca)%nw.k + nw.k) % nw.k
+			switch {
+			case 2*d < nw.k:
+				return 2 * dim, false
+			case 2*d > nw.k:
+				return 2*dim + 1, false
+			default:
+				// Exactly halfway around the ring: both directions are
+				// minimal. Split ties deterministically by the parity
+				// of the current coordinate so neither direction's
+				// channels carry systematically more load (coordinates
+				// at a tie are uniform over the ring). The tie exists
+				// only on the first hop in a dimension, so the route
+				// stays consistent and any two messages between the
+				// same endpoints take the same path.
+				if ca%2 == 0 {
+					return 2 * dim, false
+				}
+				return 2*dim + 1, false
+			}
+		}
+		a /= nw.k
+		b /= nw.k
+	}
+	return 0, true
+}
+
+// crossesDateline reports whether traversing port o out of router v
+// crosses the ring's wraparound edge: coordinate k−1 → 0 in the
+// positive direction, 0 → k−1 in the negative.
+func (nw *Network) crossesDateline(v, o int) bool {
+	dim := o / 2
+	coord := v
+	for i := 0; i < dim; i++ {
+		coord /= nw.k
+	}
+	coord %= nw.k
+	if o%2 == 0 {
+		return coord == nw.k-1
+	}
+	return coord == 0
+}
+
+// vcFor returns the virtual channel a head flit must use on port o:
+// VC0 when entering a new dimension, its accumulated class otherwise.
+func vcFor(msg *Message, o int) int {
+	if msg.curDim != o/2 {
+		return 0
+	}
+	return msg.vcClass
+}
+
+// neighborFor returns the router on the far side of directional port o
+// of router v.
+func (nw *Network) neighborFor(v, o int) int {
+	dim := o / 2
+	dir := 1
+	if o%2 == 1 {
+		dir = -1
+	}
+	return nw.topo.Neighbor(v, dim, dir)
+}
+
+// Step advances the network one cycle.
+func (nw *Network) Step() {
+	nw.stepInjection()
+	moves := nw.decide()
+	nw.commit(moves)
+	nw.stepLocal()
+	nw.now++
+}
+
+// Run advances the network by cycles steps.
+func (nw *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		nw.Step()
+	}
+}
+
+// stepInjection streams flits of queued messages into each node's
+// injection buffer, one flit per cycle per node.
+func (nw *Network) stepInjection() {
+	for v := range nw.routers {
+		q := nw.injectQ[v]
+		if len(q) == 0 {
+			continue
+		}
+		in := nw.routers[v].inputs[nw.injectIn()]
+		if in.full() {
+			continue
+		}
+		msg := q[0]
+		seq := msg.Size - msg.remaining
+		if seq == 0 {
+			msg.InjectedAt = nw.now
+			nw.injected.Inc()
+			nw.sizes.Add(float64(msg.Size))
+		}
+		in.push(flit{msg: msg, seq: seq, arrivedAt: nw.now})
+		msg.remaining--
+		if msg.remaining == 0 {
+			nw.injectQ[v] = q[1:]
+		}
+	}
+}
+
+// decide computes at most one flit transfer per physical channel (and
+// per ejection port) based on cycle-start state.
+func (nw *Network) decide() []move {
+	var moves []move
+	for v := range nw.routers {
+		r := &nw.routers[v]
+		// Directional physical channels: arbitrate between the two VCs.
+		for o := 0; o < nw.ports; o++ {
+			firstVC := 1 - r.lastVC[o]
+			granted := false
+			for attempt := 0; attempt < 2 && !granted; attempt++ {
+				vc := (firstVC + attempt) % 2
+				if mv, ok := nw.decideVirtualOutput(v, r, o*2+vc); ok {
+					moves = append(moves, mv)
+					r.lastVC[o] = vc
+					granted = true
+				}
+			}
+		}
+		// Ejection port.
+		if mv, ok := nw.decideVirtualOutput(v, r, nw.ejectKey()); ok {
+			moves = append(moves, mv)
+		}
+	}
+	return moves
+}
+
+// decideVirtualOutput picks the flit (if any) to send through virtual
+// output key this cycle at router v.
+func (nw *Network) decideVirtualOutput(v int, r *router, key int) (move, bool) {
+	if owner := r.owner[key]; owner != nil {
+		in := r.inputs[r.ownerInput[key]]
+		if in.empty() {
+			return move{}, false
+		}
+		f := in.peek()
+		if f.msg != owner || f.arrivedAt >= nw.now {
+			return move{}, false
+		}
+		return nw.buildMove(v, r.ownerInput[key], key, f)
+	}
+	// Arbitrate among input buffers whose head flit requests this key.
+	nin := len(r.inputs)
+	start := r.lastGranted[key]
+	for i := 1; i <= nin; i++ {
+		idx := (start + i) % nin
+		in := r.inputs[idx]
+		if in.empty() {
+			continue
+		}
+		f := in.peek()
+		if !f.isHead() || f.arrivedAt >= nw.now {
+			continue
+		}
+		if nw.requestKey(v, f.msg) != key {
+			continue
+		}
+		mv, ok := nw.buildMove(v, idx, key, f)
+		if !ok {
+			// The downstream buffer is full; no other input can use
+			// this key more productively this cycle.
+			return move{}, false
+		}
+		mv.acquire = f.msg
+		r.lastGranted[key] = idx
+		return mv, true
+	}
+	return move{}, false
+}
+
+// requestKey returns the virtual output key the message's head flit
+// requests at router v.
+func (nw *Network) requestKey(v int, msg *Message) int {
+	o, eject := nw.outputPortFor(v, msg.Dst)
+	if eject {
+		return nw.ejectKey()
+	}
+	return o*2 + vcFor(msg, o)
+}
+
+// buildMove checks downstream capacity for a candidate transfer.
+func (nw *Network) buildMove(v, input, key int, f flit) (move, bool) {
+	if key == nw.ejectKey() {
+		// The node sinks one flit per cycle unconditionally.
+		return move{router: v, input: input, outKey: key, release: f.isTail(), eject: true}, true
+	}
+	o := key / 2
+	next := nw.neighborFor(v, o)
+	if nw.routers[next].inputs[key].full() {
+		return move{}, false
+	}
+	return move{
+		router:  v,
+		input:   input,
+		outKey:  key,
+		release: f.isTail(),
+		dest:    next,
+		destIn:  key,
+		newDim:  o / 2,
+		crossed: nw.crossesDateline(v, o),
+	}, true
+}
+
+// commit applies the decided transfers.
+func (nw *Network) commit(moves []move) {
+	for _, mv := range moves {
+		r := &nw.routers[mv.router]
+		f := r.inputs[mv.input].pop()
+		if mv.acquire != nil {
+			r.owner[mv.outKey] = mv.acquire
+			r.ownerInput[mv.outKey] = mv.input
+			if !mv.eject {
+				// Update the worm's dateline state as its head
+				// advances; body flits inherit the reserved path.
+				if f.msg.curDim != mv.newDim {
+					f.msg.curDim = mv.newDim
+					f.msg.vcClass = 0
+				}
+				if mv.crossed {
+					f.msg.vcClass = 1
+				}
+			}
+		}
+		if mv.release {
+			r.owner[mv.outKey] = nil
+		}
+		if mv.eject {
+			if f.isTail() {
+				nw.completeDelivery(f.msg)
+			}
+			continue
+		}
+		if f.isHead() {
+			f.msg.Hops++
+		}
+		nw.flitHops.Inc()
+		f.arrivedAt = nw.now
+		nw.routers[mv.dest].inputs[mv.destIn].push(f)
+	}
+}
+
+func (nw *Network) completeDelivery(msg *Message) {
+	msg.DeliveredAt = nw.now
+	nw.deliveredCount.Inc()
+	nw.latency.Add(float64(msg.Latency()))
+	nw.netLatency.Add(float64(msg.NetworkLatency()))
+	nw.hops.Add(float64(msg.Hops))
+	if nw.deliver != nil {
+		nw.deliver(nw.now, msg)
+	}
+}
+
+func (nw *Network) stepLocal() {
+	if len(nw.local) == 0 {
+		return
+	}
+	kept := nw.local[:0]
+	for _, e := range nw.local {
+		if e.due <= nw.now {
+			e.msg.DeliveredAt = nw.now
+			if nw.deliver != nil {
+				nw.deliver(nw.now, e.msg)
+			}
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	nw.local = kept
+}
+
+// Quiesced reports whether no traffic remains anywhere in the network.
+func (nw *Network) Quiesced() bool {
+	if len(nw.local) > 0 {
+		return false
+	}
+	for v := range nw.routers {
+		if len(nw.injectQ[v]) > 0 {
+			return false
+		}
+		for _, in := range nw.routers[v].inputs {
+			if !in.empty() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stats is a snapshot of the network's aggregate measurements.
+type Stats struct {
+	// Injected counts network messages that entered the fabric
+	// (src == dst messages are excluded).
+	Injected int64
+	// Delivered counts fabric messages whose tails reached their
+	// destinations.
+	Delivered int64
+	// FlitHops counts flit-channel traversals within the fabric.
+	FlitHops int64
+	// AvgLatency is the mean end-to-end latency including source
+	// queueing (N-cycles).
+	AvgLatency float64
+	// AvgNetLatency excludes source queueing.
+	AvgNetLatency float64
+	// AvgHops is the mean hop count per delivered message.
+	AvgHops float64
+	// AvgSize is the mean injected message size in flits.
+	AvgSize float64
+	// ChannelUtilization is the mean fraction of directional channels
+	// busy per cycle so far.
+	ChannelUtilization float64
+	// Cycles is the number of simulated cycles.
+	Cycles int64
+}
+
+// Snapshot returns aggregate statistics accumulated since the last
+// ResetStats (or construction).
+func (nw *Network) Snapshot() Stats {
+	s := Stats{
+		Injected:      nw.injected.Value(),
+		Delivered:     nw.deliveredCount.Value(),
+		FlitHops:      nw.flitHops.Value(),
+		AvgLatency:    nw.latency.Mean(),
+		AvgNetLatency: nw.netLatency.Mean(),
+		AvgHops:       nw.hops.Mean(),
+		AvgSize:       nw.sizes.Mean(),
+		Cycles:        nw.now - nw.statsSince,
+	}
+	if s.Cycles > 0 {
+		channels := float64(nw.topo.ChannelCount())
+		s.ChannelUtilization = float64(s.FlitHops) / (float64(s.Cycles) * channels)
+	}
+	return s
+}
+
+// ResetStats zeroes the accumulated statistics without disturbing
+// in-flight traffic, so a measurement window can exclude warmup.
+// Messages in flight at the reset are attributed to the window in
+// which they deliver.
+func (nw *Network) ResetStats() {
+	nw.statsSince = nw.now
+	nw.injected = stats.Counter{}
+	nw.deliveredCount = stats.Counter{}
+	nw.flitHops = stats.Counter{}
+	nw.latency = stats.Mean{}
+	nw.netLatency = stats.Mean{}
+	nw.hops = stats.Mean{}
+	nw.sizes = stats.Mean{}
+}

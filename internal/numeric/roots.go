@@ -1,0 +1,140 @@
+// Package numeric provides the small set of numerical routines the
+// locality modeling framework depends on: quadratic root extraction,
+// bracketed bisection, damped fixed-point iteration, and monotone root
+// search. All routines are deterministic and allocation-free on the
+// happy path so they are safe to call inside tight parameter sweeps.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoRoot is returned when a root finder can certify that no root
+// exists in the requested region.
+var ErrNoRoot = errors.New("numeric: no root in the requested interval")
+
+// ErrNoConvergence is returned when an iterative method exhausts its
+// iteration budget without meeting its tolerance.
+var ErrNoConvergence = errors.New("numeric: iteration did not converge")
+
+// Quadratic solves a·x² + b·x + c = 0 and returns the real roots in
+// ascending order. It returns 0, 1, or 2 roots. The degenerate linear
+// case (a == 0) is handled, returning the single root when b != 0.
+// The discriminant is computed in a numerically stable fashion and the
+// classic "catastrophic cancellation" case is avoided by deriving the
+// smaller-magnitude root from the product of roots.
+func Quadratic(a, b, c float64) []float64 {
+	if a == 0 {
+		if b == 0 {
+			return nil
+		}
+		return []float64{-c / b}
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil
+	}
+	if disc == 0 {
+		return []float64{-b / (2 * a)}
+	}
+	sq := math.Sqrt(disc)
+	// q has the same sign as b to avoid cancellation in -b ± sq.
+	q := -0.5 * (b + math.Copysign(sq, b))
+	r1 := q / a
+	r2 := c / q
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return []float64{r1, r2}
+}
+
+// Bisect finds a root of f in [lo, hi] assuming f(lo) and f(hi) have
+// opposite signs (or one of them is zero). It refines the bracket until
+// its width falls below tol (absolute) or maxIter iterations elapse,
+// and returns the midpoint of the final bracket.
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.IsNaN(flo) || math.IsNaN(fhi) {
+		return 0, fmt.Errorf("numeric: Bisect endpoint is NaN: f(%g)=%g f(%g)=%g", lo, flo, hi, fhi)
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, ErrNoRoot
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := lo + (hi-lo)/2
+		fmid := f(mid)
+		if fmid == 0 || hi-lo < tol {
+			return mid, nil
+		}
+		if (fmid > 0) == (fhi > 0) {
+			hi, fhi = mid, fmid
+		} else {
+			lo, flo = mid, fmid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// BracketUp expands an initial guess upward by repeated doubling until
+// f changes sign, returning a bracketing interval suitable for Bisect.
+// f(lo) must be finite; the search gives up after maxDoublings.
+func BracketUp(f func(float64) float64, lo, step float64, maxDoublings int) (a, b float64, err error) {
+	flo := f(lo)
+	if flo == 0 {
+		return lo, lo, nil
+	}
+	hi := lo + step
+	for i := 0; i < maxDoublings; i++ {
+		fhi := f(hi)
+		if fhi == 0 || (flo > 0) != (fhi > 0) {
+			return lo, hi, nil
+		}
+		lo, flo = hi, fhi
+		step *= 2
+		hi += step
+	}
+	return 0, 0, ErrNoRoot
+}
+
+// FixedPoint iterates x ← (1−damping)·x + damping·g(x) until successive
+// iterates differ by less than tol, starting from x0. A damping factor
+// in (0, 1] trades convergence speed for stability; 1 is undamped.
+func FixedPoint(g func(float64) float64, x0, damping, tol float64, maxIter int) (float64, error) {
+	if damping <= 0 || damping > 1 {
+		return 0, fmt.Errorf("numeric: damping %g outside (0, 1]", damping)
+	}
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		next := (1-damping)*x + damping*g(x)
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return 0, fmt.Errorf("numeric: fixed-point iterate diverged at iteration %d", i)
+		}
+		if math.Abs(next-x) < tol {
+			return next, nil
+		}
+		x = next
+	}
+	return 0, ErrNoConvergence
+}
+
+// Clamp restricts v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

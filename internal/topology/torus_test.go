@@ -1,0 +1,268 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		k, n   int
+		wantOK bool
+	}{
+		{8, 2, true},
+		{2, 1, true},
+		{2, 20, true},
+		{1, 2, false},
+		{0, 2, false},
+		{8, 0, false},
+		{8, -1, false},
+		{1024, 4, false}, // overflow guard
+	}
+	for _, tc := range tests {
+		_, err := New(tc.k, tc.n)
+		if (err == nil) != tc.wantOK {
+			t.Errorf("New(%d,%d) error = %v, wantOK %v", tc.k, tc.n, err, tc.wantOK)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0,0) should panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	tor := MustNew(8, 2)
+	for id := 0; id < tor.Nodes(); id++ {
+		c := tor.Coords(id)
+		if got := tor.ID(c); got != id {
+			t.Fatalf("round trip %d -> %v -> %d", id, c, got)
+		}
+	}
+}
+
+func TestCoordsKnown(t *testing.T) {
+	tor := MustNew(8, 2)
+	c := tor.Coords(19) // 19 = 3 + 2*8
+	if c[0] != 3 || c[1] != 2 {
+		t.Errorf("Coords(19) = %v, want [3 2]", c)
+	}
+}
+
+func TestDistanceKnown(t *testing.T) {
+	tor := MustNew(8, 2)
+	tests := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{0, 0}, []int{0, 0}, 0},
+		{[]int{0, 0}, []int{1, 0}, 1},
+		{[]int{0, 0}, []int{7, 0}, 1}, // wraparound
+		{[]int{0, 0}, []int{4, 0}, 4}, // exactly halfway
+		{[]int{0, 0}, []int{3, 3}, 6},
+		{[]int{1, 1}, []int{6, 6}, 6}, // 5 fwd vs 3 back in each dim
+		{[]int{0, 0}, []int{4, 4}, 8}, // maximum distance
+	}
+	for _, tc := range tests {
+		a, b := tor.ID(tc.a), tor.ID(tc.b)
+		if got := tor.Distance(a, b); got != tc.want {
+			t.Errorf("Distance(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	tor := MustNew(5, 3) // odd radix exercises asymmetric wraparound
+	n := tor.Nodes()
+	f := func(a, b, c uint32) bool {
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		dxy := tor.Distance(x, y)
+		// Symmetry.
+		if dxy != tor.Distance(y, x) {
+			return false
+		}
+		// Identity.
+		if (dxy == 0) != (x == y) {
+			return false
+		}
+		// Triangle inequality.
+		return tor.Distance(x, z) <= dxy+tor.Distance(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighbor(t *testing.T) {
+	tor := MustNew(8, 2)
+	id := tor.ID([]int{7, 0})
+	if got := tor.Neighbor(id, 0, 1); got != tor.ID([]int{0, 0}) {
+		t.Errorf("wraparound +: got %d", got)
+	}
+	if got := tor.Neighbor(tor.ID([]int{0, 3}), 0, -1); got != tor.ID([]int{7, 3}) {
+		t.Errorf("wraparound -: got %d", got)
+	}
+	if got := tor.Neighbor(id, 1, 1); got != tor.ID([]int{7, 1}) {
+		t.Errorf("dim 1 +: got %d", got)
+	}
+}
+
+func TestNeighborPanics(t *testing.T) {
+	tor := MustNew(4, 2)
+	for _, fn := range []func(){
+		func() { tor.Neighbor(0, 2, 1) },
+		func() { tor.Neighbor(0, 0, 0) },
+		func() { tor.Neighbor(99, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRouteIsMinimalAndEcube(t *testing.T) {
+	tor := MustNew(8, 2)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		src := rng.Intn(tor.Nodes())
+		dst := rng.Intn(tor.Nodes())
+		route := tor.Route(src, dst)
+		if len(route) != tor.Distance(src, dst) {
+			t.Fatalf("route length %d != distance %d for %d->%d", len(route), tor.Distance(src, dst), src, dst)
+		}
+		cur := src
+		lastDim := -1
+		for _, h := range route {
+			if h.From != cur {
+				t.Fatalf("route discontinuity at %+v (cur %d)", h, cur)
+			}
+			if h.Dim < lastDim {
+				t.Fatalf("route violates e-cube dimension order: %+v after dim %d", h, lastDim)
+			}
+			lastDim = h.Dim
+			if got := tor.Neighbor(h.From, h.Dim, h.Dir); got != h.To {
+				t.Fatalf("hop %+v is not a channel", h)
+			}
+			cur = h.To
+		}
+		if cur != dst {
+			t.Fatalf("route from %d ends at %d, want %d", src, cur, dst)
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	tor := MustNew(4, 2)
+	if route := tor.Route(5, 5); len(route) != 0 {
+		t.Errorf("self route = %v, want empty", route)
+	}
+}
+
+func TestNeighborsCount(t *testing.T) {
+	tor := MustNew(8, 2)
+	for id := 0; id < tor.Nodes(); id++ {
+		nbs := tor.Neighbors(id)
+		if len(nbs) != 4 {
+			t.Fatalf("node %d has %d neighbors, want 4", id, len(nbs))
+		}
+		for _, nb := range nbs {
+			if tor.Distance(id, nb) != 1 {
+				t.Fatalf("neighbor %d of %d at distance %d", nb, id, tor.Distance(id, nb))
+			}
+		}
+	}
+}
+
+func TestNeighborsRadixTwo(t *testing.T) {
+	tor := MustNew(2, 3)
+	nbs := tor.Neighbors(0)
+	if len(nbs) != 3 { // +1 and -1 coincide for k=2
+		t.Errorf("k=2 n=3 neighbors = %v, want 3 distinct", nbs)
+	}
+}
+
+func TestRandomAvgDistanceEquation17(t *testing.T) {
+	// Paper: for k=8, n=2, random mappings give "just over four hops".
+	tor := MustNew(8, 2)
+	d := tor.RandomAvgDistance()
+	want := 2.0 * 8 * 64 / (4 * 63) // n·k^(n+1)/(4(k^n−1))
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("RandomAvgDistance = %g, want %g", d, want)
+	}
+	if d < 4 || d > 4.2 {
+		t.Errorf("RandomAvgDistance = %g, want just over 4", d)
+	}
+}
+
+func TestRandomAvgDistanceMatchesEnumeration(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{2, 2}, {3, 2}, {4, 2}, {5, 2}, {8, 2}, {3, 3}, {4, 3}, {2, 4}} {
+		tor := MustNew(tc.k, tc.n)
+		closed := tor.RandomAvgDistance()
+		exact := tor.ExactRandomAvgDistance()
+		if math.Abs(closed-exact) > 1e-9 {
+			t.Errorf("%v: closed form %g != enumeration %g", tor, closed, exact)
+		}
+	}
+}
+
+func TestAvgNeighborDistanceIdentity(t *testing.T) {
+	tor := MustNew(8, 2)
+	d := tor.AvgNeighborDistance(func(i int) int { return i })
+	if d != 1 {
+		t.Errorf("identity mapping neighbor distance = %g, want 1", d)
+	}
+}
+
+func TestAvgNeighborDistanceRandomApproachesEq17(t *testing.T) {
+	tor := MustNew(8, 2)
+	rng := rand.New(rand.NewSource(11))
+	var sum float64
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		perm := rng.Perm(tor.Nodes())
+		sum += tor.AvgNeighborDistance(func(i int) int { return perm[i] })
+	}
+	avg := sum / trials
+	want := tor.RandomAvgDistance()
+	if math.Abs(avg-want) > 0.25 {
+		t.Errorf("random-permutation neighbor distance = %g, want ≈ %g", avg, want)
+	}
+}
+
+func TestChannelAndBisectionCounts(t *testing.T) {
+	tor := MustNew(8, 2)
+	if got := tor.ChannelCount(); got != 2*2*64 {
+		t.Errorf("ChannelCount = %d, want 256", got)
+	}
+	if got := tor.BisectionChannels(); got != 4*8 {
+		t.Errorf("BisectionChannels = %d, want 32", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := MustNew(8, 2).String(); got != "8-ary 2-cube (64 nodes)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPerDimAvgDistanceOdd(t *testing.T) {
+	// For k=5: distances from 0 are {0,1,2,2,1}, average 6/5 = (25−1)/20.
+	if got, want := perDimAvgDistance(5), 1.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("perDimAvgDistance(5) = %g, want %g", got, want)
+	}
+	if got, want := perDimAvgDistance(8), 2.0; got != want {
+		t.Errorf("perDimAvgDistance(8) = %g, want %g", got, want)
+	}
+}

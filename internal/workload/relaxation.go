@@ -1,0 +1,214 @@
+// Package workload builds the thread programs that drive the
+// full-system simulator. The primary workload is the paper's synthetic
+// relaxation application (Section 3.2): threads are arranged in a
+// torus communication graph matching the network topology; each thread
+// repeatedly reads its neighbors' state words, performs a trivial
+// computation, and writes its own state word, with no synchronization.
+// Inter-thread communication happens entirely through cache-coherency
+// transactions on the state words.
+//
+// When the processor has p hardware contexts, p independent instances
+// of the application run simultaneously with exactly one thread of
+// each instance on every processor and no data shared across
+// instances, exactly as in the paper's experiments.
+package workload
+
+import (
+	"fmt"
+
+	"locality/internal/mapping"
+	"locality/internal/procsim"
+	"locality/internal/topology"
+)
+
+// RelaxationConfig parameterizes the synthetic application.
+type RelaxationConfig struct {
+	// Graph is the application's communication graph: thread i
+	// communicates with the torus neighbors of node i. In the paper's
+	// experiments this is the same 8×8 torus as the machine.
+	Graph *topology.Torus
+	// Map assigns threads to processors (one thread per processor per
+	// instance).
+	Map *mapping.Mapping
+	// Instances is the number of independent application copies (one
+	// per hardware context).
+	Instances int
+	// LineSize is the cache line size; each state word occupies its
+	// own line.
+	LineSize int
+	// ReadCompute is the trivial computation after each neighbor read,
+	// in processor cycles.
+	ReadCompute int
+	// WriteCompute is the computation before the thread updates its
+	// own state word, in processor cycles.
+	WriteCompute int
+	// Prefetch makes each thread issue non-binding prefetches for all
+	// of its neighbors' words at the top of every iteration, so the
+	// reads that follow overlap their communication latency — the
+	// data-prefetching latency-tolerance mechanism of Section 2.1.
+	// With prefetching, even a single-context processor keeps several
+	// transactions outstanding.
+	Prefetch bool
+	// WeakOrdering makes each thread update its own state word with a
+	// non-blocking write-behind, fencing at the top of the next
+	// iteration — the relaxed-consistency latency-tolerance mechanism
+	// of Section 2.1. The ownership acquisition (invalidating all the
+	// neighbors' copies) then overlaps the next iteration's reads.
+	WeakOrdering bool
+}
+
+// Validate checks the configuration.
+func (c RelaxationConfig) Validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("workload: nil communication graph")
+	}
+	if c.Map == nil {
+		return fmt.Errorf("workload: nil mapping")
+	}
+	if len(c.Map.Place) != c.Graph.Nodes() {
+		return fmt.Errorf("workload: mapping covers %d threads, graph has %d", len(c.Map.Place), c.Graph.Nodes())
+	}
+	if c.Instances < 1 {
+		return fmt.Errorf("workload: instance count %d, must be ≥ 1", c.Instances)
+	}
+	if c.LineSize < 1 {
+		return fmt.Errorf("workload: line size %d, must be ≥ 1", c.LineSize)
+	}
+	if c.ReadCompute < 0 || c.WriteCompute < 0 {
+		return fmt.Errorf("workload: negative compute cycles")
+	}
+	return nil
+}
+
+// StateAddr returns the address of the state word of thread t in
+// application instance inst. Each (instance, thread) pair gets a
+// distinct cache line; with T threads the line number is inst·T + t,
+// so instances never conflict in a direct-mapped cache as long as
+// Instances·T does not exceed the cache's line count.
+func (c RelaxationConfig) StateAddr(inst, thread int) uint64 {
+	return uint64(inst*c.Graph.Nodes()+thread) * uint64(c.LineSize)
+}
+
+// ThreadOf inverts StateAddr: the (instance, thread) owning an address.
+func (c RelaxationConfig) ThreadOf(addr uint64) (inst, thread int) {
+	lineNo := int(addr / uint64(c.LineSize))
+	return lineNo / c.Graph.Nodes(), lineNo % c.Graph.Nodes()
+}
+
+// HomeFunc returns the address→home-node function for the coherence
+// directory: a thread's state word lives in the local memory of the
+// processor running that thread.
+func (c RelaxationConfig) HomeFunc() func(addr uint64) int {
+	return func(addr uint64) int {
+		_, thread := c.ThreadOf(addr)
+		return c.Map.Place[thread]
+	}
+}
+
+// relaxThread is the per-thread program: an infinite loop of
+// (compute, read neighbor) repeated for each neighbor, then
+// (compute, write own word), optionally preceded by a burst of
+// neighbor prefetches.
+type relaxThread struct {
+	cfg       RelaxationConfig
+	neighbors []uint64 // neighbor state word addresses
+	own       uint64
+	// position within one iteration.
+	pos int
+}
+
+// Next implements procsim.Program. One iteration's shape is
+//
+//	[prefetch×deg] (compute, read)×deg compute [fence] write
+//
+// Under weak ordering the write is a non-blocking write-behind and the
+// fence sits immediately before the *next* write: the ownership
+// acquisition for iteration k then overlaps iteration k+1's entire
+// read phase, and the fence only enforces write-after-write order on
+// the thread's own word.
+func (r *relaxThread) Next() procsim.Op {
+	deg := len(r.neighbors)
+	fence := 0
+	if r.cfg.WeakOrdering {
+		fence = 1
+	}
+	pre := 0
+	if r.cfg.Prefetch {
+		pre = deg
+	}
+	steps := pre + 2*deg + 1 + fence + 1
+	p := r.pos
+	r.pos = (r.pos + 1) % steps
+	if p < pre {
+		return procsim.Op{Kind: procsim.OpPrefetch, Addr: r.neighbors[p]}
+	}
+	p -= pre
+	if p < 2*deg {
+		if p%2 == 0 {
+			return procsim.Op{Kind: procsim.OpCompute, Cycles: r.cfg.ReadCompute}
+		}
+		return procsim.Op{Kind: procsim.OpRead, Addr: r.neighbors[p/2]}
+	}
+	p -= 2 * deg
+	if p == 0 {
+		return procsim.Op{Kind: procsim.OpCompute, Cycles: r.cfg.WriteCompute}
+	}
+	if r.cfg.WeakOrdering {
+		if p == 1 {
+			return procsim.Op{Kind: procsim.OpFence}
+		}
+		return procsim.Op{Kind: procsim.OpWriteBehind, Addr: r.own}
+	}
+	return procsim.Op{Kind: procsim.OpWrite, Addr: r.own}
+}
+
+// Programs builds the full program matrix: Programs()[node][context]
+// is the thread program for that hardware context on that processor.
+// Context c on processor P(t) runs thread t of instance c.
+func (c RelaxationConfig) Programs() ([][]procsim.Program, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := c.Graph.Nodes()
+	// Invert the mapping: which thread runs on each processor.
+	threadOn := make([]int, nodes)
+	for thread, proc := range c.Map.Place {
+		threadOn[proc] = thread
+	}
+	out := make([][]procsim.Program, nodes)
+	for proc := 0; proc < nodes; proc++ {
+		thread := threadOn[proc]
+		out[proc] = make([]procsim.Program, c.Instances)
+		for inst := 0; inst < c.Instances; inst++ {
+			nbrs := c.Graph.Neighbors(thread)
+			addrs := make([]uint64, len(nbrs))
+			for i, nb := range nbrs {
+				addrs[i] = c.StateAddr(inst, nb)
+			}
+			out[proc][inst] = &relaxThread{
+				cfg:       c,
+				neighbors: addrs,
+				own:       c.StateAddr(inst, thread),
+			}
+		}
+	}
+	return out, nil
+}
+
+// TransactionsPerIteration returns how many communication transactions
+// one thread issues per inner-loop iteration in steady state: one per
+// neighbor read plus one for the write upgrade.
+func (c RelaxationConfig) TransactionsPerIteration() int {
+	// All torus nodes have the same degree; use node 0.
+	return len(c.Graph.Neighbors(0)) + 1
+}
+
+// GrainEstimate returns the average useful work between transactions
+// (the model's Tr) implied by the compute parameters, assuming every
+// memory reference misses, plus perReferenceCycles for issuing each
+// reference itself.
+func (c RelaxationConfig) GrainEstimate(perReferenceCycles int) float64 {
+	deg := len(c.Graph.Neighbors(0))
+	totalCompute := deg*c.ReadCompute + c.WriteCompute + (deg+1)*perReferenceCycles
+	return float64(totalCompute) / float64(deg+1)
+}

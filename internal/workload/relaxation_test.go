@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"testing"
+
+	"locality/internal/mapping"
+	"locality/internal/procsim"
+	"locality/internal/topology"
+)
+
+func baseConfig() RelaxationConfig {
+	tor := topology.MustNew(4, 2)
+	return RelaxationConfig{
+		Graph:        tor,
+		Map:          mapping.Identity(tor),
+		Instances:    2,
+		LineSize:     16,
+		ReadCompute:  20,
+		WriteCompute: 20,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []func(*RelaxationConfig){
+		func(c *RelaxationConfig) { c.Graph = nil },
+		func(c *RelaxationConfig) { c.Map = nil },
+		func(c *RelaxationConfig) { c.Instances = 0 },
+		func(c *RelaxationConfig) { c.LineSize = 0 },
+		func(c *RelaxationConfig) { c.ReadCompute = -1 },
+		func(c *RelaxationConfig) { c.Map = mapping.Identity(topology.MustNew(8, 2)) },
+	}
+	for i, mutate := range cases {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestStateAddrDisjointAndInvertible(t *testing.T) {
+	cfg := baseConfig()
+	seen := map[uint64]bool{}
+	for inst := 0; inst < cfg.Instances; inst++ {
+		for th := 0; th < cfg.Graph.Nodes(); th++ {
+			addr := cfg.StateAddr(inst, th)
+			if addr%uint64(cfg.LineSize) != 0 {
+				t.Errorf("addr %#x not line aligned", addr)
+			}
+			if seen[addr] {
+				t.Errorf("duplicate state address %#x", addr)
+			}
+			seen[addr] = true
+			gi, gt := cfg.ThreadOf(addr)
+			if gi != inst || gt != th {
+				t.Errorf("ThreadOf(%#x) = (%d,%d), want (%d,%d)", addr, gi, gt, inst, th)
+			}
+		}
+	}
+}
+
+func TestStateAddrNoCacheConflicts(t *testing.T) {
+	// With T threads and I instances, line numbers run 0..T·I−1:
+	// all distinct, so any direct-mapped cache with ≥ T·I lines holds
+	// every word without conflicts.
+	cfg := baseConfig()
+	total := cfg.Instances * cfg.Graph.Nodes()
+	lineNos := map[uint64]bool{}
+	for inst := 0; inst < cfg.Instances; inst++ {
+		for th := 0; th < cfg.Graph.Nodes(); th++ {
+			lineNos[cfg.StateAddr(inst, th)/uint64(cfg.LineSize)] = true
+		}
+	}
+	if len(lineNos) != total {
+		t.Errorf("line numbers collide: %d distinct of %d", len(lineNos), total)
+	}
+}
+
+func TestHomeFuncFollowsMapping(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Map = mapping.Random(cfg.Graph, 3)
+	home := cfg.HomeFunc()
+	for th := 0; th < cfg.Graph.Nodes(); th++ {
+		addr := cfg.StateAddr(1, th)
+		if got, want := home(addr), cfg.Map.Place[th]; got != want {
+			t.Errorf("home of thread %d's word = %d, want %d", th, got, want)
+		}
+	}
+}
+
+func TestThreadProgramShape(t *testing.T) {
+	cfg := baseConfig()
+	progs, err := cfg.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != cfg.Graph.Nodes() {
+		t.Fatalf("program matrix has %d rows, want %d", len(progs), cfg.Graph.Nodes())
+	}
+	// Walk two full iterations of one thread's program and check the
+	// operation pattern: (compute, read)×deg, compute, write.
+	prog := progs[5][0]
+	deg := len(cfg.Graph.Neighbors(5))
+	for iter := 0; iter < 2; iter++ {
+		for i := 0; i < deg; i++ {
+			if op := prog.Next(); op.Kind != procsim.OpCompute || op.Cycles != cfg.ReadCompute {
+				t.Fatalf("iter %d: expected read-compute, got %+v", iter, op)
+			}
+			if op := prog.Next(); op.Kind != procsim.OpRead {
+				t.Fatalf("iter %d: expected read, got %+v", iter, op)
+			}
+		}
+		if op := prog.Next(); op.Kind != procsim.OpCompute || op.Cycles != cfg.WriteCompute {
+			t.Fatalf("iter %d: expected write-compute, got %+v", iter, op)
+		}
+		op := prog.Next()
+		if op.Kind != procsim.OpWrite {
+			t.Fatalf("iter %d: expected write, got %+v", iter, op)
+		}
+		// Identity mapping: node 5 runs thread 5 and writes its word.
+		if op.Addr != cfg.StateAddr(0, 5) {
+			t.Fatalf("iter %d: write addr %#x, want own word %#x", iter, op.Addr, cfg.StateAddr(0, 5))
+		}
+	}
+}
+
+func TestProgramsReadNeighborsOnly(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Map = mapping.Random(cfg.Graph, 9)
+	progs, err := cfg.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the thread on processor 3 (inverted mapping) and confirm
+	// its reads are exactly its graph neighbors' words in instance 1.
+	var thread int
+	for th, pr := range cfg.Map.Place {
+		if pr == 3 {
+			thread = th
+			break
+		}
+	}
+	want := map[uint64]bool{}
+	for _, nb := range cfg.Graph.Neighbors(thread) {
+		want[cfg.StateAddr(1, nb)] = true
+	}
+	prog := progs[3][1]
+	got := map[uint64]bool{}
+	for i := 0; i < 2*len(want)+2; i++ {
+		op := prog.Next()
+		if op.Kind == procsim.OpRead {
+			got[op.Addr] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d distinct addresses, want %d", len(got), len(want))
+	}
+	for addr := range got {
+		if !want[addr] {
+			t.Errorf("read unexpected address %#x", addr)
+		}
+	}
+}
+
+func TestTransactionsPerIteration(t *testing.T) {
+	cfg := baseConfig()
+	if got := cfg.TransactionsPerIteration(); got != 5 {
+		t.Errorf("TransactionsPerIteration = %d, want 5 (4 reads + 1 write)", got)
+	}
+}
+
+func TestGrainEstimate(t *testing.T) {
+	cfg := baseConfig()
+	// (4·20 + 20 + 5·1)/5 = 21.
+	if got := cfg.GrainEstimate(1); got != 21 {
+		t.Errorf("GrainEstimate = %g, want 21", got)
+	}
+}
+
+func TestInstancesAreDisjoint(t *testing.T) {
+	cfg := baseConfig()
+	progs, err := cfg.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect every address touched by instance 0 and instance 1
+	// across all nodes; the sets must not intersect.
+	touched := make([]map[uint64]bool, cfg.Instances)
+	for inst := range touched {
+		touched[inst] = map[uint64]bool{}
+		for node := 0; node < cfg.Graph.Nodes(); node++ {
+			prog := progs[node][inst]
+			for i := 0; i < 12; i++ {
+				op := prog.Next()
+				if op.Kind == procsim.OpRead || op.Kind == procsim.OpWrite {
+					touched[inst][op.Addr] = true
+				}
+			}
+		}
+	}
+	for addr := range touched[0] {
+		if touched[1][addr] {
+			t.Errorf("address %#x shared across instances", addr)
+		}
+	}
+}

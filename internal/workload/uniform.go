@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locality/internal/mapping"
+	"locality/internal/procsim"
+	"locality/internal/topology"
+)
+
+// Workload is anything that can populate a simulated machine: thread
+// programs per (node, context) plus the rule assigning each address a
+// home node. RelaxationConfig and UniformConfig implement it.
+type Workload interface {
+	Programs() ([][]procsim.Program, error)
+	HomeFunc() func(addr uint64) int
+}
+
+var (
+	_ Workload = RelaxationConfig{}
+	_ Workload = UniformConfig{}
+)
+
+// UniformConfig is an application with *no physical locality*: each
+// thread repeatedly reads the state word of a uniformly random peer
+// (drawn from a deterministic per-thread sequence), computes, and
+// writes its own word. Whatever mapping is used, communication
+// distance approaches the Equation 17 random expectation — there is
+// nothing for a clever placement to exploit. It is the workload
+// counterpart of the paper's "applications with no physical locality".
+type UniformConfig struct {
+	// Graph supplies the thread count and machine geometry (threads =
+	// nodes, as in the relaxation workload).
+	Graph *topology.Torus
+	// Map assigns threads to processors.
+	Map *mapping.Mapping
+	// Instances is the number of independent copies (one per context).
+	Instances int
+	// LineSize is the cache line size; each state word gets a line.
+	LineSize int
+	// ReadCompute and WriteCompute are the compute bursts (P-cycles).
+	ReadCompute, WriteCompute int
+	// ReadsPerIteration is how many random peers each iteration reads
+	// before the write (the relaxation workload reads its 2n
+	// neighbors; 4 keeps the transaction mix comparable).
+	ReadsPerIteration int
+	// Seed makes peer sequences reproducible.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c UniformConfig) Validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("workload: nil graph")
+	}
+	if c.Map == nil {
+		return fmt.Errorf("workload: nil mapping")
+	}
+	if len(c.Map.Place) != c.Graph.Nodes() {
+		return fmt.Errorf("workload: mapping covers %d threads, graph has %d", len(c.Map.Place), c.Graph.Nodes())
+	}
+	if c.Instances < 1 {
+		return fmt.Errorf("workload: instance count %d, must be ≥ 1", c.Instances)
+	}
+	if c.LineSize < 1 {
+		return fmt.Errorf("workload: line size %d, must be ≥ 1", c.LineSize)
+	}
+	if c.ReadsPerIteration < 1 {
+		return fmt.Errorf("workload: reads per iteration %d, must be ≥ 1", c.ReadsPerIteration)
+	}
+	if c.ReadCompute < 0 || c.WriteCompute < 0 {
+		return fmt.Errorf("workload: negative compute cycles")
+	}
+	return nil
+}
+
+// stateAddr mirrors RelaxationConfig's address scheme.
+func (c UniformConfig) stateAddr(inst, thread int) uint64 {
+	return uint64(inst*c.Graph.Nodes()+thread) * uint64(c.LineSize)
+}
+
+// HomeFunc implements Workload: a thread's word lives on its processor.
+func (c UniformConfig) HomeFunc() func(addr uint64) int {
+	return func(addr uint64) int {
+		lineNo := int(addr / uint64(c.LineSize))
+		return c.Map.Place[lineNo%c.Graph.Nodes()]
+	}
+}
+
+// uniformThread is the per-thread program.
+type uniformThread struct {
+	cfg    UniformConfig
+	inst   int
+	thread int
+	rng    *rand.Rand
+	pos    int
+}
+
+// Next implements procsim.Program.
+func (u *uniformThread) Next() procsim.Op {
+	steps := 2*u.cfg.ReadsPerIteration + 2
+	p := u.pos
+	u.pos = (u.pos + 1) % steps
+	if p < 2*u.cfg.ReadsPerIteration {
+		if p%2 == 0 {
+			return procsim.Op{Kind: procsim.OpCompute, Cycles: u.cfg.ReadCompute}
+		}
+		// Read a uniformly random peer other than ourselves.
+		peer := u.rng.Intn(u.cfg.Graph.Nodes() - 1)
+		if peer >= u.thread {
+			peer++
+		}
+		return procsim.Op{Kind: procsim.OpRead, Addr: u.cfg.stateAddr(u.inst, peer)}
+	}
+	if p == 2*u.cfg.ReadsPerIteration {
+		return procsim.Op{Kind: procsim.OpCompute, Cycles: u.cfg.WriteCompute}
+	}
+	return procsim.Op{Kind: procsim.OpWrite, Addr: u.cfg.stateAddr(u.inst, u.thread)}
+}
+
+// Programs implements Workload.
+func (c UniformConfig) Programs() ([][]procsim.Program, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := c.Graph.Nodes()
+	threadOn := make([]int, nodes)
+	for thread, proc := range c.Map.Place {
+		threadOn[proc] = thread
+	}
+	out := make([][]procsim.Program, nodes)
+	for proc := 0; proc < nodes; proc++ {
+		thread := threadOn[proc]
+		out[proc] = make([]procsim.Program, c.Instances)
+		for inst := 0; inst < c.Instances; inst++ {
+			seed := c.Seed*1_000_003 + int64(inst)*65_537 + int64(thread)
+			out[proc][inst] = &uniformThread{
+				cfg:    c,
+				inst:   inst,
+				thread: thread,
+				rng:    rand.New(rand.NewSource(seed)),
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"locality/internal/mapping"
+	"locality/internal/procsim"
+	"locality/internal/topology"
+)
+
+func uniformBase() UniformConfig {
+	tor := topology.MustNew(4, 2)
+	return UniformConfig{
+		Graph:             tor,
+		Map:               mapping.Identity(tor),
+		Instances:         2,
+		LineSize:          16,
+		ReadCompute:       20,
+		WriteCompute:      20,
+		ReadsPerIteration: 4,
+		Seed:              1,
+	}
+}
+
+func TestUniformValidate(t *testing.T) {
+	if err := uniformBase().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []func(*UniformConfig){
+		func(c *UniformConfig) { c.Graph = nil },
+		func(c *UniformConfig) { c.Map = nil },
+		func(c *UniformConfig) { c.Instances = 0 },
+		func(c *UniformConfig) { c.LineSize = 0 },
+		func(c *UniformConfig) { c.ReadsPerIteration = 0 },
+		func(c *UniformConfig) { c.ReadCompute = -1 },
+		func(c *UniformConfig) { c.Map = mapping.Identity(topology.MustNew(8, 2)) },
+	}
+	for i, mutate := range cases {
+		cfg := uniformBase()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestUniformProgramShape(t *testing.T) {
+	cfg := uniformBase()
+	progs, err := cfg.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := progs[3][1]
+	for iter := 0; iter < 3; iter++ {
+		for i := 0; i < cfg.ReadsPerIteration; i++ {
+			if op := prog.Next(); op.Kind != procsim.OpCompute {
+				t.Fatalf("expected compute, got %+v", op)
+			}
+			op := prog.Next()
+			if op.Kind != procsim.OpRead {
+				t.Fatalf("expected read, got %+v", op)
+			}
+			// The read must target instance 1's address range and
+			// never the thread's own word.
+			lineNo := int(op.Addr / 16)
+			inst, peer := lineNo/16, lineNo%16
+			if inst != 1 {
+				t.Fatalf("read crossed instances: %+v", op)
+			}
+			if peer == 3 { // identity mapping: node 3 runs thread 3
+				t.Fatalf("thread read its own word remotely")
+			}
+		}
+		if op := prog.Next(); op.Kind != procsim.OpCompute {
+			t.Fatalf("expected write-compute, got %+v", op)
+		}
+		op := prog.Next()
+		if op.Kind != procsim.OpWrite || op.Addr != cfg.stateAddr(1, 3) {
+			t.Fatalf("expected write of own word, got %+v", op)
+		}
+	}
+}
+
+func TestUniformReadsSpreadOverPeers(t *testing.T) {
+	cfg := uniformBase()
+	progs, err := cfg.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := progs[0][0]
+	peers := map[uint64]bool{}
+	for i := 0; i < 400; i++ {
+		op := prog.Next()
+		if op.Kind == procsim.OpRead {
+			peers[op.Addr] = true
+		}
+	}
+	// With 15 possible peers and ~130 reads, nearly all should appear.
+	if len(peers) < 12 {
+		t.Errorf("reads reached only %d distinct peers, want most of 15", len(peers))
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	cfg := uniformBase()
+	a, err := cfg.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a[2][0], b[2][0]
+	for i := 0; i < 100; i++ {
+		if pa.Next() != pb.Next() {
+			t.Fatal("uniform workload not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestUniformHomeFollowsMapping(t *testing.T) {
+	cfg := uniformBase()
+	cfg.Map = mapping.Random(cfg.Graph, 5)
+	home := cfg.HomeFunc()
+	for th := 0; th < cfg.Graph.Nodes(); th++ {
+		if got, want := home(cfg.stateAddr(1, th)), cfg.Map.Place[th]; got != want {
+			t.Errorf("home of thread %d = %d, want %d", th, got, want)
+		}
+	}
+}
