@@ -6,6 +6,11 @@
 //	simrun -k 8 -n 2 -contexts 2 -mapping random:1
 //	simrun -mapping diag:3 -window 40000
 //	simrun -mapping antilocal -contexts 4 -ratio 1
+//	simrun -mapping random:1 -fault-rate 0.01 -link-mttf 5000
+//
+// With fault injection enabled the run additionally reports loss and
+// retry accounting; a run that stops making progress aborts with a
+// diagnostic stall report and exit status 2.
 //
 // Mapping selectors are parsed by internal/mapsel: identity,
 // transpose, bitrev, antilocal[:seed], local[:seed], diag[:shift],
@@ -13,10 +18,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"locality/internal/faults"
 	"locality/internal/machine"
 	"locality/internal/mapsel"
 	"locality/internal/topology"
@@ -37,6 +44,10 @@ func main() {
 	ratio := flag.Int("ratio", 2, "network cycles per processor cycle")
 	buffers := flag.Int("buffers", 8, "switch buffer depth per virtual channel (flits)")
 	pointers := flag.Int("pointers", 0, "directory hardware sharer pointers (0 = full map)")
+	faultRate := flag.Float64("fault-rate", 0, "protocol message loss probability (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed")
+	linkMTTF := flag.Float64("link-mttf", 0, "mean N-cycles between transient faults per link (0 disables)")
+	watchdog := flag.Int64("watchdog", 0, "abort after this many P-cycles without progress (0 = auto when faults enabled)")
 	flag.Parse()
 
 	tor, err := topology.New(*k, *n)
@@ -47,15 +58,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	spec := faults.Spec{Seed: *faultSeed, LossRate: *faultRate, LinkMTTF: *linkMTTF}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
 	cfg := machine.DefaultConfig(tor, m, *contexts)
 	cfg.ClockRatio = *ratio
 	cfg.BufferDepth = *buffers
 	cfg.HWPointers = *pointers
+	if spec.Enabled() {
+		cfg.Faults = &spec
+	}
+	cfg.Watchdog = faults.Watchdog{StallCycles: *watchdog}
+	if *watchdog == 0 && spec.Enabled() {
+		cfg.Watchdog.StallCycles = 20 * (*warmup + *window)
+	}
 	mach, err := machine.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	met := mach.RunMeasured(*warmup, *window)
+	met, err := mach.RunMeasuredChecked(*warmup, *window)
+	if err != nil {
+		var rep *faults.StallReport
+		if errors.As(err, &rep) {
+			fmt.Fprintf(os.Stderr, "simrun: %v\ndiagnostic snapshot:\n%s\n", rep, rep.Snapshot)
+			os.Exit(2)
+		}
+		fatal(err)
+	}
 
 	fmt.Printf("machine                  %v, %d context(s), network %dx processor clock\n", tor, *contexts, *ratio)
 	fmt.Printf("mapping                  %s (d = %.2f hops)\n", m.Name, m.AvgDistance(tor))
@@ -74,5 +104,11 @@ func main() {
 	fmt.Printf("channel utilization      %.3f\n", met.ChannelUtilization)
 	if met.SWTraps > 0 {
 		fmt.Printf("LimitLESS traps          %d\n", met.SWTraps)
+	}
+	if spec.Enabled() {
+		fmt.Printf("fault spec               %s\n", spec.String())
+		fmt.Printf("messages dropped         %d\n", met.DroppedMsgs)
+		fmt.Printf("request retries          %d (+%d home-side)\n", met.Retries, met.HomeRetries)
+		fmt.Printf("link fault cycles        %d channel·N-cycles\n", met.LinkFaultCycles)
 	}
 }

@@ -5,9 +5,17 @@
 //	sweep -mappings suite -contexts 1,2,4
 //	sweep -k 4 -mappings identity,random:1,antilocal -contexts 1 -ratio 1
 //	sweep -mappings random:1 -contexts 1 -prefetch -out results.csv
+//	sweep -mappings suite -fault-rate 0.01 -link-mttf 5000 -fault-seed 7
 //
 // Columns: mapping, d, contexts, prefetch, B, g, tm, rm, Tm, Tt, tt,
-// rt, utilization.
+// rt, utilization. With fault injection enabled (-fault-rate or
+// -link-mttf), four accounting columns are appended: retries,
+// home_retries, dropped, fault_cycles.
+//
+// A cell that fails (stall-report abort, configuration error, or
+// panic) emits its row with error=<message> in the first measurement
+// column; the rest of the grid still runs and sweep exits nonzero at
+// the end.
 package main
 
 import (
@@ -18,7 +26,9 @@ import (
 	"strconv"
 	"strings"
 
+	"locality/internal/faults"
 	"locality/internal/machine"
+	"locality/internal/mapping"
 	"locality/internal/mapsel"
 	"locality/internal/topology"
 	"locality/internal/workload"
@@ -48,6 +58,53 @@ func parseContexts(s string) ([]int, error) {
 	return out, nil
 }
 
+// cell is one grid point's configuration.
+type cell struct {
+	tor      *topology.Torus
+	m        *mapping.Mapping
+	contexts int
+	prefetch bool
+	ratio    int
+	spec     faults.Spec
+	watchdog faults.Watchdog
+	warmup   int64
+	window   int64
+}
+
+// runCell builds and measures one machine, converting panics from deep
+// inside the simulator into errors so one broken cell cannot kill the
+// sweep.
+func runCell(c cell) (met machine.Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	cfg := machine.DefaultConfig(c.tor, c.m, c.contexts)
+	cfg.ClockRatio = c.ratio
+	if c.prefetch {
+		cfg.Workload = workload.RelaxationConfig{
+			Graph:        c.tor,
+			Map:          c.m,
+			Instances:    c.contexts,
+			LineSize:     cfg.LineSize,
+			ReadCompute:  cfg.ReadCompute,
+			WriteCompute: cfg.WriteCompute,
+			Prefetch:     true,
+		}
+	}
+	if c.spec.Enabled() {
+		spec := c.spec
+		cfg.Faults = &spec
+	}
+	cfg.Watchdog = c.watchdog
+	mach, err := machine.New(cfg)
+	if err != nil {
+		return machine.Metrics{}, err
+	}
+	return mach.RunMeasuredChecked(c.warmup, c.window)
+}
+
 func main() {
 	k := flag.Int("k", 8, "torus radix")
 	n := flag.Int("n", 2, "torus dimensions")
@@ -58,6 +115,11 @@ func main() {
 	ratio := flag.Int("ratio", 2, "network cycles per processor cycle")
 	prefetch := flag.Bool("prefetch", false, "enable neighbor prefetching in the workload")
 	out := flag.String("out", "", "output CSV path (default stdout)")
+	faultRate := flag.Float64("fault-rate", 0, "protocol message loss probability (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed")
+	linkMTTF := flag.Float64("link-mttf", 0, "mean N-cycles between transient faults per link (0 disables)")
+	linkStall := flag.String("link-stall", "", "link stall duration bounds, lo..hi N-cycles (default 16..256)")
+	watchdog := flag.Int64("watchdog", 0, "abort a cell after this many P-cycles without progress (0 = auto when faults enabled)")
 	flag.Parse()
 
 	tor, err := topology.New(*k, *n)
@@ -72,6 +134,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	spec := faults.Spec{Seed: *faultSeed, LossRate: *faultRate, LinkMTTF: *linkMTTF}
+	if *linkStall != "" {
+		stall, err := faults.ParseSpec("stall=" + *linkStall)
+		if err != nil {
+			fatal(err)
+		}
+		spec.StallMin, spec.StallMax = stall.StallMin, stall.StallMax
+	}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	wd := faults.Watchdog{StallCycles: *watchdog}
+	if *watchdog == 0 && spec.Enabled() {
+		wd.StallCycles = 20 * (*warmup + *window)
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -85,41 +162,52 @@ func main() {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
 	header := []string{"mapping", "d", "contexts", "prefetch", "B", "g", "tm", "rm", "Tm", "Tt", "tt", "rt", "utilization"}
+	if spec.Enabled() {
+		header = append(header, "retries", "home_retries", "dropped", "fault_cycles")
+	}
 	if err := cw.Write(header); err != nil {
 		fatal(err)
 	}
 
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	failed := 0
 	for _, p := range contexts {
 		for _, m := range maps {
-			cfg := machine.DefaultConfig(tor, m, p)
-			cfg.ClockRatio = *ratio
-			if *prefetch {
-				cfg.Workload = workload.RelaxationConfig{
-					Graph:        tor,
-					Map:          m,
-					Instances:    p,
-					LineSize:     cfg.LineSize,
-					ReadCompute:  cfg.ReadCompute,
-					WriteCompute: cfg.WriteCompute,
-					Prefetch:     true,
-				}
+			c := cell{
+				tor: tor, m: m, contexts: p, prefetch: *prefetch, ratio: *ratio,
+				spec: spec, watchdog: wd, warmup: *warmup, window: *window,
 			}
-			mach, err := machine.New(cfg)
+			met, err := runCell(c)
+			var row []string
 			if err != nil {
-				fatal(err)
-			}
-			met := mach.RunMeasured(*warmup, *window)
-			row := []string{
-				m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch),
-				f(met.MsgSize), f(met.MsgsPerTxn), f(met.InterMsgTime), f(met.MsgRate),
-				f(met.MsgLatency), f(met.TxnLatency), f(met.InterTxnTime), f(met.TxnRate),
-				f(met.ChannelUtilization),
+				failed++
+				fmt.Fprintf(os.Stderr, "sweep: %s p=%d: %v\n", m.Name, p, err)
+				row = []string{m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch),
+					"error=" + err.Error()}
+				for len(row) < len(header) {
+					row = append(row, "")
+				}
+			} else {
+				row = []string{
+					m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch),
+					f(met.MsgSize), f(met.MsgsPerTxn), f(met.InterMsgTime), f(met.MsgRate),
+					f(met.MsgLatency), f(met.TxnLatency), f(met.InterTxnTime), f(met.TxnRate),
+					f(met.ChannelUtilization),
+				}
+				if spec.Enabled() {
+					row = append(row,
+						strconv.FormatInt(met.Retries, 10), strconv.FormatInt(met.HomeRetries, 10),
+						strconv.FormatInt(met.DroppedMsgs, 10), strconv.FormatInt(met.LinkFaultCycles, 10))
+				}
 			}
 			if err := cw.Write(row); err != nil {
 				fatal(err)
 			}
 			cw.Flush() // stream rows as runs finish
 		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d cells failed\n", failed, len(contexts)*len(maps))
+		os.Exit(1)
 	}
 }

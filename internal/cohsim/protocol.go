@@ -83,6 +83,13 @@ type Msg struct {
 	// sender (requester-side messages); home-side messages recover the
 	// transaction from directory state.
 	Txn *Transaction
+	// Seq identifies the home-side directory operation a message
+	// belongs to. Home-initiated messages (Inv, Fetch, FetchInv) carry
+	// the entry's operation sequence number and responses echo it, so
+	// that with the retry layer active the home can discard stale
+	// duplicates from retransmitted sub-operations. Zero on messages
+	// outside a home operation (requests, grants, victim writebacks).
+	Seq int64
 }
 
 // Transport delivers protocol messages between nodes. Implementations
@@ -106,11 +113,18 @@ type Transaction struct {
 	// this transaction, including invalidations, fetches and evictions
 	// it triggered.
 	NetMessages int
-	done        bool
-	waiters     []int // threads at Node blocked on this transaction
+	// Retries counts requester-side retransmissions of this
+	// transaction's request (retry layer only).
+	Retries int
+	done    bool
+	waiters []int // threads at Node blocked on this transaction
 	// pendingWrite is set when a write access coalesced onto an
 	// outstanding read: the write transaction auto-issues on completion.
 	pendingWrite bool
+	// epoch increments each time the transaction's request is (re)issued
+	// through issue; pending retry timers from earlier epochs cancel
+	// themselves when they observe a newer epoch.
+	epoch int32
 }
 
 // Config parameterizes the protocol engine.
@@ -147,6 +161,39 @@ type Config struct {
 	OnReady func(node, thread int, now int64)
 	// OnComplete, if set, observes every completed transaction.
 	OnComplete func(txn *Transaction)
+
+	// Retry configures the loss-recovery layer. The zero value disables
+	// it, leaving the engine behaviorally identical to the pre-retry
+	// protocol (no timers are scheduled, no duplicate tolerance).
+	Retry RetryConfig
+	// Loss, when non-nil, is consulted for every fabric message (src ≠
+	// dst) as it is handed to the transport; returning true drops the
+	// message. Dropped messages still count as sent in the measured
+	// quantities (they consumed controller occupancy and bandwidth at
+	// the source) and are tallied separately in Stats.Dropped. Running
+	// with Loss set but the retry layer disabled will hang transactions
+	// — that configuration exists for watchdog tests.
+	Loss func(src, dst int, m Msg) bool
+}
+
+// RetryConfig parameterizes the protocol's timeout/retransmit layer.
+// With it enabled, every outstanding transaction carries a deadline:
+// if the transaction has not completed when the deadline fires, the
+// requester retransmits its request with exponential backoff. Home
+// directory operations (invalidation fans, fetches) likewise retransmit
+// their outstanding sub-operation messages. Duplicate-tolerance logic
+// (idempotent re-grants, operation sequence numbers, writeback-buffer
+// responses) keeps retransmission safe.
+type RetryConfig struct {
+	// Timeout is the base retransmission deadline in P-cycles. Zero
+	// disables the retry layer entirely.
+	Timeout int
+	// BackoffMax caps the exponential backoff multiplier (default 16:
+	// deadlines grow 1×, 2×, 4×, 8×, 16×, 16×, …).
+	BackoffMax int
+	// HomeTimeout is the deadline for home-initiated sub-operations;
+	// defaults to Timeout.
+	HomeTimeout int
 }
 
 func (c *Config) applyDefaults() {
@@ -177,6 +224,14 @@ func (c *Config) applyDefaults() {
 	if c.SendOccupancy == 0 {
 		c.SendOccupancy = 4
 	}
+	if c.Retry.Timeout > 0 {
+		if c.Retry.BackoffMax == 0 {
+			c.Retry.BackoffMax = 16
+		}
+		if c.Retry.HomeTimeout == 0 {
+			c.Retry.HomeTimeout = c.Retry.Timeout
+		}
+	}
 }
 
 // Validate checks the configuration.
@@ -189,6 +244,9 @@ func (c Config) Validate() error {
 	}
 	if c.HWPointers < 0 {
 		return fmt.Errorf("cohsim: negative hardware pointer count %d", c.HWPointers)
+	}
+	if c.Retry.Timeout < 0 || c.Retry.BackoffMax < 0 || c.Retry.HomeTimeout < 0 {
+		return fmt.Errorf("cohsim: negative retry parameter %+v", c.Retry)
 	}
 	if _, err := cachesim.New(c.Cache); err != nil {
 		return err
@@ -223,12 +281,18 @@ type queuedReq struct {
 }
 
 type dirEntry struct {
-	addr        uint64
-	state       dirState
-	sharers     []int
-	owner       int
-	busy        busyKind
-	pendingAcks int
+	addr    uint64
+	state   dirState
+	sharers []int
+	owner   int
+	busy    busyKind
+	// pendingInv lists the sharers whose invalidation acks are still
+	// outstanding for the current busyInvalidations operation.
+	pendingInv []int
+	// opSeq numbers this entry's home-side operations; messages the
+	// operation sends carry it and responses echo it so the retry layer
+	// can discard stale duplicates.
+	opSeq int64
 	// requester and txn identify the operation being served.
 	requester int
 	txn       *Transaction
@@ -296,17 +360,23 @@ type Protocol struct {
 	nextSend []int64
 
 	// Statistics.
-	txnCount   stats.Counter
-	txnLatency stats.Mean
-	txnMsgs    stats.Mean
-	netMsgs    stats.Counter
-	kindCounts [MsgWB + 1]stats.Counter // fabric messages by kind
-	swTraps    stats.Counter
-	readMiss   stats.Counter
-	writeMiss  stats.Counter
-	completed  []*Transaction
-	keepTxns   bool
+	txnCount    stats.Counter
+	txnLatency  stats.Mean
+	txnMsgs     stats.Mean
+	netMsgs     stats.Counter
+	kindCounts  [MsgWB + 1]stats.Counter // fabric messages by kind
+	swTraps     stats.Counter
+	readMiss    stats.Counter
+	writeMiss   stats.Counter
+	retries     stats.Counter // requester-side retransmissions
+	homeRetries stats.Counter // home-side sub-operation retransmissions
+	dropped     stats.Counter // fabric messages dropped by Loss
+	completed   []*Transaction
+	keepTxns    bool
 }
+
+// resilient reports whether the timeout/retransmit layer is active.
+func (p *Protocol) resilient() bool { return p.cfg.Retry.Timeout > 0 }
 
 // New builds the protocol engine. The transport is attached separately
 // with SetTransport so the machine can wire circular references.
@@ -359,23 +429,39 @@ func (p *Protocol) Tick(nowP int64) {
 // send occupies it for SendOccupancy cycles, so bursts (e.g. a fan of
 // invalidations) are spaced rather than injected back to back.
 func (p *Protocol) send(src, dst int, kind MsgKind, addr uint64, txn *Transaction) {
+	p.sendSeq(src, dst, kind, addr, txn, 0)
+}
+
+// sendSeq is send with an explicit home-operation sequence number (see
+// Msg.Seq). Fabric messages consult the Loss hook: a dropped message is
+// fully accounted (controller occupancy, message counters) but never
+// reaches the transport.
+func (p *Protocol) sendSeq(src, dst int, kind MsgKind, addr uint64, txn *Transaction, seq int64) {
 	size := p.cfg.ControlFlits
 	if kind.IsData() {
 		size = p.cfg.DataFlits
 	}
+	m := Msg{Kind: kind, Addr: addr, From: src, Txn: txn, Seq: seq}
+	drop := false
 	if src != dst {
 		p.netMsgs.Inc()
 		p.kindCounts[kind].Inc()
 		if txn != nil {
 			txn.NetMessages++
 		}
+		if p.cfg.Loss != nil && p.cfg.Loss(src, dst, m) {
+			p.dropped.Inc()
+			drop = true
+		}
 	}
-	m := Msg{Kind: kind, Addr: addr, From: src, Txn: txn}
 	when := p.now
 	if p.nextSend[src] > when {
 		when = p.nextSend[src]
 	}
 	p.nextSend[src] = when + int64(p.cfg.SendOccupancy)
+	if drop {
+		return
+	}
 	if when <= p.now {
 		p.transport.Send(src, dst, size, m)
 		return
@@ -501,7 +587,8 @@ func (p *Protocol) newTxn(nodeID int, line uint64, write bool, now int64) *Trans
 }
 
 // issue sends the transaction's initial request after the miss-handling
-// latency.
+// latency and, with the retry layer active, arms its retransmission
+// deadline.
 func (p *Protocol) issue(txn *Transaction) {
 	home := p.cfg.Home(txn.Addr)
 	kind := MsgRReq
@@ -510,6 +597,88 @@ func (p *Protocol) issue(txn *Transaction) {
 	}
 	p.schedule(p.cfg.ReqLatency, func(now int64) {
 		p.send(txn.Node, home, kind, txn.Addr, txn)
+	})
+	if p.resilient() {
+		txn.epoch++
+		p.armRetry(txn, txn.epoch, 0)
+	}
+}
+
+// backoffMult returns the capped exponential backoff multiplier for
+// the given attempt number.
+func (p *Protocol) backoffMult(attempt int) int {
+	mult := 1
+	for i := 0; i < attempt && mult < p.cfg.Retry.BackoffMax; i++ {
+		mult *= 2
+	}
+	if mult > p.cfg.Retry.BackoffMax {
+		mult = p.cfg.Retry.BackoffMax
+	}
+	return mult
+}
+
+// armRetry schedules the transaction's next retransmission deadline.
+// When it fires, a transaction that is still outstanding in the same
+// phase (epoch) retransmits its request and backs off exponentially;
+// deadlines from superseded phases cancel themselves.
+func (p *Protocol) armRetry(txn *Transaction, epoch int32, attempt int) {
+	delay := p.cfg.ReqLatency + p.cfg.Retry.Timeout*p.backoffMult(attempt)
+	p.schedule(delay, func(now int64) {
+		if txn.done || txn.epoch != epoch {
+			return
+		}
+		out, ok := p.nodes[txn.Node].mshr[txn.Addr]
+		if !ok || out.txn != txn {
+			return
+		}
+		p.retries.Inc()
+		txn.Retries++
+		kind := MsgRReq
+		if txn.Write {
+			kind = MsgWReq
+		}
+		p.send(txn.Node, p.cfg.Home(txn.Addr), kind, txn.Addr, txn)
+		p.armRetry(txn, epoch, attempt+1)
+	})
+}
+
+// beginOp marks a directory entry busy with a new home-side operation
+// and, with the retry layer active, arms the operation's
+// retransmission deadline.
+func (p *Protocol) beginOp(home int, e *dirEntry, kind busyKind) {
+	e.busy = kind
+	e.opSeq++
+	if p.resilient() {
+		p.armHomeRetry(home, e, e.opSeq, 0)
+	}
+}
+
+// armHomeRetry schedules a deadline for the entry's current home-side
+// operation: if the operation is still waiting when it fires, the home
+// retransmits the operation's outstanding messages (the un-acked
+// invalidations, or the fetch) with exponential backoff.
+func (p *Protocol) armHomeRetry(home int, e *dirEntry, seq int64, attempt int) {
+	delay := p.cfg.Retry.HomeTimeout * p.backoffMult(attempt)
+	p.schedule(delay, func(now int64) {
+		if e.opSeq != seq {
+			return
+		}
+		switch e.busy {
+		case busyInvalidations:
+			for _, s := range e.pendingInv {
+				p.sendSeq(home, s, MsgInv, e.addr, e.txn, seq)
+			}
+		case busyFetchRead:
+			p.sendSeq(home, e.owner, MsgFetch, e.addr, e.txn, seq)
+		case busyFetchWrite:
+			p.sendSeq(home, e.owner, MsgFetchInv, e.addr, e.txn, seq)
+		default:
+			// The operation completed (or moved to reply composition);
+			// nothing to retransmit.
+			return
+		}
+		p.homeRetries.Inc()
+		p.armHomeRetry(home, e, seq, attempt+1)
 	})
 }
 
@@ -586,10 +755,23 @@ func (p *Protocol) homeAction(home int, e *dirEntry, kind MsgKind, from int, txn
 			e.addSharer(from)
 			p.homeReply(home, e, p.cfg.MemLatency, from, MsgRData, txn)
 		case dirModified:
-			e.busy = busyFetchRead
+			if p.resilient() && e.owner == from {
+				// The recorded owner is read-requesting the line, which
+				// can only mean its victim writeback was lost (per-pair
+				// FIFO ordering rules out a stale duplicate here: any
+				// old RReq would have arrived before the WReq that made
+				// it owner). Memory still has a serviceable copy; demote
+				// to Shared and re-grant.
+				e.state = dirShared
+				e.sharers = append(e.sharers[:0], from)
+				e.owner = -1
+				p.homeReply(home, e, p.cfg.MemLatency, from, MsgRData, txn)
+				return
+			}
+			p.beginOp(home, e, busyFetchRead)
 			e.requester = from
 			e.txn = txn
-			p.send(home, e.owner, MsgFetch, e.addr, txn)
+			p.sendSeq(home, e.owner, MsgFetch, e.addr, txn, e.opSeq)
 		}
 	case MsgWReq:
 		switch e.state {
@@ -617,18 +799,26 @@ func (p *Protocol) homeAction(home int, e *dirEntry, kind MsgKind, from int, txn
 				p.homeReply(home, e, p.cfg.MemLatency, from, grant, txn)
 				return
 			}
-			e.busy = busyInvalidations
-			e.pendingAcks = len(targets)
+			p.beginOp(home, e, busyInvalidations)
+			e.pendingInv = append(e.pendingInv[:0], targets...)
 			e.requester = from
 			e.txn = txn
 			for _, s := range targets {
-				p.send(home, s, MsgInv, e.addr, txn)
+				p.sendSeq(home, s, MsgInv, e.addr, txn, e.opSeq)
 			}
 		case dirModified:
-			e.busy = busyFetchWrite
+			if p.resilient() && e.owner == from {
+				// Either the previous grant was lost (the requester is
+				// retrying) or this is a late duplicate of a request
+				// already served; re-granting is correct and idempotent
+				// in both cases.
+				p.homeReply(home, e, p.cfg.MemLatency, from, MsgWGrantData, txn)
+				return
+			}
+			p.beginOp(home, e, busyFetchWrite)
 			e.requester = from
 			e.txn = txn
-			p.send(home, e.owner, MsgFetchInv, e.addr, txn)
+			p.sendSeq(home, e.owner, MsgFetchInv, e.addr, txn, e.opSeq)
 		}
 	default:
 		panic(fmt.Sprintf("cohsim: homeAction on %v", kind))
@@ -641,7 +831,7 @@ func (p *Protocol) sharerInvalidate(nodeID int, m Msg) {
 	home := m.From
 	p.schedule(p.cfg.CacheRespLatency, func(now int64) {
 		p.nodes[nodeID].cache.Invalidate(m.Addr)
-		p.send(nodeID, home, MsgInvAck, m.Addr, m.Txn)
+		p.sendSeq(nodeID, home, MsgInvAck, m.Addr, m.Txn, m.Seq)
 	})
 }
 
@@ -650,10 +840,31 @@ func (p *Protocol) sharerInvalidate(nodeID int, m Msg) {
 func (p *Protocol) homeInvAck(home int, m Msg) {
 	e := p.entry(home, m.Addr)
 	if e.busy != busyInvalidations {
+		if p.resilient() {
+			// Late ack for an invalidation round that already completed
+			// (the sharer acked a retransmitted Inv as well).
+			return
+		}
 		panic(fmt.Sprintf("cohsim: unexpected InvAck at home %d addr %#x (busy=%d)", home, m.Addr, e.busy))
 	}
-	e.pendingAcks--
-	if e.pendingAcks > 0 {
+	if p.resilient() && m.Seq != e.opSeq {
+		return // ack from a superseded invalidation round
+	}
+	found := false
+	for i, s := range e.pendingInv {
+		if s == m.From {
+			e.pendingInv = append(e.pendingInv[:i], e.pendingInv[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		if p.resilient() {
+			return // duplicate ack within the current round
+		}
+		panic(fmt.Sprintf("cohsim: InvAck from non-pending node %d at home %d addr %#x", m.From, home, m.Addr))
+	}
+	if len(e.pendingInv) > 0 {
 		return
 	}
 	requesterHolds := e.hasSharer(e.requester)
@@ -675,16 +886,29 @@ func (p *Protocol) ownerFetch(nodeID int, m Msg) {
 	home := m.From
 	p.schedule(p.cfg.CacheRespLatency, func(now int64) {
 		cache := p.nodes[nodeID].cache
-		if cache.Lookup(m.Addr) != cachesim.Modified {
-			// Eviction writeback crossed the fetch; nothing to do.
-			return
+		switch cache.Lookup(m.Addr) {
+		case cachesim.Modified:
+			if m.Kind == MsgFetch {
+				cache.SetState(m.Addr, cachesim.Shared)
+			} else {
+				cache.Invalidate(m.Addr)
+			}
+		default:
+			if !p.resilient() {
+				// Eviction writeback crossed the fetch; nothing to do.
+				return
+			}
+			// Resilient mode models a writeback buffer: the node can
+			// always reproduce the data the home is fetching, whether the
+			// line was evicted (its victim writeback may have been lost)
+			// or a previous fetch response was lost after the line was
+			// already demoted. Responding is idempotent at the home
+			// because the response echoes the operation sequence number.
+			if m.Kind == MsgFetchInv {
+				cache.Invalidate(m.Addr)
+			}
 		}
-		if m.Kind == MsgFetch {
-			cache.SetState(m.Addr, cachesim.Shared)
-		} else {
-			cache.Invalidate(m.Addr)
-		}
-		p.send(nodeID, home, MsgWBData, m.Addr, m.Txn)
+		p.sendSeq(nodeID, home, MsgWBData, m.Addr, m.Txn, m.Seq)
 	})
 }
 
@@ -694,16 +918,28 @@ func (p *Protocol) homeWriteback(home int, m Msg) {
 	e := p.entry(home, m.Addr)
 	switch e.busy {
 	case busyFetchRead:
+		if p.resilient() && m.Seq != e.opSeq {
+			return // stale response (or a crossing victim WB); the fetch response will follow
+		}
 		e.state = dirShared
 		e.sharers = append(e.sharers[:0], e.owner, e.requester)
 		e.owner = -1
 		p.homeReply(home, e, p.cfg.MemLatency, e.requester, MsgRData, e.txn)
 	case busyFetchWrite:
+		if p.resilient() && m.Seq != e.opSeq {
+			return
+		}
 		e.state = dirModified
 		e.sharers = e.sharers[:0]
 		e.owner = e.requester
 		p.homeReply(home, e, p.cfg.MemLatency, e.requester, MsgWGrantData, e.txn)
 	default:
+		if p.resilient() && m.Seq != 0 {
+			// Duplicate fetch response for an operation that already
+			// completed (the owner answered both the original fetch and a
+			// retransmission).
+			return
+		}
 		// Victim writeback with no operation outstanding.
 		if e.state == dirModified && e.owner == m.From {
 			e.state = dirIdle
@@ -745,6 +981,19 @@ func (p *Protocol) requesterGrant(nodeID int, m Msg) {
 	p.schedule(p.cfg.FillLatency, func(now int64) {
 		n := &p.nodes[nodeID]
 		txn := m.Txn
+		if p.resilient() {
+			// Retransmitted requests can draw duplicate grants; only the
+			// grant matching the live transaction in its current phase
+			// may complete it.
+			out, ok := n.mshr[m.Addr]
+			if !ok || out.txn != txn || txn.done {
+				return
+			}
+			wantWrite := m.Kind == MsgWGrant || m.Kind == MsgWGrantData
+			if txn.Write != wantWrite {
+				return // grant from the read phase of a chained read→write
+			}
+		}
 		switch m.Kind {
 		case MsgRData:
 			p.installLine(nodeID, m.Addr, cachesim.Shared, txn)
@@ -822,6 +1071,9 @@ func (p *Protocol) ResetStats() {
 	p.swTraps = stats.Counter{}
 	p.readMiss = stats.Counter{}
 	p.writeMiss = stats.Counter{}
+	p.retries = stats.Counter{}
+	p.homeRetries = stats.Counter{}
+	p.dropped = stats.Counter{}
 	p.completed = nil
 }
 
@@ -834,6 +1086,9 @@ type Stats struct {
 	AvgTxnMsgs    float64 // fabric messages per transaction (g)
 	NetMessages   int64
 	SWTraps       int64
+	Retries       int64 // requester-side request retransmissions
+	HomeRetries   int64 // home-side sub-operation retransmissions
+	Dropped       int64 // fabric messages lost to injected faults
 }
 
 // KindCount returns how many fabric messages of the given kind have
@@ -852,7 +1107,27 @@ func (p *Protocol) Snapshot() Stats {
 		AvgTxnMsgs:    p.txnMsgs.Mean(),
 		NetMessages:   p.netMsgs.Value(),
 		SWTraps:       p.swTraps.Value(),
+		Retries:       p.retries.Value(),
+		HomeRetries:   p.homeRetries.Value(),
+		Dropped:       p.dropped.Value(),
 	}
+}
+
+// OldestTxn returns the in-flight transaction that started earliest
+// (ties broken by ID), or nil when none is outstanding. The machine
+// watchdog uses it to name the stuck work in a stall report.
+func (p *Protocol) OldestTxn() *Transaction {
+	var oldest *Transaction
+	for i := range p.nodes {
+		for _, out := range p.nodes[i].mshr {
+			t := out.txn
+			if oldest == nil || t.Started < oldest.Started ||
+				(t.Started == oldest.Started && t.ID < oldest.ID) {
+				oldest = t
+			}
+		}
+	}
+	return oldest
 }
 
 // DirectoryInfo describes a directory entry for invariant checks.

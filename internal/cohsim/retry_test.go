@@ -1,0 +1,231 @@
+package cohsim
+
+import (
+	"fmt"
+	"testing"
+
+	"locality/internal/cachesim"
+)
+
+// step advances the fake transport by one cycle: deliver due messages,
+// then run the protocol's event queue.
+func (f *fakeNet) step() {
+	var due, still []pendingMsg
+	for _, pm := range f.queue {
+		if pm.due <= f.now {
+			due = append(due, pm)
+		} else {
+			still = append(still, pm)
+		}
+	}
+	f.queue = still
+	for _, pm := range due {
+		f.p.Deliver(pm.dst, pm.m, f.now)
+	}
+	f.p.Tick(f.now)
+	f.now++
+}
+
+// stepUntil drives the transport until cond holds or budget expires.
+func stepUntil(t *testing.T, f *fakeNet, budget int64, cond func() bool) {
+	t.Helper()
+	for f.now < budget {
+		if cond() {
+			return
+		}
+		f.step()
+	}
+	t.Fatalf("condition not reached within %d cycles", budget)
+}
+
+func newRetryProtocol(t *testing.T, nNodes, timeout int, loss func(src, dst int, m Msg) bool) (*Protocol, *fakeNet) {
+	t.Helper()
+	cfg := Config{
+		Nodes: nNodes,
+		Cache: cachesim.Config{Lines: 16, LineSize: 16},
+		Home: func(addr uint64) int {
+			return int(addr/16) % nNodes
+		},
+		Retry: RetryConfig{Timeout: timeout},
+		Loss:  loss,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.KeepTransactions(true)
+	net := &fakeNet{p: p, delay: 10}
+	p.SetTransport(net)
+	return p, net
+}
+
+// access issues a (possibly missing) access and drives the transport
+// until the line's transaction completes.
+func access(t *testing.T, p *Protocol, f *fakeNet, node int, addr uint64, write bool) {
+	t.Helper()
+	if p.Access(node, 0, addr, write, f.now) {
+		return
+	}
+	stepUntil(t, f, f.now+200000, func() bool { return !p.Outstanding(node, addr) })
+}
+
+// runScenario plays a fixed access sequence that sends every protocol
+// message kind at least once: cold read, second reader, upgrade with
+// invalidations, read of a modified line (Fetch), write of a modified
+// line (FetchInv), a conflict eviction producing a victim writeback,
+// and trailing reads that force recovery if that writeback was lost.
+func runScenario(t *testing.T, p *Protocol, f *fakeNet) {
+	t.Helper()
+	const line0 = uint64(0)
+	const conflict = uint64(256) // same cache set as line0 (16 lines × 16B)
+	access(t, p, f, 1, line0, false) // RReq → RData
+	access(t, p, f, 2, line0, false) // second sharer
+	access(t, p, f, 1, line0, true)  // upgrade: WReq, Inv, InvAck, WGrant
+	access(t, p, f, 2, line0, false) // Fetch → WBData → RData
+	access(t, p, f, 1, line0, true)  // upgrade again (Inv to 2)
+	access(t, p, f, 2, line0, true)  // FetchInv → WBData → WGrantData
+	access(t, p, f, 2, conflict, false)
+	// The conflict read displaced Modified line0 from node 2: victim WB.
+	access(t, p, f, 0, line0, false) // recovers the line even if the WB was lost
+	access(t, p, f, 1, line0, false)
+}
+
+// finalState captures everything the convergence check compares: each
+// node's cache state for the touched lines and the directory's view of
+// line 0.
+func finalState(p *Protocol, nNodes int) string {
+	s := ""
+	for n := 0; n < nNodes; n++ {
+		s += fmt.Sprintf("node%d: line0=%v conflict=%v\n",
+			n, p.Cache(n).Lookup(0), p.Cache(n).Lookup(256))
+	}
+	d := p.Directory(0)
+	s += fmt.Sprintf("dir0: state=%s owner=%d busy=%v queued=%d\n", d.State, d.Owner, d.Busy, d.Queued)
+	return s
+}
+
+// TestDropEachKindOnceConverges drops the first fabric message of each
+// kind exactly once and asserts the retry layer converges every run to
+// the same final cache and directory state as the loss-free run. The
+// directory's sharer list may over-approximate after recovery, but it
+// must include every node actually holding the line.
+func TestDropEachKindOnceConverges(t *testing.T) {
+	const nNodes = 3
+	clean, cleanNet := newRetryProtocol(t, nNodes, 80, nil)
+	runScenario(t, clean, cleanNet)
+	want := finalState(clean, nNodes)
+	for k := MsgRReq; k <= MsgWB; k++ {
+		if cleanNet.countKind(k) == 0 {
+			t.Fatalf("scenario never sends %v; it no longer exercises every kind", k)
+		}
+	}
+
+	for k := MsgRReq; k <= MsgWB; k++ {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			dropped := false
+			loss := func(src, dst int, m Msg) bool {
+				if !dropped && m.Kind == k {
+					dropped = true
+					return true
+				}
+				return false
+			}
+			p, f := newRetryProtocol(t, nNodes, 80, loss)
+			runScenario(t, p, f)
+			if !dropped {
+				t.Fatalf("no %v message was ever sent", k)
+			}
+			if got := finalState(p, nNodes); got != want {
+				t.Errorf("state diverged after dropping one %v:\ngot:\n%swant:\n%s", k, got, want)
+			}
+			if p.Snapshot().Dropped != 1 {
+				t.Errorf("Dropped = %d, want 1", p.Snapshot().Dropped)
+			}
+			// Every cached copy must be visible to the directory.
+			d := p.Directory(0)
+			for n := 0; n < nNodes; n++ {
+				if p.Cache(n).Lookup(0) == cachesim.Invalid {
+					continue
+				}
+				member := d.Owner == n
+				for _, s := range d.Sharers {
+					if s == n {
+						member = true
+					}
+				}
+				if !member {
+					t.Errorf("node %d holds line0 but directory (%+v) does not list it", n, d)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryCountsAndNoSpuriousRetries: a lost request is retransmitted
+// and counted; with no loss and a generous timeout nothing retries, so
+// the resilient configuration does not perturb loss-free traffic.
+func TestRetryCountsAndNoSpuriousRetries(t *testing.T) {
+	dropped := false
+	loss := func(src, dst int, m Msg) bool {
+		if !dropped && m.Kind == MsgRReq {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	p, f := newRetryProtocol(t, 3, 80, loss)
+	access(t, p, f, 1, 0, false)
+	st := p.Snapshot()
+	if st.Retries == 0 {
+		t.Error("lost RReq should force at least one requester retry")
+	}
+	if st.Transactions != 1 {
+		t.Errorf("transactions = %d, want 1", st.Transactions)
+	}
+	if len(p.Completed()) != 1 || p.Completed()[0].Retries == 0 {
+		t.Error("completed transaction should record its retries")
+	}
+
+	quiet, qf := newRetryProtocol(t, 3, 5000, nil)
+	runScenario(t, quiet, qf)
+	st = quiet.Snapshot()
+	if st.Retries != 0 || st.HomeRetries != 0 || st.Dropped != 0 {
+		t.Errorf("loss-free run recorded retries=%d homeRetries=%d dropped=%d, want all zero",
+			st.Retries, st.HomeRetries, st.Dropped)
+	}
+}
+
+// TestHomeRetryRecoversLostInvAck exercises the home-side deadline
+// directly: the first InvAck is lost, so the home must retransmit the
+// invalidation and complete the write on the duplicate ack.
+func TestHomeRetryRecoversLostInvAck(t *testing.T) {
+	dropped := false
+	loss := func(src, dst int, m Msg) bool {
+		if !dropped && m.Kind == MsgInvAck {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	p, f := newRetryProtocol(t, 3, 80, loss)
+	access(t, p, f, 1, 0, false)
+	access(t, p, f, 2, 0, false)
+	access(t, p, f, 1, 0, true) // invalidation round; first InvAck vanishes
+	if !dropped {
+		t.Fatal("scenario sent no InvAck")
+	}
+	if p.Snapshot().HomeRetries == 0 {
+		t.Error("lost InvAck should force a home-side retransmission")
+	}
+	if got := p.Cache(1).Lookup(0); got != cachesim.Modified {
+		t.Errorf("writer's line state = %v, want Modified", got)
+	}
+	if got := p.Cache(2).Lookup(0); got != cachesim.Invalid {
+		t.Errorf("invalidated sharer's state = %v, want Invalid", got)
+	}
+	d := p.Directory(0)
+	if d.State != "modified" || d.Owner != 1 {
+		t.Errorf("directory = %+v, want modified/owner=1", d)
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"locality/internal/faults"
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/mapsel"
+	"locality/internal/topology"
+)
+
+// DegradationRow is one fault-rate point of the graceful-degradation
+// study: the machine of the paper's experiments running its standard
+// workload while the fabric injects message loss (and optionally
+// transient link stalls), with the protocol's retry layer recovering.
+type DegradationRow struct {
+	// Rate is the per-message loss probability for this point.
+	Rate float64
+	// Spec is the canonical fault specification the row ran under.
+	Spec string
+	// Measured quantities (see machine.Metrics).
+	Tm, Tt, InterTxnTime, Utilization float64
+	Transactions                      int64
+	Retries, HomeRetries, Dropped     int64
+	LinkFaultCycles                   int64
+	// RelPerf is this row's transaction rate relative to the fault-free
+	// row (1.0 at rate 0, falling as faults bite).
+	RelPerf float64
+	// Err is set when the run failed (stall-report abort or panic); the
+	// measured fields are then zero and the remaining rows still run.
+	Err string
+}
+
+// DegradationConfig controls the study.
+type DegradationConfig struct {
+	// Radix and Dims define the machine (8 and 2 in the paper).
+	Radix, Dims int
+	// Contexts is the hardware context count.
+	Contexts int
+	// Mapping is a mapsel selector for the placement under test.
+	Mapping string
+	// Warmup and Window are per-run P-cycle counts.
+	Warmup, Window int64
+	// Rates are the message-loss probabilities to sweep; include 0 for
+	// the fault-free baseline.
+	Rates []float64
+	// LinkMTTF, when positive, additionally injects transient link
+	// stalls whose frequency scales with the row's fault rate: a row at
+	// rate r uses a per-channel mean time between faults of LinkMTTF/r
+	// N-cycles (LinkMTTF is thus the MTTF at rate 1). Loss alone can
+	// lighten fabric load (dropped messages never travel); the scaled
+	// link stalls keep higher fault rates strictly harsher.
+	LinkMTTF float64
+	// Seed drives all fault randomness.
+	Seed int64
+	// Watchdog bounds each run; zero uses a default generous enough
+	// for recoverable fault rates.
+	Watchdog faults.Watchdog
+}
+
+// DefaultDegradationConfig sweeps the paper's 64-node machine from
+// fault-free to 5% message loss.
+func DefaultDegradationConfig() DegradationConfig {
+	return DegradationConfig{
+		Radix:    8,
+		Dims:     2,
+		Contexts: 1,
+		Mapping:  "identity",
+		Warmup:   3000,
+		Window:   10000,
+		Rates:    []float64{0, 0.005, 0.02, 0.05},
+		LinkMTTF: 50,
+		Seed:     1,
+	}
+}
+
+// RunDegradation measures the machine at each fault rate. Individual
+// rows that stall or panic are reported in their Err field rather than
+// aborting the sweep, so a fault rate beyond the recoverable regime
+// still yields a complete table.
+func RunDegradation(cfg DegradationConfig) ([]DegradationRow, error) {
+	if len(cfg.Rates) == 0 {
+		return nil, fmt.Errorf("experiments: no fault rates configured")
+	}
+	tor, err := topology.New(cfg.Radix, cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mapsel.Parse(tor, cfg.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	wd := cfg.Watchdog
+	if !wd.Enabled() {
+		wd = faults.Watchdog{StallCycles: 20 * (cfg.Warmup + cfg.Window)}
+	}
+
+	var rows []DegradationRow
+	var baseRate float64
+	for _, rate := range cfg.Rates {
+		spec := faults.Spec{Seed: cfg.Seed, LossRate: rate}
+		if rate > 0 && cfg.LinkMTTF > 0 {
+			spec.LinkMTTF = cfg.LinkMTTF / rate
+		}
+		row := DegradationRow{Rate: rate, Spec: spec.String()}
+		met, err := measureDegradationCell(tor, m, cfg, spec, wd)
+		if err != nil {
+			row.Err = err.Error()
+			rows = append(rows, row)
+			continue
+		}
+		row.Tm = met.MsgLatency
+		row.Tt = met.TxnLatency
+		row.InterTxnTime = met.InterTxnTime
+		row.Utilization = met.ChannelUtilization
+		row.Transactions = met.Transactions
+		row.Retries = met.Retries
+		row.HomeRetries = met.HomeRetries
+		row.Dropped = met.DroppedMsgs
+		row.LinkFaultCycles = met.LinkFaultCycles
+		if rate == 0 {
+			baseRate = met.TxnRate
+		}
+		if baseRate > 0 {
+			row.RelPerf = met.TxnRate / baseRate
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// measureDegradationCell runs one fault rate, converting panics from
+// deep inside the simulator into ordinary errors so one broken cell
+// cannot kill the sweep.
+func measureDegradationCell(tor *topology.Torus, m *mapping.Mapping, cfg DegradationConfig, spec faults.Spec, wd faults.Watchdog) (met machine.Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	mc := machine.DefaultConfig(tor, m, cfg.Contexts)
+	if spec.Enabled() {
+		mc.Faults = &spec
+	}
+	mc.Watchdog = wd
+	mach, err := machine.New(mc)
+	if err != nil {
+		return machine.Metrics{}, err
+	}
+	return mach.RunMeasuredChecked(cfg.Warmup, cfg.Window)
+}
+
+// RenderDegradation prints the degradation table.
+func RenderDegradation(w io.Writer, rows []DegradationRow) {
+	fmt.Fprintln(w, "== Graceful degradation under injected faults (message loss + retry recovery)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "loss rate\tTm\tTt\ttt\tutil\tretries\thome retries\tdropped\tfault cycles\trel perf\terror")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(tw, "%.3g\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%s\n", r.Rate, r.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%.3g\t%.1f\t%.1f\t%.1f\t%.3f\t%d\t%d\t%d\t%d\t%.3f\t\n",
+			r.Rate, r.Tm, r.Tt, r.InterTxnTime, r.Utilization,
+			r.Retries, r.HomeRetries, r.Dropped, r.LinkFaultCycles, r.RelPerf)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"locality/internal/faults"
+)
+
+func fastDegradationConfig() DegradationConfig {
+	return DegradationConfig{
+		Radix:    8,
+		Dims:     2,
+		Contexts: 1,
+		Mapping:  "identity",
+		Warmup:   2000,
+		Window:   6000,
+		Rates:    []float64{0, 0.005, 0.05},
+		LinkMTTF: 50,
+		Seed:     1,
+	}
+}
+
+func TestDegradationTmMonotone(t *testing.T) {
+	rows, err := RunDegradation(fastDegradationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("rate %g failed: %s", r.Rate, r.Err)
+		}
+		if r.Transactions == 0 {
+			t.Fatalf("rate %g measured no transactions", r.Rate)
+		}
+		if i > 0 && rows[i].Tm < rows[i-1].Tm {
+			t.Errorf("Tm fell from %.2f to %.2f between loss %g and %g (should be non-decreasing in fault rate)",
+				rows[i-1].Tm, rows[i].Tm, rows[i-1].Rate, rows[i].Rate)
+		}
+	}
+	base := rows[0]
+	if base.Retries != 0 || base.Dropped != 0 {
+		t.Errorf("fault-free row shows fault accounting: %+v", base)
+	}
+	if base.RelPerf != 1 {
+		t.Errorf("fault-free relative performance = %g, want 1", base.RelPerf)
+	}
+	worst := rows[len(rows)-1]
+	if worst.Dropped == 0 || worst.Retries == 0 {
+		t.Errorf("5%% loss row shows no loss activity: %+v", worst)
+	}
+	if worst.RelPerf > 1 {
+		t.Errorf("faulted relative performance %g should not exceed the baseline", worst.RelPerf)
+	}
+}
+
+func TestDegradationDeterministic(t *testing.T) {
+	cfg := fastDegradationConfig()
+	cfg.Rates = []float64{0.02}
+	a, err := RunDegradation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDegradation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different rows:\na %+v\nb %+v", a, b)
+	}
+}
+
+func TestDegradationSurvivesStalledCell(t *testing.T) {
+	// A loss-free cell whose links are all permanently dead stalls; the
+	// sweep must report it in the row and still measure the others.
+	cfg := fastDegradationConfig()
+	cfg.Rates = []float64{0, 1}
+	cfg.Watchdog = faults.Watchdog{StallCycles: 2000}
+	cfg.LinkMTTF = 1e-9 // immediately and permanently down at any rate > 0
+	rows, err := RunDegradation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Err != "" {
+		t.Errorf("baseline row failed: %s", rows[0].Err)
+	}
+	if rows[1].Err == "" {
+		t.Error("dead-fabric row reported no error")
+	}
+	if !strings.Contains(rows[1].Err, "stalled") {
+		t.Errorf("row error %q does not mention the stall", rows[1].Err)
+	}
+}
+
+func TestDegradationConfigErrors(t *testing.T) {
+	cfg := fastDegradationConfig()
+	cfg.Rates = nil
+	if _, err := RunDegradation(cfg); err == nil {
+		t.Error("empty rates should error")
+	}
+	cfg = fastDegradationConfig()
+	cfg.Mapping = "bogus"
+	if _, err := RunDegradation(cfg); err == nil {
+		t.Error("bad mapping selector should error")
+	}
+}
+
+func TestRenderDegradation(t *testing.T) {
+	rows := []DegradationRow{
+		{Rate: 0, Tm: 30, Tt: 60, InterTxnTime: 50, RelPerf: 1},
+		{Rate: 0.5, Err: "machine stalled"},
+	}
+	var buf bytes.Buffer
+	RenderDegradation(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "Graceful degradation") || !strings.Contains(out, "machine stalled") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,361 @@
+// Package faults provides deterministic fault injection for the
+// full-system simulator: seeded schedules of transient link faults
+// (a physical channel blocks for a drawn duration), protocol-message
+// loss, and the typed errors the graceful-degradation watchdogs raise
+// when a component stops making forward progress.
+//
+// Every schedule is a pure function of a seed: a link's fault
+// intervals depend only on (seed, channel), and the message-loss coin
+// is a seeded stream, so any faulty run is exactly reproducible from
+// its configuration. With a zero Spec (or a nil model) every hook in
+// the simulator is disabled and behavior is identical to a fault-free
+// build.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Spec describes one fault-injection configuration. The zero value
+// injects nothing.
+type Spec struct {
+	// Seed selects the deterministic fault schedule. Runs with equal
+	// Spec and simulator configuration produce identical results.
+	Seed int64
+	// LossRate is the probability that each fabric protocol message is
+	// dropped in flight, in [0, 1].
+	LossRate float64
+	// LinkMTTF is the mean number of network cycles between transient
+	// faults on each directional channel (mean time to failure). Zero
+	// disables link faults.
+	LinkMTTF float64
+	// StallMin and StallMax bound the duration of one link fault in
+	// network cycles (drawn uniformly). Zero values take the defaults
+	// (16 and 256) when link faults are enabled.
+	StallMin, StallMax int64
+}
+
+// Default fault-duration bounds (N-cycles) when a Spec enables link
+// faults without setting them.
+const (
+	DefaultStallMin = 16
+	DefaultStallMax = 256
+)
+
+// Enabled reports whether the spec injects any faults at all.
+func (s Spec) Enabled() bool { return s.LossRate > 0 || s.LinkMTTF > 0 }
+
+// Validate checks the spec's ranges.
+func (s Spec) Validate() error {
+	if s.LossRate < 0 || s.LossRate > 1 || math.IsNaN(s.LossRate) {
+		return fmt.Errorf("faults: loss rate %v outside [0,1]", s.LossRate)
+	}
+	if s.LinkMTTF < 0 || math.IsNaN(s.LinkMTTF) || math.IsInf(s.LinkMTTF, 0) {
+		return fmt.Errorf("faults: link MTTF %v, must be finite and ≥ 0", s.LinkMTTF)
+	}
+	if s.StallMin < 0 || s.StallMax < 0 {
+		return fmt.Errorf("faults: negative stall bound %d..%d", s.StallMin, s.StallMax)
+	}
+	if s.StallMax > 0 && s.StallMin > s.StallMax {
+		return fmt.Errorf("faults: stall bounds %d..%d inverted", s.StallMin, s.StallMax)
+	}
+	return nil
+}
+
+// stallBounds returns the effective fault-duration bounds.
+func (s Spec) stallBounds() (lo, hi int64) {
+	lo, hi = s.StallMin, s.StallMax
+	if lo == 0 {
+		lo = DefaultStallMin
+	}
+	if hi == 0 {
+		hi = DefaultStallMax
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// String renders the spec in the canonical form accepted by ParseSpec.
+// The zero spec renders as the empty string.
+func (s Spec) String() string {
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(s.Seed, 10))
+	}
+	if s.LossRate != 0 {
+		parts = append(parts, "loss="+strconv.FormatFloat(s.LossRate, 'g', -1, 64))
+	}
+	if s.LinkMTTF != 0 {
+		parts = append(parts, "mttf="+strconv.FormatFloat(s.LinkMTTF, 'g', -1, 64))
+	}
+	if s.StallMin != 0 || s.StallMax != 0 {
+		parts = append(parts, fmt.Sprintf("stall=%d..%d", s.StallMin, s.StallMax))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses a textual fault specification: comma-separated
+// key=value pairs with keys
+//
+//	seed=<int>        schedule seed
+//	loss=<float>      per-message drop probability in [0,1]
+//	mttf=<float>      mean N-cycles between faults per channel
+//	stall=<lo>..<hi>  fault duration bounds (or a single value)
+//
+// The empty string yields the zero (disabled) spec. ParseSpec never
+// panics; malformed input returns an error.
+func ParseSpec(text string) (Spec, error) {
+	var s Spec
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	for _, field := range strings.Split(text, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: %q is not key=value", field)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "loss":
+			s.LossRate, err = strconv.ParseFloat(val, 64)
+		case "mttf":
+			s.LinkMTTF, err = strconv.ParseFloat(val, 64)
+		case "stall":
+			lo, hi, found := strings.Cut(val, "..")
+			s.StallMin, err = strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+			if err == nil {
+				if found {
+					s.StallMax, err = strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+				} else {
+					s.StallMax = s.StallMin
+				}
+			}
+		default:
+			return Spec{}, fmt.Errorf("faults: unknown key %q", key)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("faults: bad value in %q: %v", field, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// rng is a splitmix64 generator: tiny, fast, and with the property
+// that any 64-bit seed yields an independent-looking stream, so each
+// channel can own a stream derived from (seed, channel).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// int63n returns a uniform draw in [0, n).
+func (r *rng) int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// mix derives a stream seed from the schedule seed and a stream index.
+func mix(seed int64, stream uint64) uint64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + stream*0xd1342543de82ef95 + 0x2545f4914f6cdd1d
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	return z ^ (z >> 33)
+}
+
+// LinkFaults is a deterministic per-channel renewal process of
+// transient link faults: on each channel, fault intervals start after
+// exponentially distributed gaps (mean LinkMTTF) and last a uniform
+// duration in [StallMin, StallMax]. The schedule for a channel is a
+// pure function of (Seed, channel); queries must be monotone in time
+// per channel, which the synchronous network simulator guarantees.
+type LinkFaults struct {
+	mttf     float64
+	lo, hi   int64
+	seed     int64
+	links    []linkState
+	downCnt  int64
+	faultCnt int64
+}
+
+type linkState struct {
+	r          rng
+	start, end int64 // current/next fault interval [start, end)
+	init       bool
+}
+
+// NewLinkFaults builds the link-fault schedule for a fabric with the
+// given number of directional channels. It returns nil when the spec
+// does not enable link faults.
+func NewLinkFaults(spec Spec, channels int) *LinkFaults {
+	if spec.LinkMTTF <= 0 || channels <= 0 {
+		return nil
+	}
+	lo, hi := spec.stallBounds()
+	return &LinkFaults{
+		mttf:  spec.LinkMTTF,
+		lo:    lo,
+		hi:    hi,
+		seed:  spec.Seed,
+		links: make([]linkState, channels),
+	}
+}
+
+// gap draws an exponential inter-fault gap (≥ 1 cycle).
+func (lf *LinkFaults) gap(r *rng) int64 {
+	u := r.float64()
+	g := int64(-lf.mttf * math.Log(1-u))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// dur draws a uniform fault duration.
+func (lf *LinkFaults) dur(r *rng) int64 {
+	return lf.lo + r.int63n(lf.hi-lf.lo+1)
+}
+
+// Down reports whether the channel is faulted at the given cycle.
+func (lf *LinkFaults) Down(channel int, now int64) bool {
+	st := &lf.links[channel]
+	if !st.init {
+		st.init = true
+		st.r = rng{state: mix(lf.seed, uint64(channel))}
+		st.start = lf.gap(&st.r)
+		st.end = st.start + lf.dur(&st.r)
+	}
+	for now >= st.end {
+		lf.faultCnt++
+		st.start = st.end + lf.gap(&st.r)
+		st.end = st.start + lf.dur(&st.r)
+	}
+	if now >= st.start {
+		lf.downCnt++
+		return true
+	}
+	return false
+}
+
+// DownCycles returns the total channel-cycles reported faulted so far.
+func (lf *LinkFaults) DownCycles() int64 { return lf.downCnt }
+
+// Coin is a deterministic Bernoulli stream used for per-message drop
+// decisions. Successive Next calls form a reproducible sequence for a
+// given (seed, stream) pair.
+type Coin struct {
+	r     rng
+	p     float64
+	heads int64
+	total int64
+}
+
+// NewCoin builds a coin with probability p derived from the seed and a
+// caller-chosen stream index (so independent consumers draw from
+// independent streams). It returns nil when p ≤ 0.
+func NewCoin(seed int64, stream uint64, p float64) *Coin {
+	if p <= 0 {
+		return nil
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &Coin{r: rng{state: mix(seed, 0xc01c01+stream)}, p: p}
+}
+
+// Next draws the next decision.
+func (c *Coin) Next() bool {
+	c.total++
+	if c.r.float64() < c.p {
+		c.heads++
+		return true
+	}
+	return false
+}
+
+// Hits returns how many Next calls returned true.
+func (c *Coin) Hits() int64 { return c.heads }
+
+// ErrStalled is the sentinel error wrapped by every StallReport, so
+// callers can detect watchdog aborts with errors.Is.
+var ErrStalled = errors.New("no forward progress")
+
+// StallReport is the typed error a watchdog raises when a simulator
+// component makes no forward progress for longer than its bound. It
+// carries a structured diagnostic snapshot instead of letting the
+// simulation spin forever.
+type StallReport struct {
+	// Component names the stalled subsystem ("network", "protocol").
+	Component string
+	// Cycle is the simulation time at detection (the component's own
+	// clock domain).
+	Cycle int64
+	// StalledFor is how many cycles passed without progress.
+	StalledFor int64
+	// Detail is a one-line description of the stuck entity.
+	Detail string
+	// Snapshot is the multi-line diagnostic state dump (VC occupancy,
+	// directory state, …).
+	Snapshot string
+}
+
+// Error implements the error interface.
+func (r *StallReport) Error() string {
+	return fmt.Sprintf("faults: %s stalled at cycle %d (no progress for %d cycles): %s",
+		r.Component, r.Cycle, r.StalledFor, r.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrStalled) true.
+func (r *StallReport) Unwrap() error { return ErrStalled }
+
+// Watchdog configures the graceful-degradation watchdogs: how long a
+// component may go without forward progress before the simulation
+// aborts with a StallReport. The zero value disables the watchdogs.
+type Watchdog struct {
+	// StallCycles is the progress bound in processor cycles (0 = off).
+	StallCycles int64
+	// CheckEvery is the polling interval in processor cycles; zero
+	// defaults to StallCycles/4 (at least 1).
+	CheckEvery int64
+}
+
+// Enabled reports whether the watchdog is active.
+func (w Watchdog) Enabled() bool { return w.StallCycles > 0 }
+
+// Interval returns the effective polling interval.
+func (w Watchdog) Interval() int64 {
+	if w.CheckEvery > 0 {
+		return w.CheckEvery
+	}
+	iv := w.StallCycles / 4
+	if iv < 1 {
+		iv = 1
+	}
+	return iv
+}

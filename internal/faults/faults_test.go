@@ -1,0 +1,207 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Spec
+		err  bool
+	}{
+		{"", Spec{}, false},
+		{"seed=7", Spec{Seed: 7}, false},
+		{"loss=0.01", Spec{LossRate: 0.01}, false},
+		{"seed=3,loss=0.5,mttf=50000,stall=20..200",
+			Spec{Seed: 3, LossRate: 0.5, LinkMTTF: 50000, StallMin: 20, StallMax: 200}, false},
+		{"stall=40", Spec{StallMin: 40, StallMax: 40}, false},
+		{" seed = 1 , loss = 0.1 ", Spec{Seed: 1, LossRate: 0.1}, false},
+		{"bogus=1", Spec{}, true},
+		{"seed", Spec{}, true},
+		{"loss=2", Spec{}, true},     // out of [0,1]
+		{"loss=-0.1", Spec{}, true},  // out of [0,1]
+		{"mttf=-5", Spec{}, true},    // negative
+		{"stall=9..3", Spec{}, true}, // inverted bounds
+		{"seed=abc", Spec{}, true},
+		{"loss=NaN", Spec{}, true},
+	}
+	for _, tc := range tests {
+		got, err := ParseSpec(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) = %+v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Seed: 42},
+		{Seed: -3, LossRate: 0.125},
+		{LinkMTTF: 1e5, StallMin: 10, StallMax: 1000},
+		{Seed: 9, LossRate: 1, LinkMTTF: 0.5, StallMin: 1, StallMax: 1},
+	}
+	for _, s := range specs {
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Errorf("round trip of %+v (%q): %v", s, s.String(), err)
+			continue
+		}
+		if back != s {
+			t.Errorf("round trip of %q: got %+v, want %+v", s.String(), back, s)
+		}
+	}
+}
+
+func TestSpecEnabled(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Error("zero spec should be disabled")
+	}
+	if (Spec{Seed: 5}).Enabled() {
+		t.Error("seed alone should not enable faults")
+	}
+	if !(Spec{LossRate: 0.1}).Enabled() || !(Spec{LinkMTTF: 100}).Enabled() {
+		t.Error("loss or mttf should enable faults")
+	}
+}
+
+func TestLinkFaultsDeterministic(t *testing.T) {
+	spec := Spec{Seed: 11, LinkMTTF: 500, StallMin: 5, StallMax: 50}
+	a := NewLinkFaults(spec, 16)
+	b := NewLinkFaults(spec, 16)
+	downs := 0
+	for now := int64(0); now < 20000; now++ {
+		for ch := 0; ch < 16; ch++ {
+			da, db := a.Down(ch, now), b.Down(ch, now)
+			if da != db {
+				t.Fatalf("schedules diverge at ch=%d now=%d", ch, now)
+			}
+			if da {
+				downs++
+			}
+		}
+	}
+	if downs == 0 {
+		t.Error("no faults drawn in 20000 cycles at mttf=500")
+	}
+	if a.DownCycles() != int64(downs) {
+		t.Errorf("DownCycles = %d, counted %d", a.DownCycles(), downs)
+	}
+	// A different seed must give a different schedule.
+	c := NewLinkFaults(Spec{Seed: 12, LinkMTTF: 500, StallMin: 5, StallMax: 50}, 16)
+	d := NewLinkFaults(spec, 16)
+	same := true
+	for now := int64(0); now < 20000 && same; now++ {
+		for ch := 0; ch < 16; ch++ {
+			if c.Down(ch, now) != d.Down(ch, now) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules over 20000 cycles")
+	}
+}
+
+func TestLinkFaultsDurationBounds(t *testing.T) {
+	spec := Spec{Seed: 1, LinkMTTF: 100, StallMin: 3, StallMax: 7}
+	lf := NewLinkFaults(spec, 1)
+	// Walk the schedule and measure each contiguous down interval.
+	run := int64(0)
+	for now := int64(0); now < 100000; now++ {
+		if lf.Down(0, now) {
+			run++
+			continue
+		}
+		if run > 0 {
+			if run < 3 || run > 7 {
+				t.Fatalf("fault duration %d outside [3,7]", run)
+			}
+			run = 0
+		}
+	}
+}
+
+func TestLinkFaultsDisabled(t *testing.T) {
+	if NewLinkFaults(Spec{}, 8) != nil {
+		t.Error("zero spec should yield nil link faults")
+	}
+	if NewLinkFaults(Spec{LossRate: 0.5}, 8) != nil {
+		t.Error("loss-only spec should yield nil link faults")
+	}
+}
+
+func TestCoinDeterministicAndCalibrated(t *testing.T) {
+	a := NewCoin(7, 1, 0.25)
+	b := NewCoin(7, 1, 0.25)
+	other := NewCoin(7, 2, 0.25)
+	for i := 0; i < 100000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed coins diverged")
+		}
+		if a.Hits() != b.Hits() {
+			t.Fatal("hit counts diverged")
+		}
+		_ = other.Next()
+	}
+	if other.Hits() == a.Hits() {
+		t.Error("independent streams produced identical hit counts (suspicious)")
+	}
+	frac := float64(a.Hits()) / 100000
+	if frac < 0.24 || frac > 0.26 {
+		t.Errorf("coin frequency %v far from p=0.25", frac)
+	}
+	if NewCoin(1, 0, 0) != nil {
+		t.Error("p=0 should yield nil coin")
+	}
+}
+
+func TestStallReport(t *testing.T) {
+	var err error = &StallReport{
+		Component:  "network",
+		Cycle:      1234,
+		StalledFor: 500,
+		Detail:     "worm 3→9 stuck at router 5",
+		Snapshot:   "router 5: in[0]=4 flits",
+	}
+	if !errors.Is(err, ErrStalled) {
+		t.Error("StallReport must wrap ErrStalled")
+	}
+	var rep *StallReport
+	if !errors.As(err, &rep) || rep.Snapshot == "" {
+		t.Error("StallReport must be recoverable with its snapshot")
+	}
+	if msg := err.Error(); msg == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestWatchdogInterval(t *testing.T) {
+	if (Watchdog{}).Enabled() {
+		t.Error("zero watchdog should be disabled")
+	}
+	w := Watchdog{StallCycles: 1000}
+	if !w.Enabled() || w.Interval() != 250 {
+		t.Errorf("interval = %d, want 250", w.Interval())
+	}
+	w = Watchdog{StallCycles: 2, CheckEvery: 7}
+	if w.Interval() != 7 {
+		t.Errorf("explicit interval = %d, want 7", w.Interval())
+	}
+	if (Watchdog{StallCycles: 1}).Interval() != 1 {
+		t.Error("interval floor of 1 violated")
+	}
+}

@@ -1,0 +1,50 @@
+package faults
+
+import "testing"
+
+// FuzzParseSpec drives the fault-schedule spec parser with arbitrary
+// input. Properties: ParseSpec never panics, and any spec it accepts
+// round-trips exactly through its canonical String form (so schedules
+// recorded in experiment logs reparse to the same schedule).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=7",
+		"loss=0.01",
+		"mttf=50000",
+		"stall=20..200",
+		"seed=3,loss=0.5,mttf=50000,stall=20..200",
+		"stall=40",
+		" seed = 1 , loss = 0.1 ",
+		"seed=-9223372036854775808",
+		"loss=1e-300",
+		"mttf=1e308",
+		"stall=..",
+		"stall=1..",
+		"seed=7,,loss=0.1",
+		"loss=0x1p-3",
+		"=",
+		",,,",
+		"stall=9223372036854775807..9223372036854775807",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted invalid spec %+v: %v", text, spec, verr)
+		}
+		canon := spec.String()
+		back, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, text, err)
+		}
+		if back != spec {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v", text, spec, canon, back)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"locality/internal/faults"
+	"locality/internal/mapping"
+	"locality/internal/topology"
+)
+
+func faultyMachine(t *testing.T, spec *faults.Spec, mutate func(*Config)) *Machine {
+	t.Helper()
+	tor := topology.MustNew(4, 2)
+	cfg := DefaultConfig(tor, mapping.Identity(tor), 1)
+	cfg.Faults = spec
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	mach, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+// TestZeroFaultSpecIsIdentical is the subsystem's core guarantee: a
+// nil fault spec and a present-but-zero fault spec produce exactly the
+// same measurements as each other — fault plumbing must be invisible
+// until enabled.
+func TestZeroFaultSpecIsIdentical(t *testing.T) {
+	base := faultyMachine(t, nil, nil).RunMeasured(2000, 8000)
+	zero := faultyMachine(t, &faults.Spec{Seed: 99}, nil).RunMeasured(2000, 8000)
+	if !reflect.DeepEqual(base, zero) {
+		t.Errorf("zero fault spec perturbed the run:\nbase %+v\nzero %+v", base, zero)
+	}
+	if base.Retries != 0 || base.DroppedMsgs != 0 || base.LinkFaultCycles != 0 {
+		t.Errorf("fault-free run shows fault accounting: %+v", base)
+	}
+}
+
+// TestFaultRunsAreSeedDeterministic: two fresh machines with the same
+// fault seed and configuration must measure identically.
+func TestFaultRunsAreSeedDeterministic(t *testing.T) {
+	spec := &faults.Spec{Seed: 7, LossRate: 0.02, LinkMTTF: 4000, StallMin: 8, StallMax: 64}
+	run := func() Metrics {
+		mach := faultyMachine(t, spec, func(c *Config) {
+			c.Watchdog = faults.Watchdog{StallCycles: 100000}
+		})
+		met, err := mach.RunMeasuredChecked(2000, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different measurements:\na %+v\nb %+v", a, b)
+	}
+	if a.DroppedMsgs == 0 {
+		t.Error("loss rate 0.02 dropped nothing over 10k cycles")
+	}
+	if a.Retries == 0 {
+		t.Error("dropped messages but no retries recorded")
+	}
+	if a.LinkFaultCycles == 0 {
+		t.Error("mttf 4000 over 16 channels faulted no channel-cycles")
+	}
+}
+
+// TestWatchdogConvertsPermanentStallToTypedError: with every link
+// permanently down (tiny MTTF, enormous stall durations) the fabric
+// livelocks; RunChecked must return a faults.StallReport wrapping
+// ErrStalled, with a non-empty diagnostic snapshot, well before the
+// requested run length.
+func TestWatchdogConvertsPermanentStallToTypedError(t *testing.T) {
+	spec := &faults.Spec{Seed: 3, LinkMTTF: 1, StallMin: 1 << 40, StallMax: 1 << 40}
+	mach := faultyMachine(t, spec, func(c *Config) {
+		c.Watchdog = faults.Watchdog{StallCycles: 3000}
+	})
+	err := mach.RunChecked(200000)
+	if err == nil {
+		t.Fatal("no error from a machine whose every link is dead")
+	}
+	if !errors.Is(err, faults.ErrStalled) {
+		t.Fatalf("error %v does not wrap faults.ErrStalled", err)
+	}
+	var rep *faults.StallReport
+	if !errors.As(err, &rep) {
+		t.Fatalf("error %T is not a *faults.StallReport", err)
+	}
+	if rep.Snapshot == "" {
+		t.Error("stall report carries no diagnostic snapshot")
+	}
+	if rep.Detail == "" || rep.Component == "" {
+		t.Errorf("stall report incomplete: %+v", rep)
+	}
+	// The watchdog bound is 3000 P-cycles checked every interval; the
+	// report must arrive in the same order of magnitude, not at the end
+	// of the 200k-cycle run.
+	if mach.Now() > 20000 {
+		t.Errorf("stall detected only at cycle %d, bound was 3000", mach.Now())
+	}
+}
+
+// TestLossyRunCompletesUnderWatchdog: heavy message loss with the
+// retry layer on still makes forward progress — the watchdog stays
+// quiet and the run finishes with loss accounted.
+func TestLossyRunCompletesUnderWatchdog(t *testing.T) {
+	spec := &faults.Spec{Seed: 11, LossRate: 0.1}
+	mach := faultyMachine(t, spec, func(c *Config) {
+		c.Watchdog = faults.Watchdog{StallCycles: 200000}
+	})
+	met, err := mach.RunMeasuredChecked(2000, 10000)
+	if err != nil {
+		t.Fatalf("lossy-but-resilient run stalled: %v", err)
+	}
+	if met.Transactions == 0 {
+		t.Fatal("no transactions completed under 10% loss")
+	}
+	if met.DroppedMsgs == 0 || met.Retries == 0 {
+		t.Errorf("loss accounting empty: %+v", met)
+	}
+}

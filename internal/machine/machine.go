@@ -16,6 +16,7 @@ import (
 
 	"locality/internal/cachesim"
 	"locality/internal/cohsim"
+	"locality/internal/faults"
 	"locality/internal/mapping"
 	"locality/internal/netsim"
 	"locality/internal/procsim"
@@ -59,7 +60,32 @@ type Config struct {
 	Trace *trace.Tracer
 	// Protocol latencies; zero values take cohsim defaults.
 	ReqLatency, DirLatency, MemLatency, CacheRespLatency, FillLatency, SWTrapLatency int
+
+	// Faults, when non-nil and enabled, injects deterministic hardware
+	// faults drawn from its seed: transient link stalls (LinkMTTF) in
+	// the network and protocol-message loss (LossRate) in the fabric.
+	// A nil or zero spec leaves the machine behaviorally identical to a
+	// fault-free build.
+	Faults *faults.Spec
+	// Watchdog, when enabled, makes RunChecked abort with a
+	// faults.StallReport if the machine stops making forward progress.
+	Watchdog faults.Watchdog
+	// RetryTimeout is the protocol's retransmission deadline in
+	// P-cycles. Zero enables the retry layer with DefaultRetryTimeout
+	// when message loss is injected and disables it otherwise; set it
+	// explicitly to force either way.
+	RetryTimeout int
 }
+
+// DefaultRetryTimeout is the protocol retransmission deadline used when
+// message loss is enabled without an explicit RetryTimeout. It is
+// chosen well above the worst-case loss-free transaction latency so a
+// fault-free transaction never retransmits spuriously.
+const DefaultRetryTimeout = 500
+
+// lossStream separates the message-loss coin from the link-fault
+// streams derived from the same user seed.
+const lossStream = 0x10c4_10ad
 
 // DefaultConfig returns the reference-architecture configuration for a
 // given torus, mapping and context count: 11-cycle switches, 2× network
@@ -158,11 +184,32 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 
-	net, err := netsim.New(netsim.Config{Topo: cfg.Topo, BufferDepth: cfg.BufferDepth})
+	var spec faults.Spec
+	if cfg.Faults != nil {
+		spec = *cfg.Faults
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	netCfg := netsim.Config{Topo: cfg.Topo, BufferDepth: cfg.BufferDepth}
+	if lf := faults.NewLinkFaults(spec, cfg.Topo.ChannelCount()); lf != nil {
+		netCfg.Faults = lf
+	}
+	net, err := netsim.New(netCfg)
 	if err != nil {
 		return nil, err
 	}
 	m.net = net
+
+	retry := cohsim.RetryConfig{Timeout: cfg.RetryTimeout}
+	if retry.Timeout == 0 && spec.LossRate > 0 {
+		retry.Timeout = DefaultRetryTimeout
+	}
+	var loss func(src, dst int, msg cohsim.Msg) bool
+	if coin := faults.NewCoin(spec.Seed, lossStream, spec.LossRate); coin != nil {
+		loss = func(src, dst int, msg cohsim.Msg) bool { return coin.Next() }
+	}
 
 	proto, err := cohsim.New(cohsim.Config{
 		Nodes:            cfg.Topo.Nodes(),
@@ -175,6 +222,8 @@ func New(cfg Config) (*Machine, error) {
 		CacheRespLatency: cfg.CacheRespLatency,
 		FillLatency:      cfg.FillLatency,
 		SWTrapLatency:    cfg.SWTrapLatency,
+		Retry:            retry,
+		Loss:             loss,
 		OnReady: func(node, thread int, now int64) {
 			m.procs[node].Ready(thread, now)
 		},
@@ -245,6 +294,68 @@ func (m *Machine) Run(pCycles int64) {
 	}
 }
 
+// RunChecked advances the machine by pCycles processor cycles under
+// the configured watchdog: every check interval it verifies flit
+// conservation and forward progress, returning a *faults.StallReport
+// (wrapping faults.ErrStalled) if the machine has livelocked or
+// deadlocked. With the watchdog disabled it is exactly Run.
+func (m *Machine) RunChecked(pCycles int64) error {
+	if !m.cfg.Watchdog.Enabled() {
+		m.Run(pCycles)
+		return nil
+	}
+	interval := int64(m.cfg.Watchdog.Interval())
+	for done := int64(0); done < pCycles; {
+		step := interval
+		if rest := pCycles - done; rest < step {
+			step = rest
+		}
+		m.Run(step)
+		done += step
+		if err := m.checkProgress(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkProgress is the watchdog body: flit conservation must hold, a
+// busy fabric must have moved a flit recently, and the oldest
+// outstanding transaction must be younger than the stall bound.
+func (m *Machine) checkProgress() error {
+	if err := m.net.Check(); err != nil {
+		return err
+	}
+	stall := int64(m.cfg.Watchdog.StallCycles)
+	if m.net.Busy() {
+		// Network ages are in N-cycles; the bound is given in P-cycles.
+		if age := m.net.Now() - m.net.LastProgress(); age >= stall*int64(m.cfg.ClockRatio) {
+			return &faults.StallReport{
+				Component:  "network",
+				Cycle:      m.pnow,
+				StalledFor: age / int64(m.cfg.ClockRatio),
+				Detail:     fmt.Sprintf("fabric busy with no flit movement for %d N-cycles", age),
+				Snapshot:   m.net.DiagSnapshot(),
+			}
+		}
+	}
+	if txn := m.proto.OldestTxn(); txn != nil {
+		if age := m.pnow - txn.Started; age >= stall {
+			d := m.proto.Directory(txn.Addr)
+			return &faults.StallReport{
+				Component:  "protocol",
+				Cycle:      m.pnow,
+				StalledFor: age,
+				Detail: fmt.Sprintf("transaction %d (node %d, line %#x, write=%v, retries=%d) outstanding for %d P-cycles; directory: state=%s owner=%d sharers=%v busy=%v queued=%d",
+					txn.ID, txn.Node, txn.Addr, txn.Write, txn.Retries, age,
+					d.State, d.Owner, d.Sharers, d.Busy, d.Queued),
+				Snapshot: m.net.DiagSnapshot(),
+			}
+		}
+	}
+	return nil
+}
+
 // Now returns the current processor cycle.
 func (m *Machine) Now() int64 { return m.pnow }
 
@@ -299,6 +410,12 @@ type Metrics struct {
 	ChannelUtilization float64
 	// SWTraps counts LimitLESS software-extension invocations.
 	SWTraps int64
+
+	// Fault-injection accounting; all zero on a fault-free run.
+	Retries         int64 // requester-side request retransmissions
+	HomeRetries     int64 // home-side sub-operation retransmissions
+	DroppedMsgs     int64 // fabric messages lost to injected faults
+	LinkFaultCycles int64 // channel·N-cycles spent faulted
 }
 
 // Measure returns the metrics accumulated since the last ResetStats.
@@ -319,6 +436,10 @@ func (m *Machine) Measure() Metrics {
 		TxnLatency:         ps.AvgTxnLatency,
 		ChannelUtilization: ns.ChannelUtilization,
 		SWTraps:            ps.SWTraps,
+		Retries:            ps.Retries,
+		HomeRetries:        ps.HomeRetries,
+		DroppedMsgs:        ps.Dropped,
+		LinkFaultCycles:    ns.FaultedChannelCycles,
 	}
 	if ns.Injected > 0 && ns.Cycles > 0 {
 		mt.InterMsgTime = float64(ns.Cycles) * nodes / float64(ns.Injected)
@@ -339,4 +460,17 @@ func (m *Machine) RunMeasured(warmup, window int64) Metrics {
 	m.ResetStats()
 	m.Run(window)
 	return m.Measure()
+}
+
+// RunMeasuredChecked is RunMeasured under the configured watchdog: it
+// returns early with a *faults.StallReport if either phase stalls.
+func (m *Machine) RunMeasuredChecked(warmup, window int64) (Metrics, error) {
+	if err := m.RunChecked(warmup); err != nil {
+		return Metrics{}, err
+	}
+	m.ResetStats()
+	if err := m.RunChecked(window); err != nil {
+		return Metrics{}, err
+	}
+	return m.Measure(), nil
 }

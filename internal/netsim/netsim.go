@@ -24,6 +24,8 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"locality/internal/stats"
 	"locality/internal/topology"
@@ -105,6 +107,16 @@ func (q *fifo) pop() flit {
 	return f
 }
 
+// LinkFaultModel decides whether a directional physical channel is
+// faulted at a given cycle. A faulted channel transfers no flits: the
+// worm holding it stalls in place and ordinary wormhole backpressure
+// propagates upstream, so no traffic is lost. Channels are identified
+// as router·2n + port (see the port indexing above); queries are
+// monotone in time per channel. A nil model means a fault-free fabric.
+type LinkFaultModel interface {
+	Down(channel int, now int64) bool
+}
+
 // Config parameterizes the network.
 type Config struct {
 	Topo *topology.Torus
@@ -114,6 +126,10 @@ type Config struct {
 	// LocalDelay is the delivery latency for src == dst messages,
 	// which bypass the fabric (N-cycles). Defaults to 1 when zero.
 	LocalDelay int
+	// Faults, when non-nil, injects transient link faults (stalled
+	// channels). Nil leaves the fabric behaviorally identical to a
+	// fault-free build.
+	Faults LinkFaultModel
 }
 
 // DeliveryFunc receives each message when its tail flit arrives.
@@ -167,11 +183,24 @@ type Network struct {
 
 	deliver DeliveryFunc
 
+	// lastProgress is the most recent cycle on which any flit entered,
+	// moved within, or left the fabric (or a local message delivered).
+	// The deadlock watchdog compares it against Now when traffic is in
+	// flight.
+	lastProgress int64
+
+	// Lifetime flit conservation counters (never reset): every flit
+	// accepted into an injection buffer, and every flit ejected at a
+	// destination. Check verifies injected == ejected + in-flight.
+	flitsIn  int64
+	flitsOut int64
+
 	// Statistics (since the last ResetStats).
 	statsSince     int64
 	injected       stats.Counter
 	deliveredCount stats.Counter
 	flitHops       stats.Counter // flit-channel traversals (fabric only)
+	faultStalls    stats.Counter // channel-cycles lost to link faults
 	latency        stats.Mean    // end-to-end incl. source queueing
 	netLatency     stats.Mean    // fabric-only latency
 	hops           stats.Mean
@@ -368,6 +397,8 @@ func (nw *Network) stepInjection() {
 			nw.sizes.Add(float64(msg.Size))
 		}
 		in.push(flit{msg: msg, seq: seq, arrivedAt: nw.now})
+		nw.flitsIn++
+		nw.lastProgress = nw.now
 		msg.remaining--
 		if msg.remaining == 0 {
 			nw.injectQ[v] = q[1:]
@@ -383,6 +414,12 @@ func (nw *Network) decide() []move {
 		r := &nw.routers[v]
 		// Directional physical channels: arbitrate between the two VCs.
 		for o := 0; o < nw.ports; o++ {
+			if nw.cfg.Faults != nil && nw.cfg.Faults.Down(v*nw.ports+o, nw.now) {
+				// The channel is faulted this cycle: neither VC may
+				// transfer a flit; worms stall in place.
+				nw.faultStalls.Inc()
+				continue
+			}
 			firstVC := 1 - r.lastVC[o]
 			granted := false
 			for attempt := 0; attempt < 2 && !granted; attempt++ {
@@ -480,6 +517,9 @@ func (nw *Network) buildMove(v, input, key int, f flit) (move, bool) {
 
 // commit applies the decided transfers.
 func (nw *Network) commit(moves []move) {
+	if len(moves) > 0 {
+		nw.lastProgress = nw.now
+	}
 	for _, mv := range moves {
 		r := &nw.routers[mv.router]
 		f := r.inputs[mv.input].pop()
@@ -502,6 +542,7 @@ func (nw *Network) commit(moves []move) {
 			r.owner[mv.outKey] = nil
 		}
 		if mv.eject {
+			nw.flitsOut++
 			if f.isTail() {
 				nw.completeDelivery(f.msg)
 			}
@@ -535,6 +576,7 @@ func (nw *Network) stepLocal() {
 	for _, e := range nw.local {
 		if e.due <= nw.now {
 			e.msg.DeliveredAt = nw.now
+			nw.lastProgress = nw.now
 			if nw.deliver != nil {
 				nw.deliver(nw.now, e.msg)
 			}
@@ -585,6 +627,9 @@ type Stats struct {
 	// ChannelUtilization is the mean fraction of directional channels
 	// busy per cycle so far.
 	ChannelUtilization float64
+	// FaultedChannelCycles counts channel-cycles lost to injected link
+	// faults (zero in a fault-free run).
+	FaultedChannelCycles int64
 	// Cycles is the number of simulated cycles.
 	Cycles int64
 }
@@ -593,14 +638,15 @@ type Stats struct {
 // ResetStats (or construction).
 func (nw *Network) Snapshot() Stats {
 	s := Stats{
-		Injected:      nw.injected.Value(),
-		Delivered:     nw.deliveredCount.Value(),
-		FlitHops:      nw.flitHops.Value(),
-		AvgLatency:    nw.latency.Mean(),
-		AvgNetLatency: nw.netLatency.Mean(),
-		AvgHops:       nw.hops.Mean(),
-		AvgSize:       nw.sizes.Mean(),
-		Cycles:        nw.now - nw.statsSince,
+		Injected:             nw.injected.Value(),
+		Delivered:            nw.deliveredCount.Value(),
+		FlitHops:             nw.flitHops.Value(),
+		AvgLatency:           nw.latency.Mean(),
+		AvgNetLatency:        nw.netLatency.Mean(),
+		AvgHops:              nw.hops.Mean(),
+		AvgSize:              nw.sizes.Mean(),
+		FaultedChannelCycles: nw.faultStalls.Value(),
+		Cycles:               nw.now - nw.statsSince,
 	}
 	if s.Cycles > 0 {
 		channels := float64(nw.topo.ChannelCount())
@@ -618,8 +664,102 @@ func (nw *Network) ResetStats() {
 	nw.injected = stats.Counter{}
 	nw.deliveredCount = stats.Counter{}
 	nw.flitHops = stats.Counter{}
+	nw.faultStalls = stats.Counter{}
 	nw.latency = stats.Mean{}
 	nw.netLatency = stats.Mean{}
 	nw.hops = stats.Mean{}
 	nw.sizes = stats.Mean{}
+}
+
+// inFlightFlits counts flits currently buffered anywhere in the fabric
+// (injection buffers included; queued-but-uninjected messages are not).
+func (nw *Network) inFlightFlits() int {
+	total := 0
+	for v := range nw.routers {
+		for _, in := range nw.routers[v].inputs {
+			total += in.count
+		}
+	}
+	return total
+}
+
+// Check verifies the flit-conservation invariant: every flit ever
+// accepted into the fabric has either been ejected at a destination or
+// is still sitting in a switch buffer. Watchdog and fault code call
+// this so that no code path can silently leak or duplicate flits.
+func (nw *Network) Check() error {
+	inFlight := int64(nw.inFlightFlits())
+	if nw.flitsIn != nw.flitsOut+inFlight {
+		return fmt.Errorf("netsim: flit conservation violated at cycle %d: injected %d != delivered %d + in-flight %d",
+			nw.now, nw.flitsIn, nw.flitsOut, inFlight)
+	}
+	return nil
+}
+
+// Busy reports whether any traffic is anywhere in the network (the
+// complement of Quiesced, for watchdog use).
+func (nw *Network) Busy() bool { return !nw.Quiesced() }
+
+// LastProgress returns the most recent cycle on which a flit entered,
+// moved within, or left the fabric. A busy network whose LastProgress
+// stays fixed is deadlocked (or fully fault-blocked).
+func (nw *Network) LastProgress() int64 { return nw.lastProgress }
+
+// DiagSnapshot renders a structured diagnostic of the fabric's current
+// occupancy for stall reports: per-switch virtual-channel buffer
+// occupancy, the worm holding each virtual output, and the age of the
+// oldest buffered flit. Only non-empty switches are listed, capped to
+// keep reports readable.
+func (nw *Network) DiagSnapshot() string {
+	const maxRouters = 16
+	var b strings.Builder
+	fmt.Fprintf(&b, "network @ N-cycle %d: %d flits in flight, last progress at %d\n",
+		nw.now, nw.inFlightFlits(), nw.lastProgress)
+	var busyRouters []int
+	for v := range nw.routers {
+		occupied := false
+		for _, in := range nw.routers[v].inputs {
+			if !in.empty() {
+				occupied = true
+				break
+			}
+		}
+		if occupied || len(nw.injectQ[v]) > 0 {
+			busyRouters = append(busyRouters, v)
+		}
+	}
+	sort.Ints(busyRouters)
+	shown := busyRouters
+	if len(shown) > maxRouters {
+		shown = shown[:maxRouters]
+	}
+	for _, v := range shown {
+		r := &nw.routers[v]
+		fmt.Fprintf(&b, "  router %d (%v):", v, nw.topo.Coords(v))
+		if q := len(nw.injectQ[v]); q > 0 {
+			fmt.Fprintf(&b, " injectQ=%d", q)
+		}
+		for key, in := range r.inputs {
+			if in.empty() {
+				continue
+			}
+			f := in.peek()
+			name := "inject"
+			if key < 2*nw.ports {
+				name = fmt.Sprintf("dim%d%svc%d", key/4, map[bool]string{true: "+", false: "-"}[(key/2)%2 == 0], key%2)
+			}
+			fmt.Fprintf(&b, " %s=%dflits(head %d→%d age %d)",
+				name, in.count, f.msg.Src, f.msg.Dst, nw.now-f.arrivedAt)
+		}
+		for key, owner := range r.owner {
+			if owner != nil {
+				fmt.Fprintf(&b, " owner[%d]=%d→%d", key, owner.Src, owner.Dst)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(busyRouters) > maxRouters {
+		fmt.Fprintf(&b, "  … %d more occupied routers elided\n", len(busyRouters)-maxRouters)
+	}
+	return b.String()
 }
