@@ -10,13 +10,16 @@ package locality_test
 // paper-scale study.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"locality/internal/core"
+	"locality/internal/engine"
 	"locality/internal/experiments"
 	"locality/internal/machine"
 	"locality/internal/mapping"
+	"locality/internal/mapsel"
 	"locality/internal/netsim"
 	"locality/internal/topology"
 )
@@ -46,7 +49,7 @@ func benchValidationConfig() experiments.ValidationConfig {
 // one-context slope).
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		v, err := experiments.RunValidation(benchValidationConfig())
+		v, err := experiments.RunValidation(context.Background(), benchValidationConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +62,7 @@ func BenchmarkFigure3(b *testing.B) {
 // at one context (paper: within a few percent).
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		v, err := experiments.RunValidation(benchValidationConfig())
+		v, err := experiments.RunValidation(context.Background(), benchValidationConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +80,7 @@ func BenchmarkFigure4(b *testing.B) {
 // latency at one context in network cycles (paper: a few).
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		v, err := experiments.RunValidation(benchValidationConfig())
+		v, err := experiments.RunValidation(context.Background(), benchValidationConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +99,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	sizes := core.LogSizes(10, 1e6, 4)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFigure6(sizes)
+		res, err := experiments.RunFigure6(context.Background(), experiments.Figure6Config{Sizes: sizes})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +117,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	sizes := core.LogSizes(10, 1e6, 4)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFigure7(sizes, []int{1, 2, 4})
+		res, err := experiments.RunFigure7(context.Background(), experiments.Figure7Config{Sizes: sizes, Contexts: []int{1, 2, 4}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +131,7 @@ func BenchmarkFigure7(b *testing.B) {
 // (paper: about two).
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cases, err := experiments.RunFigure8(1000, []int{1, 2, 4})
+		cases, err := experiments.RunFigure8(context.Background(), experiments.Figure8Config{Nodes: 1000, Contexts: []int{1, 2, 4}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +144,7 @@ func BenchmarkFigure8(b *testing.B) {
 // (paper: roughly 3×).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunTable1()
+		rows, err := experiments.RunTable1(context.Background(), experiments.DefaultTable1Config())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +158,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkUCLvsNUCL(b *testing.B) {
 	sizes := core.LogSizes(64, 1e6, 2)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunUCLvsNUCL(sizes, 1)
+		rows, err := experiments.RunUCLvsNUCL(context.Background(), experiments.UCLvsNUCLConfig{Sizes: sizes, Contexts: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +171,7 @@ func BenchmarkUCLvsNUCL(b *testing.B) {
 func BenchmarkTolerance(b *testing.B) {
 	cfg := experiments.ToleranceConfig{Radix: 8, Dims: 2, Warmup: 1500, Window: 5000, Mapping: "random:1"}
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunTolerance(cfg)
+		rows, err := experiments.RunTolerance(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +183,7 @@ func BenchmarkTolerance(b *testing.B) {
 // Reported metric: locality gain at n=2 relative to n=4.
 func BenchmarkDimensionStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunDimensionStudy(4096, []int{2, 3, 4}, 1)
+		rows, err := experiments.RunDimensionStudy(context.Background(), experiments.DimensionConfig{Nodes: 4096, Dims: []int{2, 3, 4}, Contexts: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -320,4 +323,45 @@ func BenchmarkAblationChannelContention(b *testing.B) {
 
 func benchName(prefix string, v int) string {
 	return fmt.Sprintf("%s=%d", prefix, v)
+}
+
+// BenchmarkSweepGrid measures the default cmd/sweep grid — the suite
+// mapping set at one context on the 64-node machine — through the
+// experiment engine at one and four workers. The workers=4/workers=1
+// wall-clock ratio is the engine's speedup on this host; on a
+// single-core container the two are equal, and the ratio approaches
+// the worker count as cores become available (cells are independent
+// full-system simulations with no shared state).
+func BenchmarkSweepGrid(b *testing.B) {
+	tor := topology.MustNew(8, 2)
+	maps, err := mapsel.List(tor, "suite")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells := make([]engine.Cell[machine.Metrics], len(maps))
+				for j, m := range maps {
+					m := m
+					cells[j] = engine.Cell[machine.Metrics]{
+						Key: m.Name,
+						Run: func(ctx context.Context) (machine.Metrics, error) {
+							mach, err := machine.New(machine.DefaultConfig(tor, m, 1))
+							if err != nil {
+								return machine.Metrics{}, err
+							}
+							return mach.RunMeasuredChecked(ctx, 4000, 12000)
+						},
+					}
+				}
+				results, stats := engine.Grid(context.Background(), cells,
+					engine.Options[machine.Metrics]{Exec: engine.Exec{Workers: workers}})
+				if err := engine.FirstError(results); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.Cells), "cells")
+			}
+		})
+	}
 }

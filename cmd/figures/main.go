@@ -11,18 +11,26 @@
 //	figures -fig tolerance      # prefetch vs multithreading (extension)
 //	figures -fig dimensions     # mesh-dimension sweep (extension)
 //	figures -fig validation -quick   # reduced windows for a fast look
+//	figures -fig all -workers 8 -progress
 //
 // Output is plain text tables with the same rows/series the paper
-// plots.
+// plots. Every study runs its grid of model solves or simulations on
+// -workers goroutines through the experiment engine; results are
+// assembled in grid order, so the output is identical at any worker
+// count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
-	"locality/internal/core"
+	"locality/internal/engine"
 	"locality/internal/experiments"
 	"locality/internal/report"
 )
@@ -31,7 +39,17 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: validation (figs 3-5), 6, 7, 8, table1, uclnucl, tolerance, dimensions, contention, gainsim, or all")
 	quick := flag.Bool("quick", false, "use shorter simulation windows (validation figures only)")
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
+	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var prog io.Writer
+	if *progress {
+		prog = os.Stderr
+	}
+	exec := engine.Exec{Workers: *workers, Progress: prog}
 
 	writeCSV := func(name string, fn func(w *os.File) error) error {
 		if *csvDir == "" {
@@ -60,6 +78,7 @@ func main() {
 
 	run("validation", func() error {
 		cfg := experiments.DefaultValidationConfig()
+		cfg.Exec = exec
 		if *quick {
 			cfg.Warmup = 2000
 			cfg.Window = 6000
@@ -67,11 +86,11 @@ func main() {
 		fmt.Println("== Figures 3-5: model validation against the full-system simulator")
 		fmt.Printf("   (64-node 8x8 torus, %d mappings, contexts %v, window %d P-cycles)\n\n",
 			9, cfg.Contexts, cfg.Window)
-		v, err := experiments.RunValidation(cfg)
+		v, err := experiments.RunValidation(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderValidation(os.Stdout, v)
+		report.RenderValidation(os.Stdout, v)
 		if err := writeCSV("validation.csv", func(w *os.File) error { return report.WriteValidationCSV(w, v) }); err != nil {
 			return err
 		}
@@ -98,94 +117,109 @@ func main() {
 	})
 
 	run("6", func() error {
-		res, err := experiments.RunFigure6(core.LogSizes(10, 1e6, 2))
+		cfg := experiments.DefaultFigure6Config()
+		cfg.Exec = exec
+		res, err := experiments.RunFigure6(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderFigure6(os.Stdout, res)
+		report.RenderFigure6(os.Stdout, res)
 		return writeCSV("figure6.csv", func(w *os.File) error { return report.WriteFigure6CSV(w, res) })
 	})
 
 	run("7", func() error {
-		res, err := experiments.RunFigure7(core.LogSizes(10, 1e6, 2), []int{1, 2, 4})
+		cfg := experiments.DefaultFigure7Config()
+		cfg.Exec = exec
+		res, err := experiments.RunFigure7(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderFigure7(os.Stdout, res)
+		report.RenderFigure7(os.Stdout, res)
 		return writeCSV("figure7.csv", func(w *os.File) error { return report.WriteFigure7CSV(w, res) })
 	})
 
 	run("8", func() error {
-		cases, err := experiments.RunFigure8(1000, []int{1, 2, 4})
+		cfg := experiments.DefaultFigure8Config()
+		cfg.Exec = exec
+		cases, err := experiments.RunFigure8(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderFigure8(os.Stdout, cases)
+		report.RenderFigure8(os.Stdout, cases)
 		return writeCSV("figure8.csv", func(w *os.File) error { return report.WriteFigure8CSV(w, cases) })
 	})
 
 	run("table1", func() error {
-		rows, err := experiments.RunTable1()
+		cfg := experiments.DefaultTable1Config()
+		cfg.Exec = exec
+		rows, err := experiments.RunTable1(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderTable1(os.Stdout, rows)
+		report.RenderTable1(os.Stdout, rows)
 		return writeCSV("table1.csv", func(w *os.File) error { return report.WriteTable1CSV(w, rows) })
 	})
 
 	run("tolerance", func() error {
 		cfg := experiments.DefaultToleranceConfig()
+		cfg.Exec = exec
 		if *quick {
 			cfg.Warmup = 1500
 			cfg.Window = 5000
 		}
-		rows, err := experiments.RunTolerance(cfg)
+		rows, err := experiments.RunTolerance(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderTolerance(os.Stdout, rows)
+		report.RenderTolerance(os.Stdout, rows)
 		return nil
 	})
 
 	run("dimensions", func() error {
-		const nodes = 4096
-		rows, err := experiments.RunDimensionStudy(nodes, []int{1, 2, 3, 4, 5, 6}, 1)
+		cfg := experiments.DefaultDimensionConfig()
+		cfg.Exec = exec
+		rows, err := experiments.RunDimensionStudy(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderDimensionStudy(os.Stdout, nodes, rows)
+		report.RenderDimensionStudy(os.Stdout, cfg.Nodes, rows)
 		return nil
 	})
 
 	run("gainsim", func() error {
 		cfg := experiments.DefaultGainSimConfig()
+		cfg.Exec = exec
 		if *quick {
 			cfg.Warmup = 1500
 			cfg.Window = 5000
 		}
-		rows, err := experiments.RunGainSim(cfg)
+		rows, err := experiments.RunGainSim(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderGainSim(os.Stdout, rows)
+		report.RenderGainSim(os.Stdout, rows)
 		return nil
 	})
 
 	run("contention", func() error {
-		rows, err := experiments.RunContentionShare(core.LogSizes(64, 1e6, 1), 1)
+		cfg := experiments.DefaultContentionConfig()
+		cfg.Exec = exec
+		rows, err := experiments.RunContentionShare(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderContentionShare(os.Stdout, rows)
+		report.RenderContentionShare(os.Stdout, rows)
 		return nil
 	})
 
 	run("uclnucl", func() error {
-		rows, err := experiments.RunUCLvsNUCL(core.LogSizes(64, 1e6, 1), 1)
+		cfg := experiments.DefaultUCLvsNUCLConfig()
+		cfg.Exec = exec
+		rows, err := experiments.RunUCLvsNUCL(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		experiments.RenderUCLvsNUCL(os.Stdout, rows)
+		report.RenderUCLvsNUCL(os.Stdout, rows)
 		return writeCSV("uclnucl.csv", func(w *os.File) error { return report.WriteUCLvsNUCLCSV(w, rows) })
 	})
 }

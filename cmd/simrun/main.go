@@ -18,10 +18,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"locality/internal/faults"
 	"locality/internal/machine"
@@ -77,7 +80,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	met, err := mach.RunMeasuredChecked(*warmup, *window)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	met, err := mach.RunMeasuredChecked(ctx, *warmup, *window)
 	if err != nil {
 		var rep *faults.StallReport
 		if errors.As(err, &rep) {

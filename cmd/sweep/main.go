@@ -6,26 +6,34 @@
 //	sweep -k 4 -mappings identity,random:1,antilocal -contexts 1 -ratio 1
 //	sweep -mappings random:1 -contexts 1 -prefetch -out results.csv
 //	sweep -mappings suite -fault-rate 0.01 -link-mttf 5000 -fault-seed 7
+//	sweep -mappings suite -contexts 1,2,4 -workers 8 -progress
 //
 // Columns: mapping, d, contexts, prefetch, B, g, tm, rm, Tm, Tt, tt,
 // rt, utilization. With fault injection enabled (-fault-rate or
 // -link-mttf), four accounting columns are appended: retries,
 // home_retries, dropped, fault_cycles.
 //
-// A cell that fails (stall-report abort, configuration error, or
-// panic) emits its row with error=<message> in the first measurement
-// column; the rest of the grid still runs and sweep exits nonzero at
-// the end.
+// Cells run on -workers goroutines (default GOMAXPROCS) through the
+// experiment engine; rows are still emitted in grid order, so the CSV
+// is byte-identical at any worker count. A cell that fails
+// (stall-report abort, configuration error, or panic) emits its row
+// with error=<message> in the first measurement column; the rest of
+// the grid still runs and sweep exits nonzero at the end.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"locality/internal/engine"
 	"locality/internal/faults"
 	"locality/internal/machine"
 	"locality/internal/mapping"
@@ -71,15 +79,10 @@ type cell struct {
 	window   int64
 }
 
-// runCell builds and measures one machine, converting panics from deep
-// inside the simulator into errors so one broken cell cannot kill the
-// sweep.
-func runCell(c cell) (met machine.Metrics, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
-		}
-	}()
+// runCell builds and measures one machine. Panics from deep inside the
+// simulator are recovered by the engine, so one broken cell cannot
+// kill the sweep.
+func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 	cfg := machine.DefaultConfig(c.tor, c.m, c.contexts)
 	cfg.ClockRatio = c.ratio
 	if c.prefetch {
@@ -102,7 +105,7 @@ func runCell(c cell) (met machine.Metrics, err error) {
 	if err != nil {
 		return machine.Metrics{}, err
 	}
-	return mach.RunMeasuredChecked(c.warmup, c.window)
+	return mach.RunMeasuredChecked(ctx, c.warmup, c.window)
 }
 
 func main() {
@@ -120,7 +123,12 @@ func main() {
 	linkMTTF := flag.Float64("link-mttf", 0, "mean N-cycles between transient faults per link (0 disables)")
 	linkStall := flag.String("link-stall", "", "link stall duration bounds, lo..hi N-cycles (default 16..256)")
 	watchdog := flag.Int64("watchdog", 0, "abort a cell after this many P-cycles without progress (0 = auto when faults enabled)")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	tor, err := topology.New(*k, *n)
 	if err != nil {
@@ -169,21 +177,50 @@ func main() {
 		fatal(err)
 	}
 
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
-	failed := 0
+	// The grid: contexts-major, mappings-minor, matching the CSV's
+	// historical row order.
+	type meta struct {
+		m *mapping.Mapping
+		p int
+	}
+	var metas []meta
+	var cells []engine.Cell[machine.Metrics]
 	for _, p := range contexts {
 		for _, m := range maps {
+			p, m := p, m
 			c := cell{
 				tor: tor, m: m, contexts: p, prefetch: *prefetch, ratio: *ratio,
 				spec: spec, watchdog: wd, warmup: *warmup, window: *window,
 			}
-			met, err := runCell(c)
+			metas = append(metas, meta{m: m, p: p})
+			cells = append(cells, engine.Cell[machine.Metrics]{
+				Key: fmt.Sprintf("%s p=%d", m.Name, p),
+				Run: func(ctx context.Context) (machine.Metrics, error) {
+					return runCell(ctx, c)
+				},
+			})
+		}
+	}
+
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	failed := 0
+	var prog io.Writer
+	if *progress {
+		prog = os.Stderr
+	}
+	// OnResult fires in grid order regardless of which worker finished
+	// first, so rows stream to the CSV exactly as the sequential sweep
+	// emitted them.
+	opts := engine.Options[machine.Metrics]{
+		Exec: engine.Exec{Workers: *workers, Progress: prog},
+		OnResult: func(r engine.Result[machine.Metrics]) {
+			m, p, met := metas[r.Index].m, metas[r.Index].p, r.Row
 			var row []string
-			if err != nil {
+			if r.Err != nil {
 				failed++
-				fmt.Fprintf(os.Stderr, "sweep: %s p=%d: %v\n", m.Name, p, err)
+				fmt.Fprintf(os.Stderr, "sweep: %s p=%d: %v\n", m.Name, p, r.Err)
 				row = []string{m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch),
-					"error=" + err.Error()}
+					"error=" + r.Err.Error()}
 				for len(row) < len(header) {
 					row = append(row, "")
 				}
@@ -204,10 +241,11 @@ func main() {
 				fatal(err)
 			}
 			cw.Flush() // stream rows as runs finish
-		}
+		},
 	}
+	engine.Grid(ctx, cells, opts)
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d of %d cells failed\n", failed, len(contexts)*len(maps))
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d cells failed\n", failed, len(cells))
 		os.Exit(1)
 	}
 }

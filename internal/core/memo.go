@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SolveCache memoizes Config.Solve results keyed by the canonicalized
+// configuration. The experiment grids resolve the same operating
+// points over and over — every Figure 7 size shares one ideal-mapping
+// (d=1) solve, Figure 8 revisits Figure 7's configurations, and the
+// parallel engine makes repeated solves concurrent — so the analytical
+// half of a figures run collapses to one bisection per distinct
+// configuration. Safe for concurrent use; a concurrent miss on the
+// same key may solve twice, which is harmless because Solve is
+// deterministic.
+type SolveCache struct {
+	m            sync.Map // Config -> solveEntry
+	hits, misses atomic.Int64
+}
+
+type solveEntry struct {
+	sol Solution
+	err error
+}
+
+// Solve returns cfg.Solve(), memoized. Configurations that cannot be
+// canonicalized to a valid map key (NaN parameters) fall through to a
+// direct solve and are never stored.
+func (sc *SolveCache) Solve(cfg Config) (Solution, error) {
+	key, ok := cfg.canonical()
+	if !ok {
+		sc.misses.Add(1)
+		return cfg.Solve()
+	}
+	if e, found := sc.m.Load(key); found {
+		sc.hits.Add(1)
+		ent := e.(solveEntry)
+		return ent.sol, ent.err
+	}
+	sc.misses.Add(1)
+	sol, err := cfg.Solve()
+	sc.m.Store(key, solveEntry{sol: sol, err: err})
+	return sol, err
+}
+
+// Stats returns the cache's lifetime hit and miss counts.
+func (sc *SolveCache) Stats() (hits, misses int64) {
+	return sc.hits.Load(), sc.misses.Load()
+}
+
+// Len counts the stored entries.
+func (sc *SolveCache) Len() int {
+	n := 0
+	sc.m.Range(func(any, any) bool { n++; return true })
+	return n
+}
+
+// DefaultSolveCache is the process-wide cache behind SolveCached. The
+// entry set is bounded by the distinct configurations a process
+// solves, each a couple of hundred bytes.
+var DefaultSolveCache SolveCache
+
+// SolveCached is Solve through the process-wide memoization cache. Use
+// it on analytical sweep paths that revisit operating points; results
+// are bit-identical to Solve because Solve is deterministic.
+func (c Config) SolveCached() (Solution, error) {
+	return DefaultSolveCache.Solve(c)
+}
+
+// canonical normalizes a configuration to its cache key, mapping
+// configurations that provably share a solution onto one key: a
+// single-context processor never pays the context-switch cost, so
+// SwitchTime is zeroed at p = 1. The second result is false when the
+// configuration contains NaN fields, which would break map-key
+// equality (NaN != NaN) and leak unmatchable entries.
+func (c Config) canonical() (Config, bool) {
+	if c != c { // any NaN field makes the struct unequal to itself
+		return Config{}, false
+	}
+	if c.App.Contexts == 1 {
+		c.App.SwitchTime = 0
+	}
+	return c, true
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSolveCacheHitsAndIdentity(t *testing.T) {
+	var sc SolveCache
+	cfg := Alewife(2, 4.06)
+	want, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := sc.Solve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("cached solution %+v differs from direct %+v", got, want)
+		}
+	}
+	hits, misses := sc.Stats()
+	if misses != 1 || hits != 4 {
+		t.Errorf("hits=%d misses=%d, want 4/1", hits, misses)
+	}
+	if sc.Len() != 1 {
+		t.Errorf("len = %d, want 1", sc.Len())
+	}
+}
+
+func TestSolveCacheCanonicalizesSwitchTime(t *testing.T) {
+	// A single-context processor never pays Tc, so configs differing
+	// only in SwitchTime at p=1 share one cache entry.
+	var sc SolveCache
+	a := Alewife(1, 4.06)
+	b := a
+	b.App.SwitchTime = a.App.SwitchTime + 7
+	solA, err := sc.Solve(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solB, err := sc.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solA != solB {
+		t.Fatalf("canonically equal configs solved differently: %+v vs %+v", solA, solB)
+	}
+	if hits, misses := sc.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// At p=2 the switch time matters and must key separately.
+	c := Alewife(2, 4.06)
+	d := c
+	d.App.SwitchTime = c.App.SwitchTime + 7
+	if _, err := sc.Solve(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Solve(d); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Len() != 3 {
+		t.Errorf("len = %d, want 3 distinct entries", sc.Len())
+	}
+}
+
+func TestSolveCacheCachesErrors(t *testing.T) {
+	var sc SolveCache
+	bad := Alewife(1, 4.06)
+	bad.ClockRatio = -1
+	if _, err := sc.Solve(bad); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	if _, err := sc.Solve(bad); err == nil {
+		t.Fatal("cached invalid config should still error")
+	}
+	if hits, _ := sc.Stats(); hits != 1 {
+		t.Errorf("error results should be memoized too, hits = %d", hits)
+	}
+}
+
+func TestSolveCacheRejectsNaN(t *testing.T) {
+	var sc SolveCache
+	cfg := Alewife(1, 4.06)
+	cfg.D = math.NaN()
+	if _, err := sc.Solve(cfg); err == nil {
+		t.Fatal("NaN distance should fail validation")
+	}
+	if sc.Len() != 0 {
+		t.Errorf("NaN config must not be stored, len = %d", sc.Len())
+	}
+}
+
+func TestSolveCacheConcurrent(t *testing.T) {
+	// Exercised under -race: concurrent mixed hits and misses.
+	var sc SolveCache
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cfg := Alewife(1+g%3, 1+float64(i%10))
+				if _, err := sc.Solve(cfg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := sc.Len(); n != 30 {
+		t.Errorf("distinct entries = %d, want 30", n)
+	}
+}

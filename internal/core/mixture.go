@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // The paper folds all information about communication patterns into a
@@ -124,5 +125,8 @@ func NeighborDistanceMix(distances map[int]float64) ([]DistanceClass, error) {
 	for d, w := range distances {
 		mix = append(mix, DistanceClass{Distance: float64(d), Weight: w / sum})
 	}
+	// Map iteration order is random; sort so the mix (and every float
+	// summation over it) is identical across runs and worker counts.
+	sort.Slice(mix, func(i, j int) bool { return mix[i].Distance < mix[j].Distance })
 	return mix, nil
 }

@@ -1,0 +1,237 @@
+// Package engine executes declarative grids of independent experiment
+// cells on a bounded worker pool. Every headline result in the paper —
+// the validation sweep, the gain curves, the sensitivity tables — is an
+// embarrassingly parallel grid of machine simulations or model solves;
+// this package is the one place that knows how to fan such a grid out
+// across cores while keeping three guarantees the sequential drivers
+// used to provide implicitly:
+//
+//   - Determinism: results come back in grid order, independent of how
+//     the scheduler interleaves workers. OnResult callbacks fire in
+//     grid order too, as soon as the completed prefix extends, so CSV
+//     rows can stream without reordering.
+//   - Isolation: a cell that fails — returning an error or panicking
+//     deep inside the simulator — yields an error Result; the rest of
+//     the grid still runs and the caller decides whether one bad cell
+//     sinks the study.
+//   - Cancellation: the context passed to Grid reaches every cell's
+//     Run function, so Ctrl-C (or a test deadline) stops in-flight
+//     simulations at the next poll point and marks unstarted cells
+//     with the context's error.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Cell is one grid point: a key naming it in progress output and error
+// reports, and the function that computes its row.
+type Cell[T any] struct {
+	// Key identifies the cell ("random:1/p=2", "N=4096", ...).
+	Key string
+	// Run computes the cell's row. It must honor ctx cancellation at
+	// its own poll granularity and may be called from any worker
+	// goroutine; cells must not share mutable state.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Result is one cell's outcome, delivered in grid order.
+type Result[T any] struct {
+	// Index is the cell's position in the input grid.
+	Index int
+	// Key echoes the cell's key.
+	Key string
+	// Row is the computed row; the zero value when Err is set.
+	Row T
+	// Err is the cell's failure: the error Run returned, a recovered
+	// panic ("panic: ..."), or the context error for cells that never
+	// started because the grid was canceled.
+	Err error
+	// Elapsed is the cell's wall time (zero for never-started cells).
+	Elapsed time.Duration
+}
+
+// Exec configures how a grid executes. The zero value runs on
+// GOMAXPROCS workers with no progress output, which is what library
+// callers (tests, benchmarks) want; the cmds wire -workers and
+// -progress flags into it.
+type Exec struct {
+	// Workers bounds concurrent cells; <= 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one line as each cell starts
+	// and finishes plus a final summary — streamed, unordered, meant
+	// for stderr.
+	Progress io.Writer
+}
+
+// Options configures one Grid call.
+type Options[T any] struct {
+	Exec
+	// OnResult, when non-nil, is called in strict grid order as the
+	// completed prefix of the grid extends. It runs on whichever
+	// worker goroutine completed the prefix, one call at a time.
+	OnResult func(Result[T])
+}
+
+// Stats summarizes a completed grid.
+type Stats struct {
+	// Cells is the grid size; Started counts cells whose Run was
+	// invoked; Failed counts results with a non-nil Err (including
+	// cancellations).
+	Cells, Started, Failed int
+	// Workers is the resolved worker count.
+	Workers int
+	// Wall is the whole grid's wall time; CellTime is the sum of
+	// per-cell wall times (CellTime/Wall is the achieved parallelism).
+	Wall, CellTime time.Duration
+}
+
+// String formats the summary line the Progress writer receives.
+func (s Stats) String() string {
+	return fmt.Sprintf("engine: %d cells (%d started, %d failed) on %d workers in %v (cell time %v)",
+		s.Cells, s.Started, s.Failed, s.Workers, s.Wall.Round(time.Millisecond), s.CellTime.Round(time.Millisecond))
+}
+
+// Grid runs every cell and returns the results in grid order:
+// result i corresponds to cells[i] regardless of scheduling. Per-cell
+// failures (errors, panics) are captured in the Result rather than
+// aborting the grid; use FirstError or Rows to apply fail-fast
+// semantics afterwards. Canceling ctx stops unstarted cells
+// immediately and in-flight cells at their next poll point.
+func Grid[T any](ctx context.Context, cells []Cell[T], opts Options[T]) ([]Result[T], Stats) {
+	n := len(cells)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	stats := Stats{Cells: n, Workers: workers}
+	if n == 0 {
+		return nil, stats
+	}
+
+	results := make([]Result[T], n)
+	begin := time.Now()
+
+	var mu sync.Mutex // guards done/next/stats counters and Progress writes
+	done := make([]bool, n)
+	next := 0 // first index not yet delivered to OnResult
+
+	// deliver marks cell i complete and flushes the contiguous
+	// completed prefix through OnResult, preserving grid order.
+	deliver := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = true
+		if results[i].Err != nil {
+			stats.Failed++
+		}
+		stats.CellTime += results[i].Elapsed
+		for next < n && done[next] {
+			if opts.OnResult != nil {
+				opts.OnResult(results[next])
+			}
+			next++
+		}
+	}
+
+	logf := func(format string, args ...any) {
+		if opts.Progress == nil {
+			return
+		}
+		mu.Lock()
+		fmt.Fprintf(opts.Progress, format+"\n", args...)
+		mu.Unlock()
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				c := cells[i]
+				if err := ctx.Err(); err != nil {
+					// Grid canceled before this cell started.
+					results[i] = Result[T]{Index: i, Key: c.Key, Err: err}
+					deliver(i)
+					continue
+				}
+				mu.Lock()
+				stats.Started++
+				started := stats.Started
+				mu.Unlock()
+				logf("engine: start %d/%d %s", started, n, c.Key)
+				t0 := time.Now()
+				row, err := runCell(ctx, c)
+				elapsed := time.Since(t0)
+				results[i] = Result[T]{Index: i, Key: c.Key, Row: row, Err: err, Elapsed: elapsed}
+				if err != nil {
+					logf("engine: fail  %d/%d %s in %v: %v", started, n, c.Key, elapsed.Round(time.Millisecond), err)
+				} else {
+					logf("engine: done  %d/%d %s in %v", started, n, c.Key, elapsed.Round(time.Millisecond))
+				}
+				deliver(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	stats.Wall = time.Since(begin)
+	if opts.Progress != nil {
+		fmt.Fprintln(opts.Progress, stats.String())
+	}
+	return results, stats
+}
+
+// runCell invokes one cell, converting panics from deep inside the
+// simulator into ordinary errors so one broken cell cannot kill the
+// grid.
+func runCell[T any](ctx context.Context, c Cell[T]) (row T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if c.Run == nil {
+		return row, fmt.Errorf("engine: cell %q has no Run function", c.Key)
+	}
+	return c.Run(ctx)
+}
+
+// FirstError returns the first failed result in grid order, or nil.
+// It restores the sequential drivers' fail-fast semantics: the error
+// reported is the one the old code would have stopped at.
+func FirstError[T any](results []Result[T]) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Rows unwraps the result rows in grid order, failing on the first
+// cell error.
+func Rows[T any](results []Result[T]) ([]T, error) {
+	if err := FirstError(results); err != nil {
+		return nil, err
+	}
+	rows := make([]T, len(results))
+	for i, r := range results {
+		rows[i] = r.Row
+	}
+	return rows, nil
+}

@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
-	"text/tabwriter"
 
 	"locality/internal/core"
+	"locality/internal/engine"
 )
 
 // ContentionRow quantifies how much of average message latency is due
@@ -24,42 +24,52 @@ type ContentionRow struct {
 	Utilization float64
 }
 
+// ContentionConfig controls the contention-share study.
+type ContentionConfig struct {
+	engine.Exec
+	// Sizes is the grid of machine sizes N.
+	Sizes []float64
+	// Contexts is the hardware context count.
+	Contexts int
+}
+
+// DefaultContentionConfig sweeps 64 processors to a million at one
+// point per decade with the one-context application.
+func DefaultContentionConfig() ContentionConfig {
+	return ContentionConfig{Sizes: core.LogSizes(64, 1e6, 1), Contexts: 1}
+}
+
 // RunContentionShare reproduces the Section 5 cross-check against
 // Chittor and Enbody: on machines up to ~144 nodes the effect of
 // network contention is observable but does not dominate end
 // performance, while extrapolation to thousands of nodes makes it
-// substantial. Both conclusions fall out of the combined model.
-func RunContentionShare(sizes []float64, contexts int) ([]ContentionRow, error) {
-	cfg := core.AlewifeLargeScale(contexts, 1)
-	var rows []ContentionRow
-	for _, n := range sizes {
-		d := core.RandomMappingDistance(cfg.Net.Dims, n)
-		sol, err := cfg.WithDistance(d).Solve()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: contention share at N=%g: %w", n, err)
+// substantial. Both conclusions fall out of the combined model, one
+// engine cell per machine size.
+func RunContentionShare(ctx context.Context, fc ContentionConfig) ([]ContentionRow, error) {
+	cfg := core.AlewifeLargeScale(fc.Contexts, 1)
+	cells := make([]engine.Cell[ContentionRow], len(fc.Sizes))
+	for i, n := range fc.Sizes {
+		n := n
+		cells[i] = engine.Cell[ContentionRow]{
+			Key: fmt.Sprintf("contention N=%g", n),
+			Run: func(ctx context.Context) (ContentionRow, error) {
+				d := core.RandomMappingDistance(cfg.Net.Dims, n)
+				sol, err := cfg.WithDistance(d).SolveCached()
+				if err != nil {
+					return ContentionRow{}, fmt.Errorf("experiments: contention share at N=%g: %w", n, err)
+				}
+				zero := d + cfg.Net.MsgSize // Th = 1 per hop, plus serialization
+				return ContentionRow{
+					Nodes:           n,
+					D:               d,
+					Tm:              sol.MsgLatency,
+					TmZeroLoad:      zero,
+					ContentionShare: (sol.MsgLatency - zero) / sol.MsgLatency,
+					Utilization:     sol.Utilization,
+				}, nil
+			},
 		}
-		zero := d + cfg.Net.MsgSize // Th = 1 per hop, plus serialization
-		rows = append(rows, ContentionRow{
-			Nodes:           n,
-			D:               d,
-			Tm:              sol.MsgLatency,
-			TmZeroLoad:      zero,
-			ContentionShare: (sol.MsgLatency - zero) / sol.MsgLatency,
-			Utilization:     sol.Utilization,
-		})
 	}
-	return rows, nil
-}
-
-// RenderContentionShare prints the contention decomposition.
-func RenderContentionShare(w io.Writer, rows []ContentionRow) {
-	fmt.Fprintln(w, "== Contention share of message latency under random placement (Section 5 cross-check)")
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "N\td\tTm\tTm(zero-load)\tcontention share\tutilization")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%.0f\t%.1f\t%.1f\t%.1f\t%.0f%%\t%.3f\n",
-			r.Nodes, r.D, r.Tm, r.TmZeroLoad, r.ContentionShare*100, r.Utilization)
-	}
-	tw.Flush()
-	fmt.Fprintln(w)
+	results, _ := engine.Grid(ctx, cells, engine.Options[ContentionRow]{Exec: fc.Exec})
+	return engine.Rows(results)
 }

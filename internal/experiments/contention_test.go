@@ -1,13 +1,13 @@
 package experiments
 
 import (
-	"bytes"
-	"strings"
+	"context"
 	"testing"
 )
 
 func TestContentionShareGrowsWithScale(t *testing.T) {
-	rows, err := RunContentionShare([]float64{64, 144, 1024, 16384, 1048576}, 1)
+	fc := ContentionConfig{Sizes: []float64{64, 144, 1024, 16384, 1048576}, Contexts: 1}
+	rows, err := RunContentionShare(context.Background(), fc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,17 +30,5 @@ func TestContentionShareGrowsWithScale(t *testing.T) {
 		if rows[i].ContentionShare < rows[i-1].ContentionShare {
 			t.Errorf("contention share fell between N=%g and N=%g", rows[i-1].Nodes, rows[i].Nodes)
 		}
-	}
-}
-
-func TestContentionShareRender(t *testing.T) {
-	rows, err := RunContentionShare([]float64{64, 1024}, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	RenderContentionShare(&buf, rows)
-	if !strings.Contains(buf.String(), "Contention share") {
-		t.Error("rendering missing header")
 	}
 }

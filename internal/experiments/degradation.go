@@ -1,13 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
-	"text/tabwriter"
 
+	"locality/internal/engine"
 	"locality/internal/faults"
 	"locality/internal/machine"
-	"locality/internal/mapping"
 	"locality/internal/mapsel"
 	"locality/internal/topology"
 )
@@ -32,10 +31,14 @@ type DegradationRow struct {
 	// Err is set when the run failed (stall-report abort or panic); the
 	// measured fields are then zero and the remaining rows still run.
 	Err string
+
+	// txnRate carries the measured rate to the RelPerf post-pass.
+	txnRate float64
 }
 
 // DegradationConfig controls the study.
 type DegradationConfig struct {
+	engine.Exec
 	// Radix and Dims define the machine (8 and 2 in the paper).
 	Radix, Dims int
 	// Contexts is the hardware context count.
@@ -77,11 +80,14 @@ func DefaultDegradationConfig() DegradationConfig {
 	}
 }
 
-// RunDegradation measures the machine at each fault rate. Individual
-// rows that stall or panic are reported in their Err field rather than
-// aborting the sweep, so a fault rate beyond the recoverable regime
-// still yields a complete table.
-func RunDegradation(cfg DegradationConfig) ([]DegradationRow, error) {
+// RunDegradation measures the machine at each fault rate, one engine
+// cell per rate. Individual rows that stall or panic are reported in
+// their Err field rather than aborting the sweep (the engine's per-cell
+// panic recovery covers panics from deep inside the simulator), so a
+// fault rate beyond the recoverable regime still yields a complete
+// table. Relative performance is filled in a grid-order post-pass
+// against the rate-0 baseline row.
+func RunDegradation(ctx context.Context, cfg DegradationConfig) ([]DegradationRow, error) {
 	if len(cfg.Rates) == 0 {
 		return nil, fmt.Errorf("experiments: no fault rates configured")
 	}
@@ -98,75 +104,68 @@ func RunDegradation(cfg DegradationConfig) ([]DegradationRow, error) {
 		wd = faults.Watchdog{StallCycles: 20 * (cfg.Warmup + cfg.Window)}
 	}
 
-	var rows []DegradationRow
-	var baseRate float64
-	for _, rate := range cfg.Rates {
+	cells := make([]engine.Cell[DegradationRow], len(cfg.Rates))
+	specs := make([]string, len(cfg.Rates))
+	for i, rate := range cfg.Rates {
+		rate := rate
 		spec := faults.Spec{Seed: cfg.Seed, LossRate: rate}
 		if rate > 0 && cfg.LinkMTTF > 0 {
 			spec.LinkMTTF = cfg.LinkMTTF / rate
 		}
-		row := DegradationRow{Rate: rate, Spec: spec.String()}
-		met, err := measureDegradationCell(tor, m, cfg, spec, wd)
-		if err != nil {
-			row.Err = err.Error()
-			rows = append(rows, row)
+		specs[i] = spec.String()
+		cells[i] = engine.Cell[DegradationRow]{
+			Key: fmt.Sprintf("degradation rate=%g", rate),
+			Run: func(ctx context.Context) (DegradationRow, error) {
+				row := DegradationRow{Rate: rate, Spec: spec.String()}
+				mc := machine.DefaultConfig(tor, m, cfg.Contexts)
+				if spec.Enabled() {
+					mc.Faults = &spec
+				}
+				mc.Watchdog = wd
+				mach, err := machine.New(mc)
+				if err != nil {
+					return row, err
+				}
+				met, err := mach.RunMeasuredChecked(ctx, cfg.Warmup, cfg.Window)
+				if err != nil {
+					return row, err
+				}
+				row.Tm = met.MsgLatency
+				row.Tt = met.TxnLatency
+				row.InterTxnTime = met.InterTxnTime
+				row.Utilization = met.ChannelUtilization
+				row.Transactions = met.Transactions
+				row.Retries = met.Retries
+				row.HomeRetries = met.HomeRetries
+				row.Dropped = met.DroppedMsgs
+				row.LinkFaultCycles = met.LinkFaultCycles
+				row.txnRate = met.TxnRate
+				return row, nil
+			},
+		}
+	}
+	results, _ := engine.Grid(ctx, cells, engine.Options[DegradationRow]{Exec: cfg.Exec})
+
+	// Failed cells become Err rows; the sweep itself never aborts on a
+	// per-rate failure. A canceled context, however, is a caller-level
+	// stop and propagates.
+	rows := make([]DegradationRow, len(results))
+	var baseRate float64
+	for i, res := range results {
+		if res.Err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			rows[i] = DegradationRow{Rate: cfg.Rates[i], Spec: specs[i], Err: res.Err.Error()}
 			continue
 		}
-		row.Tm = met.MsgLatency
-		row.Tt = met.TxnLatency
-		row.InterTxnTime = met.InterTxnTime
-		row.Utilization = met.ChannelUtilization
-		row.Transactions = met.Transactions
-		row.Retries = met.Retries
-		row.HomeRetries = met.HomeRetries
-		row.Dropped = met.DroppedMsgs
-		row.LinkFaultCycles = met.LinkFaultCycles
-		if rate == 0 {
-			baseRate = met.TxnRate
+		rows[i] = res.Row
+		if rows[i].Rate == 0 {
+			baseRate = rows[i].txnRate
 		}
 		if baseRate > 0 {
-			row.RelPerf = met.TxnRate / baseRate
+			rows[i].RelPerf = rows[i].txnRate / baseRate
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
-}
-
-// measureDegradationCell runs one fault rate, converting panics from
-// deep inside the simulator into ordinary errors so one broken cell
-// cannot kill the sweep.
-func measureDegradationCell(tor *topology.Torus, m *mapping.Mapping, cfg DegradationConfig, spec faults.Spec, wd faults.Watchdog) (met machine.Metrics, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
-		}
-	}()
-	mc := machine.DefaultConfig(tor, m, cfg.Contexts)
-	if spec.Enabled() {
-		mc.Faults = &spec
-	}
-	mc.Watchdog = wd
-	mach, err := machine.New(mc)
-	if err != nil {
-		return machine.Metrics{}, err
-	}
-	return mach.RunMeasuredChecked(cfg.Warmup, cfg.Window)
-}
-
-// RenderDegradation prints the degradation table.
-func RenderDegradation(w io.Writer, rows []DegradationRow) {
-	fmt.Fprintln(w, "== Graceful degradation under injected faults (message loss + retry recovery)")
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "loss rate\tTm\tTt\ttt\tutil\tretries\thome retries\tdropped\tfault cycles\trel perf\terror")
-	for _, r := range rows {
-		if r.Err != "" {
-			fmt.Fprintf(tw, "%.3g\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%s\n", r.Rate, r.Err)
-			continue
-		}
-		fmt.Fprintf(tw, "%.3g\t%.1f\t%.1f\t%.1f\t%.3f\t%d\t%d\t%d\t%d\t%.3f\t\n",
-			r.Rate, r.Tm, r.Tt, r.InterTxnTime, r.Utilization,
-			r.Retries, r.HomeRetries, r.Dropped, r.LinkFaultCycles, r.RelPerf)
-	}
-	tw.Flush()
-	fmt.Fprintln(w)
 }

@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -24,7 +24,7 @@ func fastDegradationConfig() DegradationConfig {
 }
 
 func TestDegradationTmMonotone(t *testing.T) {
-	rows, err := RunDegradation(fastDegradationConfig())
+	rows, err := RunDegradation(context.Background(), fastDegradationConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +62,11 @@ func TestDegradationTmMonotone(t *testing.T) {
 func TestDegradationDeterministic(t *testing.T) {
 	cfg := fastDegradationConfig()
 	cfg.Rates = []float64{0.02}
-	a, err := RunDegradation(cfg)
+	a, err := RunDegradation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunDegradation(cfg)
+	b, err := RunDegradation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestDegradationSurvivesStalledCell(t *testing.T) {
 	cfg.Rates = []float64{0, 1}
 	cfg.Watchdog = faults.Watchdog{StallCycles: 2000}
 	cfg.LinkMTTF = 1e-9 // immediately and permanently down at any rate > 0
-	rows, err := RunDegradation(cfg)
+	rows, err := RunDegradation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,30 +95,29 @@ func TestDegradationSurvivesStalledCell(t *testing.T) {
 	if !strings.Contains(rows[1].Err, "stalled") {
 		t.Errorf("row error %q does not mention the stall", rows[1].Err)
 	}
+	if rows[1].Spec == "" {
+		t.Error("failed row lost its fault spec")
+	}
 }
 
 func TestDegradationConfigErrors(t *testing.T) {
+	ctx := context.Background()
 	cfg := fastDegradationConfig()
 	cfg.Rates = nil
-	if _, err := RunDegradation(cfg); err == nil {
+	if _, err := RunDegradation(ctx, cfg); err == nil {
 		t.Error("empty rates should error")
 	}
 	cfg = fastDegradationConfig()
 	cfg.Mapping = "bogus"
-	if _, err := RunDegradation(cfg); err == nil {
+	if _, err := RunDegradation(ctx, cfg); err == nil {
 		t.Error("bad mapping selector should error")
 	}
 }
 
-func TestRenderDegradation(t *testing.T) {
-	rows := []DegradationRow{
-		{Rate: 0, Tm: 30, Tt: 60, InterTxnTime: 50, RelPerf: 1},
-		{Rate: 0.5, Err: "machine stalled"},
-	}
-	var buf bytes.Buffer
-	RenderDegradation(&buf, rows)
-	out := buf.String()
-	if !strings.Contains(out, "Graceful degradation") || !strings.Contains(out, "machine stalled") {
-		t.Errorf("rendering incomplete:\n%s", out)
+func TestDegradationCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunDegradation(ctx, fastDegradationConfig()); err == nil {
+		t.Error("canceled context should abort the sweep, not produce Err rows")
 	}
 }

@@ -1,9 +1,9 @@
 package experiments
 
 import (
-	"bytes"
+	"context"
 	"math"
-	"strings"
+	"reflect"
 	"testing"
 
 	"locality/internal/core"
@@ -31,7 +31,7 @@ func fastValidationConfig() ValidationConfig {
 }
 
 func TestRunValidationStructure(t *testing.T) {
-	v, err := RunValidation(fastValidationConfig())
+	v, err := RunValidation(context.Background(), fastValidationConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestValidationSlopeScalesWithContexts(t *testing.T) {
 			mapping.Optimize(tor, 2, +1, 40),
 		},
 	}
-	v, err := RunValidation(cfg)
+	v, err := RunValidation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestValidationModelAgreement(t *testing.T) {
 	// measurements within a few percent and latencies within a few
 	// network cycles. The scaled-down machine is noisier than the full
 	// 64-node study, so the tolerances here are modestly wider.
-	v, err := RunValidation(fastValidationConfig())
+	v, err := RunValidation(context.Background(), fastValidationConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,26 +131,27 @@ func TestValidationModelAgreement(t *testing.T) {
 }
 
 func TestRunValidationErrors(t *testing.T) {
+	ctx := context.Background()
 	cfg := fastValidationConfig()
 	cfg.Radix = 1
-	if _, err := RunValidation(cfg); err == nil {
+	if _, err := RunValidation(ctx, cfg); err == nil {
 		t.Error("invalid radix should error")
 	}
 	cfg = fastValidationConfig()
 	cfg.Contexts = nil
-	if _, err := RunValidation(cfg); err == nil {
+	if _, err := RunValidation(ctx, cfg); err == nil {
 		t.Error("empty context list should error")
 	}
 	cfg = fastValidationConfig()
 	cfg.Mappings = []*mapping.Mapping{mapping.Identity(topology.MustNew(8, 2))}
-	if _, err := RunValidation(cfg); err == nil {
+	if _, err := RunValidation(ctx, cfg); err == nil {
 		t.Error("mismatched mapping should error")
 	}
 }
 
 func TestFigure6(t *testing.T) {
 	sizes := core.LogSizes(100, 1e6, 1)
-	res, err := RunFigure6(sizes)
+	res, err := RunFigure6(context.Background(), Figure6Config{Sizes: sizes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,8 +176,8 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestFigure7(t *testing.T) {
-	sizes := []float64{10, 1000, 1e6}
-	res, err := RunFigure7(sizes, []int{1, 2, 4})
+	fc := Figure7Config{Sizes: []float64{10, 1000, 1e6}, Contexts: []int{1, 2, 4}}
+	res, err := RunFigure7(context.Background(), fc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,8 @@ func TestFigure7(t *testing.T) {
 }
 
 func TestFigure8(t *testing.T) {
-	cases, err := RunFigure8(1000, []int{1, 2, 4})
+	fc := Figure8Config{Nodes: 1000, Contexts: []int{1, 2, 4}}
+	cases, err := RunFigure8(context.Background(), fc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +233,7 @@ func TestFigure8(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	rows, err := RunTable1()
+	rows, err := RunTable1(context.Background(), DefaultTable1Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,55 +259,32 @@ func TestTable1(t *testing.T) {
 	}
 }
 
-func TestRenderers(t *testing.T) {
-	var buf bytes.Buffer
-
-	v, err := RunValidation(fastValidationConfig())
+func TestExperimentsParallelMatchesSequential(t *testing.T) {
+	// The engine's determinism guarantee, end to end: the same study at
+	// -workers=1 and -workers=8 must produce identical rows.
+	seq := fastValidationConfig()
+	par := fastValidationConfig()
+	par.Workers = 8
+	a, err := RunValidation(context.Background(), seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	RenderValidation(&buf, v)
-	if !strings.Contains(buf.String(), "application message curve") {
-		t.Error("validation rendering missing header")
-	}
-
-	buf.Reset()
-	f6, err := RunFigure6([]float64{100, 1000})
+	b, err := RunValidation(context.Background(), par)
 	if err != nil {
 		t.Fatal(err)
 	}
-	RenderFigure6(&buf, f6)
-	if !strings.Contains(buf.String(), "Figure 6") {
-		t.Error("figure 6 rendering missing header")
+	if len(a.Curves) != len(b.Curves) {
+		t.Fatalf("curve counts differ: %d vs %d", len(a.Curves), len(b.Curves))
 	}
-
-	buf.Reset()
-	f7, err := RunFigure7([]float64{10, 100}, []int{1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	RenderFigure7(&buf, f7)
-	if !strings.Contains(buf.String(), "Figure 7") {
-		t.Error("figure 7 rendering missing header")
-	}
-
-	buf.Reset()
-	f8, err := RunFigure8(1000, []int{1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	RenderFigure8(&buf, f8)
-	if !strings.Contains(buf.String(), "Figure 8") {
-		t.Error("figure 8 rendering missing header")
-	}
-
-	buf.Reset()
-	t1, err := RunTable1()
-	if err != nil {
-		t.Fatal(err)
-	}
-	RenderTable1(&buf, t1)
-	if !strings.Contains(buf.String(), "Table 1") {
-		t.Error("table 1 rendering missing header")
+	for i := range a.Curves {
+		ca, cb := a.Curves[i], b.Curves[i]
+		if ca.S != cb.S || ca.K != cb.K || ca.R2 != cb.R2 {
+			t.Errorf("p=%d: fits differ between 1 and 8 workers", ca.P)
+		}
+		for j := range ca.Points {
+			if !reflect.DeepEqual(ca.Points[j], cb.Points[j]) {
+				t.Errorf("p=%d point %d differs between 1 and 8 workers", ca.P, j)
+			}
+		}
 	}
 }

@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
-	"text/tabwriter"
 
 	"locality/internal/core"
+	"locality/internal/engine"
 	"locality/internal/machine"
 	"locality/internal/mapsel"
 	"locality/internal/topology"
@@ -36,6 +36,7 @@ type ToleranceRow struct {
 
 // ToleranceConfig controls the study.
 type ToleranceConfig struct {
+	engine.Exec
 	Radix, Dims    int
 	Warmup, Window int64
 	// Mapping selector (mapsel syntax) for the placement under test.
@@ -51,8 +52,9 @@ func DefaultToleranceConfig() ToleranceConfig {
 // RunTolerance simulates six machines on the same workload and
 // placement: blocking single-context (the baseline), single-context
 // with prefetching, with weak ordering, with both combined, and
-// block-multithreaded with two and four contexts.
-func RunTolerance(cfg ToleranceConfig) ([]ToleranceRow, error) {
+// block-multithreaded with two and four contexts — one engine cell per
+// variant, with speedups computed against the baseline row afterwards.
+func RunTolerance(ctx context.Context, cfg ToleranceConfig) ([]ToleranceRow, error) {
 	tor, err := topology.New(cfg.Radix, cfg.Dims)
 	if err != nil {
 		return nil, err
@@ -77,56 +79,53 @@ func RunTolerance(cfg ToleranceConfig) ([]ToleranceRow, error) {
 		{"multithreaded (p=2)", 2, false, false},
 		{"multithreaded (p=4)", 4, false, false},
 	}
-	var rows []ToleranceRow
-	var baseTT float64
-	for _, v := range variants {
-		mc := machine.DefaultConfig(tor, m, v.contexts)
-		if v.prefetch || v.weak {
-			mc.Workload = workload.RelaxationConfig{
-				Graph:        tor,
-				Map:          m,
-				Instances:    v.contexts,
-				LineSize:     mc.LineSize,
-				ReadCompute:  mc.ReadCompute,
-				WriteCompute: mc.WriteCompute,
-				Prefetch:     v.prefetch,
-				WeakOrdering: v.weak,
-			}
+	cells := make([]engine.Cell[ToleranceRow], len(variants))
+	for i, v := range variants {
+		v := v
+		cells[i] = engine.Cell[ToleranceRow]{
+			Key: fmt.Sprintf("tolerance %s", v.label),
+			Run: func(ctx context.Context) (ToleranceRow, error) {
+				mc := machine.DefaultConfig(tor, m, v.contexts)
+				if v.prefetch || v.weak {
+					mc.Workload = workload.RelaxationConfig{
+						Graph:        tor,
+						Map:          m,
+						Instances:    v.contexts,
+						LineSize:     mc.LineSize,
+						ReadCompute:  mc.ReadCompute,
+						WriteCompute: mc.WriteCompute,
+						Prefetch:     v.prefetch,
+						WeakOrdering: v.weak,
+					}
+				}
+				mach, err := machine.New(mc)
+				if err != nil {
+					return ToleranceRow{}, fmt.Errorf("experiments: tolerance %q: %w", v.label, err)
+				}
+				met, err := mach.RunMeasuredChecked(ctx, cfg.Warmup, cfg.Window)
+				if err != nil {
+					return ToleranceRow{}, fmt.Errorf("experiments: tolerance %q: %w", v.label, err)
+				}
+				return ToleranceRow{
+					Label:        v.label,
+					Mapping:      m.Name,
+					D:            d,
+					InterTxnTime: met.InterTxnTime,
+					MsgLatency:   met.MsgLatency,
+				}, nil
+			},
 		}
-		mach, err := machine.New(mc)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: tolerance %q: %w", v.label, err)
-		}
-		met := mach.RunMeasured(cfg.Warmup, cfg.Window)
-		row := ToleranceRow{
-			Label:        v.label,
-			Mapping:      m.Name,
-			D:            d,
-			InterTxnTime: met.InterTxnTime,
-			MsgLatency:   met.MsgLatency,
-		}
-		if baseTT == 0 {
-			baseTT = met.InterTxnTime
-		}
-		row.SpeedupVsBase = baseTT / met.InterTxnTime
-		rows = append(rows, row)
+	}
+	results, _ := engine.Grid(ctx, cells, engine.Options[ToleranceRow]{Exec: cfg.Exec})
+	rows, err := engine.Rows(results)
+	if err != nil {
+		return nil, err
+	}
+	baseTT := rows[0].InterTxnTime
+	for i := range rows {
+		rows[i].SpeedupVsBase = baseTT / rows[i].InterTxnTime
 	}
 	return rows, nil
-}
-
-// RenderTolerance prints the tolerance comparison.
-func RenderTolerance(w io.Writer, rows []ToleranceRow) {
-	fmt.Fprintln(w, "== Latency tolerance mechanisms (extension): blocking vs prefetching vs multithreading")
-	if len(rows) > 0 {
-		fmt.Fprintf(w, "   mapping %s, d = %.2f hops\n", rows[0].Mapping, rows[0].D)
-	}
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "mechanism\ttt (P-cycles)\tTm (N-cycles)\tspeedup vs blocking")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.2fx\n", r.Label, r.InterTxnTime, r.MsgLatency, r.SpeedupVsBase)
-	}
-	tw.Flush()
-	fmt.Fprintln(w)
 }
 
 // DimensionRow is one network dimension's model evaluation at a fixed
@@ -143,38 +142,51 @@ type DimensionRow struct {
 	HopLimit float64
 }
 
+// DimensionConfig controls the dimension study.
+type DimensionConfig struct {
+	engine.Exec
+	// Nodes is the fixed machine size.
+	Nodes float64
+	// Dims lists the mesh dimensions to evaluate.
+	Dims []int
+	// Contexts is the hardware context count.
+	Contexts int
+}
+
+// DefaultDimensionConfig evaluates a 4,096-processor machine across
+// mesh dimensions one through six with the one-context application.
+func DefaultDimensionConfig() DimensionConfig {
+	return DimensionConfig{Nodes: 4096, Dims: []int{1, 2, 3, 4, 5, 6}, Contexts: 1}
+}
+
 // RunDimensionStudy evaluates the combined model across mesh
 // dimensions at one machine size (Section 4.2's closing analysis:
 // higher n shortens random-mapping distances and lowers Th, shrinking
-// both the need for and the benefit of exploiting locality).
-func RunDimensionStudy(nodes float64, dims []int, contexts int) ([]DimensionRow, error) {
-	var rows []DimensionRow
-	for _, n := range dims {
-		cfg := core.AlewifeLargeScale(contexts, 1)
-		cfg.Net.Dims = n
-		g, err := core.ExpectedGain(cfg, nodes)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: dimension study n=%d: %w", n, err)
+// both the need for and the benefit of exploiting locality), one
+// engine cell per dimension.
+func RunDimensionStudy(ctx context.Context, fc DimensionConfig) ([]DimensionRow, error) {
+	cells := make([]engine.Cell[DimensionRow], len(fc.Dims))
+	for i, n := range fc.Dims {
+		n := n
+		cells[i] = engine.Cell[DimensionRow]{
+			Key: fmt.Sprintf("dimensions n=%d", n),
+			Run: func(ctx context.Context) (DimensionRow, error) {
+				cfg := core.AlewifeLargeScale(fc.Contexts, 1)
+				cfg.Net.Dims = n
+				g, err := core.ExpectedGain(cfg, fc.Nodes)
+				if err != nil {
+					return DimensionRow{}, fmt.Errorf("experiments: dimension study n=%d: %w", n, err)
+				}
+				return DimensionRow{
+					Dims:            n,
+					RandomDistance:  g.RandomDistance,
+					Gain:            g.Gain,
+					RandomIssueTime: g.Random.IssueTime,
+					HopLimit:        core.HopLatencyLimit(cfg),
+				}, nil
+			},
 		}
-		rows = append(rows, DimensionRow{
-			Dims:            n,
-			RandomDistance:  g.RandomDistance,
-			Gain:            g.Gain,
-			RandomIssueTime: g.Random.IssueTime,
-			HopLimit:        core.HopLatencyLimit(cfg),
-		})
 	}
-	return rows, nil
-}
-
-// RenderDimensionStudy prints the dimension sweep.
-func RenderDimensionStudy(w io.Writer, nodes float64, rows []DimensionRow) {
-	fmt.Fprintf(w, "== Network dimension study (extension) at N = %.0f processors\n", nodes)
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "n\td(random)\tTh limit\tlocality gain\ttt(random, P-cycles)")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%.1f\t%.2f\t%.2f\t%.1f\n", r.Dims, r.RandomDistance, r.HopLimit, r.Gain, r.RandomIssueTime)
-	}
-	tw.Flush()
-	fmt.Fprintln(w)
+	results, _ := engine.Grid(ctx, cells, engine.Options[DimensionRow]{Exec: fc.Exec})
+	return engine.Rows(results)
 }

@@ -1,14 +1,13 @@
 package experiments
 
 import (
-	"bytes"
-	"strings"
+	"context"
 	"testing"
 )
 
 func TestRunTolerance(t *testing.T) {
 	cfg := ToleranceConfig{Radix: 4, Dims: 2, Warmup: 1500, Window: 6000, Mapping: "random:1"}
-	rows, err := RunTolerance(cfg)
+	rows, err := RunTolerance(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,20 +35,22 @@ func TestRunTolerance(t *testing.T) {
 }
 
 func TestRunToleranceErrors(t *testing.T) {
+	ctx := context.Background()
 	cfg := DefaultToleranceConfig()
 	cfg.Mapping = "bogus"
-	if _, err := RunTolerance(cfg); err == nil {
+	if _, err := RunTolerance(ctx, cfg); err == nil {
 		t.Error("bad mapping selector should error")
 	}
 	cfg = DefaultToleranceConfig()
 	cfg.Radix = 0
-	if _, err := RunTolerance(cfg); err == nil {
+	if _, err := RunTolerance(ctx, cfg); err == nil {
 		t.Error("bad radix should error")
 	}
 }
 
 func TestRunDimensionStudy(t *testing.T) {
-	rows, err := RunDimensionStudy(4096, []int{1, 2, 3, 4}, 1)
+	fc := DimensionConfig{Nodes: 4096, Dims: []int{1, 2, 3, 4}, Contexts: 1}
+	rows, err := RunDimensionStudy(context.Background(), fc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,27 +72,5 @@ func TestRunDimensionStudy(t *testing.T) {
 		if rows[i].RandomIssueTime >= rows[i-1].RandomIssueTime {
 			t.Errorf("n=%d: random-mapping tt should improve with dimension", rows[i].Dims)
 		}
-	}
-}
-
-func TestExtensionRenderers(t *testing.T) {
-	var buf bytes.Buffer
-	rows, err := RunDimensionStudy(1024, []int{2, 3}, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	RenderDimensionStudy(&buf, 1024, rows)
-	if !strings.Contains(buf.String(), "dimension study") {
-		t.Error("dimension rendering missing header")
-	}
-
-	buf.Reset()
-	tol, err := RunTolerance(ToleranceConfig{Radix: 4, Dims: 2, Warmup: 500, Window: 2000, Mapping: "identity"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	RenderTolerance(&buf, tol)
-	if !strings.Contains(buf.String(), "Latency tolerance") {
-		t.Error("tolerance rendering missing header")
 	}
 }

@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
-	"text/tabwriter"
 
 	"locality/internal/core"
+	"locality/internal/engine"
 	"locality/internal/machine"
 	"locality/internal/mapping"
 	"locality/internal/topology"
@@ -29,6 +29,7 @@ type GainSimRow struct {
 
 // GainSimConfig controls the study.
 type GainSimConfig struct {
+	engine.Exec
 	// Radices are the torus side lengths to simulate (dims fixed at 2).
 	Radices []int
 	// Contexts is the hardware context count.
@@ -45,70 +46,73 @@ func DefaultGainSimConfig() GainSimConfig {
 }
 
 // RunGainSim measures locality gain on real simulations and pairs each
-// measurement with the model's prediction. The model runs on the
-// Alewife-calibrated preset with the simulator's grain estimate, so no
-// per-size fitting is involved — this is a genuine cross-validation.
-func RunGainSim(cfg GainSimConfig) ([]GainSimRow, error) {
+// measurement with the model's prediction, one engine cell per machine
+// size (each cell simulates the ideal and random placements back to
+// back). The model runs on the Alewife-calibrated preset with the
+// simulator's grain estimate, so no per-size fitting is involved —
+// this is a genuine cross-validation.
+func RunGainSim(ctx context.Context, cfg GainSimConfig) ([]GainSimRow, error) {
 	if len(cfg.Radices) == 0 {
 		return nil, fmt.Errorf("experiments: no radices configured")
 	}
-	var rows []GainSimRow
-	for _, k := range cfg.Radices {
-		tor, err := topology.New(k, 2)
-		if err != nil {
-			return nil, err
+	cells := make([]engine.Cell[GainSimRow], len(cfg.Radices))
+	for i, k := range cfg.Radices {
+		k := k
+		cells[i] = engine.Cell[GainSimRow]{
+			Key: fmt.Sprintf("gainsim k=%d", k),
+			Run: func(ctx context.Context) (GainSimRow, error) {
+				return measureGainSimCell(ctx, k, cfg)
+			},
 		}
-		ideal := mapping.Identity(tor)
-		random := mapping.Random(tor, cfg.Seed)
-
-		measure := func(m *mapping.Mapping) (machine.Metrics, error) {
-			mach, err := machine.New(machine.DefaultConfig(tor, m, cfg.Contexts))
-			if err != nil {
-				return machine.Metrics{}, err
-			}
-			return mach.RunMeasured(cfg.Warmup, cfg.Window), nil
-		}
-		idealMet, err := measure(ideal)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: gain sim k=%d ideal: %w", k, err)
-		}
-		randMet, err := measure(random)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: gain sim k=%d random: %w", k, err)
-		}
-
-		// Model prediction at the random mapping's *actual* distance,
-		// with the simulated machine's grain (the machine defaults) and
-		// channel contention on (small machine regime).
-		dRand := random.AvgDistance(tor)
-		model := core.Alewife(cfg.Contexts, 1)
-		modelIdeal, err := model.WithDistance(1).Solve()
-		if err != nil {
-			return nil, err
-		}
-		modelRandom, err := model.WithDistance(dRand).Solve()
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, GainSimRow{
-			Radix:        k,
-			Nodes:        tor.Nodes(),
-			RandomD:      dRand,
-			MeasuredGain: randMet.InterTxnTime / idealMet.InterTxnTime,
-			ModelGain:    modelRandom.IssueTime / modelIdeal.IssueTime,
-		})
 	}
-	return rows, nil
+	results, _ := engine.Grid(ctx, cells, engine.Options[GainSimRow]{Exec: cfg.Exec})
+	return engine.Rows(results)
 }
 
-// RenderGainSim prints the cross-validation table.
-func RenderGainSim(w io.Writer, rows []GainSimRow) {
-	fmt.Fprintln(w, "== Measured vs modeled locality gain at simulable machine sizes")
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "radix\tN\td(random)\tgain (simulated)\tgain (model)")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.2f\t%.2f\n", r.Radix, r.Nodes, r.RandomD, r.MeasuredGain, r.ModelGain)
+// measureGainSimCell runs one machine size: two simulations plus the
+// paired model prediction.
+func measureGainSimCell(ctx context.Context, k int, cfg GainSimConfig) (GainSimRow, error) {
+	tor, err := topology.New(k, 2)
+	if err != nil {
+		return GainSimRow{}, err
 	}
-	tw.Flush()
-	fmt.Fprintln(w)
+	ideal := mapping.Identity(tor)
+	random := mapping.Random(tor, cfg.Seed)
+
+	measure := func(m *mapping.Mapping) (machine.Metrics, error) {
+		mach, err := machine.New(machine.DefaultConfig(tor, m, cfg.Contexts))
+		if err != nil {
+			return machine.Metrics{}, err
+		}
+		return mach.RunMeasuredChecked(ctx, cfg.Warmup, cfg.Window)
+	}
+	idealMet, err := measure(ideal)
+	if err != nil {
+		return GainSimRow{}, fmt.Errorf("experiments: gain sim k=%d ideal: %w", k, err)
+	}
+	randMet, err := measure(random)
+	if err != nil {
+		return GainSimRow{}, fmt.Errorf("experiments: gain sim k=%d random: %w", k, err)
+	}
+
+	// Model prediction at the random mapping's *actual* distance,
+	// with the simulated machine's grain (the machine defaults) and
+	// channel contention on (small machine regime).
+	dRand := random.AvgDistance(tor)
+	model := core.Alewife(cfg.Contexts, 1)
+	modelIdeal, err := model.WithDistance(1).SolveCached()
+	if err != nil {
+		return GainSimRow{}, err
+	}
+	modelRandom, err := model.WithDistance(dRand).SolveCached()
+	if err != nil {
+		return GainSimRow{}, err
+	}
+	return GainSimRow{
+		Radix:        k,
+		Nodes:        tor.Nodes(),
+		RandomD:      dRand,
+		MeasuredGain: randMet.InterTxnTime / idealMet.InterTxnTime,
+		ModelGain:    modelRandom.IssueTime / modelIdeal.IssueTime,
+	}, nil
 }

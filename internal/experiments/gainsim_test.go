@@ -1,15 +1,14 @@
 package experiments
 
 import (
-	"bytes"
+	"context"
 	"math"
-	"strings"
 	"testing"
 )
 
 func TestRunGainSim(t *testing.T) {
 	cfg := GainSimConfig{Radices: []int{4, 8}, Contexts: 1, Warmup: 2000, Window: 8000, Seed: 1}
-	rows, err := RunGainSim(cfg)
+	rows, err := RunGainSim(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,19 +38,11 @@ func TestRunGainSim(t *testing.T) {
 }
 
 func TestRunGainSimErrors(t *testing.T) {
-	if _, err := RunGainSim(GainSimConfig{}); err == nil {
+	ctx := context.Background()
+	if _, err := RunGainSim(ctx, GainSimConfig{}); err == nil {
 		t.Error("empty radices should error")
 	}
-	if _, err := RunGainSim(GainSimConfig{Radices: []int{1}, Contexts: 1, Warmup: 10, Window: 10}); err == nil {
+	if _, err := RunGainSim(ctx, GainSimConfig{Radices: []int{1}, Contexts: 1, Warmup: 10, Window: 10}); err == nil {
 		t.Error("invalid radix should error")
-	}
-}
-
-func TestRenderGainSim(t *testing.T) {
-	rows := []GainSimRow{{Radix: 4, Nodes: 16, RandomD: 2.1, MeasuredGain: 1.1, ModelGain: 1.12}}
-	var buf bytes.Buffer
-	RenderGainSim(&buf, rows)
-	if !strings.Contains(buf.String(), "Measured vs modeled") {
-		t.Error("rendering missing header")
 	}
 }

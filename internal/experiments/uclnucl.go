@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
-	"text/tabwriter"
 
 	"locality/internal/core"
+	"locality/internal/engine"
 )
 
 // UCLvsNUCLRow compares, at one machine size, application performance
@@ -23,58 +23,67 @@ type UCLvsNUCLRow struct {
 	RelRandom, RelIndirect float64
 }
 
+// UCLvsNUCLConfig controls the organization comparison.
+type UCLvsNUCLConfig struct {
+	engine.Exec
+	// Sizes is the grid of machine sizes N.
+	Sizes []float64
+	// Contexts is the hardware context count.
+	Contexts int
+}
+
+// DefaultUCLvsNUCLConfig sweeps 64 processors to a million at one
+// point per decade with the one-context application.
+func DefaultUCLvsNUCLConfig() UCLvsNUCLConfig {
+	return UCLvsNUCLConfig{Sizes: core.LogSizes(64, 1e6, 1), Contexts: 1}
+}
+
 // RunUCLvsNUCL evaluates the comparison across machine sizes using the
-// Alewife-calibrated application at the given context count. The
-// indirect network uses radix-2 switches (log₂N stages), the classic
-// building block for butterflies.
-func RunUCLvsNUCL(sizes []float64, contexts int) ([]UCLvsNUCLRow, error) {
-	cfg := core.AlewifeLargeScale(contexts, 1)
+// Alewife-calibrated application at the given context count, one
+// engine cell per size. The indirect network uses radix-2 switches
+// (log₂N stages), the classic building block for butterflies.
+func RunUCLvsNUCL(ctx context.Context, fc UCLvsNUCLConfig) ([]UCLvsNUCLRow, error) {
+	cfg := core.AlewifeLargeScale(fc.Contexts, 1)
 	node := cfg.Node()
 	curve := core.NodeCurve{S: node.Sensitivity(), K: node.Intercept()}
 	torus := cfg.Net
 
-	var rows []UCLvsNUCLRow
-	for _, n := range sizes {
-		row := UCLvsNUCLRow{Nodes: n}
+	cells := make([]engine.Cell[UCLvsNUCLRow], len(fc.Sizes))
+	for i, n := range fc.Sizes {
+		n := n
+		cells[i] = engine.Cell[UCLvsNUCLRow]{
+			Key: fmt.Sprintf("uclnucl N=%g", n),
+			Run: func(ctx context.Context) (UCLvsNUCLRow, error) {
+				row := UCLvsNUCLRow{Nodes: n}
 
-		rateIdeal, tmIdeal, err := core.SolveOnFabric(curve, torus, 1)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ucl-nucl ideal at N=%g: %w", n, err)
+				rateIdeal, tmIdeal, err := core.SolveOnFabric(curve, torus, 1)
+				if err != nil {
+					return row, fmt.Errorf("experiments: ucl-nucl ideal at N=%g: %w", n, err)
+				}
+				row.TorusIdeal = tmIdeal
+
+				dRandom := core.RandomMappingDistance(torus.Dims, n)
+				rateRandom, tmRandom, err := core.SolveOnFabric(curve, torus, dRandom)
+				if err != nil {
+					return row, fmt.Errorf("experiments: ucl-nucl random at N=%g: %w", n, err)
+				}
+				row.TorusRandom = tmRandom
+
+				indirect := core.IndirectFor(n, 2, torus.MsgSize)
+				rateInd, tmInd, err := core.SolveOnFabric(curve, indirect, 0)
+				if err != nil {
+					return row, fmt.Errorf("experiments: ucl-nucl indirect at N=%g: %w", n, err)
+				}
+				row.Indirect = tmInd
+
+				// Message rate is proportional to transaction rate at
+				// fixed g, so rate ratios are performance ratios.
+				row.RelRandom = rateRandom / rateIdeal
+				row.RelIndirect = rateInd / rateIdeal
+				return row, nil
+			},
 		}
-		row.TorusIdeal = tmIdeal
-
-		dRandom := core.RandomMappingDistance(torus.Dims, n)
-		rateRandom, tmRandom, err := core.SolveOnFabric(curve, torus, dRandom)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ucl-nucl random at N=%g: %w", n, err)
-		}
-		row.TorusRandom = tmRandom
-
-		indirect := core.IndirectFor(n, 2, torus.MsgSize)
-		rateInd, tmInd, err := core.SolveOnFabric(curve, indirect, 0)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ucl-nucl indirect at N=%g: %w", n, err)
-		}
-		row.Indirect = tmInd
-
-		// Message rate is proportional to transaction rate at fixed g,
-		// so rate ratios are performance ratios.
-		row.RelRandom = rateRandom / rateIdeal
-		row.RelIndirect = rateInd / rateIdeal
-		rows = append(rows, row)
 	}
-	return rows, nil
-}
-
-// RenderUCLvsNUCL prints the comparison table.
-func RenderUCLvsNUCL(w io.Writer, rows []UCLvsNUCLRow) {
-	fmt.Fprintln(w, "== UCL vs NUCL: message latency and relative performance by organization")
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "N\tTm torus+ideal\tTm torus+random\tTm indirect (UCL)\tperf random/ideal\tperf UCL/ideal")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%.0f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n",
-			r.Nodes, r.TorusIdeal, r.TorusRandom, r.Indirect, r.RelRandom, r.RelIndirect)
-	}
-	tw.Flush()
-	fmt.Fprintln(w)
+	results, _ := engine.Grid(ctx, cells, engine.Options[UCLvsNUCLRow]{Exec: fc.Exec})
+	return engine.Rows(results)
 }

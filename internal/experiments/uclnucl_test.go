@@ -1,14 +1,13 @@
 package experiments
 
 import (
-	"bytes"
-	"strings"
+	"context"
 	"testing"
 )
 
 func TestUCLvsNUCL(t *testing.T) {
 	sizes := []float64{64, 1024, 65536, 1048576}
-	rows, err := RunUCLvsNUCL(sizes, 1)
+	rows, err := RunUCLvsNUCL(context.Background(), UCLvsNUCLConfig{Sizes: sizes, Contexts: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,17 +46,5 @@ func TestUCLvsNUCL(t *testing.T) {
 	if last.RelIndirect < last.RelRandom {
 		t.Errorf("log-depth UCL (%g) should not be slower than random NUCL placement (%g) at scale",
 			last.RelIndirect, last.RelRandom)
-	}
-}
-
-func TestUCLvsNUCLRender(t *testing.T) {
-	rows, err := RunUCLvsNUCL([]float64{64, 1024}, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	RenderUCLvsNUCL(&buf, rows)
-	if !strings.Contains(buf.String(), "UCL vs NUCL") {
-		t.Error("rendering missing header")
 	}
 }

@@ -2,17 +2,24 @@
 // paper's evaluation, plus the model-vs-simulation validation study of
 // Section 3.3. Simulation-backed drivers (Figures 3–5) run the
 // full-system simulator across the mapping suite; model-backed drivers
-// (Figures 6–8, Table 1) evaluate the combined model. The drivers
-// return plain data structures; cmd/figures renders them as the rows
-// and series the paper reports, and bench_test.go regenerates them as
-// benchmarks.
+// (Figures 6–8, Table 1) evaluate the combined model.
+//
+// Every driver follows one shape: a per-experiment config struct with
+// a Default*Config constructor, a Run*(ctx, cfg) function that lays
+// the study out as a declarative grid of cells and hands it to
+// internal/engine for parallel execution, and a plain-data result.
+// Results come back in deterministic grid order regardless of worker
+// scheduling, so output is byte-identical at any worker count;
+// internal/report renders them as the rows and series the paper
+// reports, and bench_test.go regenerates them as benchmarks.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"locality/internal/core"
+	"locality/internal/engine"
 	"locality/internal/machine"
 	"locality/internal/mapping"
 	"locality/internal/stats"
@@ -21,6 +28,8 @@ import (
 
 // ValidationConfig controls the simulation study used for Figures 3–5.
 type ValidationConfig struct {
+	// Exec selects the worker count and progress stream for the grid.
+	engine.Exec
 	// Radix and Dims define the machine (8 and 2 in the paper).
 	Radix, Dims int
 	// Contexts lists the hardware context counts to sweep (1, 2, 4).
@@ -84,12 +93,13 @@ type Validation struct {
 	Curves []ContextValidation
 }
 
-// RunValidation executes the simulation suite and fits the application
-// message curves. Model predictions use the fitted curves with the
-// Agarwal network model plus node-channel contention — the same
-// procedure the paper uses to draw its model lines through the
-// simulator's points.
-func RunValidation(cfg ValidationConfig) (*Validation, error) {
+// RunValidation executes the simulation suite on the experiment engine
+// and fits the application message curves. Model predictions use the
+// fitted curves with the Agarwal network model plus node-channel
+// contention — the same procedure the paper uses to draw its model
+// lines through the simulator's points. A full paper-scale study is 27
+// independent machines, fanned out across the configured workers.
+func RunValidation(ctx context.Context, cfg ValidationConfig) (*Validation, error) {
 	tor, err := topology.New(cfg.Radix, cfg.Dims)
 	if err != nil {
 		return nil, err
@@ -101,56 +111,28 @@ func RunValidation(cfg ValidationConfig) (*Validation, error) {
 	if len(cfg.Contexts) == 0 {
 		return nil, fmt.Errorf("experiments: no context counts configured")
 	}
-	out := &Validation{Config: cfg}
+	var cells []engine.Cell[MappingPoint]
 	for _, p := range cfg.Contexts {
+		for _, m := range maps {
+			p, m := p, m
+			cells = append(cells, engine.Cell[MappingPoint]{
+				Key: fmt.Sprintf("validation %s/p=%d", m.Name, p),
+				Run: func(ctx context.Context) (MappingPoint, error) {
+					return measureValidationCell(ctx, tor, m, p, cfg)
+				},
+			})
+		}
+	}
+	results, _ := engine.Grid(ctx, cells, engine.Options[MappingPoint]{Exec: cfg.Exec})
+	points, err := engine.Rows(results)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Validation{Config: cfg}
+	for ci, p := range cfg.Contexts {
 		cv := ContextValidation{P: p}
-		cv.Points = make([]MappingPoint, len(maps))
-		// The mapping runs are independent simulations; run them
-		// concurrently (a full paper-scale study is 27 machines).
-		var wg sync.WaitGroup
-		errs := make([]error, len(maps))
-		for i, m := range maps {
-			wg.Add(1)
-			go func(i int, m *mapping.Mapping) {
-				defer wg.Done()
-				mc := machine.DefaultConfig(tor, m, p)
-				mach, err := machine.New(mc)
-				if err != nil {
-					errs[i] = fmt.Errorf("experiments: building machine for %s p=%d: %w", m.Name, p, err)
-					return
-				}
-				met := mach.RunMeasured(cfg.Warmup, cfg.Window)
-				if met.Messages == 0 {
-					errs[i] = fmt.Errorf("experiments: no traffic measured for %s p=%d", m.Name, p)
-					return
-				}
-				mix, err := core.NeighborDistanceMix(m.DistanceHistogram(tor))
-				if err != nil {
-					errs[i] = fmt.Errorf("experiments: histogram for %s: %w", m.Name, err)
-					return
-				}
-				cv.Points[i] = MappingPoint{
-					Mapping:      m.Name,
-					Mix:          mix,
-					D:            m.AvgDistance(tor),
-					MeasuredD:    met.AvgDistance,
-					Tm:           met.MsgLatency,
-					MsgTime:      met.InterMsgTime,
-					MsgRate:      met.MsgRate,
-					MsgSize:      met.MsgSize,
-					MsgsPerTxn:   met.MsgsPerTxn,
-					TxnLatency:   met.TxnLatency,
-					InterTxnTime: met.InterTxnTime,
-					Utilization:  met.ChannelUtilization,
-				}
-			}(i, m)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
+		cv.Points = points[ci*len(maps) : (ci+1)*len(maps)]
 		// Fit the application message curve through the sweep.
 		var xs, ys []float64
 		for _, pt := range cv.Points {
@@ -169,6 +151,41 @@ func RunValidation(cfg ValidationConfig) (*Validation, error) {
 		out.Curves = append(out.Curves, cv)
 	}
 	return out, nil
+}
+
+// measureValidationCell simulates one (mapping, context count) machine
+// and gathers its measured point.
+func measureValidationCell(ctx context.Context, tor *topology.Torus, m *mapping.Mapping, p int, cfg ValidationConfig) (MappingPoint, error) {
+	mc := machine.DefaultConfig(tor, m, p)
+	mach, err := machine.New(mc)
+	if err != nil {
+		return MappingPoint{}, fmt.Errorf("experiments: building machine for %s p=%d: %w", m.Name, p, err)
+	}
+	met, err := mach.RunMeasuredChecked(ctx, cfg.Warmup, cfg.Window)
+	if err != nil {
+		return MappingPoint{}, fmt.Errorf("experiments: measuring %s p=%d: %w", m.Name, p, err)
+	}
+	if met.Messages == 0 {
+		return MappingPoint{}, fmt.Errorf("experiments: no traffic measured for %s p=%d", m.Name, p)
+	}
+	mix, err := core.NeighborDistanceMix(m.DistanceHistogram(tor))
+	if err != nil {
+		return MappingPoint{}, fmt.Errorf("experiments: histogram for %s: %w", m.Name, err)
+	}
+	return MappingPoint{
+		Mapping:      m.Name,
+		Mix:          mix,
+		D:            m.AvgDistance(tor),
+		MeasuredD:    met.AvgDistance,
+		Tm:           met.MsgLatency,
+		MsgTime:      met.InterMsgTime,
+		MsgRate:      met.MsgRate,
+		MsgSize:      met.MsgSize,
+		MsgsPerTxn:   met.MsgsPerTxn,
+		TxnLatency:   met.TxnLatency,
+		InterTxnTime: met.InterTxnTime,
+		Utilization:  met.ChannelUtilization,
+	}, nil
 }
 
 // addModelPredictions solves the combined model at each point's

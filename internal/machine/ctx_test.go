@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"locality/internal/mapping"
+	"locality/internal/topology"
+)
+
+// TestRunCheckedContextCancel: a canceled context stops a long run at
+// the next poll point with the context's error, far short of the
+// requested cycle count.
+func TestRunCheckedContextCancel(t *testing.T) {
+	tor := topology.MustNew(4, 2)
+	mach, err := New(DefaultConfig(tor, mapping.Identity(tor), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	const huge = 1 << 40
+	err = mach.RunChecked(ctx, huge)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if mach.Now() >= huge {
+		t.Error("run completed despite cancellation")
+	}
+}
+
+// TestRunCheckedAlreadyCanceled: a pre-canceled context runs zero
+// cycles.
+func TestRunCheckedAlreadyCanceled(t *testing.T) {
+	tor := topology.MustNew(4, 2)
+	mach, err := New(DefaultConfig(tor, mapping.Identity(tor), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := mach.RunChecked(ctx, 100000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if mach.Now() != 0 {
+		t.Errorf("machine advanced %d cycles under a canceled context", mach.Now())
+	}
+}
+
+// TestRunCheckedChunkingIsInvisible: RunChecked's internal chunking
+// (added for context polls) must leave the simulation bit-identical to
+// an unchunked Run of the same length.
+func TestRunCheckedChunkingIsInvisible(t *testing.T) {
+	tor := topology.MustNew(4, 2)
+	build := func() *Machine {
+		m, err := New(DefaultConfig(tor, mapping.Random(tor, 1), 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	const warmup, window = 2000, 9000 // not a multiple of the poll interval
+	a := build()
+	a.Run(warmup)
+	a.ResetStats()
+	a.Run(window)
+	plain := a.Measure()
+
+	b := build()
+	met, err := b.RunMeasuredChecked(context.Background(), warmup, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met != plain {
+		t.Errorf("chunked run measured differently:\nchunked %+v\nplain   %+v", met, plain)
+	}
+}

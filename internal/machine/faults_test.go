@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -48,7 +49,7 @@ func TestFaultRunsAreSeedDeterministic(t *testing.T) {
 		mach := faultyMachine(t, spec, func(c *Config) {
 			c.Watchdog = faults.Watchdog{StallCycles: 100000}
 		})
-		met, err := mach.RunMeasuredChecked(2000, 8000)
+		met, err := mach.RunMeasuredChecked(context.Background(), 2000, 8000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func TestWatchdogConvertsPermanentStallToTypedError(t *testing.T) {
 	mach := faultyMachine(t, spec, func(c *Config) {
 		c.Watchdog = faults.Watchdog{StallCycles: 3000}
 	})
-	err := mach.RunChecked(200000)
+	err := mach.RunChecked(context.Background(), 200000)
 	if err == nil {
 		t.Fatal("no error from a machine whose every link is dead")
 	}
@@ -112,7 +113,7 @@ func TestLossyRunCompletesUnderWatchdog(t *testing.T) {
 	mach := faultyMachine(t, spec, func(c *Config) {
 		c.Watchdog = faults.Watchdog{StallCycles: 200000}
 	})
-	met, err := mach.RunMeasuredChecked(2000, 10000)
+	met, err := mach.RunMeasuredChecked(context.Background(), 2000, 10000)
 	if err != nil {
 		t.Fatalf("lossy-but-resilient run stalled: %v", err)
 	}

@@ -12,6 +12,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"locality/internal/cachesim"
@@ -294,26 +295,38 @@ func (m *Machine) Run(pCycles int64) {
 	}
 }
 
+// ctxPollInterval is the granularity, in P-cycles, at which RunChecked
+// polls for context cancellation when the watchdog is disabled. Run is
+// a straight loop, so chunking it changes nothing but adds a poll
+// point every few thousand cycles (microseconds of simulated work).
+const ctxPollInterval = 4096
+
 // RunChecked advances the machine by pCycles processor cycles under
 // the configured watchdog: every check interval it verifies flit
 // conservation and forward progress, returning a *faults.StallReport
 // (wrapping faults.ErrStalled) if the machine has livelocked or
-// deadlocked. With the watchdog disabled it is exactly Run.
-func (m *Machine) RunChecked(pCycles int64) error {
-	if !m.cfg.Watchdog.Enabled() {
-		m.Run(pCycles)
-		return nil
+// deadlocked. Canceling ctx stops the run at the next poll point with
+// the context's error, which is how the experiment engine (and Ctrl-C
+// in the cmds) interrupts in-flight simulations.
+func (m *Machine) RunChecked(ctx context.Context, pCycles int64) error {
+	interval := int64(ctxPollInterval)
+	if m.cfg.Watchdog.Enabled() {
+		interval = int64(m.cfg.Watchdog.Interval())
 	}
-	interval := int64(m.cfg.Watchdog.Interval())
 	for done := int64(0); done < pCycles; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		step := interval
 		if rest := pCycles - done; rest < step {
 			step = rest
 		}
 		m.Run(step)
 		done += step
-		if err := m.checkProgress(); err != nil {
-			return err
+		if m.cfg.Watchdog.Enabled() {
+			if err := m.checkProgress(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -462,14 +475,15 @@ func (m *Machine) RunMeasured(warmup, window int64) Metrics {
 	return m.Measure()
 }
 
-// RunMeasuredChecked is RunMeasured under the configured watchdog: it
-// returns early with a *faults.StallReport if either phase stalls.
-func (m *Machine) RunMeasuredChecked(warmup, window int64) (Metrics, error) {
-	if err := m.RunChecked(warmup); err != nil {
+// RunMeasuredChecked is RunMeasured under the configured watchdog and
+// context: it returns early with a *faults.StallReport if either phase
+// stalls, or with the context error if ctx is canceled mid-run.
+func (m *Machine) RunMeasuredChecked(ctx context.Context, warmup, window int64) (Metrics, error) {
+	if err := m.RunChecked(ctx, warmup); err != nil {
 		return Metrics{}, err
 	}
 	m.ResetStats()
-	if err := m.RunChecked(window); err != nil {
+	if err := m.RunChecked(ctx, window); err != nil {
 		return Metrics{}, err
 	}
 	return m.Measure(), nil

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"strconv"
 	"strings"
@@ -9,9 +10,7 @@ import (
 
 	"locality/internal/core"
 	"locality/internal/experiments"
-	"locality/internal/mapping"
 	"locality/internal/stats"
-	"locality/internal/topology"
 )
 
 func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
@@ -24,11 +23,7 @@ func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
 }
 
 func TestWriteValidationCSV(t *testing.T) {
-	tor := topology.MustNew(4, 2)
-	v, err := experiments.RunValidation(experiments.ValidationConfig{
-		Radix: 4, Dims: 2, Contexts: []int{1}, Warmup: 500, Window: 2000,
-		Mappings: []*mapping.Mapping{mapping.Identity(tor), mapping.Random(tor, 1)},
-	})
+	v, err := experiments.RunValidation(context.Background(), tinyValidationConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +73,7 @@ func TestWriteSeriesCSVErrors(t *testing.T) {
 }
 
 func TestWriteFigure6And7CSV(t *testing.T) {
-	f6, err := experiments.RunFigure6([]float64{100, 1000})
+	f6, err := experiments.RunFigure6(context.Background(), experiments.Figure6Config{Sizes: []float64{100, 1000}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +85,7 @@ func TestWriteFigure6And7CSV(t *testing.T) {
 		t.Errorf("figure 6 csv shape wrong: %v", rows)
 	}
 
-	f7, err := experiments.RunFigure7([]float64{10, 100}, []int{1, 2})
+	f7, err := experiments.RunFigure7(context.Background(), experiments.Figure7Config{Sizes: []float64{10, 100}, Contexts: []int{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +100,7 @@ func TestWriteFigure6And7CSV(t *testing.T) {
 }
 
 func TestWriteFigure8CSV(t *testing.T) {
-	cases, err := experiments.RunFigure8(1000, []int{1})
+	cases, err := experiments.RunFigure8(context.Background(), experiments.Figure8Config{Nodes: 1000, Contexts: []int{1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +115,7 @@ func TestWriteFigure8CSV(t *testing.T) {
 }
 
 func TestWriteTable1CSV(t *testing.T) {
-	rows, err := experiments.RunTable1()
+	rows, err := experiments.RunTable1(context.Background(), experiments.DefaultTable1Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +130,7 @@ func TestWriteTable1CSV(t *testing.T) {
 }
 
 func TestWriteUCLvsNUCLCSV(t *testing.T) {
-	rows, err := experiments.RunUCLvsNUCL(core.LogSizes(64, 4096, 1), 1)
+	rows, err := experiments.RunUCLvsNUCL(context.Background(), experiments.UCLvsNUCLConfig{Sizes: core.LogSizes(64, 4096, 1), Contexts: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
