@@ -253,6 +253,47 @@ func BenchmarkMachineCycle(b *testing.B) {
 	mach.Run(int64(b.N))
 }
 
+// BenchmarkMachineRun measures full-system throughput of the two
+// execution kernels on contrasting workloads: idle-heavy (2000-cycle
+// compute bursts, long quiescent spans the event kernel can skip) and
+// comm-heavy (the default 20-cycle grain, traffic nearly always in
+// flight). Reported metrics: simulated P-cycles per wall-clock second
+// and the window's skip ratio. The event kernel's idle-heavy
+// cycles/s should be well over 2× the tick kernel's; on comm-heavy
+// workloads the two converge, since a busy fabric makes every cycle
+// an event.
+func BenchmarkMachineRun(b *testing.B) {
+	tor := topology.MustNew(8, 2)
+	workloads := []struct {
+		name    string
+		compute int
+	}{
+		{"idle-heavy", 2000},
+		{"comm-heavy", 20},
+	}
+	for _, wl := range workloads {
+		for _, mode := range []machine.KernelMode{machine.KernelTick, machine.KernelEvent} {
+			b.Run(wl.name+"/kernel="+mode.String(), func(b *testing.B) {
+				cfg := machine.DefaultConfig(tor, mapping.Random(tor, 1), 2)
+				cfg.ReadCompute, cfg.WriteCompute = wl.compute, wl.compute
+				cfg.Kernel = mode
+				mach, err := machine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mach.Run(2000) // warm up into steady state
+				mach.ResetStats()
+				b.ResetTimer()
+				mach.Run(int64(b.N))
+				b.StopTimer()
+				met := mach.Measure()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+				b.ReportMetric(met.SkipRatio(), "skip-ratio")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationBufferDepth quantifies how switch buffering shifts
 // latency between source queueing and the fabric (the wormhole
 // head-of-line blocking discussion in EXPERIMENTS.md). Reported

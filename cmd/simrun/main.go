@@ -51,6 +51,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed")
 	linkMTTF := flag.Float64("link-mttf", 0, "mean N-cycles between transient faults per link (0 disables)")
 	watchdog := flag.Int64("watchdog", 0, "abort after this many P-cycles without progress (0 = auto when faults enabled)")
+	kernelFlag := flag.String("kernel", "event", "execution kernel: event (skip quiescent cycles) or tick (naive reference loop); results are bit-identical")
 	flag.Parse()
 
 	tor, err := topology.New(*k, *n)
@@ -65,7 +66,12 @@ func main() {
 	if err := spec.Validate(); err != nil {
 		fatal(err)
 	}
+	kernel, err := machine.ParseKernelMode(*kernelFlag)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := machine.DefaultConfig(tor, m, *contexts)
+	cfg.Kernel = kernel
 	cfg.ClockRatio = *ratio
 	cfg.BufferDepth = *buffers
 	cfg.HWPointers = *pointers
@@ -107,6 +113,8 @@ func main() {
 	fmt.Printf("inter-transaction tt     %.2f P-cycles\n", met.InterTxnTime)
 	fmt.Printf("transaction rate rt      %.5f txns/P-cycle/proc\n", met.TxnRate)
 	fmt.Printf("channel utilization      %.3f\n", met.ChannelUtilization)
+	fmt.Printf("kernel                   %s: %d cycles executed, %d skipped (%.1f%% skip ratio)\n",
+		kernel, met.CyclesTicked, met.CyclesSkipped, 100*met.SkipRatio())
 	if met.SWTraps > 0 {
 		fmt.Printf("LimitLESS traps          %d\n", met.SWTraps)
 	}

@@ -77,6 +77,7 @@ type cell struct {
 	watchdog faults.Watchdog
 	warmup   int64
 	window   int64
+	kernel   machine.KernelMode
 }
 
 // runCell builds and measures one machine. Panics from deep inside the
@@ -84,6 +85,7 @@ type cell struct {
 // kill the sweep.
 func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 	cfg := machine.DefaultConfig(c.tor, c.m, c.contexts)
+	cfg.Kernel = c.kernel
 	cfg.ClockRatio = c.ratio
 	if c.prefetch {
 		cfg.Workload = workload.RelaxationConfig{
@@ -125,6 +127,7 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0, "abort a cell after this many P-cycles without progress (0 = auto when faults enabled)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
+	kernelFlag := flag.String("kernel", "event", "execution kernel: event (skip quiescent cycles) or tick (naive reference loop); rows are bit-identical either way")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -139,6 +142,10 @@ func main() {
 		fatal(err)
 	}
 	contexts, err := parseContexts(*contextsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	kernel, err := machine.ParseKernelMode(*kernelFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -190,7 +197,7 @@ func main() {
 			p, m := p, m
 			c := cell{
 				tor: tor, m: m, contexts: p, prefetch: *prefetch, ratio: *ratio,
-				spec: spec, watchdog: wd, warmup: *warmup, window: *window,
+				spec: spec, watchdog: wd, warmup: *warmup, window: *window, kernel: kernel,
 			}
 			metas = append(metas, meta{m: m, p: p})
 			cells = append(cells, engine.Cell[machine.Metrics]{

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"locality/internal/cachesim"
+	"locality/internal/sim"
 	"locality/internal/stats"
 )
 
@@ -422,6 +423,19 @@ func (p *Protocol) Tick(nowP int64) {
 		e := heap.Pop(&p.events).(event)
 		e.fn(nowP)
 	}
+}
+
+// NextEvent implements sim.Component: the due cycle of the earliest
+// pending scheduled action — protocol hops, controller occupancy
+// slots, and armed retry timers all live on the one event heap — or
+// sim.Never when the heap is empty. Message deliveries arriving from
+// the transport enqueue onto the heap with delay ≥ 1, so the heap min
+// is always a complete account of the protocol's future work.
+func (p *Protocol) NextEvent() int64 {
+	if len(p.events) == 0 {
+		return sim.Never
+	}
+	return p.events[0].due
 }
 
 // send transmits a protocol message, attributing fabric messages to

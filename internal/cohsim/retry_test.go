@@ -77,7 +77,7 @@ func access(t *testing.T, p *Protocol, f *fakeNet, node int, addr uint64, write 
 func runScenario(t *testing.T, p *Protocol, f *fakeNet) {
 	t.Helper()
 	const line0 = uint64(0)
-	const conflict = uint64(256) // same cache set as line0 (16 lines × 16B)
+	const conflict = uint64(256)     // same cache set as line0 (16 lines × 16B)
 	access(t, p, f, 1, line0, false) // RReq → RData
 	access(t, p, f, 2, line0, false) // second sharer
 	access(t, p, f, 1, line0, true)  // upgrade: WReq, Inv, InvAck, WGrant

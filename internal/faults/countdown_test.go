@@ -1,0 +1,111 @@
+package faults
+
+import "testing"
+
+func linkSpec(seed int64) Spec {
+	return Spec{Seed: seed, LinkMTTF: 300, StallMin: 4, StallMax: 40}
+}
+
+// TestCountDownMatchesPerCycleDown verifies the bulk query is
+// observationally identical to per-cycle Down: same down count over
+// any chunking of the timeline, same renewal count, and — because the
+// schedules are stateful renewal processes — identical behavior on
+// queries issued after the compared span.
+func TestCountDownMatchesPerCycleDown(t *testing.T) {
+	const channels, horizon = 6, 20000
+	chunkings := [][]int64{
+		{1},                  // degenerate: bulk in single-cycle steps
+		{horizon},            // one giant span
+		{7, 1, 191, 3, 1024}, // ragged mix, repeated
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		for ci, chunks := range chunkings {
+			ref := NewLinkFaults(linkSpec(seed), channels)
+			bulk := NewLinkFaults(linkSpec(seed), channels)
+			for ch := 0; ch < channels; ch++ {
+				var refDown int64
+				for now := int64(0); now < horizon; now++ {
+					if ref.Down(ch, now) {
+						refDown++
+					}
+				}
+				var bulkDown int64
+				pos, ki := int64(0), 0
+				for pos < horizon {
+					n := chunks[ki%len(chunks)]
+					ki++
+					if pos+n > horizon {
+						n = horizon - pos
+					}
+					bulkDown += bulk.CountDown(ch, pos, pos+n)
+					pos += n
+				}
+				if refDown != bulkDown {
+					t.Errorf("seed %d chunking %d channel %d: down %d per-cycle vs %d bulk",
+						seed, ci, ch, refDown, bulkDown)
+				}
+			}
+			if ref.DownCycles() != bulk.DownCycles() {
+				t.Errorf("seed %d chunking %d: DownCycles %d vs %d", seed, ci, ref.DownCycles(), bulk.DownCycles())
+			}
+			if ref.faultCnt != bulk.faultCnt {
+				t.Errorf("seed %d chunking %d: renewals %d vs %d", seed, ci, ref.faultCnt, bulk.faultCnt)
+			}
+			// Post-span state: later per-cycle queries must agree.
+			for now := int64(horizon); now < horizon+500; now++ {
+				for ch := 0; ch < channels; ch++ {
+					if ref.Down(ch, now) != bulk.Down(ch, now) {
+						t.Fatalf("seed %d chunking %d: schedules diverge at cycle %d channel %d", seed, ci, now, ch)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCountDownInterleavedWithDown mixes the two query styles on one
+// model against a pure per-cycle reference.
+func TestCountDownInterleavedWithDown(t *testing.T) {
+	const channels, horizon = 3, 5000
+	ref := NewLinkFaults(linkSpec(9), channels)
+	mix := NewLinkFaults(linkSpec(9), channels)
+	for ch := 0; ch < channels; ch++ {
+		var refDown, mixDown int64
+		for now := int64(0); now < horizon; now++ {
+			if ref.Down(ch, now) {
+				refDown++
+			}
+		}
+		for now := int64(0); now < horizon; {
+			if now%3 == 0 { // single-cycle query
+				if mix.Down(ch, now) {
+					mixDown++
+				}
+				now++
+				continue
+			}
+			span := int64(100 + now%77)
+			if now+span > horizon {
+				span = horizon - now
+			}
+			mixDown += mix.CountDown(ch, now, now+span)
+			now += span
+		}
+		if refDown != mixDown {
+			t.Errorf("channel %d: down %d per-cycle vs %d interleaved", ch, refDown, mixDown)
+		}
+	}
+}
+
+func TestCountDownEmptySpan(t *testing.T) {
+	lf := NewLinkFaults(linkSpec(1), 1)
+	if got := lf.CountDown(0, 10, 10); got != 0 {
+		t.Errorf("empty span counted %d", got)
+	}
+	if got := lf.CountDown(0, 10, 5); got != 0 {
+		t.Errorf("inverted span counted %d", got)
+	}
+	if lf.DownCycles() != 0 {
+		t.Errorf("empty spans accrued %d down cycles", lf.DownCycles())
+	}
+}

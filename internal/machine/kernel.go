@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"fmt"
+
+	"locality/internal/sim"
+	"locality/internal/trace"
+)
+
+// KernelMode selects the machine's execution loop.
+type KernelMode uint8
+
+const (
+	// KernelEvent is the default: the sim kernel executes a cycle,
+	// then advances straight to the global minimum next-event,
+	// skipping quiescent spans. Bit-identical to KernelTick.
+	KernelEvent KernelMode = iota
+	// KernelTick is the naive reference loop, executing every cycle.
+	// Kept as an escape hatch and for differential testing.
+	KernelTick
+)
+
+// String implements fmt.Stringer ("event" / "tick").
+func (k KernelMode) String() string {
+	switch k {
+	case KernelEvent:
+		return "event"
+	case KernelTick:
+		return "tick"
+	}
+	return fmt.Sprintf("KernelMode(%d)", uint8(k))
+}
+
+// ParseKernelMode parses "event" or "tick".
+func ParseKernelMode(s string) (KernelMode, error) {
+	switch s {
+	case "event":
+		return KernelEvent, nil
+	case "tick":
+		return KernelTick, nil
+	}
+	return 0, fmt.Errorf("machine: unknown kernel mode %q (want \"event\" or \"tick\")", s)
+}
+
+// The machine registers three kinds of components with the sim kernel,
+// in the exact order of the historical per-cycle loop — protocol, then
+// each processor, then the network at ClockRatio sub-cycles — so an
+// executed cycle under either kernel mode is the same code in the same
+// order, and results are bit-identical.
+
+// protoComp drives the coherence protocol. Its Tick also pins the
+// machine's P-clock, which the transport and delivery closures read
+// mid-cycle; during skipped spans nothing reads it, so updating it
+// only on executed cycles is exact.
+type protoComp struct{ m *Machine }
+
+func (c protoComp) Tick(now int64) {
+	c.m.pnow = now
+	c.m.proto.Tick(now)
+}
+
+func (c protoComp) NextEvent() int64 { return c.m.proto.NextEvent() }
+
+// netComp drives the fabric at ClockRatio network cycles per P-cycle.
+// While any traffic is in flight (or the fault model cannot be
+// advanced in bulk) it claims the very next P-cycle, making the
+// machine unskippable; drained, it reports Never and lets SkipTo jump
+// the network clock, replaying fault accounting in bulk.
+type netComp struct{ m *Machine }
+
+func (c netComp) Tick(now int64) {
+	for r := 0; r < c.m.cfg.ClockRatio; r++ {
+		c.m.net.Step()
+	}
+}
+
+func (c netComp) NextEvent() int64 {
+	if !c.m.net.Skippable() {
+		// net.Now() == (last executed P-cycle + 1) · ClockRatio.
+		return c.m.net.Now() / int64(c.m.cfg.ClockRatio)
+	}
+	return sim.Never
+}
+
+func (c netComp) Advance(to int64) {
+	c.m.net.SkipTo((to + 1) * int64(c.m.cfg.ClockRatio))
+}
+
+// buildKernel assembles the sim kernel in historical tick order.
+func (m *Machine) buildKernel() {
+	comps := make([]sim.Component, 0, len(m.procs)+2)
+	comps = append(comps, protoComp{m})
+	for _, p := range m.procs {
+		comps = append(comps, p)
+	}
+	comps = append(comps, netComp{m})
+	m.kernel = sim.New(comps...)
+	if m.cfg.Trace.Enabled() {
+		m.kernel.SetOnSkip(func(from, to int64) {
+			m.cfg.Trace.Emit(trace.Event{
+				Cycle: from, Kind: trace.KindKernelSkip,
+				Node: -1, Peer: -1, Info: to - from,
+			})
+		})
+	}
+}
+
+// advance moves the machine forward pCycles P-cycles under the
+// configured kernel mode.
+func (m *Machine) advance(pCycles int64) {
+	if m.cfg.Kernel == KernelTick {
+		m.kernel.RunTick(pCycles)
+	} else {
+		m.kernel.Run(pCycles)
+	}
+	m.pnow = m.kernel.Now()
+}
+
+// KernelStats returns the kernel's cumulative execution accounting
+// (cycles executed vs. skipped since construction).
+func (m *Machine) KernelStats() sim.Stats { return m.kernel.Stats() }
+
+// DiagSnapshot renders a machine-wide diagnostic: the kernel's
+// execution accounting followed by the fabric occupancy dump. Stall
+// reports embed it so a watchdog abort shows how the machine was
+// being driven as well as where traffic is stuck.
+func (m *Machine) DiagSnapshot() string {
+	ks := m.kernel.Stats()
+	return fmt.Sprintf("kernel %s @ P-cycle %d: %d cycles executed, %d skipped (%.1f%% skip ratio)\n%s",
+		m.cfg.Kernel, m.pnow, ks.Ticked, ks.Skipped, 100*ks.SkipRatio(), m.net.DiagSnapshot())
+}

@@ -21,6 +21,7 @@ import (
 	"locality/internal/mapping"
 	"locality/internal/netsim"
 	"locality/internal/procsim"
+	"locality/internal/sim"
 	"locality/internal/topology"
 	"locality/internal/trace"
 	"locality/internal/workload"
@@ -76,6 +77,12 @@ type Config struct {
 	// when message loss is injected and disables it otherwise; set it
 	// explicitly to force either way.
 	RetryTimeout int
+
+	// Kernel selects the execution loop: KernelEvent (the zero value)
+	// skips quiescent spans, KernelTick executes every cycle. The two
+	// produce bit-identical results; tick mode exists as an escape
+	// hatch and differential-testing reference.
+	Kernel KernelMode
 }
 
 // DefaultRetryTimeout is the protocol retransmission deadline used when
@@ -137,14 +144,17 @@ func (c Config) Validate() error {
 
 // Machine is one assembled simulation.
 type Machine struct {
-	cfg   Config
-	wl    workload.Workload
-	net   *netsim.Network
-	proto *cohsim.Protocol
-	procs []*procsim.Processor
-	pnow  int64
+	cfg    Config
+	wl     workload.Workload
+	net    *netsim.Network
+	proto  *cohsim.Protocol
+	procs  []*procsim.Processor
+	kernel *sim.Kernel
+	pnow   int64
 	// pCyclesSince tracks the measurement window origin.
 	windowStart int64
+	// ksWindow is the kernel accounting at the window origin.
+	ksWindow sim.Stats
 }
 
 // transport adapts netsim to the protocol's Transport interface.
@@ -259,6 +269,7 @@ func New(cfg Config) (*Machine, error) {
 		}
 		m.procs[nodeID] = proc
 	}
+	m.buildKernel()
 	return m, nil
 }
 
@@ -281,18 +292,13 @@ func (a memAdapter) Join(node, thread int, addr uint64, now int64) bool {
 	return a.p.Join(node, thread, addr, now)
 }
 
-// Run advances the machine by pCycles processor cycles.
+// Run advances the machine by pCycles processor cycles. It is
+// RunChecked under a background context with the error discarded:
+// with the watchdog disabled (the default) no error can occur; with a
+// watchdog configured, prefer RunChecked — a stall silently ends a
+// plain Run early.
 func (m *Machine) Run(pCycles int64) {
-	for i := int64(0); i < pCycles; i++ {
-		m.proto.Tick(m.pnow)
-		for _, p := range m.procs {
-			p.Tick(m.pnow)
-		}
-		for r := 0; r < m.cfg.ClockRatio; r++ {
-			m.net.Step()
-		}
-		m.pnow++
-	}
+	_ = m.RunChecked(context.Background(), pCycles)
 }
 
 // ctxPollInterval is the granularity, in P-cycles, at which RunChecked
@@ -321,7 +327,7 @@ func (m *Machine) RunChecked(ctx context.Context, pCycles int64) error {
 		if rest := pCycles - done; rest < step {
 			step = rest
 		}
-		m.Run(step)
+		m.advance(step)
 		done += step
 		if m.cfg.Watchdog.Enabled() {
 			if err := m.checkProgress(); err != nil {
@@ -348,7 +354,7 @@ func (m *Machine) checkProgress() error {
 				Cycle:      m.pnow,
 				StalledFor: age / int64(m.cfg.ClockRatio),
 				Detail:     fmt.Sprintf("fabric busy with no flit movement for %d N-cycles", age),
-				Snapshot:   m.net.DiagSnapshot(),
+				Snapshot:   m.DiagSnapshot(),
 			}
 		}
 	}
@@ -362,7 +368,7 @@ func (m *Machine) checkProgress() error {
 				Detail: fmt.Sprintf("transaction %d (node %d, line %#x, write=%v, retries=%d) outstanding for %d P-cycles; directory: state=%s owner=%d sharers=%v busy=%v queued=%d",
 					txn.ID, txn.Node, txn.Addr, txn.Write, txn.Retries, age,
 					d.State, d.Owner, d.Sharers, d.Busy, d.Queued),
-				Snapshot: m.net.DiagSnapshot(),
+				Snapshot: m.DiagSnapshot(),
 			}
 		}
 	}
@@ -377,6 +383,7 @@ func (m *Machine) ResetStats() {
 	m.net.ResetStats()
 	m.proto.ResetStats()
 	m.windowStart = m.pnow
+	m.ksWindow = m.kernel.Stats()
 }
 
 // Protocol exposes the coherence engine for invariant checks.
@@ -429,12 +436,27 @@ type Metrics struct {
 	HomeRetries     int64 // home-side sub-operation retransmissions
 	DroppedMsgs     int64 // fabric messages lost to injected faults
 	LinkFaultCycles int64 // channel·N-cycles spent faulted
+
+	// Kernel execution accounting for the window — a property of how
+	// the simulator ran, not of the modeled machine. CyclesTicked +
+	// CyclesSkipped == PCycles; CyclesSkipped is always 0 in tick
+	// mode, so these are the only Metrics fields that legitimately
+	// differ between the (otherwise bit-identical) kernel modes.
+	CyclesTicked  int64
+	CyclesSkipped int64
+}
+
+// SkipRatio returns the fraction of the window's P-cycles the kernel
+// skipped rather than executed, in [0, 1].
+func (m Metrics) SkipRatio() float64 {
+	return sim.Stats{Ticked: m.CyclesTicked, Skipped: m.CyclesSkipped}.SkipRatio()
 }
 
 // Measure returns the metrics accumulated since the last ResetStats.
 func (m *Machine) Measure() Metrics {
 	ns := m.net.Snapshot()
 	ps := m.proto.Snapshot()
+	ks := m.kernel.Stats().Sub(m.ksWindow)
 	window := m.pnow - m.windowStart
 	nodes := float64(m.cfg.Topo.Nodes())
 	mt := Metrics{
@@ -453,6 +475,8 @@ func (m *Machine) Measure() Metrics {
 		HomeRetries:        ps.HomeRetries,
 		DroppedMsgs:        ps.Dropped,
 		LinkFaultCycles:    ns.FaultedChannelCycles,
+		CyclesTicked:       ks.Ticked,
+		CyclesSkipped:      ks.Skipped,
 	}
 	if ns.Injected > 0 && ns.Cycles > 0 {
 		mt.InterMsgTime = float64(ns.Cycles) * nodes / float64(ns.Injected)

@@ -178,8 +178,11 @@ type Network struct {
 	routers []router
 	// injectQ[v] holds messages waiting to enter the fabric at node v.
 	injectQ [][]*Message
-	local   []localEntry
-	now     int64
+	// queued counts messages across all injection queues (partially
+	// injected included), kept so Quiesced is O(1).
+	queued int
+	local  []localEntry
+	now    int64
 
 	deliver DeliveryFunc
 
@@ -283,6 +286,7 @@ func (nw *Network) Send(msg *Message) error {
 		return nil
 	}
 	nw.injectQ[msg.Src] = append(nw.injectQ[msg.Src], msg)
+	nw.queued++
 	return nil
 }
 
@@ -402,6 +406,7 @@ func (nw *Network) stepInjection() {
 		msg.remaining--
 		if msg.remaining == 0 {
 			nw.injectQ[v] = q[1:]
+			nw.queued--
 		}
 	}
 }
@@ -588,21 +593,10 @@ func (nw *Network) stepLocal() {
 }
 
 // Quiesced reports whether no traffic remains anywhere in the network.
+// O(1): queued covers the injection queues, the lifetime conservation
+// counters cover every switch buffer, and local covers the bypass.
 func (nw *Network) Quiesced() bool {
-	if len(nw.local) > 0 {
-		return false
-	}
-	for v := range nw.routers {
-		if len(nw.injectQ[v]) > 0 {
-			return false
-		}
-		for _, in := range nw.routers[v].inputs {
-			if !in.empty() {
-				return false
-			}
-		}
-	}
-	return true
+	return nw.queued == 0 && nw.flitsIn == nw.flitsOut && len(nw.local) == 0
 }
 
 // Stats is a snapshot of the network's aggregate measurements.
@@ -692,6 +686,14 @@ func (nw *Network) Check() error {
 	if nw.flitsIn != nw.flitsOut+inFlight {
 		return fmt.Errorf("netsim: flit conservation violated at cycle %d: injected %d != delivered %d + in-flight %d",
 			nw.now, nw.flitsIn, nw.flitsOut, inFlight)
+	}
+	q := 0
+	for v := range nw.routers {
+		q += len(nw.injectQ[v])
+	}
+	if q != nw.queued {
+		return fmt.Errorf("netsim: queued-message count drifted at cycle %d: counter %d, queues hold %d",
+			nw.now, nw.queued, q)
 	}
 	return nil
 }

@@ -1,0 +1,62 @@
+package procsim
+
+import (
+	"fmt"
+
+	"locality/internal/sim"
+)
+
+// NextEvent implements sim.Component: the first future cycle whose
+// Tick is not fully predictable from the processor's current state.
+// The spans in between — a context switch draining, a compute burst or
+// hit latency draining, or idling with no runnable context — accrue
+// only cycle counters and are applied in bulk by Advance.
+//
+// A blocked processor reports sim.Never: contexts are only unblocked
+// by Ready, which the coherence layer invokes from within its own
+// Tick, so the wake cycle is always an executed cycle announced by the
+// protocol's event heap, never something the processor must predict.
+func (p *Processor) NextEvent() int64 {
+	if p.switchLeft > 0 {
+		return p.lastTick + int64(p.switchLeft) + 1
+	}
+	if p.ctxs[p.cur].state == ctxRunning {
+		// remaining may be 0: the very next cycle fetches an op.
+		return p.lastTick + int64(p.ctxs[p.cur].remaining) + 1
+	}
+	if _, ok := p.nextReady(); ok {
+		return p.lastTick + 1 // dispatch next cycle
+	}
+	return sim.Never
+}
+
+// Advance implements sim.Advancer: applies cycles (lastTick, to] in
+// bulk, exactly as per-cycle Ticks would have. The kernel guarantees
+// the span ends before this processor's NextEvent, which the contract
+// checks below enforce.
+func (p *Processor) Advance(to int64) {
+	n := to - p.lastTick
+	if n <= 0 {
+		return
+	}
+	p.lastTick = to
+	switch {
+	case p.switchLeft > 0:
+		if int64(p.switchLeft) < n {
+			panic(fmt.Sprintf("procsim: Advance %d cycles across end of %d-cycle switch", n, p.switchLeft))
+		}
+		p.switchLeft -= int(n)
+		p.switchC.Addn(n)
+	case p.ctxs[p.cur].state == ctxRunning:
+		if int64(p.ctxs[p.cur].remaining) < n {
+			panic(fmt.Sprintf("procsim: Advance %d cycles across end of %d-cycle burst", n, p.ctxs[p.cur].remaining))
+		}
+		p.ctxs[p.cur].remaining -= int(n)
+		p.busy.Addn(n)
+	default:
+		if idx, ok := p.nextReady(); ok {
+			panic(fmt.Sprintf("procsim: Advance %d cycles with context %d ready", n, idx))
+		}
+		p.idle.Addn(n)
+	}
+}

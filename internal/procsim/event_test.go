@@ -1,0 +1,174 @@
+package procsim
+
+import (
+	"testing"
+
+	"locality/internal/sim"
+)
+
+// wakeMem blocks every access once, waking the context after a fixed
+// latency; the retry hits. Wake times play the role of the coherence
+// layer's event heap: the event-driven harness treats them as
+// announced events, exactly as the machine kernel sees protocol heap
+// entries.
+type wakeMem struct {
+	proc    *Processor
+	latency int64
+	pending []pendingWake
+	retry   map[int]bool
+}
+
+func (m *wakeMem) Access(node, context int, addr uint64, write bool, now int64) bool {
+	if m.retry == nil {
+		m.retry = map[int]bool{}
+	}
+	if m.retry[context] {
+		m.retry[context] = false
+		return true
+	}
+	m.retry[context] = true
+	m.pending = append(m.pending, pendingWake{due: now + m.latency, ctx: context})
+	return false
+}
+
+func (m *wakeMem) Prefetch(node int, addr uint64, now int64) bool     { return false }
+func (m *wakeMem) WriteBehind(node int, addr uint64, now int64) bool  { return false }
+func (m *wakeMem) Join(node, thread int, addr uint64, now int64) bool { return false }
+
+func (m *wakeMem) tick(now int64) {
+	var rest []pendingWake
+	for _, w := range m.pending {
+		if w.due <= now {
+			m.proc.Ready(w.ctx, now)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	m.pending = rest
+}
+
+func (m *wakeMem) nextDue() int64 {
+	next := sim.Never
+	for _, w := range m.pending {
+		if w.due < next {
+			next = w.due
+		}
+	}
+	return next
+}
+
+// TestEventAdvanceMatchesPerCycleTick drives twin processors over the
+// same program mix — compute bursts, misses with context switches,
+// idle stalls — one ticked every cycle and one driven the way the
+// machine kernel does: tick at event cycles, Advance across the gaps.
+// End state and cycle accounting must match exactly.
+func TestEventAdvanceMatchesPerCycleTick(t *testing.T) {
+	mkProgs := func(n int) []Program {
+		progs := make([]Program, n)
+		for i := range progs {
+			var ops []Op
+			for j := 0; j < 6; j++ {
+				ops = append(ops,
+					Op{Kind: OpCompute, Cycles: 7 + 13*((i+j)%5)},
+					Op{Kind: OpRead, Addr: uint64((i*16 + j) * 64)})
+			}
+			progs[i] = &scriptProgram{ops: ops}
+		}
+		return progs
+	}
+	for _, contexts := range []int{1, 2, 4} {
+		cfg := Config{Contexts: contexts, SwitchTime: 11, HitLatency: 2}
+		const horizon = 3000
+
+		refMem := &wakeMem{latency: 37}
+		ref, err := New(0, cfg, refMem, mkProgs(contexts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refMem.proc = ref
+		for now := int64(0); now < horizon; now++ {
+			refMem.tick(now)
+			ref.Tick(now)
+		}
+
+		evMem := &wakeMem{latency: 37}
+		ev, err := New(0, cfg, evMem, mkProgs(contexts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		evMem.proc = ev
+		executed := int64(0)
+		for now := int64(0); now < horizon; {
+			evMem.tick(now)
+			ev.Tick(now)
+			executed++
+			next := ev.NextEvent()
+			if d := evMem.nextDue(); d < next {
+				next = d
+			}
+			if next <= now+1 {
+				now++
+				continue
+			}
+			if next > horizon {
+				next = horizon
+			}
+			ev.Advance(next - 1)
+			now = next
+		}
+
+		if executed >= horizon {
+			t.Errorf("contexts=%d: event harness executed all %d cycles, nothing skipped", contexts, executed)
+		}
+		rs, es := ref.Snapshot(), ev.Snapshot()
+		if rs != es {
+			t.Errorf("contexts=%d: snapshots differ\n per-cycle: %+v\n event:     %+v (executed %d of %d)",
+				contexts, rs, es, executed, horizon)
+		}
+		if ref.Halted() != ev.Halted() {
+			t.Errorf("contexts=%d: halted %v vs %v", contexts, ref.Halted(), ev.Halted())
+		}
+	}
+}
+
+// TestNextEventAnnouncesExactCycles checks the NextEvent values for
+// each processor state against hand-computed cycles.
+func TestNextEventAnnouncesExactCycles(t *testing.T) {
+	mem := &fakeMem{hitAlways: true}
+	prog := &scriptProgram{ops: []Op{{Kind: OpCompute, Cycles: 10}}}
+	p, err := New(0, Config{Contexts: 1, HitLatency: 1}, mem, []Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tick(0) // fetches the burst, 9 cycles remain
+	if got := p.NextEvent(); got != 10 {
+		t.Errorf("mid-burst NextEvent = %d, want 10", got)
+	}
+	p.Advance(9) // drain the burst in bulk
+	p.Tick(10)   // fetches OpHalt: context halts
+	if got := p.NextEvent(); got != sim.Never {
+		t.Errorf("halted NextEvent = %d, want Never", got)
+	}
+	p.Advance(500) // idles in bulk
+	if s := p.Snapshot(); s.Busy != 10 || s.Idle != 490 {
+		t.Errorf("busy/idle = %d/%d, want 10/490", s.Busy, s.Idle)
+	}
+}
+
+// TestAdvancePanicsAcrossEvents documents the kernel contract: bulk
+// advancement past the component's own announced event is a bug.
+func TestAdvancePanicsAcrossEvents(t *testing.T) {
+	mem := &fakeMem{hitAlways: true}
+	prog := &scriptProgram{ops: []Op{{Kind: OpCompute, Cycles: 5}}}
+	p, err := New(0, Config{Contexts: 1, HitLatency: 1}, mem, []Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tick(0) // 4 cycles of burst remain: events at cycle 5
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance beyond the burst end should panic")
+		}
+	}()
+	p.Advance(20)
+}

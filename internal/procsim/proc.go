@@ -126,6 +126,9 @@ type Processor struct {
 	// switchLeft counts down a context switch in progress; the target
 	// is already stored in cur.
 	switchLeft int
+	// lastTick is the last cycle applied, through Tick or Advance
+	// (-1 before the first cycle); it anchors NextEvent.
+	lastTick int64
 
 	busy         stats.Counter // cycles doing useful work (compute or hits)
 	switchC      stats.Counter // cycles spent context switching
@@ -148,7 +151,7 @@ func New(nodeID int, cfg Config, mem MemorySystem, programs []Program) (*Process
 	if mem == nil {
 		return nil, fmt.Errorf("procsim: nil memory system")
 	}
-	p := &Processor{nodeID: nodeID, cfg: cfg, mem: mem, ctxs: make([]context, cfg.Contexts)}
+	p := &Processor{nodeID: nodeID, cfg: cfg, mem: mem, ctxs: make([]context, cfg.Contexts), lastTick: -1}
 	for i := range p.ctxs {
 		p.ctxs[i] = context{prog: programs[i], state: ctxReady}
 	}
@@ -169,6 +172,7 @@ func (p *Processor) Ready(ctx int, now int64) {
 
 // Tick advances the processor one cycle.
 func (p *Processor) Tick(now int64) {
+	p.lastTick = now
 	// Finish an in-progress context switch first.
 	if p.switchLeft > 0 {
 		p.switchLeft--

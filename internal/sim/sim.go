@@ -1,0 +1,178 @@
+// Package sim is the discrete-event simulation kernel shared by the
+// full-system simulator's layers. A machine is an ordered list of
+// Components, each of which can execute one cycle of work (Tick) and
+// report the next cycle at which it has anything to do (NextEvent).
+// The kernel runs in one of two modes with bit-identical results:
+//
+//   - Tick mode (RunTick) executes every cycle, calling Tick on every
+//     component in registration order — the naive reference loop.
+//   - Event mode (Run) executes a cycle exactly like tick mode, then
+//     advances the clock directly to the global minimum NextEvent,
+//     skipping the quiescent cycles in between. Components that accrue
+//     per-cycle state even while quiescent (cycle counters, stat
+//     accumulators, secondary clocks) implement Advancer to apply the
+//     skipped span in bulk.
+//
+// Equivalence rests on one contract: a component's NextEvent must be a
+// lower bound on the first future cycle whose Tick is not fully
+// predictable from its current state, and its Advance must reproduce
+// exactly the state those predictable Ticks would have produced. A
+// component may always answer conservatively (last cycle + 1); Never
+// means it cannot act again until some other component's activity
+// reaches it within an executed cycle.
+package sim
+
+import "math"
+
+// Never is the NextEvent value of a quiescent component: no future
+// cycle at which it needs to run on its own.
+const Never int64 = math.MaxInt64
+
+// Component is one simulation layer driven by the kernel.
+type Component interface {
+	// Tick executes the component's work for cycle now. The kernel
+	// calls Tick on every component, in registration order, for every
+	// cycle it executes; now is strictly increasing across calls but
+	// not necessarily consecutive (skipped spans are applied through
+	// Advance, never through Tick).
+	Tick(now int64)
+	// NextEvent returns the earliest future cycle at which the
+	// component must be ticked, or Never when it is quiescent. The
+	// value must be greater than the last executed cycle. Answering
+	// earlier than necessary is always safe; answering later than the
+	// component's true next event breaks bit-identity.
+	NextEvent() int64
+}
+
+// Advancer is implemented by components whose quiescent cycles still
+// accrue state — cycle counters draining, idle-time accounting, a
+// faster secondary clock. Advance(to) applies, in bulk, exactly what
+// per-cycle Ticks over (lastExecuted, to] would have done, given that
+// the kernel has proven every cycle in that span quiescent (no
+// component's NextEvent falls inside it).
+type Advancer interface {
+	Advance(to int64)
+}
+
+// Stats is the kernel's execution accounting.
+type Stats struct {
+	// Ticked counts cycles executed component by component.
+	Ticked int64
+	// Skipped counts cycles advanced over in bulk.
+	Skipped int64
+}
+
+// Cycles returns the total simulated cycles, ticked plus skipped.
+func (s Stats) Cycles() int64 { return s.Ticked + s.Skipped }
+
+// SkipRatio returns the fraction of simulated cycles that were
+// skipped, in [0, 1].
+func (s Stats) SkipRatio() float64 {
+	if total := s.Ticked + s.Skipped; total > 0 {
+		return float64(s.Skipped) / float64(total)
+	}
+	return 0
+}
+
+// Sub returns the stats accumulated since an earlier snapshot.
+func (s Stats) Sub(since Stats) Stats {
+	return Stats{Ticked: s.Ticked - since.Ticked, Skipped: s.Skipped - since.Skipped}
+}
+
+// Kernel drives an ordered, fixed set of components. The zero value is
+// not usable; construct with New.
+type Kernel struct {
+	comps []Component
+	// advs[i] is comps[i]'s Advancer, or nil: resolved once at
+	// construction so the skip path does no type assertions.
+	advs   []Advancer
+	now    int64
+	stats  Stats
+	onSkip func(from, to int64)
+}
+
+// New builds a kernel over the given components, which are ticked in
+// argument order on every executed cycle. Time starts at cycle 0.
+func New(comps ...Component) *Kernel {
+	k := &Kernel{comps: comps, advs: make([]Advancer, len(comps))}
+	for i, c := range comps {
+		if a, ok := c.(Advancer); ok {
+			k.advs[i] = a
+		}
+	}
+	return k
+}
+
+// SetOnSkip installs an observer invoked once per skip with the
+// half-open skipped span [from, to): cycles from..to-1 were advanced
+// over in bulk and to is the next executed cycle (or the end of the
+// run). Used for skip tracing; nil disables.
+func (k *Kernel) SetOnSkip(fn func(from, to int64)) { k.onSkip = fn }
+
+// Now returns the current cycle: the next cycle to be executed.
+func (k *Kernel) Now() int64 { return k.now }
+
+// Stats returns cumulative execution accounting.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// tick executes one cycle across all components.
+func (k *Kernel) tick() {
+	now := k.now
+	for _, c := range k.comps {
+		c.Tick(now)
+	}
+	k.stats.Ticked++
+	k.now = now + 1
+}
+
+// RunTick advances the kernel by cycles in the naive per-cycle mode:
+// every cycle is executed, nothing is skipped. This is the reference
+// semantics event mode must reproduce bit for bit.
+func (k *Kernel) RunTick(cycles int64) {
+	for end := k.now + cycles; k.now < end; {
+		k.tick()
+	}
+}
+
+// Run advances the kernel by cycles in event mode: after each executed
+// cycle it collects every component's NextEvent and, when the global
+// minimum lies beyond the next cycle, advances the clock straight to
+// it (bounded by the run's end), applying the skipped span through
+// each component's Advancer.
+//
+// The first cycle of every Run call is always executed, even if
+// quiescent — executing a quiescent cycle is a no-op by the Component
+// contract, so this is safe and keeps the loop free of stale
+// cross-call event state.
+func (k *Kernel) Run(cycles int64) {
+	end := k.now + cycles
+	for k.now < end {
+		k.tick()
+		if k.now >= end {
+			return
+		}
+		next := Never
+		for _, c := range k.comps {
+			if ne := c.NextEvent(); ne < next {
+				next = ne
+			}
+		}
+		if next <= k.now {
+			continue // something is due immediately: no skip
+		}
+		if next > end {
+			next = end
+		}
+		// Cycles k.now .. next-1 are quiescent: apply them in bulk.
+		for _, a := range k.advs {
+			if a != nil {
+				a.Advance(next - 1)
+			}
+		}
+		if k.onSkip != nil {
+			k.onSkip(k.now, next)
+		}
+		k.stats.Skipped += next - k.now
+		k.now = next
+	}
+}

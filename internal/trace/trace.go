@@ -26,12 +26,16 @@ const (
 	KindCtxSwitch
 	// KindEvict is a cache line eviction.
 	KindEvict
+	// KindKernelSkip is a quiescent span the event kernel advanced
+	// over in bulk: Cycle is the first skipped cycle, Info the span
+	// length, Node/Peer are -1 (machine-wide).
+	KindKernelSkip
 	numKinds
 )
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	names := [...]string{"msg-send", "msg-deliver", "txn-start", "txn-complete", "ctx-switch", "evict"}
+	names := [...]string{"msg-send", "msg-deliver", "txn-start", "txn-complete", "ctx-switch", "evict", "kernel-skip"}
 	if int(k) < len(names) {
 		return names[k]
 	}
