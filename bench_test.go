@@ -21,6 +21,7 @@ import (
 	"locality/internal/mapping"
 	"locality/internal/mapsel"
 	"locality/internal/netsim"
+	"locality/internal/telemetry"
 	"locality/internal/topology"
 )
 
@@ -404,5 +405,47 @@ func BenchmarkSweepGrid(b *testing.B) {
 				b.ReportMetric(float64(stats.Cells), "cells")
 			}
 		})
+	}
+}
+
+// BenchmarkTelemetryOverhead measures what the full telemetry stack —
+// registry gauges, per-distance latency histograms, and kernel cycle
+// attribution — costs on the workloads where it matters most. On the
+// comm-heavy workload nearly every cycle executes and every message
+// feeds a histogram, so this is the worst case; the design budget is
+// < 5% overhead there. Reported metric: simulated P-cycles per
+// wall-clock second (compare telemetry=off vs telemetry=on rows).
+// cmd/telemetrybench runs the same comparison standalone and writes
+// BENCH_telemetry.json.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	tor := topology.MustNew(8, 2)
+	workloads := []struct {
+		name    string
+		compute int
+	}{
+		{"comm-heavy", 20},
+		{"idle-heavy", 2000},
+	}
+	for _, wl := range workloads {
+		for _, telem := range []bool{false, true} {
+			name := fmt.Sprintf("%s/telemetry=%t", wl.name, telem)
+			b.Run(name, func(b *testing.B) {
+				cfg := machine.DefaultConfig(tor, mapping.Random(tor, 1), 2)
+				cfg.ReadCompute, cfg.WriteCompute = wl.compute, wl.compute
+				if telem {
+					cfg.Telemetry = telemetry.New()
+				}
+				mach, err := machine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mach.Run(2000)
+				mach.ResetStats()
+				b.ResetTimer()
+				mach.Run(int64(b.N))
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			})
+		}
 	}
 }

@@ -7,10 +7,21 @@
 //	simrun -mapping diag:3 -window 40000
 //	simrun -mapping antilocal -contexts 4 -ratio 1
 //	simrun -mapping random:1 -fault-rate 0.01 -link-mttf 5000
+//	simrun -mapping random:1 -telemetry
+//	simrun -mapping random:1 -trace-out trace.json -slice 1000 -slice-out slices.csv
 //
 // With fault injection enabled the run additionally reports loss and
 // retry accounting; a run that stops making progress aborts with a
 // diagnostic stall report and exit status 2.
+//
+// Observability: -telemetry appends the metrics-registry dump and the
+// per-component cycle-attribution breakdown to the report; -trace-out
+// writes a Chrome trace-event JSON (load it in Perfetto or
+// chrome://tracing) of message flows, transactions, and kernel-skip
+// spans; -slice streams time-sliced interval samples (utilization,
+// queue depths, skip ratio, fault state) to -slice-out as CSV or
+// JSONL. None of these change the simulated results; without them the
+// output is byte-identical to an uninstrumented run.
 //
 // Mapping selectors are parsed by internal/mapsel: identity,
 // transpose, bitrev, antilocal[:seed], local[:seed], diag[:shift],
@@ -29,7 +40,9 @@ import (
 	"locality/internal/faults"
 	"locality/internal/machine"
 	"locality/internal/mapsel"
+	"locality/internal/telemetry"
 	"locality/internal/topology"
+	"locality/internal/trace"
 )
 
 func fatal(err error) {
@@ -52,6 +65,12 @@ func main() {
 	linkMTTF := flag.Float64("link-mttf", 0, "mean N-cycles between transient faults per link (0 disables)")
 	watchdog := flag.Int64("watchdog", 0, "abort after this many P-cycles without progress (0 = auto when faults enabled)")
 	kernelFlag := flag.String("kernel", "event", "execution kernel: event (skip quiescent cycles) or tick (naive reference loop); results are bit-identical")
+	telemetry_ := flag.Bool("telemetry", false, "enable the metrics registry and cycle attribution; dump both after the run")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this path (implies tracing)")
+	traceCap := flag.Int("trace-cap", 1<<16, "trace ring-buffer capacity in events")
+	slice := flag.Int64("slice", 0, "emit one time-sliced sample every N P-cycles (0 disables; implies -telemetry)")
+	sliceOut := flag.String("slice-out", "", "time-slice output path (default stderr)")
+	sliceFormat := flag.String("slice-format", "csv", "time-slice format: csv or jsonl")
 	flag.Parse()
 
 	tor, err := topology.New(*k, *n)
@@ -81,6 +100,30 @@ func main() {
 	cfg.Watchdog = faults.Watchdog{StallCycles: *watchdog}
 	if *watchdog == 0 && spec.Enabled() {
 		cfg.Watchdog.StallCycles = 20 * (*warmup + *window)
+	}
+	if *traceOut != "" {
+		cfg.Trace = trace.New(*traceCap)
+	}
+	if *slice > 0 {
+		*telemetry_ = true
+		sw := os.Stderr
+		if *sliceOut != "" {
+			f, err := os.Create(*sliceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			sw = f
+		}
+		writer, err := telemetry.NewSliceWriter(sw, *sliceFormat)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SliceEvery = *slice
+		cfg.SliceWriter = writer
+	}
+	if *telemetry_ {
+		cfg.Telemetry = telemetry.New()
 	}
 	mach, err := machine.New(cfg)
 	if err != nil {
@@ -123,5 +166,32 @@ func main() {
 		fmt.Printf("messages dropped         %d\n", met.DroppedMsgs)
 		fmt.Printf("request retries          %d (+%d home-side)\n", met.Retries, met.HomeRetries)
 		fmt.Printf("link fault cycles        %d channel·N-cycles\n", met.LinkFaultCycles)
+	}
+	mach.FlushSlices()
+	if cfg.SliceWriter != nil {
+		if err := cfg.SliceWriter.Err(); err != nil {
+			fatal(err)
+		}
+	}
+	if *telemetry_ {
+		attr := mach.Attribution()
+		fmt.Printf("cycle attribution        %s (total %d)\n", attr, attr.Total())
+		fmt.Printf("telemetry registry:\n")
+		if err := cfg.Telemetry.Dump(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.WriteChromeTrace(f, cfg.Trace.Events()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }

@@ -19,6 +19,14 @@
 // (stall-report abort, configuration error, or panic) emits its row
 // with error=<message> in the first measurement column; the rest of
 // the grid still runs and sweep exits nonzero at the end.
+//
+// Observability on long sweeps: -telemetry gives every cell its own
+// metrics registry and cycle attribution (the CSV stays byte-identical
+// — telemetry never touches simulated results); -slice N with
+// -slice-dir writes one time-sliced sample file per cell; -trace-dir
+// writes one Perfetto-loadable Chrome trace JSON per cell; -heartbeat
+// prints periodic completed/total + ETA lines to stderr; -pprof serves
+// net/http/pprof on the given address for live profiling.
 package main
 
 import (
@@ -27,8 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -38,7 +49,9 @@ import (
 	"locality/internal/machine"
 	"locality/internal/mapping"
 	"locality/internal/mapsel"
+	"locality/internal/telemetry"
 	"locality/internal/topology"
+	"locality/internal/trace"
 	"locality/internal/workload"
 )
 
@@ -78,6 +91,16 @@ type cell struct {
 	warmup   int64
 	window   int64
 	kernel   machine.KernelMode
+
+	// Observability (all optional). Each cell owns its registry — the
+	// engine runs cells concurrently and registries are single-owner.
+	telemetry bool
+	slice     int64
+	sliceDir  string
+	sliceFmt  string
+	traceDir  string
+	traceCap  int
+	fileStem  string // per-cell output file name, sans extension
 }
 
 // runCell builds and measures one machine. Panics from deep inside the
@@ -103,11 +126,60 @@ func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 		cfg.Faults = &spec
 	}
 	cfg.Watchdog = c.watchdog
+	if c.telemetry {
+		cfg.Telemetry = telemetry.New()
+	}
+	if c.slice > 0 {
+		f, err := os.Create(filepath.Join(c.sliceDir, c.fileStem+".slices."+c.sliceFmt))
+		if err != nil {
+			return machine.Metrics{}, err
+		}
+		defer f.Close()
+		writer, err := telemetry.NewSliceWriter(f, c.sliceFmt)
+		if err != nil {
+			return machine.Metrics{}, err
+		}
+		cfg.SliceEvery = c.slice
+		cfg.SliceWriter = writer
+	}
+	if c.traceDir != "" {
+		cfg.Trace = trace.New(c.traceCap)
+	}
 	mach, err := machine.New(cfg)
 	if err != nil {
 		return machine.Metrics{}, err
 	}
-	return mach.RunMeasuredChecked(ctx, c.warmup, c.window)
+	met, err := mach.RunMeasuredChecked(ctx, c.warmup, c.window)
+	if err != nil {
+		return machine.Metrics{}, err
+	}
+	mach.FlushSlices()
+	if cfg.SliceWriter != nil {
+		if err := cfg.SliceWriter.Err(); err != nil {
+			return machine.Metrics{}, err
+		}
+	}
+	if c.traceDir != "" {
+		f, err := os.Create(filepath.Join(c.traceDir, c.fileStem+".trace.json"))
+		if err != nil {
+			return machine.Metrics{}, err
+		}
+		if err := telemetry.WriteChromeTrace(f, cfg.Trace.Events()); err != nil {
+			f.Close()
+			return machine.Metrics{}, err
+		}
+		if err := f.Close(); err != nil {
+			return machine.Metrics{}, err
+		}
+	}
+	return met, nil
+}
+
+// fileStem turns a cell's mapping/context pair into a filesystem-safe
+// output file stem.
+func fileStem(mappingName string, contexts int) string {
+	r := strings.NewReplacer(":", "-", "/", "-", " ", "_")
+	return fmt.Sprintf("%s_p%d", r.Replace(mappingName), contexts)
 }
 
 func main() {
@@ -128,10 +200,43 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
 	kernelFlag := flag.String("kernel", "event", "execution kernel: event (skip quiescent cycles) or tick (naive reference loop); rows are bit-identical either way")
+	telemetry_ := flag.Bool("telemetry", false, "per-cell metrics registry + cycle attribution (CSV output unchanged)")
+	slice := flag.Int64("slice", 0, "per-cell time-sliced sampling every N P-cycles (0 disables; needs -slice-dir)")
+	sliceDir := flag.String("slice-dir", "", "directory for per-cell time-slice files (implies -telemetry)")
+	sliceFormat := flag.String("slice-format", "csv", "time-slice format: csv or jsonl")
+	traceDir := flag.String("trace-dir", "", "directory for per-cell Chrome trace-event JSON files")
+	traceCap := flag.Int("trace-cap", 1<<16, "per-cell trace ring-buffer capacity in events")
+	heartbeat := flag.Duration("heartbeat", 0, "periodic progress/ETA line interval on stderr (0 disables)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: pprof server:", err)
+			}
+		}()
+	}
+	if *slice > 0 && *sliceDir == "" {
+		fatal(fmt.Errorf("-slice requires -slice-dir"))
+	}
+	if *sliceDir != "" {
+		if *slice <= 0 {
+			fatal(fmt.Errorf("-slice-dir requires -slice > 0"))
+		}
+		*telemetry_ = true
+		if err := os.MkdirAll(*sliceDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	tor, err := topology.New(*k, *n)
 	if err != nil {
@@ -198,6 +303,8 @@ func main() {
 			c := cell{
 				tor: tor, m: m, contexts: p, prefetch: *prefetch, ratio: *ratio,
 				spec: spec, watchdog: wd, warmup: *warmup, window: *window, kernel: kernel,
+				telemetry: *telemetry_, slice: *slice, sliceDir: *sliceDir, sliceFmt: *sliceFormat,
+				traceDir: *traceDir, traceCap: *traceCap, fileStem: fileStem(m.Name, p),
 			}
 			metas = append(metas, meta{m: m, p: p})
 			cells = append(cells, engine.Cell[machine.Metrics]{
@@ -212,14 +319,14 @@ func main() {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
 	failed := 0
 	var prog io.Writer
-	if *progress {
+	if *progress || *heartbeat > 0 {
 		prog = os.Stderr
 	}
 	// OnResult fires in grid order regardless of which worker finished
 	// first, so rows stream to the CSV exactly as the sequential sweep
 	// emitted them.
 	opts := engine.Options[machine.Metrics]{
-		Exec: engine.Exec{Workers: *workers, Progress: prog},
+		Exec: engine.Exec{Workers: *workers, Progress: prog, Heartbeat: *heartbeat},
 		OnResult: func(r engine.Result[machine.Metrics]) {
 			m, p, met := metas[r.Index].m, metas[r.Index].p, r.Row
 			var row []string

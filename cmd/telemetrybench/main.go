@@ -1,0 +1,115 @@
+// Command telemetrybench measures the runtime cost of the telemetry
+// layer — registry gauges, per-distance latency histograms, and kernel
+// cycle attribution — on the comm-heavy workload where it is most
+// exposed (nearly every cycle executes and every delivered message
+// feeds a histogram), and writes the comparison as JSON.
+//
+//	telemetrybench -out BENCH_telemetry.json
+//
+// Each configuration runs the same machine for -cycles P-cycles,
+// -reps times; the fastest repetition of each is compared, which
+// filters scheduler noise the way testing.B's minimum-style reporting
+// does. The design budget is < 5% overhead on this workload; CI runs
+// this command as a smoke check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/telemetry"
+	"locality/internal/topology"
+)
+
+// result is the JSON report.
+type result struct {
+	// Workload parameters.
+	Nodes    int   `json:"nodes"`
+	Contexts int   `json:"contexts"`
+	Compute  int   `json:"compute_cycles"`
+	Cycles   int64 `json:"measured_pcycles"`
+	Reps     int   `json:"reps"`
+	// Best-of-reps throughput, simulated P-cycles per wall second.
+	OffCyclesPerSec float64 `json:"off_cycles_per_sec"`
+	OnCyclesPerSec  float64 `json:"on_cycles_per_sec"`
+	// OverheadFrac is 1 - on/off: the fraction of throughput the
+	// telemetry stack costs.
+	OverheadFrac float64 `json:"overhead_frac"`
+	Budget       float64 `json:"budget_frac"`
+	WithinBudget bool    `json:"within_budget"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "telemetrybench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_telemetry.json", "output JSON path")
+	cycles := flag.Int64("cycles", 30000, "measured P-cycles per repetition")
+	reps := flag.Int("reps", 3, "repetitions per configuration (fastest wins)")
+	budget := flag.Float64("budget", 0.05, "acceptable overhead fraction; exceeding it exits 1")
+	flag.Parse()
+
+	tor, err := topology.New(8, 2)
+	if err != nil {
+		fatal(err)
+	}
+	run := func(telem bool) float64 {
+		best := 0.0
+		for r := 0; r < *reps; r++ {
+			cfg := machine.DefaultConfig(tor, mapping.Random(tor, 1), 2)
+			cfg.ReadCompute, cfg.WriteCompute = 20, 20
+			if telem {
+				cfg.Telemetry = telemetry.New()
+			}
+			mach, err := machine.New(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			mach.Run(2000) // settle into steady state
+			mach.ResetStats()
+			t0 := time.Now()
+			mach.Run(*cycles)
+			if rate := float64(*cycles) / time.Since(t0).Seconds(); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+
+	res := result{
+		Nodes: tor.Nodes(), Contexts: 2, Compute: 20,
+		Cycles: *cycles, Reps: *reps, Budget: *budget,
+	}
+	res.OffCyclesPerSec = run(false)
+	res.OnCyclesPerSec = run(true)
+	res.OverheadFrac = 1 - res.OnCyclesPerSec/res.OffCyclesPerSec
+	res.WithinBudget = res.OverheadFrac <= *budget
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("telemetry off  %.0f cycles/s\ntelemetry on   %.0f cycles/s\noverhead       %.2f%% (budget %.0f%%)\n",
+		res.OffCyclesPerSec, res.OnCyclesPerSec, 100*res.OverheadFrac, 100**budget)
+	if !res.WithinBudget {
+		fmt.Fprintf(os.Stderr, "telemetrybench: overhead %.2f%% exceeds budget %.0f%%\n",
+			100*res.OverheadFrac, 100**budget)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+package cohsim
+
+import "locality/internal/telemetry"
+
+// PendingEvents returns the number of entries in the protocol's event
+// heap: deliveries, controller occupancy releases, and retry deadlines
+// not yet due. A queue-depth signal for time-sliced sampling.
+func (p *Protocol) PendingEvents() int { return len(p.events) }
+
+// OutstandingTxns returns the number of coherence transactions
+// currently in flight across all nodes.
+func (p *Protocol) OutstandingTxns() int {
+	n := 0
+	for i := range p.nodes {
+		n += len(p.nodes[i].mshr)
+	}
+	return n
+}
+
+// PublishTelemetry registers the protocol's counters as pull-based
+// gauges: zero hot-path cost, values read at sample time. Safe on a
+// nil registry.
+func (p *Protocol) PublishTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("proto/transactions", func() float64 { return float64(p.txnCount.Value()) })
+	reg.GaugeFunc("proto/fabric_messages", func() float64 { return float64(p.netMsgs.Value()) })
+	reg.GaugeFunc("proto/read_misses", func() float64 { return float64(p.readMiss.Value()) })
+	reg.GaugeFunc("proto/write_misses", func() float64 { return float64(p.writeMiss.Value()) })
+	reg.GaugeFunc("proto/sw_traps", func() float64 { return float64(p.swTraps.Value()) })
+	reg.GaugeFunc("proto/retries", func() float64 { return float64(p.retries.Value()) })
+	reg.GaugeFunc("proto/home_retries", func() float64 { return float64(p.homeRetries.Value()) })
+	reg.GaugeFunc("proto/dropped", func() float64 { return float64(p.dropped.Value()) })
+	reg.GaugeFunc("proto/pending_events", func() float64 { return float64(p.PendingEvents()) })
+	reg.GaugeFunc("proto/outstanding_txns", func() float64 { return float64(p.OutstandingTxns()) })
+}

@@ -67,6 +67,12 @@ type Exec struct {
 	// and finishes plus a final summary — streamed, unordered, meant
 	// for stderr.
 	Progress io.Writer
+	// Heartbeat, when > 0 and Progress is set, additionally emits a
+	// periodic progress/ETA line: completed/total cells, mean cell
+	// time, and the estimated time remaining at the achieved rate.
+	// Meant for long sweeps where per-cell lines are too chatty or too
+	// sparse.
+	Heartbeat time.Duration
 }
 
 // Options configures one Grid call.
@@ -151,6 +157,39 @@ func Grid[T any](ctx context.Context, cells []Cell[T], opts Options[T]) ([]Resul
 		mu.Unlock()
 	}
 
+	var stopBeat chan struct{}
+	if opts.Heartbeat > 0 && opts.Progress != nil {
+		stopBeat = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(opts.Heartbeat)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopBeat:
+					return
+				case <-tick.C:
+					mu.Lock()
+					finished := 0
+					for _, d := range done {
+						if d {
+							finished++
+						}
+					}
+					elapsed := time.Since(begin)
+					line := fmt.Sprintf("engine: %d/%d cells in %v", finished, n, elapsed.Round(time.Second))
+					if finished > 0 && finished < n {
+						// ETA at the achieved whole-grid rate, which
+						// already folds in the worker parallelism.
+						eta := time.Duration(float64(elapsed) / float64(finished) * float64(n-finished))
+						line += fmt.Sprintf(", ~%v remaining", eta.Round(time.Second))
+					}
+					fmt.Fprintln(opts.Progress, line)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -188,6 +227,9 @@ func Grid[T any](ctx context.Context, cells []Cell[T], opts Options[T]) ([]Resul
 	}
 	close(work)
 	wg.Wait()
+	if stopBeat != nil {
+		close(stopBeat)
+	}
 
 	stats.Wall = time.Since(begin)
 	if opts.Progress != nil {

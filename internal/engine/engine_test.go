@@ -218,3 +218,55 @@ func (w syncWriter) Write(p []byte) (int, error) {
 	defer w.mu.Unlock()
 	return w.b.Write(p)
 }
+
+// TestEngineHeartbeat: with Heartbeat set, a slow grid emits periodic
+// progress/ETA lines between the per-cell events, and the heartbeat
+// goroutine shuts down cleanly with the grid.
+func TestEngineHeartbeat(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := syncWriter{mu: &mu, b: &buf}
+	cells := make([]Cell[int], 4)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{
+			Key: fmt.Sprintf("cell%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				time.Sleep(30 * time.Millisecond)
+				return i, nil
+			},
+		}
+	}
+	_, stats := Grid(context.Background(), cells, Options[int]{
+		Exec: Exec{Workers: 1, Progress: w, Heartbeat: 10 * time.Millisecond},
+	})
+	if stats.Failed != 0 || stats.Started != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "/4 cells in") {
+		t.Errorf("no heartbeat line in progress output:\n%s", out)
+	}
+	// A mid-grid beat (some cells done, some not) carries the ETA.
+	if !strings.Contains(out, "remaining") {
+		t.Errorf("no ETA estimate in heartbeat output:\n%s", out)
+	}
+}
+
+// TestEngineHeartbeatRequiresProgress: Heartbeat without a Progress
+// writer must not spin up the ticker goroutine (or panic writing to
+// nil).
+func TestEngineHeartbeatRequiresProgress(t *testing.T) {
+	cells := []Cell[int]{{Key: "one", Run: func(ctx context.Context) (int, error) {
+		time.Sleep(5 * time.Millisecond)
+		return 1, nil
+	}}}
+	results, _ := Grid(context.Background(), cells, Options[int]{
+		Exec: Exec{Heartbeat: time.Millisecond},
+	})
+	if results[0].Err != nil {
+		t.Fatalf("err = %v", results[0].Err)
+	}
+}

@@ -313,6 +313,11 @@ func (lf *LinkFaults) CountDown(channel int, from, to int64) int64 {
 // DownCycles returns the total channel-cycles reported faulted so far.
 func (lf *LinkFaults) DownCycles() int64 { return lf.downCnt }
 
+// FaultCount returns the number of fault intervals entered so far
+// across all channels (each renewal of a channel's schedule counts
+// one interval).
+func (lf *LinkFaults) FaultCount() int64 { return lf.faultCnt }
+
 // Coin is a deterministic Bernoulli stream used for per-message drop
 // decisions. Successive Next calls form a reproducible sequence for a
 // given (seed, stream) pair.

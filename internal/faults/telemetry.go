@@ -1,0 +1,15 @@
+package faults
+
+import "locality/internal/telemetry"
+
+// PublishTelemetry registers the fault model's lifetime accounting as
+// pull-based gauges: no per-cycle cost, the counters are read only
+// when the registry is sampled or dumped. Safe on a nil receiver (a
+// fault-free machine) and a nil registry.
+func (lf *LinkFaults) PublishTelemetry(reg *telemetry.Registry) {
+	if lf == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("faults/link_down_cycles", func() float64 { return float64(lf.DownCycles()) })
+	reg.GaugeFunc("faults/link_fault_intervals", func() float64 { return float64(lf.FaultCount()) })
+}

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"locality/internal/sim"
 	"locality/internal/trace"
@@ -86,15 +87,24 @@ func (c netComp) Advance(to int64) {
 	c.m.net.SkipTo((to + 1) * int64(c.m.cfg.ClockRatio))
 }
 
-// buildKernel assembles the sim kernel in historical tick order.
+// buildKernel assembles the sim kernel in historical tick order. The
+// telemetry sampler, when enabled, registers last: it observes each
+// executed cycle after every substrate has ticked it, and appending it
+// keeps the attribution indices of the historical components stable.
 func (m *Machine) buildKernel() {
-	comps := make([]sim.Component, 0, len(m.procs)+2)
+	comps := make([]sim.Component, 0, len(m.procs)+3)
 	comps = append(comps, protoComp{m})
 	for _, p := range m.procs {
 		comps = append(comps, p)
 	}
 	comps = append(comps, netComp{m})
+	if m.slicer != nil {
+		comps = append(comps, m.slicer)
+	}
 	m.kernel = sim.New(comps...)
+	if m.cfg.Telemetry != nil {
+		m.kernel.EnableAttribution()
+	}
 	if m.cfg.Trace.Enabled() {
 		m.kernel.SetOnSkip(func(from, to int64) {
 			m.cfg.Trace.Emit(trace.Event{
@@ -121,11 +131,22 @@ func (m *Machine) advance(pCycles int64) {
 func (m *Machine) KernelStats() sim.Stats { return m.kernel.Stats() }
 
 // DiagSnapshot renders a machine-wide diagnostic: the kernel's
-// execution accounting followed by the fabric occupancy dump. Stall
-// reports embed it so a watchdog abort shows how the machine was
-// being driven as well as where traffic is stuck.
+// execution accounting followed by the fabric occupancy dump, and —
+// when telemetry is enabled — the cycle-attribution breakdown and the
+// full registry dump. Stall reports embed it so a watchdog abort shows
+// how the machine was being driven as well as where traffic is stuck.
 func (m *Machine) DiagSnapshot() string {
 	ks := m.kernel.Stats()
-	return fmt.Sprintf("kernel %s @ P-cycle %d: %d cycles executed, %d skipped (%.1f%% skip ratio)\n%s",
+	s := fmt.Sprintf("kernel %s @ P-cycle %d: %d cycles executed, %d skipped (%.1f%% skip ratio)\n%s",
 		m.cfg.Kernel, m.pnow, ks.Ticked, ks.Skipped, 100*ks.SkipRatio(), m.net.DiagSnapshot())
+	if m.cfg.Telemetry != nil {
+		var b strings.Builder
+		b.WriteString(s)
+		fmt.Fprintf(&b, "\ncycle attribution: %s\ntelemetry registry:\n", m.Attribution())
+		if err := m.cfg.Telemetry.Dump(&b); err != nil {
+			fmt.Fprintf(&b, "(registry dump failed: %v)\n", err)
+		}
+		return b.String()
+	}
+	return s
 }

@@ -1,0 +1,354 @@
+package machine
+
+import (
+	"context"
+	"encoding/csv"
+	"errors"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"locality/internal/faults"
+	"locality/internal/mapping"
+	"locality/internal/sim"
+	"locality/internal/telemetry"
+	"locality/internal/topology"
+)
+
+// TestTelemetryIsObservationallyNeutral is the tentpole's core
+// guarantee: attaching the full telemetry stack — registry, latency
+// histograms, cycle attribution — changes nothing about the simulated
+// machine. Metrics and sweep CSV rows must be bit-identical with
+// telemetry on and off, under both kernels.
+func TestTelemetryIsObservationallyNeutral(t *testing.T) {
+	const warmup, window = 500, 2000
+	for _, c := range parityGrid() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, mode := range []KernelMode{KernelTick, KernelEvent} {
+				run := func(reg *telemetry.Registry) Metrics {
+					mach := buildParityMachine(t, c, mode, nil)
+					mach.cfg.Telemetry = reg
+					// Re-wire through the public path: rebuild with the
+					// registry in the config.
+					cfg := mach.cfg
+					mach2, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return mach2.RunMeasured(warmup, window)
+				}
+				plain := run(nil)
+				instrumented := run(telemetry.New())
+				if !reflect.DeepEqual(plain, instrumented) {
+					t.Errorf("%v kernel: telemetry perturbed Metrics:\n off: %+v\n on:  %+v", mode, plain, instrumented)
+				}
+				if a, b := sweepRow(plain, c.spec != nil), sweepRow(instrumented, c.spec != nil); a != b {
+					t.Errorf("%v kernel: sweep rows differ:\n off: %s\n on:  %s", mode, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestAttributionPartitionsExecutedCycles: across the parity grid and
+// both kernels, the per-component charges plus the unforced pool must
+// sum exactly to the kernel's executed-cycle count, and the breakdown
+// must be non-trivial on a comm-active workload.
+func TestAttributionPartitionsExecutedCycles(t *testing.T) {
+	for _, c := range parityGrid() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, mode := range []KernelMode{KernelTick, KernelEvent} {
+				mach := buildParityMachine(t, c, mode, nil)
+				cfg := mach.cfg
+				cfg.Telemetry = telemetry.New()
+				mach, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mach.RunMeasured(500, 2000)
+				attr := mach.Attribution()
+				if got, want := attr.Total(), mach.KernelStats().Ticked; got != want {
+					t.Errorf("%v kernel: attribution total %d != executed cycles %d (%s)", mode, got, want, attr)
+				}
+				if attr.Protocol == 0 || attr.Processors == 0 {
+					t.Errorf("%v kernel: trivial attribution on an active machine: %s", mode, attr)
+				}
+			}
+		})
+	}
+}
+
+// TestAttributionZeroWithoutTelemetry: the accessor must be safe and
+// zero-valued on an uninstrumented machine.
+func TestAttributionZeroWithoutTelemetry(t *testing.T) {
+	tor := topology.MustNew(4, 2)
+	mach, err := New(DefaultConfig(tor, mapping.Identity(tor), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.RunMeasured(200, 500)
+	if attr := mach.Attribution(); attr != (Attribution{}) {
+		t.Errorf("attribution populated without telemetry: %s", attr)
+	}
+}
+
+// TestLatencyHistogramsMeasureThOfD: the per-distance histogram vecs
+// are the paper's measured Th(d) — on a mapped workload they must
+// populate multiple distance keys, and every delivered message must be
+// observed exactly once.
+func TestLatencyHistogramsMeasureThOfD(t *testing.T) {
+	tor := topology.MustNew(4, 2)
+	cfg := DefaultConfig(tor, mapping.Random(tor, 1), 2)
+	cfg.Telemetry = telemetry.New()
+	mach, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.Run(4000)
+
+	// Key 0 holds node-local deliveries (the fabric bypass, outside the
+	// network's Delivered counter); every routed message travels ≥ 1 hop
+	// and lands in keys 1.., which must tile the fabric's count exactly.
+	var fabricObs, distances int64
+	for k := 1; k < mach.msgLat.Keys(); k++ {
+		if n := mach.msgLat.At(k).Count(); n > 0 {
+			fabricObs += n
+			distances++
+		}
+	}
+	delivered := mach.Network().Snapshot().Delivered
+	if fabricObs != delivered {
+		t.Errorf("msg latency histogram holds %d routed observations, network delivered %d", fabricObs, delivered)
+	}
+	if distances < 2 {
+		t.Errorf("message latencies populate %d distance keys, want ≥ 2 under a random mapping", distances)
+	}
+	if mach.msgLat.At(0).Count() == 0 {
+		t.Error("no node-local deliveries observed at distance 0")
+	}
+	var txnObs int64
+	for k := 0; k < mach.txnLat.Keys(); k++ {
+		txnObs += mach.txnLat.At(k).Count()
+	}
+	if txnObs == 0 {
+		t.Error("transaction latency histogram is empty after an active run")
+	}
+	if diam := tor.Diameter(); mach.msgLat.Keys() != diam+1 {
+		t.Errorf("msg latency vec has %d keys, want diameter+1 = %d", mach.msgLat.Keys(), diam+1)
+	}
+}
+
+// TestSliceStreamContents: time-sliced sampling emits one CSV row per
+// boundary labeled with the slice's last completed cycle, plus a final
+// partial row from FlushSlices, and the sampled deltas are consistent
+// with the machine's cumulative counters.
+func TestSliceStreamContents(t *testing.T) {
+	var sb strings.Builder
+	sw, err := telemetry.NewSliceWriter(&sb, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := topology.MustNew(4, 2)
+	cfg := DefaultConfig(tor, mapping.Identity(tor), 1)
+	cfg.Telemetry = telemetry.New()
+	cfg.SliceEvery = 1000
+	cfg.SliceWriter = sw
+	mach, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.Run(3500)
+	mach.FlushSlices()
+	if err := sw.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("slice stream is not valid CSV: %v\n%s", err, sb.String())
+	}
+	// Header + boundary rows labeled with each slice's last completed
+	// cycle (the sampler fires as cycle k·every executes) + the partial
+	// flush row at the run's final cycle.
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want header + 4 samples:\n%s", len(rows), sb.String())
+	}
+	if rows[0][0] != "cycle" {
+		t.Errorf("header = %v", rows[0])
+	}
+	wantCycles := []string{"1000", "2000", "3000", "3499"}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	var injected float64
+	for i, want := range wantCycles {
+		row := rows[i+1]
+		if row[0] != want {
+			t.Errorf("sample %d cycle = %s, want %s", i, row[0], want)
+		}
+		v, err := strconv.ParseFloat(row[col["msgs_injected"]], 64)
+		if err != nil {
+			t.Fatalf("sample %d msgs_injected = %q: %v", i, row[col["msgs_injected"]], err)
+		}
+		injected += v
+	}
+	// Slice deltas must tile the run: their sum equals the cumulative
+	// injection counter.
+	if total := float64(mach.Network().Snapshot().Injected); injected != total {
+		t.Errorf("slice msgs_injected deltas sum to %g, cumulative counter is %g", injected, total)
+	}
+	for _, want := range []string{"utilization", "skip_ratio", "queued_messages", "outstanding_txns"} {
+		if _, ok := col[want]; !ok {
+			t.Errorf("slice header missing %q: %v", want, rows[0])
+		}
+	}
+}
+
+// TestSlicingDoesNotPerturbResults: the sampler pins slice boundaries
+// (executing cycles the event kernel would have skipped), which must
+// remain behaviorally invisible — identical Metrics with and without
+// slicing, under both kernels.
+func TestSlicingDoesNotPerturbResults(t *testing.T) {
+	for _, mode := range []KernelMode{KernelTick, KernelEvent} {
+		run := func(slice int64) Metrics {
+			tor := topology.MustNew(4, 2)
+			cfg := DefaultConfig(tor, mapping.Random(tor, 1), 2)
+			cfg.Kernel = mode
+			cfg.Telemetry = telemetry.New()
+			if slice > 0 {
+				sw, err := telemetry.NewSliceWriter(&strings.Builder{}, "csv")
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.SliceEvery = slice
+				cfg.SliceWriter = sw
+			}
+			mach, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mach.RunMeasured(500, 2000)
+		}
+		plain := run(0)
+		sliced := run(333) // deliberately misaligned with the run chunking
+		if !reflect.DeepEqual(normalizeKernelStats(plain), normalizeKernelStats(sliced)) {
+			t.Errorf("%v kernel: slicing perturbed Metrics:\n off: %+v\n on:  %+v", mode, plain, sliced)
+		}
+	}
+}
+
+// TestDiagSnapshotIncludesTelemetry: with telemetry on, the diagnostic
+// snapshot embeds the attribution line and the registry dump; it must
+// render under both kernels (S3: snapshot stability).
+func TestDiagSnapshotIncludesTelemetry(t *testing.T) {
+	for _, mode := range []KernelMode{KernelTick, KernelEvent} {
+		tor := topology.MustNew(4, 2)
+		cfg := DefaultConfig(tor, mapping.Identity(tor), 1)
+		cfg.Kernel = mode
+		cfg.Telemetry = telemetry.New()
+		mach, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach.Run(1500)
+		snap := mach.DiagSnapshot()
+		for _, want := range []string{"cycle attribution:", "telemetry registry:", "kernel/cycles_ticked", "proto/", "net/"} {
+			if !strings.Contains(snap, want) {
+				t.Errorf("%v kernel: DiagSnapshot missing %q:\n%s", mode, want, snap)
+			}
+		}
+		// Without telemetry the snapshot must not grow the new sections.
+		cfg.Telemetry = nil
+		bare, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bare.Run(1500)
+		if s := bare.DiagSnapshot(); strings.Contains(s, "telemetry registry") {
+			t.Errorf("%v kernel: uninstrumented DiagSnapshot mentions telemetry:\n%s", mode, s)
+		}
+	}
+}
+
+// TestMetricsSkipRatioEdges (S3): the ratio is well-defined at both
+// degenerate corners.
+func TestMetricsSkipRatioEdges(t *testing.T) {
+	if got := (Metrics{}).SkipRatio(); got != 0 {
+		t.Errorf("zero-cycle SkipRatio = %g, want 0", got)
+	}
+	if got := (Metrics{CyclesSkipped: 500}).SkipRatio(); got != 1 {
+		t.Errorf("all-skipped SkipRatio = %g, want 1", got)
+	}
+	if got := (Metrics{CyclesTicked: 500}).SkipRatio(); got != 0 {
+		t.Errorf("all-ticked SkipRatio = %g, want 0", got)
+	}
+	if got := (sim.Stats{Ticked: 1, Skipped: 3}).SkipRatio(); got != 0.75 {
+		t.Errorf("mixed SkipRatio = %g, want 0.75", got)
+	}
+}
+
+// TestStallReportParityAcrossKernels (S1): the skip-aware watchdog
+// must detect the same stall at the same cycle with the same diagnosis
+// regardless of execution kernel — on both a dead-fabric livelock and
+// a lost-message protocol stall in an otherwise quiescent machine.
+func TestStallReportParityAcrossKernels(t *testing.T) {
+	scenarios := []struct {
+		name  string
+		spec  *faults.Spec
+		wd    faults.Watchdog
+		retry int
+	}{
+		{
+			// Every link permanently down: traffic wedges in the fabric.
+			name: "dead-links",
+			spec: &faults.Spec{Seed: 3, LinkMTTF: 1, StallMin: 1 << 40, StallMax: 1 << 40},
+			wd:   faults.Watchdog{StallCycles: 3000},
+		},
+		{
+			// Certain loss with the retransmission deadline pushed past
+			// the run: the machine goes fully quiescent with transactions
+			// outstanding — the stall only the unconditional
+			// transaction-age check can see.
+			name:  "lost-message-no-retry",
+			spec:  &faults.Spec{Seed: 5, LossRate: 1},
+			wd:    faults.Watchdog{StallCycles: 2000},
+			retry: 1 << 30,
+		},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(mode KernelMode) *faults.StallReport {
+				tor := topology.MustNew(4, 2)
+				cfg := DefaultConfig(tor, mapping.Identity(tor), 1)
+				cfg.Kernel = mode
+				cfg.Faults = sc.spec
+				cfg.Watchdog = sc.wd
+				cfg.RetryTimeout = sc.retry
+				mach, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = mach.RunChecked(context.Background(), 200000)
+				var rep *faults.StallReport
+				if !errors.As(err, &rep) {
+					t.Fatalf("%v kernel: expected a StallReport, got %v", mode, err)
+				}
+				return rep
+			}
+			tick := run(KernelTick)
+			event := run(KernelEvent)
+			// Snapshot embeds kernel execution stats (and, when enabled,
+			// telemetry), which legitimately differ; the diagnosis must not.
+			if tick.Component != event.Component || tick.Cycle != event.Cycle ||
+				tick.StalledFor != event.StalledFor || tick.Detail != event.Detail {
+				t.Errorf("stall diagnosis differs across kernels:\n tick:  %+v\n event: %+v",
+					*tick, *event)
+			}
+		})
+	}
+}

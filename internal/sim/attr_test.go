@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// attrSum asserts the attribution partition invariant: per-component
+// charges plus the unforced pool account for every executed cycle.
+func attrSum(t *testing.T, k *Kernel) {
+	t.Helper()
+	attr, none := k.Attribution()
+	if attr == nil {
+		t.Fatal("Attribution() returned nil with attribution enabled")
+	}
+	var sum int64 = none
+	for _, v := range attr {
+		sum += v
+	}
+	if sum != k.Stats().Ticked {
+		t.Fatalf("attribution does not partition executed cycles: charges %v + unforced %d = %d, ticked %d",
+			attr, none, sum, k.Stats().Ticked)
+	}
+}
+
+func TestAttributionChargesForcingComponent(t *testing.T) {
+	// a forces cycles 5 and 9; b forces cycle 12. Between events the
+	// machine is quiescent, so the event kernel skips and only forced
+	// cycles (plus the unforced first cycle of the run) execute.
+	a := newScripted(t, 5, 9)
+	b := newScripted(t, 12)
+	k := New(a, b)
+	k.EnableAttribution()
+	k.Run(20)
+
+	attrSum(t, k)
+	attr, none := k.Attribution()
+	if attr[0] != 2 {
+		t.Errorf("component a charged %d cycles, want 2 (events at 5 and 9)", attr[0])
+	}
+	if attr[1] != 1 {
+		t.Errorf("component b charged %d cycles, want 1 (event at 12)", attr[1])
+	}
+	// Cycle 0 (mandatory first tick) and cycle 13 (clamped re-entry
+	// after the skip past 12... the skip to end) are unforced.
+	if none < 1 {
+		t.Errorf("unforced charge %d, want ≥ 1 (the run's first cycle)", none)
+	}
+}
+
+func TestAttributionTieBreaksByRegistrationOrder(t *testing.T) {
+	// Both components announce cycle 6; the earlier-registered one gets
+	// the charge.
+	a := newScripted(t, 6)
+	b := newScripted(t, 6)
+	k := New(a, b)
+	k.EnableAttribution()
+	k.Run(10)
+
+	attrSum(t, k)
+	attr, _ := k.Attribution()
+	if attr[0] != 1 || attr[1] != 0 {
+		t.Errorf("tie charge went to %v, want [1 0] (registration order wins)", attr)
+	}
+}
+
+// TestAttributionForcedChargesKernelInvariant checks that the forced
+// charges are identical under Run and RunTick: forcedness depends only
+// on the simulated state trajectory, which is bit-identical between
+// modes. Only the unforced pool differs (tick mode executes the
+// would-be-skipped cycles, event mode executes run-boundary cycles).
+func TestAttributionForcedChargesKernelInvariant(t *testing.T) {
+	build := func() *Kernel {
+		a := newScripted(t, 0, 7, 8, 30, 31, 55)
+		b := newScripted(t, 3, 29, 54)
+		k := New(a, b)
+		k.EnableAttribution()
+		return k
+	}
+	event := build()
+	event.Run(60)
+	tick := build()
+	tick.RunTick(60)
+
+	attrSum(t, event)
+	attrSum(t, tick)
+	eAttr, _ := event.Attribution()
+	tAttr, _ := tick.Attribution()
+	if !reflect.DeepEqual(eAttr, tAttr) {
+		t.Errorf("forced charges differ between kernels:\n event: %v\n tick:  %v", eAttr, tAttr)
+	}
+}
+
+// TestAttributionChunkingInvariant checks forced charges don't depend
+// on how the run is chunked into Run calls (the machine's RunChecked
+// chunks at watchdog/poll intervals).
+func TestAttributionChunkingInvariant(t *testing.T) {
+	build := func() *Kernel {
+		a := newScripted(t, 2, 17, 18, 40)
+		b := newScripted(t, 9, 33)
+		k := New(a, b)
+		k.EnableAttribution()
+		return k
+	}
+	whole := build()
+	whole.Run(50)
+	chunked := build()
+	for i := 0; i < 10; i++ {
+		chunked.Run(5)
+	}
+
+	attrSum(t, whole)
+	attrSum(t, chunked)
+	wAttr, _ := whole.Attribution()
+	cAttr, _ := chunked.Attribution()
+	if !reflect.DeepEqual(wAttr, cAttr) {
+		t.Errorf("forced charges depend on chunking:\n whole:   %v\n chunked: %v", wAttr, cAttr)
+	}
+}
+
+func TestAttributionDisabledReturnsNil(t *testing.T) {
+	k := New(newScripted(t, 3))
+	k.Run(10)
+	if attr, none := k.Attribution(); attr != nil || none != 0 {
+		t.Fatalf("Attribution() = %v, %d without EnableAttribution, want nil, 0", attr, none)
+	}
+}
+
+// TestAttributionDoesNotPerturbExecution guards the observability
+// contract: enabling attribution changes nothing about what executes.
+func TestAttributionDoesNotPerturbExecution(t *testing.T) {
+	run := func(enable bool) ([]int64, [][2]int64, Stats) {
+		a := newScripted(t, 4, 11, 12)
+		b := newScripted(t, 7)
+		k := New(a, b)
+		if enable {
+			k.EnableAttribution()
+		}
+		k.Run(9)
+		k.Run(11) // exercise the run-boundary path too
+		ticks := append(append([]int64{}, a.ticked...), b.ticked...)
+		return ticks, a.advanced, k.Stats()
+	}
+	ticksOn, advOn, statsOn := run(true)
+	ticksOff, advOff, statsOff := run(false)
+	if !reflect.DeepEqual(ticksOn, ticksOff) {
+		t.Errorf("executed cycles differ with attribution on:\n on:  %v\n off: %v", ticksOn, ticksOff)
+	}
+	if !reflect.DeepEqual(advOn, advOff) {
+		t.Errorf("advance spans differ with attribution on:\n on:  %v\n off: %v", advOn, advOff)
+	}
+	if statsOn != statsOff {
+		t.Errorf("kernel stats differ with attribution on: %+v vs %+v", statsOn, statsOff)
+	}
+}

@@ -89,6 +89,14 @@ type Kernel struct {
 	now    int64
 	stats  Stats
 	onSkip func(from, to int64)
+	// attr, when non-nil, charges each executed cycle to the component
+	// whose NextEvent forced it; attrNone counts executed cycles no
+	// component forced (run-loop boundaries and immediate re-ticks of
+	// quiescent machines). pending carries the charge decided by the
+	// last sweep into the next tick, across Run-call boundaries.
+	attr     []int64
+	attrNone int64
+	pending  int
 }
 
 // New builds a kernel over the given components, which are ticked in
@@ -115,6 +123,32 @@ func (k *Kernel) Now() int64 { return k.now }
 // Stats returns cumulative execution accounting.
 func (k *Kernel) Stats() Stats { return k.stats }
 
+// EnableAttribution turns on per-component cycle attribution: every
+// executed cycle is charged either to the component whose NextEvent
+// forced it, or to the "unforced" pool when no component announced the
+// cycle (run-call boundaries, clamped skips). Attribution works
+// identically under Run and RunTick — forced charges depend only on
+// the simulated state trajectory, which is bit-identical between the
+// two — at the cost of a NextEvent sweep after every executed cycle
+// in tick mode. Call before the first Run/RunTick.
+func (k *Kernel) EnableAttribution() {
+	k.attr = make([]int64, len(k.comps))
+	k.pending = -1
+}
+
+// Attribution returns a copy of the per-component executed-cycle
+// charges (indexed by registration order) and the unforced-cycle
+// count. The charges plus the unforced count sum exactly to
+// Stats().Ticked. Returns nil when attribution is disabled.
+func (k *Kernel) Attribution() ([]int64, int64) {
+	if k.attr == nil {
+		return nil, 0
+	}
+	out := make([]int64, len(k.attr))
+	copy(out, k.attr)
+	return out, k.attrNone
+}
+
 // tick executes one cycle across all components.
 func (k *Kernel) tick() {
 	now := k.now
@@ -123,6 +157,29 @@ func (k *Kernel) tick() {
 	}
 	k.stats.Ticked++
 	k.now = now + 1
+	if k.attr != nil {
+		if k.pending >= 0 {
+			k.attr[k.pending]++
+		} else {
+			k.attrNone++
+		}
+		k.pending = -1
+	}
+}
+
+// sweep returns the global minimum NextEvent across components and the
+// registration index of the component announcing it (-1 when every
+// component is quiescent). Ties go to the earliest-registered
+// component. NextEvent implementations are side-effect free, so
+// sweeping is observationally neutral.
+func (k *Kernel) sweep() (int64, int) {
+	next, arg := Never, -1
+	for i, c := range k.comps {
+		if ne := c.NextEvent(); ne < next {
+			next, arg = ne, i
+		}
+	}
+	return next, arg
 }
 
 // RunTick advances the kernel by cycles in the naive per-cycle mode:
@@ -131,6 +188,15 @@ func (k *Kernel) tick() {
 func (k *Kernel) RunTick(cycles int64) {
 	for end := k.now + cycles; k.now < end; {
 		k.tick()
+		if k.attr != nil {
+			// Attribution needs to know, for every cycle, whether some
+			// component announced it; in tick mode that means sweeping
+			// after each executed cycle (the price of attribution on
+			// the reference loop — event mode sweeps anyway).
+			if next, arg := k.sweep(); next == k.now {
+				k.pending = arg
+			}
+		}
 	}
 }
 
@@ -149,19 +215,24 @@ func (k *Kernel) Run(cycles int64) {
 	for k.now < end {
 		k.tick()
 		if k.now >= end {
+			if k.attr != nil {
+				// The cycle at end executes as the first tick of the
+				// next Run call; decide its charge now so chunked runs
+				// attribute identically to one long run.
+				if next, arg := k.sweep(); next == k.now {
+					k.pending = arg
+				}
+			}
 			return
 		}
-		next := Never
-		for _, c := range k.comps {
-			if ne := c.NextEvent(); ne < next {
-				next = ne
-			}
-		}
+		next, arg := k.sweep()
 		if next <= k.now {
+			k.pending = arg
 			continue // something is due immediately: no skip
 		}
 		if next > end {
 			next = end
+			arg = -1 // clamped: nothing forced the cycle at end
 		}
 		// Cycles k.now .. next-1 are quiescent: apply them in bulk.
 		for _, a := range k.advs {
@@ -174,5 +245,6 @@ func (k *Kernel) Run(cycles int64) {
 		}
 		k.stats.Skipped += next - k.now
 		k.now = next
+		k.pending = arg
 	}
 }

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// SliceWriter streams time-sliced interval samples — one row per
+// sampling window — as CSV (header derived from the first sample's
+// field names) or JSONL (one object per line). Field sets must be
+// identical across samples from the same writer; write errors are
+// sticky and reported by Err so the sampling hot path never has to
+// handle them inline.
+type SliceWriter struct {
+	w      io.Writer
+	jsonl  bool
+	cw     *csv.Writer
+	header []string
+	row    []string
+	obj    map[string]any
+	err    error
+}
+
+// NewSliceWriter builds a slice writer for the given format: "csv"
+// (default when empty) or "jsonl".
+func NewSliceWriter(w io.Writer, format string) (*SliceWriter, error) {
+	sw := &SliceWriter{w: w}
+	switch format {
+	case "", "csv":
+		sw.cw = csv.NewWriter(w)
+	case "jsonl":
+		sw.jsonl = true
+	default:
+		return nil, fmt.Errorf("telemetry: unknown slice format %q (want \"csv\" or \"jsonl\")", format)
+	}
+	return sw, nil
+}
+
+// Write emits one sample: the cycle the slice ended on plus its named
+// fields. The first call fixes the column set.
+func (sw *SliceWriter) Write(cycle int64, fields []Value) {
+	if sw == nil || sw.err != nil {
+		return
+	}
+	if sw.jsonl {
+		if sw.obj == nil {
+			sw.obj = make(map[string]any, len(fields)+1)
+		}
+		sw.obj["cycle"] = cycle
+		for _, f := range fields {
+			sw.obj[f.Name] = f.Value
+		}
+		b, err := json.Marshal(sw.obj)
+		if err == nil {
+			_, err = fmt.Fprintf(sw.w, "%s\n", b)
+		}
+		sw.err = err
+		return
+	}
+	if sw.header == nil {
+		sw.header = append(sw.header, "cycle")
+		for _, f := range fields {
+			sw.header = append(sw.header, f.Name)
+		}
+		if err := sw.cw.Write(sw.header); err != nil {
+			sw.err = err
+			return
+		}
+	}
+	sw.row = sw.row[:0]
+	sw.row = append(sw.row, strconv.FormatInt(cycle, 10))
+	for _, f := range fields {
+		sw.row = append(sw.row, strconv.FormatFloat(f.Value, 'g', 8, 64))
+	}
+	if err := sw.cw.Write(sw.row); err != nil {
+		sw.err = err
+		return
+	}
+	sw.cw.Flush()
+	sw.err = sw.cw.Error()
+}
+
+// Err returns the first write error, if any.
+func (sw *SliceWriter) Err() error {
+	if sw == nil {
+		return nil
+	}
+	return sw.err
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleFields(a, b float64) []Value {
+	return []Value{{Name: "utilization", Value: a}, {Name: "queued", Value: b}}
+}
+
+func TestSliceWriterCSV(t *testing.T) {
+	var sb strings.Builder
+	sw, err := NewSliceWriter(&sb, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Write(999, sampleFields(0.5, 3))
+	sw.Write(1999, sampleFields(0.25, 7))
+	if err := sw.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v\n%s", err, sb.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2 samples:\n%s", len(rows), sb.String())
+	}
+	wantHeader := []string{"cycle", "utilization", "queued"}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			t.Errorf("header[%d] = %q, want %q", i, rows[0][i], h)
+		}
+	}
+	if rows[1][0] != "999" || rows[2][0] != "1999" {
+		t.Errorf("cycle column = %q, %q, want 999, 1999", rows[1][0], rows[2][0])
+	}
+	if rows[1][1] != "0.5" || rows[1][2] != "3" {
+		t.Errorf("first sample = %v, want [999 0.5 3]", rows[1])
+	}
+}
+
+func TestSliceWriterDefaultFormatIsCSV(t *testing.T) {
+	var sb strings.Builder
+	sw, err := NewSliceWriter(&sb, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Write(10, sampleFields(1, 2))
+	if !strings.HasPrefix(sb.String(), "cycle,") {
+		t.Errorf("empty format did not default to CSV: %q", sb.String())
+	}
+}
+
+func TestSliceWriterJSONL(t *testing.T) {
+	var sb strings.Builder
+	sw, err := NewSliceWriter(&sb, "jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Write(999, sampleFields(0.5, 3))
+	sw.Write(1999, sampleFields(0.25, 7))
+	if err := sw.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	wantCycles := []float64{999, 1999}
+	wantUtil := []float64{0.5, 0.25}
+	for i, line := range lines {
+		var obj map[string]float64
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if obj["cycle"] != wantCycles[i] || obj["utilization"] != wantUtil[i] {
+			t.Errorf("line %d = %v, want cycle=%g utilization=%g", i, obj, wantCycles[i], wantUtil[i])
+		}
+	}
+}
+
+func TestSliceWriterUnknownFormat(t *testing.T) {
+	if _, err := NewSliceWriter(&strings.Builder{}, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// failWriter fails every write.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, errors.New("disk full")
+}
+
+func TestSliceWriterStickyError(t *testing.T) {
+	sw, err := NewSliceWriter(failWriter{}, "jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Write(1, sampleFields(1, 1))
+	if sw.Err() == nil {
+		t.Fatal("write error not captured")
+	}
+	first := sw.Err()
+	sw.Write(2, sampleFields(2, 2)) // must not clobber the first error
+	if sw.Err() != first {
+		t.Error("sticky error was overwritten by a later write")
+	}
+}
+
+func TestNilSliceWriterIsSafe(t *testing.T) {
+	var sw *SliceWriter
+	sw.Write(1, sampleFields(1, 1))
+	if sw.Err() != nil {
+		t.Error("nil SliceWriter reports an error")
+	}
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("test/counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter value = %d, want 42", got)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := New()
+	r.Counter("dup")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a duplicate metric name did not panic")
+		}
+	}()
+	r.GaugeFunc("dup", func() float64 { return 0 })
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Error("nil registry reports Enabled")
+	}
+	c := r.Counter("orphan")
+	c.Add(3)
+	if c.Value() != 3 {
+		t.Error("orphaned counter does not count")
+	}
+	r.GaugeFunc("orphan/gauge", func() float64 { return 1 })
+	h := r.Histogram("orphan/hist", 4, 10)
+	h.Add(5)
+	if h.Count() != 1 {
+		t.Error("orphaned histogram does not record")
+	}
+	v := r.HistogramVec("orphan/vec", 3, 4, 10)
+	v.Observe(1, 7)
+	if v.At(1).Count() != 1 {
+		t.Error("orphaned histogram vec does not record")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil registry Snapshot = %v, want nil", got)
+	}
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil registry Dump wrote %q, err %v", sb.String(), err)
+	}
+}
+
+func TestHistogramVecClamps(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("vec", 3, 8, 4)
+	v.Observe(-5, 1) // clamps to key 0
+	v.Observe(0, 2)
+	v.Observe(2, 3)
+	v.Observe(99, 4) // clamps to key 2
+	if got := v.At(0).Count(); got != 2 {
+		t.Errorf("key 0 count = %d, want 2 (direct + negative clamp)", got)
+	}
+	if got := v.At(2).Count(); got != 2 {
+		t.Errorf("key 2 count = %d, want 2 (direct + overflow clamp)", got)
+	}
+	if got := v.At(-1); got != v.At(0) {
+		t.Error("At(-1) did not clamp to key 0")
+	}
+	if got := v.At(99); got != v.At(2) {
+		t.Error("At(99) did not clamp to last key")
+	}
+	if v.Keys() != 3 {
+		t.Errorf("Keys() = %d, want 3", v.Keys())
+	}
+}
+
+func TestHistogramVecMinimumOneKey(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("tiny", 0, 4, 2)
+	v.Observe(0, 1)
+	if v.Keys() != 1 || v.At(0).Count() != 1 {
+		t.Errorf("zero-key vec: Keys=%d count=%d, want 1 key holding 1 observation", v.Keys(), v.At(0).Count())
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := New()
+	r.Counter("z/counter").Add(5)
+	r.GaugeFunc("a/gauge", func() float64 { return 2.5 })
+	h := r.Histogram("m/hist", 8, 10)
+	h.Add(10)
+	h.Add(20)
+	v := r.HistogramVec("v/vec", 2, 8, 10)
+	v.Observe(0, 4)
+	v.Observe(1, 8)
+
+	snap := r.Snapshot()
+	got := map[string]float64{}
+	for i, s := range snap {
+		got[s.Name] = s.Value
+		if i > 0 && snap[i-1].Name > s.Name {
+			t.Errorf("snapshot not sorted: %q before %q", snap[i-1].Name, s.Name)
+		}
+	}
+	want := map[string]float64{
+		"z/counter": 5, "a/gauge": 2.5,
+		"m/hist/count": 2, "m/hist/mean": 15,
+		"v/vec/count": 2, "v/vec/mean": 6,
+	}
+	for name, val := range want {
+		if got[name] != val {
+			t.Errorf("snapshot[%q] = %g, want %g", name, got[name], val)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Errorf("snapshot has %d values, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := New()
+	r.Counter("count").Add(7)
+	r.GaugeFunc("gauge", func() float64 { return 1.5 })
+	r.Histogram("hist", 8, 10).Add(25)
+	v := r.HistogramVec("vec", 4, 8, 10)
+	v.Observe(2, 15) // only key 2 populated; others must not print
+
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"count", "gauge", "hist", "vec[2]", "p50=", "p90=", "p99=", "overflow="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	for _, absent := range []string{"vec[0]", "vec[1]", "vec[3]"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("dump printed empty vec key %q:\n%s", absent, out)
+		}
+	}
+}
+
+// The hot-path contract: once registered, recording costs zero
+// allocations per operation.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h", 16, 8)
+	v := r.HistogramVec("v", 5, 16, 8)
+	if a := testing.AllocsPerRun(1000, func() { c.Add(1) }); a != 0 {
+		t.Errorf("Counter.Add allocates %.1f per op", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() { h.Add(12) }); a != 0 {
+		t.Errorf("Histogram.Add allocates %.1f per op", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() { v.Observe(3, 12) }); a != 0 {
+		t.Errorf("HistogramVec.Observe allocates %.1f per op", a)
+	}
+}

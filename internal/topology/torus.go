@@ -114,6 +114,10 @@ func (t *Torus) dimDistance(a, b int) int {
 	return d
 }
 
+// Diameter returns the maximum hop distance between any two nodes:
+// n·⌊k/2⌋. Useful for sizing distance-keyed tables.
+func (t *Torus) Diameter() int { return t.n * (t.k / 2) }
+
 // Distance returns the minimal hop count between two nodes.
 func (t *Torus) Distance(a, b int) int {
 	t.checkNode(a)

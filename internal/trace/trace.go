@@ -111,10 +111,9 @@ func (t *Tracer) Emit(e Event) {
 	}
 	if len(t.buf) < t.capacity {
 		t.buf = append(t.buf, e)
+		// len%capacity is the next write slot and already wraps to 0
+		// when the buffer just filled.
 		t.next = len(t.buf) % t.capacity
-		if len(t.buf) == t.capacity {
-			t.next = 0
-		}
 		return
 	}
 	t.buf[t.next] = e

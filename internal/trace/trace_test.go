@@ -115,6 +115,44 @@ func TestKindStrings(t *testing.T) {
 	}
 }
 
+// TestWrapFilterSetKindsRoundTrip drives the ring through the
+// fill boundary with kind filtering active, checking that dropped
+// events never advance the write cursor and that Filter sees the
+// retained window in order afterwards.
+func TestWrapFilterSetKindsRoundTrip(t *testing.T) {
+	tr := New(4)
+	tr.SetKinds(KindMsgSend, KindTxnComplete)
+	// Interleave retained and filtered kinds across the boundary: the
+	// filtered emits must not consume ring slots.
+	for i := 0; i < 7; i++ {
+		tr.Emit(Event{Cycle: int64(10 + i), Kind: KindMsgSend})
+		tr.Emit(Event{Cycle: int64(10 + i), Kind: KindCtxSwitch}) // filtered
+	}
+	tr.Emit(Event{Cycle: 20, Kind: KindTxnComplete})
+
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want capacity 4", len(evs))
+	}
+	wantCycles := []int64{14, 15, 16, 20}
+	for i, e := range evs {
+		if e.Cycle != wantCycles[i] {
+			t.Errorf("event %d cycle = %d, want %d (newest retained, in order)", i, e.Cycle, wantCycles[i])
+		}
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7 filtered ctx-switches", tr.Dropped())
+	}
+	sends := tr.Filter(func(e Event) bool { return e.Kind == KindMsgSend })
+	if len(sends) != 3 || sends[0].Cycle != 14 || sends[2].Cycle != 16 {
+		t.Errorf("Filter(sends) = %v, want cycles 14..16", sends)
+	}
+	if tr.Count(KindMsgSend) != 7 || tr.Count(KindCtxSwitch) != 7 {
+		t.Errorf("counts = %d sends, %d switches, want 7 each (counts include filtered and overwritten)",
+			tr.Count(KindMsgSend), tr.Count(KindCtxSwitch))
+	}
+}
+
 func TestExactCapacityBoundary(t *testing.T) {
 	tr := New(3)
 	for i := 0; i < 3; i++ {
