@@ -27,6 +27,11 @@
 // writes one Perfetto-loadable Chrome trace JSON per cell; -heartbeat
 // prints periodic completed/total + ETA lines to stderr; -pprof serves
 // net/http/pprof on the given address for live profiling.
+//
+// -capture-dir writes one replayable reference trace (<cell>.lref,
+// package internal/replay) per cell: the recorded streams can be
+// re-run with tracetool replay or fitted with tracetool fit. Capturing
+// never changes the simulated results or the CSV.
 package main
 
 import (
@@ -49,6 +54,7 @@ import (
 	"locality/internal/machine"
 	"locality/internal/mapping"
 	"locality/internal/mapsel"
+	"locality/internal/replay"
 	"locality/internal/telemetry"
 	"locality/internal/topology"
 	"locality/internal/trace"
@@ -94,13 +100,14 @@ type cell struct {
 
 	// Observability (all optional). Each cell owns its registry — the
 	// engine runs cells concurrently and registries are single-owner.
-	telemetry bool
-	slice     int64
-	sliceDir  string
-	sliceFmt  string
-	traceDir  string
-	traceCap  int
-	fileStem  string // per-cell output file name, sans extension
+	telemetry  bool
+	slice      int64
+	sliceDir   string
+	sliceFmt   string
+	traceDir   string
+	traceCap   int
+	captureDir string
+	fileStem   string // per-cell output file name, sans extension
 }
 
 // runCell builds and measures one machine. Panics from deep inside the
@@ -145,6 +152,9 @@ func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 	if c.traceDir != "" {
 		cfg.Trace = trace.New(c.traceCap)
 	}
+	if c.captureDir != "" {
+		cfg.Capture = replay.NewCapture()
+	}
 	mach, err := machine.New(cfg)
 	if err != nil {
 		return machine.Metrics{}, err
@@ -169,6 +179,15 @@ func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 			return machine.Metrics{}, err
 		}
 		if err := f.Close(); err != nil {
+			return machine.Metrics{}, err
+		}
+	}
+	if c.captureDir != "" {
+		tr, err := mach.CapturedTrace(c.warmup, c.window)
+		if err != nil {
+			return machine.Metrics{}, err
+		}
+		if err := replay.WriteFile(filepath.Join(c.captureDir, c.fileStem+".lref"), tr); err != nil {
 			return machine.Metrics{}, err
 		}
 	}
@@ -206,6 +225,7 @@ func main() {
 	sliceFormat := flag.String("slice-format", "csv", "time-slice format: csv or jsonl")
 	traceDir := flag.String("trace-dir", "", "directory for per-cell Chrome trace-event JSON files")
 	traceCap := flag.Int("trace-cap", 1<<16, "per-cell trace ring-buffer capacity in events")
+	captureDir := flag.String("capture-dir", "", "directory for per-cell replayable reference traces (.lref)")
 	heartbeat := flag.Duration("heartbeat", 0, "periodic progress/ETA line interval on stderr (0 disables)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -234,6 +254,11 @@ func main() {
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if *captureDir != "" {
+		if err := os.MkdirAll(*captureDir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
@@ -304,7 +329,7 @@ func main() {
 				tor: tor, m: m, contexts: p, prefetch: *prefetch, ratio: *ratio,
 				spec: spec, watchdog: wd, warmup: *warmup, window: *window, kernel: kernel,
 				telemetry: *telemetry_, slice: *slice, sliceDir: *sliceDir, sliceFmt: *sliceFormat,
-				traceDir: *traceDir, traceCap: *traceCap, fileStem: fileStem(m.Name, p),
+				traceDir: *traceDir, traceCap: *traceCap, captureDir: *captureDir, fileStem: fileStem(m.Name, p),
 			}
 			metas = append(metas, meta{m: m, p: p})
 			cells = append(cells, engine.Cell[machine.Metrics]{

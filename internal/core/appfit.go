@@ -43,6 +43,13 @@ func RecoverParams(curve NodeCurve, contexts int, messagesPer, clockRatio float6
 	}, nil
 }
 
+// ExpectedSensitivity returns the analytical curve slope s = p·g/c for
+// known application parameters — the ground truth a fit recovered from
+// measurements (RecoverParams) should reproduce.
+func ExpectedSensitivity(contexts int, messagesPer, criticalPath float64) float64 {
+	return float64(contexts) * messagesPer / criticalPath
+}
+
 // SplitFixedBudget apportions the recovered fixed budget into grain
 // and fixed transaction overhead given known Tr and Tc (e.g. from the
 // workload definition): Tf = budget − Tr − Tc. Negative results are

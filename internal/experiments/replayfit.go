@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"locality/internal/core"
+	"locality/internal/engine"
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/replay"
+	"locality/internal/stats"
+	"locality/internal/topology"
+	"locality/internal/workload"
+)
+
+// ReplayFitConfig drives the trace-replay fitting study: replay one
+// recorded reference stream across a mapping sweep, fit the
+// application message curve Tm = s·tm − K through the sweep, and
+// recover the application parameters (s, Tr+Tc+Tf, c) the paper's
+// framework needs — without ever consulting the workload that
+// generated the trace.
+type ReplayFitConfig struct {
+	// Exec selects the worker count and progress stream for the grid.
+	engine.Exec
+	// Trace is the recorded reference stream. Machine geometry, line
+	// size, and the default measurement protocol come from its header.
+	Trace *replay.Trace
+	// Contexts is the hardware context count to replay with; 0 uses
+	// the trace's recorded count.
+	Contexts int
+	// Warmup and Window override the header's recorded measurement
+	// protocol when positive.
+	Warmup, Window int64
+	// Mappings overrides the standard mapping suite (for fast tests).
+	Mappings []*mapping.Mapping
+}
+
+// ReplayFit is the study's result: the mapping sweep with its fitted
+// curve (the same shape as a validation curve, including combined-
+// model predictions at each point), plus the recovered application
+// parameters.
+type ReplayFit struct {
+	// Header echoes the trace the study replayed.
+	Header replay.Header
+	// Curve is the mapping sweep and fitted message curve; Curve.P is
+	// the effective context count.
+	Curve ContextValidation
+	// MeanMsgsPerTxn is the g used to invert the curve, averaged over
+	// the sweep.
+	MeanMsgsPerTxn float64
+	// Params are the recovered application parameters: sensitivity s,
+	// critical path c = p·g/s, and the fixed budget Tr+Tc+Tf.
+	Params core.FittedParams
+}
+
+// RunReplayFit replays the trace across the mapping suite on the
+// experiment engine, one independent machine per mapping, and fits
+// the message curve through the sweep. Each machine's geometry comes
+// from the trace header; streams loop so every mapping — however slow
+// — sees steady-state traffic for the whole window.
+func RunReplayFit(ctx context.Context, cfg ReplayFitConfig) (*ReplayFit, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("experiments: no trace to fit")
+	}
+	hdr := cfg.Trace.Header
+	tor, err := topology.New(hdr.Radix, hdr.Dims)
+	if err != nil {
+		return nil, err
+	}
+	contexts := cfg.Contexts
+	if contexts == 0 {
+		contexts = hdr.Contexts
+	}
+	warmup, window := cfg.Warmup, cfg.Window
+	if warmup <= 0 {
+		warmup = hdr.Warmup
+	}
+	if window <= 0 {
+		window = hdr.Window
+	}
+	maps := cfg.Mappings
+	if maps == nil {
+		maps = mapping.Suite(tor)
+	}
+	if len(maps) < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 mappings to fit a curve, have %d", len(maps))
+	}
+
+	var cells []engine.Cell[MappingPoint]
+	for _, m := range maps {
+		m := m
+		cells = append(cells, engine.Cell[MappingPoint]{
+			Key: fmt.Sprintf("replay %s/p=%d", m.Name, contexts),
+			Run: func(ctx context.Context) (MappingPoint, error) {
+				return measureReplayCell(ctx, tor, m, contexts, cfg.Trace, warmup, window)
+			},
+		})
+	}
+	results, _ := engine.Grid(ctx, cells, engine.Options[MappingPoint]{Exec: cfg.Exec})
+	points, err := engine.Rows(results)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ReplayFit{Header: hdr, Curve: ContextValidation{P: contexts, Points: points}}
+	var xs, ys []float64
+	var gSum float64
+	for _, pt := range points {
+		xs = append(xs, pt.MsgTime)
+		ys = append(ys, pt.Tm)
+		gSum += pt.MsgsPerTxn
+	}
+	fit, err := stats.FitLine(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fitting replay message curve: %w", err)
+	}
+	out.Curve.S, out.Curve.K, out.Curve.R2 = fit.Slope, -fit.Intercept, fit.R2
+	if err := out.Curve.addModelPredictions(hdr.Dims); err != nil {
+		return nil, err
+	}
+	out.MeanMsgsPerTxn = gSum / float64(len(points))
+	// The replayed machine uses the reference clock ratio.
+	clockRatio := float64(machine.DefaultConfig(tor, maps[0], contexts).ClockRatio)
+	params, err := core.RecoverParams(core.NodeCurve{S: out.Curve.S, K: out.Curve.K},
+		contexts, out.MeanMsgsPerTxn, clockRatio)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: recovering parameters from replay fit: %w", err)
+	}
+	out.Params = params
+	return out, nil
+}
+
+// measureReplayCell replays the trace under one mapping and gathers
+// its measured point.
+func measureReplayCell(ctx context.Context, tor *topology.Torus, m *mapping.Mapping, contexts int, tr *replay.Trace, warmup, window int64) (MappingPoint, error) {
+	mc := machine.DefaultConfig(tor, m, contexts)
+	mc.LineSize = tr.Header.LineSize
+	mc.Workload = workload.ReplayConfig{Trace: tr, Map: m, Contexts: contexts, Loop: true}
+	mach, err := machine.New(mc)
+	if err != nil {
+		return MappingPoint{}, fmt.Errorf("experiments: building replay machine for %s p=%d: %w", m.Name, contexts, err)
+	}
+	met, err := mach.RunMeasuredChecked(ctx, warmup, window)
+	if err != nil {
+		return MappingPoint{}, fmt.Errorf("experiments: replaying %s p=%d: %w", m.Name, contexts, err)
+	}
+	if met.Messages == 0 {
+		return MappingPoint{}, fmt.Errorf("experiments: no traffic replaying %s p=%d", m.Name, contexts)
+	}
+	mix, err := core.NeighborDistanceMix(m.DistanceHistogram(tor))
+	if err != nil {
+		return MappingPoint{}, fmt.Errorf("experiments: histogram for %s: %w", m.Name, err)
+	}
+	return MappingPoint{
+		Mapping:      m.Name,
+		Mix:          mix,
+		D:            m.AvgDistance(tor),
+		MeasuredD:    met.AvgDistance,
+		Tm:           met.MsgLatency,
+		MsgTime:      met.InterMsgTime,
+		MsgRate:      met.MsgRate,
+		MsgSize:      met.MsgSize,
+		MsgsPerTxn:   met.MsgsPerTxn,
+		TxnLatency:   met.TxnLatency,
+		InterTxnTime: met.InterTxnTime,
+		Utilization:  met.ChannelUtilization,
+	}, nil
+}

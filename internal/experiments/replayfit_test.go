@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"locality/internal/core"
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/replay"
+	"locality/internal/topology"
+)
+
+// captureRelaxationTrace records the synthetic relaxation workload on
+// a 4×4 identity-mapped machine and returns the trace after a trip
+// through the wire format.
+func captureRelaxationTrace(t *testing.T, contexts int, warmup, window int64) *replay.Trace {
+	t.Helper()
+	tor := topology.MustNew(4, 2)
+	cap := replay.NewCapture()
+	cfg := machine.DefaultConfig(tor, mapping.Identity(tor), contexts)
+	cfg.Capture = cap
+	mach, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.Run(warmup + window)
+	tr, err := mach.CapturedTrace(warmup, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := replay.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := replay.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decoded
+}
+
+// TestReplayFitRecoversGroundTruth is the acceptance criterion for the
+// replay subsystem: fitting the message curve from a *replayed* trace
+// recovers the same sensitivity s and per-mapping communication
+// distances d as fitting from the live synthetic workload, within 5%.
+func TestReplayFitRecoversGroundTruth(t *testing.T) {
+	const contexts = 2
+	vcfg := fastValidationConfig()
+	vcfg.Contexts = []int{contexts}
+	ground, err := RunValidation(context.Background(), vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ground.Curves[0]
+
+	tr := captureRelaxationTrace(t, contexts, vcfg.Warmup, vcfg.Window)
+	fit, err := RunReplayFit(context.Background(), ReplayFitConfig{
+		Trace:    tr,
+		Mappings: vcfg.Mappings,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rel := math.Abs(fit.Curve.S-truth.S) / truth.S; rel > 0.05 {
+		t.Errorf("replay-fitted s = %.4f vs ground truth %.4f: %.1f%% off, want ≤ 5%%",
+			fit.Curve.S, truth.S, rel*100)
+	}
+	if len(fit.Curve.Points) != len(truth.Points) {
+		t.Fatalf("replay sweep has %d points, ground truth %d", len(fit.Curve.Points), len(truth.Points))
+	}
+	for i, pt := range fit.Curve.Points {
+		want := truth.Points[i]
+		if pt.Mapping != want.Mapping {
+			t.Fatalf("point %d is mapping %q, ground truth %q", i, pt.Mapping, want.Mapping)
+		}
+		if rel := math.Abs(pt.MeasuredD-want.MeasuredD) / want.MeasuredD; rel > 0.05 {
+			t.Errorf("%s: replayed d = %.3f vs ground truth %.3f: %.1f%% off, want ≤ 5%%",
+				pt.Mapping, pt.MeasuredD, want.MeasuredD, rel*100)
+		}
+	}
+	if fit.Curve.R2 < 0.8 {
+		t.Errorf("replay message curve R² = %g, want strongly linear", fit.Curve.R2)
+	}
+
+	// The recovered parameters must invert back to the fitted slope.
+	if fit.Params.Sensitivity != fit.Curve.S {
+		t.Errorf("Params.Sensitivity = %g, want fitted slope %g", fit.Params.Sensitivity, fit.Curve.S)
+	}
+	s := core.ExpectedSensitivity(contexts, fit.MeanMsgsPerTxn, fit.Params.CriticalPath)
+	if rel := math.Abs(s-fit.Curve.S) / fit.Curve.S; rel > 1e-9 {
+		t.Errorf("ExpectedSensitivity(p, g, c) = %g does not invert the fit slope %g", s, fit.Curve.S)
+	}
+	if fit.Params.FixedBudget <= 0 {
+		t.Errorf("recovered fixed budget %g, want positive", fit.Params.FixedBudget)
+	}
+	for _, pt := range fit.Curve.Points {
+		if pt.MsgRateModel <= 0 || pt.TmModel <= 0 {
+			t.Errorf("%s: missing combined-model predictions on the replay sweep", pt.Mapping)
+		}
+	}
+}
+
+// TestReplayFitDefaultsFromHeader checks that geometry, contexts, and
+// the measurement protocol come from the trace header when the config
+// leaves them zero.
+func TestReplayFitDefaultsFromHeader(t *testing.T) {
+	tr := captureRelaxationTrace(t, 1, 1000, 4000)
+	tor := topology.MustNew(4, 2)
+	fit, err := RunReplayFit(context.Background(), ReplayFitConfig{
+		Trace:    tr,
+		Mappings: []*mapping.Mapping{mapping.Identity(tor), mapping.Random(tor, 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Curve.P != 1 {
+		t.Errorf("effective contexts = %d, want the header's 1", fit.Curve.P)
+	}
+	if fit.Header.Radix != 4 || fit.Header.Dims != 2 || fit.Header.Contexts != 1 {
+		t.Errorf("result header %+v does not echo the trace header", fit.Header)
+	}
+}
+
+// TestReplayFitRejectsBadConfigs covers the error paths.
+func TestReplayFitRejectsBadConfigs(t *testing.T) {
+	if _, err := RunReplayFit(context.Background(), ReplayFitConfig{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	tr := captureRelaxationTrace(t, 1, 500, 1500)
+	tor := topology.MustNew(4, 2)
+	if _, err := RunReplayFit(context.Background(), ReplayFitConfig{
+		Trace:    tr,
+		Mappings: []*mapping.Mapping{mapping.Identity(tor)},
+	}); err == nil {
+		t.Error("single-mapping sweep accepted (cannot fit a line)")
+	}
+}

@@ -1,0 +1,44 @@
+package machine
+
+import (
+	"fmt"
+
+	"locality/internal/replay"
+)
+
+// CapturedTrace finalizes the machine's capture sink into a decoded
+// trace: streams re-keyed from (node, context) to (thread, context)
+// through the machine's mapping, plus a home table attributing each
+// referenced line to its owning *thread*, so a replay under a
+// different mapping homes lines where the owning thread moved to.
+// warmup and window are recorded in the header as the capturing run's
+// measurement protocol — replays default to the same protocol.
+//
+// The machine must have been built with Config.Capture set, and the
+// run that fed the capture should be complete; calling mid-run
+// truncates streams at whatever was fetched so far.
+func (m *Machine) CapturedTrace(warmup, window int64) (*replay.Trace, error) {
+	if m.cfg.Capture == nil {
+		return nil, fmt.Errorf("machine: no capture sink configured")
+	}
+	hdr := replay.Header{
+		Radix:       m.cfg.Topo.K(),
+		Dims:        m.cfg.Topo.N(),
+		Contexts:    m.cfg.Contexts,
+		LineSize:    m.cfg.LineSize,
+		Warmup:      warmup,
+		Window:      window,
+		MappingName: m.cfg.Mapping.Name,
+		Place:       append([]int(nil), m.cfg.Mapping.Place...),
+	}
+	// Invert the placement so a line's home *node* resolves to the
+	// thread that lives there during capture.
+	threadOn := make([]int, len(hdr.Place))
+	for thread, node := range hdr.Place {
+		threadOn[node] = thread
+	}
+	home := m.wl.HomeFunc()
+	return m.cfg.Capture.Finish(hdr, func(addr uint64) int {
+		return threadOn[home(addr)]
+	})
+}

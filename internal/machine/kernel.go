@@ -63,10 +63,15 @@ func (c protoComp) Tick(now int64) {
 func (c protoComp) NextEvent() int64 { return c.m.proto.NextEvent() }
 
 // netComp drives the fabric at ClockRatio network cycles per P-cycle.
-// While any traffic is in flight (or the fault model cannot be
+// While fabric traffic is in flight (or the fault model cannot be
 // advanced in bulk) it claims the very next P-cycle, making the
 // machine unskippable; drained, it reports Never and lets SkipTo jump
-// the network clock, replaying fault accounting in bulk.
+// the network clock, replaying fault accounting in bulk. A fabric
+// whose only pending work is local-bypass deliveries is still
+// skippable — their due times were fixed at Send — so netComp
+// announces the P-cycle containing the earliest due time instead of
+// the very next one, extending quiescence skipping into spans where
+// same-node messages are in flight.
 type netComp struct{ m *Machine }
 
 func (c netComp) Tick(now int64) {
@@ -76,9 +81,14 @@ func (c netComp) Tick(now int64) {
 }
 
 func (c netComp) NextEvent() int64 {
+	ratio := int64(c.m.cfg.ClockRatio)
 	if !c.m.net.Skippable() {
 		// net.Now() == (last executed P-cycle + 1) · ClockRatio.
-		return c.m.net.Now() / int64(c.m.cfg.ClockRatio)
+		return c.m.net.Now() / ratio
+	}
+	if due, ok := c.m.net.NextLocalDue(); ok {
+		// The P-cycle whose network sub-cycles cover due delivers it.
+		return due / ratio
 	}
 	return sim.Never
 }

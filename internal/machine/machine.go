@@ -21,6 +21,7 @@ import (
 	"locality/internal/mapping"
 	"locality/internal/netsim"
 	"locality/internal/procsim"
+	"locality/internal/replay"
 	"locality/internal/sim"
 	"locality/internal/telemetry"
 	"locality/internal/topology"
@@ -61,6 +62,17 @@ type Config struct {
 	// Trace, when non-nil, receives message send/delivery and
 	// transaction completion events.
 	Trace *trace.Tracer
+	// Capture, when non-nil, records every operation each (node,
+	// context) fetches into a replayable reference trace (package
+	// replay). The machine binds it during New; call CapturedTrace
+	// after the run to finalize. Capturing observes fetches without
+	// perturbing them, so a capturing run is behaviorally identical
+	// to an uninstrumented one.
+	Capture *replay.Capture
+	// LocalDelay is the delivery latency, in N-cycles, for messages
+	// whose source and destination coincide (they bypass the fabric).
+	// Zero takes the netsim default of 1.
+	LocalDelay int
 	// Protocol latencies; zero values take cohsim defaults.
 	ReqLatency, DirLatency, MemLatency, CacheRespLatency, FillLatency, SWTrapLatency int
 
@@ -159,6 +171,9 @@ func (c Config) Validate() error {
 	if c.SliceEvery < 0 {
 		return fmt.Errorf("machine: slice interval %d, must be ≥ 0", c.SliceEvery)
 	}
+	if c.LocalDelay < 0 {
+		return fmt.Errorf("machine: negative local delay %d", c.LocalDelay)
+	}
 	if c.SliceEvery > 0 && (c.Telemetry == nil || c.SliceWriter == nil) {
 		return fmt.Errorf("machine: time-sliced sampling requires both Telemetry and SliceWriter")
 	}
@@ -233,7 +248,7 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 
-	netCfg := netsim.Config{Topo: cfg.Topo, BufferDepth: cfg.BufferDepth}
+	netCfg := netsim.Config{Topo: cfg.Topo, BufferDepth: cfg.BufferDepth, LocalDelay: cfg.LocalDelay}
 	if lf := faults.NewLinkFaults(spec, cfg.Topo.ChannelCount()); lf != nil {
 		netCfg.Faults = lf
 		m.linkFaults = lf
@@ -299,6 +314,10 @@ func New(cfg Config) (*Machine, error) {
 
 	m.procs = make([]*procsim.Processor, cfg.Topo.Nodes())
 	pcfg := procsim.Config{Contexts: cfg.Contexts, SwitchTime: cfg.SwitchTime, HitLatency: cfg.HitLatency}
+	if cfg.Capture != nil {
+		cfg.Capture.Bind(cfg.Topo.Nodes(), cfg.Contexts)
+		pcfg.OnOp = cfg.Capture.Record
+	}
 	for nodeID := range m.procs {
 		proc, err := procsim.New(nodeID, pcfg, memAdapter{proto}, programs[nodeID])
 		if err != nil {

@@ -15,10 +15,11 @@ import (
 
 // parityCell is one grid point of the tick-vs-event differential test.
 type parityCell struct {
-	name     string
-	mapName  string
-	contexts int
-	spec     *faults.Spec
+	name       string
+	mapName    string
+	contexts   int
+	spec       *faults.Spec
+	localDelay int
 }
 
 func parityGrid() []parityCell {
@@ -27,28 +28,50 @@ func parityGrid() []parityCell {
 	for _, mapName := range []string{"identity", "random"} {
 		for _, contexts := range []int{1, 2} {
 			for _, spec := range []*faults.Spec{nil, faulty} {
-				name := mapName + "/p" + strconv.Itoa(contexts)
-				if spec != nil {
-					name += "/faults"
+				// LocalDelay 9 (vs the default 1) spans multiple
+				// P-cycles, exercising the lazy-drain skip path where
+				// the fabric's only pending work is local deliveries.
+				for _, localDelay := range []int{0, 9} {
+					name := mapName + "/p" + strconv.Itoa(contexts)
+					if spec != nil {
+						name += "/faults"
+					}
+					if localDelay != 0 {
+						name += "/ld" + strconv.Itoa(localDelay)
+					}
+					cells = append(cells, parityCell{name: name, mapName: mapName,
+						contexts: contexts, spec: spec, localDelay: localDelay})
 				}
-				cells = append(cells, parityCell{name: name, mapName: mapName, contexts: contexts, spec: spec})
 			}
 		}
 	}
 	return cells
 }
 
-func buildParityMachine(t *testing.T, c parityCell, mode KernelMode, tr *trace.Tracer) *Machine {
-	t.Helper()
+// parityTopoMapping builds a cell's torus and mapping; shared with the
+// capture→replay round-trip tests so both suites run the same grid.
+func parityTopoMapping(c parityCell) (*topology.Torus, *mapping.Mapping) {
 	tor := topology.MustNew(4, 2)
 	m := mapping.Identity(tor)
 	if c.mapName == "random" {
 		m = mapping.Random(tor, 1)
 	}
+	return tor, m
+}
+
+func parityMappingName(c parityCell) string {
+	_, m := parityTopoMapping(c)
+	return m.Name
+}
+
+func buildParityMachine(t *testing.T, c parityCell, mode KernelMode, tr *trace.Tracer) *Machine {
+	t.Helper()
+	tor, m := parityTopoMapping(c)
 	cfg := DefaultConfig(tor, m, c.contexts)
 	cfg.Faults = c.spec
 	cfg.Kernel = mode
 	cfg.Trace = tr
+	cfg.LocalDelay = c.localDelay
 	if c.spec != nil {
 		cfg.Watchdog = faults.Watchdog{StallCycles: 200000}
 	}
@@ -174,5 +197,24 @@ func TestEventKernelActuallySkips(t *testing.T) {
 	}
 	if !strings.Contains(mach.DiagSnapshot(), "skip ratio") {
 		t.Error("DiagSnapshot does not surface the skip statistics")
+	}
+}
+
+// TestEventKernelSkipsWithSlowLocalDelivery guards the lazy-drain
+// rule's payoff at the machine level: multi-P-cycle local deliveries
+// (each thread's own-word directory request is a same-node message)
+// must not pin the event kernel to per-cycle execution.
+func TestEventKernelSkipsWithSlowLocalDelivery(t *testing.T) {
+	tor := topology.MustNew(4, 2)
+	cfg := DefaultConfig(tor, mapping.Identity(tor), 1)
+	cfg.ReadCompute, cfg.WriteCompute = 400, 400
+	cfg.LocalDelay = 15
+	mach, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := mach.RunMeasured(1000, 4000)
+	if r := met.SkipRatio(); r < 0.3 {
+		t.Errorf("skip ratio %.2f with LocalDelay 15, want ≥ 0.3 (local deliveries should stay skippable)", r)
 	}
 }

@@ -20,14 +20,52 @@ func (p *Processor) NextEvent() int64 {
 	if p.switchLeft > 0 {
 		return p.lastTick + int64(p.switchLeft) + 1
 	}
-	if p.ctxs[p.cur].state == ctxRunning {
+	if c := &p.ctxs[p.cur]; c.state == ctxRunning {
+		p.mergeBursts(c)
 		// remaining may be 0: the very next cycle fetches an op.
-		return p.lastTick + int64(p.ctxs[p.cur].remaining) + 1
+		return p.lastTick + int64(c.remaining) + 1
 	}
 	if _, ok := p.nextReady(); ok {
 		return p.lastTick + 1 // dispatch next cycle
 	}
 	return sim.Never
+}
+
+// maxMergeOps bounds how many back-to-back compute operations one
+// NextEvent call folds into the running burst, so a compute-only
+// program cannot trap the lookahead in an unbounded loop.
+const maxMergeOps = 64
+
+// mergeBursts is the bulk multi-burst lookahead: while the running
+// context's next program operation is another compute burst, fold it
+// into the current remaining span so the event kernel advances across
+// all of them in one step instead of waking at every burst boundary.
+// Folding is exact — a C-cycle burst costs C busy cycles through the
+// per-cycle fetch path too (one fetch cycle plus C−1 drain cycles,
+// with zero-length bursts costing their one fetch cycle) — so Tick,
+// Advance, and all counters are unchanged; only the number of
+// executed cycles shrinks. The first non-compute op lands in the
+// lookahead slot, where fetch picks it up at the merged span's end. A
+// pending (blocked-and-retrying) memory op disables merging: the
+// program's next op is not up yet.
+func (p *Processor) mergeBursts(c *context) {
+	if c.pending != nil {
+		return
+	}
+	for i := 0; i < maxMergeOps; i++ {
+		if c.look == nil {
+			c.look = p.fetch(c, p.cur)
+		}
+		if c.look.Kind != OpCompute {
+			return
+		}
+		cy := c.look.Cycles
+		if cy < 1 {
+			cy = 1 // a zero-length burst still costs its fetch cycle
+		}
+		c.remaining += cy
+		c.look = nil
+	}
 }
 
 // Advance implements sim.Advancer: applies cycles (lastTick, to] in

@@ -1,0 +1,201 @@
+package procsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// burstyProgs builds thread programs dominated by runs of back-to-back
+// compute bursts (including zero-length ones) separated by occasional
+// memory accesses — the shape the multi-burst lookahead exists for.
+func burstyProgs(n int) []Program {
+	progs := make([]Program, n)
+	for i := range progs {
+		var ops []Op
+		for j := 0; j < 5; j++ {
+			ops = append(ops,
+				Op{Kind: OpCompute, Cycles: 5 + (i+j)%7},
+				Op{Kind: OpCompute, Cycles: 0},
+				Op{Kind: OpCompute, Cycles: 9 + j},
+				Op{Kind: OpCompute, Cycles: 3},
+				Op{Kind: OpRead, Addr: uint64((i*8 + j) * 64)})
+		}
+		progs[i] = &scriptProgram{ops: ops}
+	}
+	return progs
+}
+
+// TestMergeAnnouncesWholeComputeRun checks that NextEvent folds a run
+// of back-to-back compute bursts into one announced span: compute(5)
+// compute(0) compute(7) read announces the read's fetch cycle, not the
+// first burst's end.
+func TestMergeAnnouncesWholeComputeRun(t *testing.T) {
+	mem := &fakeMem{hitAlways: true}
+	prog := &scriptProgram{ops: []Op{
+		{Kind: OpCompute, Cycles: 5},
+		{Kind: OpCompute, Cycles: 0},
+		{Kind: OpCompute, Cycles: 7},
+		{Kind: OpRead, Addr: 64},
+	}}
+	p, err := New(0, Config{Contexts: 1, HitLatency: 1}, mem, []Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tick(0) // fetches the first burst: 4 cycles remain of 5
+	// Merged span: 4 remaining + 1 (zero-length burst) + 7 = 12 more
+	// busy cycles; the read fetches at cycle 13.
+	if got := p.NextEvent(); got != 13 {
+		t.Fatalf("NextEvent = %d, want 13 (merged compute run)", got)
+	}
+	p.Advance(12)
+	p.Tick(13)
+	if got := len(mem.accessLog); got != 1 {
+		t.Fatalf("read issued %d times, want 1", got)
+	}
+	if s := p.Snapshot(); s.Busy != 14 {
+		// 5 + 1 + 7 compute cycles plus the read's issue cycle.
+		t.Errorf("busy = %d, want 14", s.Busy)
+	}
+}
+
+// TestMergeChunkingInvariance is the chunking-invariance guarantee:
+// however the bulk advancement is chunked — per-cycle ticks, one
+// Advance to each announced event, or the same spans split into
+// ragged pieces — the processor lands in the same state with the same
+// accounting.
+func TestMergeChunkingInvariance(t *testing.T) {
+	const horizon = 2000
+	type chunking struct {
+		name  string
+		split func(now, next int64) []int64 // intermediate Advance targets, ending at next-1
+	}
+	chunkings := []chunking{
+		{"whole-span", func(now, next int64) []int64 { return []int64{next - 1} }},
+		{"halved", func(now, next int64) []int64 {
+			if next-now > 2 {
+				return []int64{now + (next-now)/2, next - 1}
+			}
+			return []int64{next - 1}
+		}},
+		{"thirds", func(now, next int64) []int64 {
+			if next-now > 3 {
+				step := (next - now) / 3
+				return []int64{now + step, now + 2*step, next - 1}
+			}
+			return []int64{next - 1}
+		}},
+	}
+	for _, contexts := range []int{1, 2} {
+		cfg := Config{Contexts: contexts, SwitchTime: 11, HitLatency: 2}
+
+		// Per-cycle reference.
+		refMem := &wakeMem{latency: 23}
+		ref, err := New(0, cfg, refMem, burstyProgs(contexts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refMem.proc = ref
+		for now := int64(0); now < horizon; now++ {
+			refMem.tick(now)
+			ref.Tick(now)
+		}
+		want := ref.Snapshot()
+
+		for _, ch := range chunkings {
+			mem := &wakeMem{latency: 23}
+			p, err := New(0, cfg, mem, burstyProgs(contexts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem.proc = p
+			executed := int64(0)
+			for now := int64(0); now < horizon; {
+				mem.tick(now)
+				p.Tick(now)
+				executed++
+				next := p.NextEvent()
+				if d := mem.nextDue(); d < next {
+					next = d
+				}
+				if next <= now+1 {
+					now++
+					continue
+				}
+				if next > horizon {
+					next = horizon
+				}
+				for _, to := range ch.split(now, next) {
+					p.Advance(to)
+				}
+				now = next
+			}
+			if executed >= horizon {
+				t.Errorf("contexts=%d %s: executed all %d cycles, merging bought nothing", contexts, ch.name, executed)
+			}
+			if got := p.Snapshot(); got != want {
+				t.Errorf("contexts=%d %s: snapshot differs\n per-cycle: %+v\n chunked:   %+v",
+					contexts, ch.name, want, got)
+			}
+			if ref.Halted() != p.Halted() {
+				t.Errorf("contexts=%d %s: halted %v vs %v", contexts, ch.name, ref.Halted(), p.Halted())
+			}
+		}
+	}
+}
+
+// TestOnOpFiresOncePerOpInProgramOrder checks the capture hook's
+// contract: every program operation is observed exactly once, in each
+// thread's program order, with miss retries not re-firing, under both
+// per-cycle ticking and event-driven advancement with burst merging.
+func TestOnOpFiresOncePerOpInProgramOrder(t *testing.T) {
+	script := []Op{
+		{Kind: OpCompute, Cycles: 4},
+		{Kind: OpCompute, Cycles: 6},
+		{Kind: OpRead, Addr: 128}, // misses once, retries, hits
+		{Kind: OpCompute, Cycles: 2},
+		{Kind: OpWrite, Addr: 256},
+	}
+	for _, eventDriven := range []bool{false, true} {
+		var seen []Op
+		cfg := Config{Contexts: 1, SwitchTime: 11, HitLatency: 1,
+			OnOp: func(node, ctx int, op Op) {
+				if node != 0 || ctx != 0 {
+					t.Fatalf("OnOp(%d, %d), want (0, 0)", node, ctx)
+				}
+				seen = append(seen, op)
+			}}
+		mem := &wakeMem{latency: 19}
+		p, err := New(0, cfg, mem, []Program{&scriptProgram{ops: append([]Op(nil), script...)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem.proc = p
+		const horizon = 300
+		for now := int64(0); now < horizon; {
+			mem.tick(now)
+			p.Tick(now)
+			if !eventDriven {
+				now++
+				continue
+			}
+			next := p.NextEvent()
+			if d := mem.nextDue(); d < next {
+				next = d
+			}
+			if next <= now+1 {
+				now++
+				continue
+			}
+			if next > horizon {
+				next = horizon
+			}
+			p.Advance(next - 1)
+			now = next
+		}
+		// The script plus the trailing OpHalt the scriptProgram emits.
+		want := append(append([]Op(nil), script...), Op{Kind: OpHalt})
+		if !reflect.DeepEqual(seen, want) {
+			t.Errorf("eventDriven=%v: OnOp saw %v, want %v", eventDriven, seen, want)
+		}
+	}
+}

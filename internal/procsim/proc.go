@@ -79,6 +79,12 @@ type Config struct {
 	SwitchTime int
 	// HitLatency is the cycles consumed by a cache hit (≥ 1).
 	HitLatency int
+	// OnOp, when non-nil, observes every operation fetched from a
+	// program — exactly once per operation, in each thread's program
+	// order — before the processor acts on it. Retries of a blocked
+	// memory operation do not re-fire. Trace capture hangs off this
+	// hook; it must not mutate simulation state.
+	OnOp func(node, context int, op Op)
 }
 
 // Validate checks the configuration.
@@ -109,6 +115,11 @@ type context struct {
 	prog    Program
 	state   ctxState
 	pending *Op // memory op awaiting retry, if any
+	// look holds an op fetched ahead of time by the burst-merging
+	// lookahead in NextEvent (always a non-compute op; merged compute
+	// bursts fold into remaining instead). Tick consumes it before
+	// asking the program for more.
+	look *Op
 	// remaining cycles of the current compute burst or hit access
 	remaining int
 	// wbPending holds addresses with write-behind operations not yet
@@ -199,8 +210,7 @@ func (p *Processor) Tick(now int64) {
 	// Fetch or retry an operation.
 	op := c.pending
 	if op == nil {
-		next := c.prog.Next()
-		op = &next
+		op = p.fetch(c, p.cur)
 	}
 	switch op.Kind {
 	case OpCompute:
@@ -267,6 +277,21 @@ func (p *Processor) Tick(now int64) {
 	default:
 		panic(fmt.Sprintf("procsim: unknown op kind %d", op.Kind))
 	}
+}
+
+// fetch returns the context's next operation: the lookahead slot if
+// the event path filled it, the program otherwise. Every operation
+// passes through here exactly once, so this is where OnOp fires.
+func (p *Processor) fetch(c *context, ctxIdx int) *Op {
+	if op := c.look; op != nil {
+		c.look = nil
+		return op
+	}
+	next := c.prog.Next()
+	if p.cfg.OnOp != nil {
+		p.cfg.OnOp(p.nodeID, ctxIdx, next)
+	}
+	return &next
 }
 
 // nextReady finds the next runnable context in round-robin order after

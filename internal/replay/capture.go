@@ -1,0 +1,117 @@
+package replay
+
+import (
+	"fmt"
+
+	"locality/internal/procsim"
+)
+
+// Capture is the sink that records a machine's issued reference
+// stream. The machine binds it at construction and feeds it every
+// operation its processors fetch (via procsim's OnOp hook); Finish
+// permutes the per-(node, context) buffers into the trace's
+// thread-major order and derives the home table.
+//
+// A Capture buffers in memory per (node, context), so the encoded
+// bytes depend only on each thread's own fetch sequence, never on how
+// the kernel interleaved threads. It belongs to exactly one machine:
+// recording is not safe for concurrent use (sweep cells each get
+// their own Capture).
+type Capture struct {
+	nodes, contexts int
+	streams         [][]Rec
+}
+
+// NewCapture returns an unbound capture sink.
+func NewCapture() *Capture { return &Capture{} }
+
+// Bind sizes the sink for a machine's geometry. The machine calls it
+// once during construction; rebinding a used sink panics, catching
+// accidental sharing across machines.
+func (c *Capture) Bind(nodes, contexts int) {
+	if c.streams != nil {
+		panic("replay: Capture bound twice (one sink per machine)")
+	}
+	if nodes < 1 || contexts < 1 {
+		panic(fmt.Sprintf("replay: Bind(%d, %d) with empty geometry", nodes, contexts))
+	}
+	c.nodes, c.contexts = nodes, contexts
+	c.streams = make([][]Rec, nodes*contexts)
+}
+
+// Record appends one fetched operation to (node, context)'s stream.
+// Signature-compatible with procsim.Config.OnOp.
+func (c *Capture) Record(node, ctx int, op procsim.Op) {
+	c.streams[node*c.contexts+ctx] = append(c.streams[node*c.contexts+ctx], RecOf(op))
+}
+
+// Records returns the total operation count recorded so far.
+func (c *Capture) Records() int64 {
+	var n int64
+	for _, s := range c.streams {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// Finish assembles the recorded streams into a trace under the given
+// header. The header's Place table names the capture-time thread on
+// each node, which Finish uses to re-key the (node, context) buffers
+// by thread; ownerThread assigns every referenced line address to its
+// owning thread (for a machine, the thread running on the address's
+// home node). The capture stays usable afterwards — Finish copies
+// nothing, so keep running and re-Finish for a longer trace only if
+// the earlier Trace is no longer needed.
+func (c *Capture) Finish(hdr Header, ownerThread func(addr uint64) int) (*Trace, error) {
+	if c.streams == nil {
+		return nil, fmt.Errorf("replay: Finish on an unbound capture")
+	}
+	if err := hdr.Validate(); err != nil {
+		return nil, err
+	}
+	if hdr.Nodes() != c.nodes || hdr.Contexts != c.contexts {
+		return nil, fmt.Errorf("replay: header geometry %d nodes × %d contexts, capture bound to %d × %d",
+			hdr.Nodes(), hdr.Contexts, c.nodes, c.contexts)
+	}
+	if ownerThread == nil {
+		return nil, fmt.Errorf("replay: nil ownerThread")
+	}
+	// Invert the placement: which thread ran on each node.
+	threadOn := make([]int, c.nodes)
+	for thread, node := range hdr.Place {
+		threadOn[node] = thread
+	}
+	t := &Trace{Header: hdr, Threads: make([][]Rec, c.nodes*c.contexts)}
+	// The home table is keyed by *line* address — the granularity the
+	// coherence protocol resolves homes at — so replays find every
+	// reference regardless of its offset within the line.
+	lineSize := uint64(hdr.LineSize)
+	seen := make(map[uint64]bool)
+	for node := 0; node < c.nodes; node++ {
+		thread := threadOn[node]
+		for ctx := 0; ctx < c.contexts; ctx++ {
+			stream := c.streams[node*c.contexts+ctx]
+			t.Threads[thread*c.contexts+ctx] = stream
+			for _, r := range stream {
+				if r.Kind == procsim.OpCompute || !hasArg(r.Kind) {
+					continue
+				}
+				line := r.Arg - r.Arg%lineSize
+				if seen[line] {
+					continue
+				}
+				seen[line] = true
+				owner := ownerThread(line)
+				if owner < 0 || owner >= c.nodes {
+					return nil, fmt.Errorf("replay: ownerThread(%#x) = %d, outside [0, %d)", line, owner, c.nodes)
+				}
+				t.Home = append(t.Home, HomeEntry{Addr: line, Thread: owner})
+			}
+		}
+	}
+	sortHome(t.Home)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

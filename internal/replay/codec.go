@@ -1,0 +1,260 @@
+package replay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"locality/internal/procsim"
+)
+
+// Write streams the trace to w in the wire format. The encoding is
+// canonical — a given Trace always produces the same bytes — so
+// re-encoding a decoded trace is byte-identical, which the golden
+// fixture test relies on.
+func Write(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return err
+	}
+	h := t.Header
+	putUvarint(bw, uint64(h.Radix))
+	putUvarint(bw, uint64(h.Dims))
+	putUvarint(bw, uint64(h.Contexts))
+	putUvarint(bw, uint64(h.LineSize))
+	putUvarint(bw, uint64(h.Warmup))
+	putUvarint(bw, uint64(h.Window))
+	putUvarint(bw, uint64(len(h.MappingName)))
+	if _, err := bw.WriteString(h.MappingName); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(len(h.Place)))
+	for _, node := range h.Place {
+		putUvarint(bw, uint64(node))
+	}
+	for _, stream := range t.Threads {
+		putUvarint(bw, uint64(len(stream)))
+		for _, r := range stream {
+			wire, err := wireKindOf(r.Kind)
+			if err != nil {
+				return err
+			}
+			if err := bw.WriteByte(wire); err != nil {
+				return err
+			}
+			if hasArg(r.Kind) {
+				putUvarint(bw, r.Arg)
+			}
+		}
+	}
+	putUvarint(bw, uint64(len(t.Home)))
+	prev := uint64(0)
+	for _, e := range t.Home {
+		putUvarint(bw, e.Addr-prev)
+		putUvarint(bw, uint64(e.Thread))
+		prev = e.Addr
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to path.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func putUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n]) // bufio defers errors to Flush
+}
+
+// decoder wraps the input with the bounds checking the hostile-input
+// contract requires.
+type decoder struct {
+	r *bufio.Reader
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, fmt.Errorf("replay: reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+// count reads a varint and bounds it; max guards allocation size.
+func (d *decoder) count(what string, max int) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("replay: %s %d exceeds cap %d", what, v, max)
+	}
+	return int(v), nil
+}
+
+// Read decodes a trace from r, validating every structural invariant.
+// It never trusts a declared count for more than an incremental
+// allocation, so truncated, corrupt, or adversarial inputs fail with
+// an error rather than a panic or a huge allocation.
+func Read(r io.Reader) (*Trace, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("replay: reading magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, fmt.Errorf("replay: bad magic %q (want %q)", magic[:], Magic)
+	}
+	version, err := d.r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("replay: reading version: %w", err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("replay: unsupported version %d (want %d)", version, Version)
+	}
+
+	var h Header
+	if h.Radix, err = d.count("radix", maxRadix); err != nil {
+		return nil, err
+	}
+	if h.Dims, err = d.count("dims", maxDims); err != nil {
+		return nil, err
+	}
+	if h.Contexts, err = d.count("contexts", maxContexts); err != nil {
+		return nil, err
+	}
+	if h.LineSize, err = d.count("line size", maxLineSize); err != nil {
+		return nil, err
+	}
+	warmup, err := d.uvarint("warmup")
+	if err != nil {
+		return nil, err
+	}
+	window, err := d.uvarint("window")
+	if err != nil {
+		return nil, err
+	}
+	if warmup > 1<<62 || window > 1<<62 {
+		return nil, fmt.Errorf("replay: absurd warmup %d or window %d", warmup, window)
+	}
+	h.Warmup, h.Window = int64(warmup), int64(window)
+	nameLen, err := d.count("mapping name length", maxNameLen)
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(d.r, name); err != nil {
+		return nil, fmt.Errorf("replay: reading mapping name: %w", err)
+	}
+	h.MappingName = string(name)
+	placeLen, err := d.count("placement length", maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	h.Place = make([]int, placeLen)
+	for i := range h.Place {
+		node, err := d.count("placement entry", maxNodes)
+		if err != nil {
+			return nil, err
+		}
+		h.Place[i] = node
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+
+	t := &Trace{Header: h, Threads: make([][]Rec, h.Threads())}
+	for i := range t.Threads {
+		n, err := d.uvarint("stream length")
+		if err != nil {
+			return nil, err
+		}
+		// Grow incrementally: a lying length costs at most the bytes
+		// actually present, not the declared allocation.
+		var stream []Rec
+		for j := uint64(0); j < n; j++ {
+			wire, err := d.r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("replay: reading stream %d record %d: %w", i, j, err)
+			}
+			kind, withArg, err := opKindOf(wire)
+			if err != nil {
+				return nil, err
+			}
+			rec := Rec{Kind: kind}
+			if withArg {
+				if rec.Arg, err = d.uvarint("record argument"); err != nil {
+					return nil, err
+				}
+				if kind == procsim.OpCompute && rec.Arg > maxComputeArg {
+					return nil, fmt.Errorf("replay: compute burst %d exceeds cap", rec.Arg)
+				}
+			}
+			stream = append(stream, rec)
+		}
+		t.Threads[i] = stream
+	}
+
+	homeLen, err := d.uvarint("home table length")
+	if err != nil {
+		return nil, err
+	}
+	threads := h.Nodes()
+	var addr uint64
+	for i := uint64(0); i < homeLen; i++ {
+		delta, err := d.uvarint("home address delta")
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && delta == 0 {
+			return nil, fmt.Errorf("replay: home table not strictly ascending at entry %d", i)
+		}
+		next := addr + delta
+		if next < addr {
+			return nil, fmt.Errorf("replay: home address overflow at entry %d", i)
+		}
+		addr = next
+		owner, err := d.count("home owner thread", threads-1)
+		if err != nil {
+			return nil, err
+		}
+		t.Home = append(t.Home, HomeEntry{Addr: addr, Thread: owner})
+	}
+
+	// A well-formed trace ends exactly here.
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("replay: trailing bytes after home table")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadFile decodes the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

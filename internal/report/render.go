@@ -230,3 +230,32 @@ func RenderDegradation(w io.Writer, rows []experiments.DegradationRow) {
 	}
 	t.Render(w)
 }
+
+// RenderReplayFit prints the trace-replay fitting study: the trace
+// provenance, the recovered application parameters, and the replayed
+// mapping sweep with the model's predictions at each point.
+func RenderReplayFit(w io.Writer, r *experiments.ReplayFit) {
+	hdr := r.Header
+	t := Table{
+		Title: fmt.Sprintf("== Trace replay fit (%d contexts): Tm = %.3f·tm − %.1f (R²=%.4f)",
+			r.Curve.P, r.Curve.S, r.Curve.K, r.Curve.R2),
+		Pre: []string{
+			fmt.Sprintf("   trace: %d-ary %d-cube, %d contexts, captured under mapping %q",
+				hdr.Radix, hdr.Dims, hdr.Contexts, hdr.MappingName),
+			fmt.Sprintf("   recovered: s = %.3f, c = %.1f P-cycles, Tr+Tc+Tf = %.1f P-cycles (g = %.2f)",
+				r.Params.Sensitivity, r.Params.CriticalPath, r.Params.FixedBudget, r.MeanMsgsPerTxn),
+		},
+		Header: []string{"mapping", "d", "d(replay)", "B", "g", "tm", "rm(sim)", "rm(model)", "Tm(sim)", "Tm(model)", "tt", "Tt", "util"},
+	}
+	for _, pt := range r.Curve.Points {
+		t.Rows = append(t.Rows, row(
+			pt.Mapping, fmt.Sprintf("%.2f", pt.D), fmt.Sprintf("%.2f", pt.MeasuredD),
+			fmt.Sprintf("%.1f", pt.MsgSize), fmt.Sprintf("%.2f", pt.MsgsPerTxn),
+			fmt.Sprintf("%.1f", pt.MsgTime),
+			fmt.Sprintf("%.5f", pt.MsgRate), fmt.Sprintf("%.5f", pt.MsgRateModel),
+			fmt.Sprintf("%.1f", pt.Tm), fmt.Sprintf("%.1f", pt.TmModel),
+			fmt.Sprintf("%.1f", pt.InterTxnTime), fmt.Sprintf("%.1f", pt.TxnLatency),
+			fmt.Sprintf("%.3f", pt.Utilization)))
+	}
+	t.Render(w)
+}

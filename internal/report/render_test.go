@@ -165,3 +165,14 @@ func TestRenderDegradation(t *testing.T) {
 		t.Errorf("rendering incomplete:\n%s", out)
 	}
 }
+
+func TestRenderReplayFit(t *testing.T) {
+	var buf bytes.Buffer
+	RenderReplayFit(&buf, fakeReplayFit())
+	out := buf.String()
+	for _, want := range []string{"Trace replay fit", "recovered:", "identity", "random:1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered replay fit missing %q:\n%s", want, out)
+		}
+	}
+}

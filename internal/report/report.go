@@ -148,3 +148,26 @@ func WriteUCLvsNUCLCSV(w io.Writer, rows []experiments.UCLvsNUCLRow) error {
 	}
 	return writeAll(w, out)
 }
+
+// WriteReplayFitCSV exports the trace-replay fitting study: one row
+// per replayed mapping with the measured point and model predictions,
+// each row carrying the fitted curve and recovered parameters.
+func WriteReplayFitCSV(w io.Writer, r *experiments.ReplayFit) error {
+	rows := [][]string{{
+		"contexts", "mapping", "d", "measured_d", "B", "g",
+		"tm", "rm_sim", "rm_model", "Tm_sim", "Tm_model", "tt", "Tt", "utilization",
+		"fit_s", "fit_k", "fit_r2", "recovered_c", "recovered_fixed_budget",
+	}}
+	for _, pt := range r.Curve.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Curve.P), pt.Mapping, format(pt.D), format(pt.MeasuredD),
+			format(pt.MsgSize), format(pt.MsgsPerTxn),
+			format(pt.MsgTime), format(pt.MsgRate), format(pt.MsgRateModel),
+			format(pt.Tm), format(pt.TmModel),
+			format(pt.InterTxnTime), format(pt.TxnLatency), format(pt.Utilization),
+			format(r.Curve.S), format(r.Curve.K), format(r.Curve.R2),
+			format(r.Params.CriticalPath), format(r.Params.FixedBudget),
+		})
+	}
+	return writeAll(w, rows)
+}

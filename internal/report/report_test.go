@@ -10,6 +10,7 @@ import (
 
 	"locality/internal/core"
 	"locality/internal/experiments"
+	"locality/internal/replay"
 	"locality/internal/stats"
 )
 
@@ -172,5 +173,42 @@ func TestWriteDegradationCSV(t *testing.T) {
 	}
 	if parsed[3][len(header)-1] == "" {
 		t.Error("failed cell lost its error message")
+	}
+}
+
+func fakeReplayFit() *experiments.ReplayFit {
+	return &experiments.ReplayFit{
+		Header: replay.Header{Radix: 4, Dims: 2, Contexts: 2, LineSize: 16,
+			Warmup: 1000, Window: 4000, MappingName: "identity"},
+		Curve: experiments.ContextValidation{
+			P: 2,
+			Points: []experiments.MappingPoint{
+				{Mapping: "identity", D: 1, MeasuredD: 1.02, MsgSize: 11, MsgsPerTxn: 3.1,
+					MsgTime: 120, MsgRate: 1.0 / 120, MsgRateModel: 0.0081,
+					Tm: 42, TmModel: 41, InterTxnTime: 180, TxnLatency: 95, Utilization: 0.08},
+				{Mapping: "random:1", D: 2.1, MeasuredD: 2.05, MsgSize: 11, MsgsPerTxn: 3.2,
+					MsgTime: 135, MsgRate: 1.0 / 135, MsgRateModel: 0.0072,
+					Tm: 61, TmModel: 60, InterTxnTime: 205, TxnLatency: 120, Utilization: 0.11},
+			},
+			S: 1.3, K: 115, R2: 0.99,
+		},
+		MeanMsgsPerTxn: 3.15,
+		Params:         core.FittedParams{Sensitivity: 1.3, CriticalPath: 4.8, FixedBudget: 260},
+	}
+}
+
+func TestWriteReplayFitCSV(t *testing.T) {
+	r := fakeReplayFit()
+	var buf bytes.Buffer
+	if err := WriteReplayFitCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	parsed := parseCSV(t, &buf)
+	if len(parsed) != len(r.Curve.Points)+1 {
+		t.Fatalf("replay fit csv rows = %d, want %d", len(parsed), len(r.Curve.Points)+1)
+	}
+	header := parsed[0]
+	if header[0] != "contexts" || header[len(header)-1] != "recovered_fixed_budget" {
+		t.Errorf("unexpected replay fit csv header: %v", header)
 	}
 }

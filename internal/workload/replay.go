@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+
+	"locality/internal/mapping"
+	"locality/internal/procsim"
+	"locality/internal/replay"
+)
+
+// ReplayConfig is the workload that feeds a recorded reference trace
+// back into the simulator: each (thread, context) stream from the
+// trace becomes that thread's program, and the trace's home table —
+// recorded as owning *threads* — is projected through the active
+// mapping. A trace captured on one machine therefore replays under
+// any thread-to-processor mapping and any context count up to the
+// recorded one, which is exactly what the replay-fitting pipeline
+// sweeps to recover (s, Tr+Tc+Tf, d).
+type ReplayConfig struct {
+	// Trace is the decoded trace to replay.
+	Trace *replay.Trace
+	// Map assigns threads to processors. Nil replays under the
+	// capture-time placement recorded in the trace header.
+	Map *mapping.Mapping
+	// Contexts is the hardware context count to replay with; 0 uses
+	// the recorded count. Must not exceed the recorded count (streams
+	// beyond it were never captured).
+	Contexts int
+	// Loop rewinds an exhausted stream to its start instead of
+	// halting the thread, turning a finite capture into a steady-state
+	// workload (the recorded streams are close to periodic, so the
+	// wrap is a phase jump, not a behavior change).
+	Loop bool
+}
+
+var _ Workload = ReplayConfig{}
+
+// place returns the effective thread→processor assignment.
+func (c ReplayConfig) place() []int {
+	if c.Map != nil {
+		return c.Map.Place
+	}
+	return c.Trace.Header.Place
+}
+
+// contexts returns the effective hardware context count.
+func (c ReplayConfig) contexts() int {
+	if c.Contexts == 0 {
+		return c.Trace.Header.Contexts
+	}
+	return c.Contexts
+}
+
+// Validate checks the configuration.
+func (c ReplayConfig) Validate() error {
+	if c.Trace == nil {
+		return fmt.Errorf("workload: nil trace")
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return err
+	}
+	nodes := c.Trace.Header.Nodes()
+	if c.Map != nil {
+		if err := c.Map.Validate(); err != nil {
+			return err
+		}
+		if len(c.Map.Place) != nodes {
+			return fmt.Errorf("workload: mapping covers %d threads, trace has %d", len(c.Map.Place), nodes)
+		}
+	}
+	if c.Contexts < 0 || c.Contexts > c.Trace.Header.Contexts {
+		return fmt.Errorf("workload: %d contexts requested, trace recorded %d", c.Contexts, c.Trace.Header.Contexts)
+	}
+	return nil
+}
+
+// HomeFunc implements Workload: a line lives on the node its recorded
+// owner thread is mapped to. The home table is keyed by line address,
+// so queries are masked to the trace's line size first. Lines absent
+// from the table (impossible for a replayed capture, whose table
+// covers every referenced line) default to thread 0's node.
+func (c ReplayConfig) HomeFunc() func(addr uint64) int {
+	place := c.place()
+	owners := c.Trace.HomeMap()
+	lineSize := uint64(c.Trace.Header.LineSize)
+	return func(addr uint64) int {
+		if t, ok := owners[addr-addr%lineSize]; ok {
+			return place[t]
+		}
+		return place[0]
+	}
+}
+
+// replayThread plays one recorded stream.
+type replayThread struct {
+	recs []replay.Rec
+	loop bool
+	pos  int
+}
+
+// Next implements procsim.Program.
+func (r *replayThread) Next() procsim.Op {
+	if r.pos >= len(r.recs) {
+		if !r.loop || len(r.recs) == 0 {
+			return procsim.Op{Kind: procsim.OpHalt}
+		}
+		r.pos = 0
+	}
+	rec := r.recs[r.pos]
+	r.pos++
+	return rec.Op()
+}
+
+// Programs implements Workload: Programs()[node][context] replays the
+// stream of (thread-on-node, context).
+func (c ReplayConfig) Programs() ([][]procsim.Program, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	place := c.place()
+	nodes := c.Trace.Header.Nodes()
+	p := c.contexts()
+	threadOn := make([]int, nodes)
+	for thread, node := range place {
+		threadOn[node] = thread
+	}
+	out := make([][]procsim.Program, nodes)
+	for node := 0; node < nodes; node++ {
+		thread := threadOn[node]
+		out[node] = make([]procsim.Program, p)
+		for ctx := 0; ctx < p; ctx++ {
+			out[node][ctx] = &replayThread{recs: c.Trace.Stream(thread, ctx), loop: c.Loop}
+		}
+	}
+	return out, nil
+}
+
+// Records returns the total recorded operation count, a rough bound
+// on how much simulated work the trace can drive without looping.
+func (c ReplayConfig) Records() int64 { return c.Trace.Records() }

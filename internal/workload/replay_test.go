@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"testing"
+
+	"locality/internal/mapping"
+	"locality/internal/procsim"
+	"locality/internal/replay"
+	"locality/internal/topology"
+)
+
+// replayTestTrace builds a small hand-authored trace: 4 threads × 2
+// contexts on a 2×2 machine, captured under placement [1, 2, 3, 0].
+func replayTestTrace(t *testing.T) *replay.Trace {
+	t.Helper()
+	tr := &replay.Trace{
+		Header: replay.Header{
+			Radix: 2, Dims: 2, Contexts: 2, LineSize: 16,
+			Warmup: 10, Window: 50,
+			MappingName: "capture", Place: []int{1, 2, 3, 0},
+		},
+	}
+	threads := tr.Header.Threads()
+	tr.Threads = make([][]replay.Rec, threads)
+	for i := 0; i < threads; i++ {
+		tr.Threads[i] = []replay.Rec{
+			{Kind: procsim.OpCompute, Arg: uint64(3 + i)},
+			{Kind: procsim.OpRead, Arg: uint64(64 * (i + 1))},
+			{Kind: procsim.OpWrite, Arg: uint64(64 * ((i + 1) % threads))},
+		}
+	}
+	tr.Home = []replay.HomeEntry{
+		{Addr: 64, Thread: 0},
+		{Addr: 128, Thread: 1},
+		{Addr: 192, Thread: 2},
+		{Addr: 256, Thread: 3},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// drain pulls ops from a program until (and including) its halt.
+func drain(t *testing.T, p procsim.Program, max int) []procsim.Op {
+	t.Helper()
+	var ops []procsim.Op
+	for i := 0; i < max; i++ {
+		op := p.Next()
+		ops = append(ops, op)
+		if op.Kind == procsim.OpHalt {
+			return ops
+		}
+	}
+	t.Fatalf("program did not halt within %d ops", max)
+	return nil
+}
+
+// TestReplayProgramsRecordedPlacement replays under the capture-time
+// placement: thread i's stream must come back on Place[i], converted
+// op for op, followed by a halt.
+func TestReplayProgramsRecordedPlacement(t *testing.T) {
+	tr := replayTestTrace(t)
+	w := ReplayConfig{Trace: tr}
+	progs, err := w.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 4 || len(progs[0]) != 2 {
+		t.Fatalf("got %d nodes × %d contexts, want 4 × 2", len(progs), len(progs[0]))
+	}
+	for thread, node := range tr.Header.Place {
+		for ctx := 0; ctx < 2; ctx++ {
+			ops := drain(t, progs[node][ctx], 10)
+			recs := tr.Stream(thread, ctx)
+			if len(ops) != len(recs)+1 {
+				t.Fatalf("thread %d ctx %d on node %d: %d ops, want %d + halt", thread, ctx, node, len(ops), len(recs))
+			}
+			for i, rec := range recs {
+				if ops[i] != rec.Op() {
+					t.Errorf("thread %d ctx %d op %d = %+v, want %+v", thread, ctx, i, ops[i], rec.Op())
+				}
+			}
+			if ops[len(ops)-1].Kind != procsim.OpHalt {
+				t.Errorf("thread %d ctx %d: stream did not end in halt", thread, ctx)
+			}
+		}
+	}
+}
+
+// TestReplayHomeFollowsMapping checks the home table is keyed by
+// thread and projected through whichever mapping is active: under a
+// new placement a line moves with its owning thread.
+func TestReplayHomeFollowsMapping(t *testing.T) {
+	tr := replayTestTrace(t)
+
+	// Recorded placement: thread 1 sits on node 2, so addr 128 is
+	// homed there.
+	recorded := ReplayConfig{Trace: tr}.HomeFunc()
+	if got := recorded(128); got != 2 {
+		t.Errorf("recorded placement: home(128) = %d, want 2", got)
+	}
+	// Unknown address falls back to thread 0's node.
+	if got := recorded(9999); got != 1 {
+		t.Errorf("recorded placement: home(unknown) = %d, want thread 0's node 1", got)
+	}
+
+	remap := &mapping.Mapping{Name: "swap", Place: []int{3, 0, 1, 2}}
+	remapped := ReplayConfig{Trace: tr, Map: remap}.HomeFunc()
+	if got := remapped(128); got != 0 {
+		t.Errorf("remapped: home(128) = %d, want 0 (thread 1 moved)", got)
+	}
+	if got := remapped(64); got != 3 {
+		t.Errorf("remapped: home(64) = %d, want 3 (thread 0 moved)", got)
+	}
+}
+
+// TestReplayLoopAndContextSubset: Loop rewinds exhausted streams, and
+// Contexts < recorded replays only the first streams per thread.
+func TestReplayLoopAndContextSubset(t *testing.T) {
+	tr := replayTestTrace(t)
+	w := ReplayConfig{Trace: tr, Contexts: 1, Loop: true}
+	progs, err := w.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs[0]) != 1 {
+		t.Fatalf("got %d contexts, want 1", len(progs[0]))
+	}
+	// Thread 3 is on node 0; its stream is 3 records long. Pulling 7
+	// ops must wrap twice with no halt.
+	p := progs[0][0]
+	recs := tr.Stream(3, 0)
+	for i := 0; i < 7; i++ {
+		op := p.Next()
+		want := recs[i%len(recs)].Op()
+		if op != want {
+			t.Fatalf("looped op %d = %+v, want %+v", i, op, want)
+		}
+	}
+}
+
+// TestReplayValidate exercises the rejection paths.
+func TestReplayValidate(t *testing.T) {
+	tr := replayTestTrace(t)
+	cases := []struct {
+		name string
+		cfg  ReplayConfig
+	}{
+		{"nil trace", ReplayConfig{}},
+		{"contexts beyond recorded", ReplayConfig{Trace: tr, Contexts: 3}},
+		{"negative contexts", ReplayConfig{Trace: tr, Contexts: -1}},
+		{"mapping size mismatch", ReplayConfig{Trace: tr, Map: &mapping.Mapping{Name: "short", Place: []int{0, 1}}}},
+		{"invalid mapping", ReplayConfig{Trace: tr, Map: &mapping.Mapping{Name: "dup", Place: []int{0, 0, 1, 2}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+		if _, err := tc.cfg.Programs(); err == nil {
+			t.Errorf("%s: Programs accepted", tc.name)
+		}
+	}
+	if err := (ReplayConfig{Trace: tr, Map: mapping.Identity(topology.MustNew(2, 2)), Contexts: 2}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestReplayEmptyStreamHalts: a looping empty stream must halt, not
+// spin forever.
+func TestReplayEmptyStreamHalts(t *testing.T) {
+	p := &replayThread{loop: true}
+	if op := p.Next(); op.Kind != procsim.OpHalt {
+		t.Errorf("empty looping stream returned %+v, want halt", op)
+	}
+}
