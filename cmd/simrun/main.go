@@ -9,10 +9,21 @@
 //	simrun -mapping random:1 -fault-rate 0.01 -link-mttf 5000
 //	simrun -mapping random:1 -telemetry
 //	simrun -mapping random:1 -trace-out trace.json -slice 1000 -slice-out slices.csv
+//	simrun -window 2000000 -checkpoint-every 100000 -checkpoint-dir ckpts -checkpoint-keep 4
+//	simrun -window 2000000 -restore ckpts/ckpt-1500000.lckp
 //
 // With fault injection enabled the run additionally reports loss and
 // retry accounting; a run that stops making progress aborts with a
 // diagnostic stall report and exit status 2.
+//
+// Crash recovery: -checkpoint-every writes a deterministic snapshot of
+// the complete machine state every N P-cycles (atomic .lckp files in
+// -checkpoint-dir, pruned to the newest -checkpoint-keep). With a
+// checkpoint directory configured, Ctrl-C writes a final snapshot
+// before exiting and a watchdog stall writes an emergency one named in
+// the stall report. -restore resumes a run from a snapshot — the other
+// flags must describe the same machine, which is enforced — and
+// produces output byte-identical to the uninterrupted run.
 //
 // Observability: -telemetry appends the metrics-registry dump and the
 // per-component cycle-attribution breakdown to the report; -trace-out
@@ -37,6 +48,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"locality/internal/checkpoint"
 	"locality/internal/faults"
 	"locality/internal/machine"
 	"locality/internal/mapsel"
@@ -71,6 +83,10 @@ func main() {
 	slice := flag.Int64("slice", 0, "emit one time-sliced sample every N P-cycles (0 disables; implies -telemetry)")
 	sliceOut := flag.String("slice-out", "", "time-slice output path (default stderr)")
 	sliceFormat := flag.String("slice-format", "csv", "time-slice format: csv or jsonl")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "write a state snapshot every N P-cycles (0 disables)")
+	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory (default \".\" when -checkpoint-every is set); also enables snapshots on interrupt and stall")
+	ckptKeep := flag.Int("checkpoint-keep", 0, "retain only the newest N periodic snapshots (0 keeps all)")
+	restore := flag.String("restore", "", "resume from a .lckp snapshot written by a run with identical machine flags")
 	flag.Parse()
 
 	tor, err := topology.New(*k, *n)
@@ -125,18 +141,43 @@ func main() {
 	if *telemetry_ {
 		cfg.Telemetry = telemetry.New()
 	}
-	mach, err := machine.New(cfg)
-	if err != nil {
-		fatal(err)
+	if *ckptEvery > 0 && *ckptDir == "" {
+		*ckptDir = "."
+	}
+	cfg.Checkpoint = machine.CheckpointSpec{Every: *ckptEvery, Dir: *ckptDir, Keep: *ckptKeep}
+
+	var mach *machine.Machine
+	if *restore != "" {
+		ck, err := checkpoint.ReadFile(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		mach, err = machine.RestoreFrom(cfg, ck)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "simrun: resuming from %s at P-cycle %d\n", *restore, mach.Now())
+	} else {
+		var err error
+		mach, err = machine.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	met, err := mach.RunMeasuredChecked(ctx, *warmup, *window)
+	met, err := mach.ResumeMeasuredChecked(ctx, *warmup, *window)
 	if err != nil {
 		var rep *faults.StallReport
 		if errors.As(err, &rep) {
 			fmt.Fprintf(os.Stderr, "simrun: %v\ndiagnostic snapshot:\n%s\n", rep, rep.Snapshot)
+			if rep.Checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "emergency checkpoint: %s (resume with -restore after raising -watchdog)\n", rep.Checkpoint)
+			}
 			os.Exit(2)
+		}
+		if p := mach.LastCheckpoint(); p != "" && errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "simrun: interrupted; checkpoint written to %s (resume with -restore)\n", p)
 		}
 		fatal(err)
 	}

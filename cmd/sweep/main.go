@@ -20,6 +20,17 @@
 // with error=<message> in the first measurement column; the rest of
 // the grid still runs and sweep exits nonzero at the end.
 //
+// Interrupted sweeps resume: -resume old.csv re-emits the completed
+// rows of a partial output verbatim and runs only the cells that are
+// missing, errored, or cut off mid-write. The merged output streams in
+// grid order and is byte-identical to an uninterrupted sweep's
+// (simulations are deterministic, so re-run cells reproduce the rows
+// the interrupted sweep would have written):
+//
+//	sweep -mappings suite -contexts 1,2,4 -out results.csv
+//	^C
+//	sweep -mappings suite -contexts 1,2,4 -resume results.csv -out results2.csv
+//
 // Observability on long sweeps: -telemetry gives every cell its own
 // metrics registry and cycle attribution (the CSV stays byte-identical
 // — telemetry never touches simulated results); -slice N with
@@ -45,6 +56,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"syscall"
@@ -201,6 +213,55 @@ func fileStem(mappingName string, contexts int) string {
 	return fmt.Sprintf("%s_p%d", r.Replace(mappingName), contexts)
 }
 
+// rowKey identifies a grid cell in a sweep CSV: mapping name and
+// context count, the two columns that vary across the grid.
+func rowKey(mappingName, contexts string) string {
+	return mappingName + "\x00" + contexts
+}
+
+// resumeRows parses a partial sweep output. The header must match the
+// current invocation's exactly (a mismatch means the old sweep ran
+// with different fault flags and its rows are not comparable). A row
+// cut off mid-write by the interruption — or anything after it — is
+// dropped; completed rows are returned keyed by rowKey, later
+// duplicates winning.
+func resumeRows(r io.Reader, header []string) (map[string][]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading resume header: %w", err)
+	}
+	if !slices.Equal(first, header) {
+		return nil, fmt.Errorf("resume file header %q does not match this sweep's %q (different fault flags?)",
+			strings.Join(first, ","), strings.Join(header, ","))
+	}
+	rows := make(map[string][]string)
+	for {
+		rec, err := cr.Read()
+		if err != nil {
+			// io.EOF is the clean end; any other error is a row the
+			// interrupted sweep never finished writing.
+			return rows, nil
+		}
+		if len(rec) < 4 {
+			continue
+		}
+		rows[rowKey(rec[0], rec[2])] = rec
+	}
+}
+
+// usableResumeRow reports whether a cached row can stand in for
+// re-running its cell: full width, the exact identity prefix this
+// sweep would write, and a real measurement (not an error= marker or
+// padding) in the first measurement column.
+func usableResumeRow(row, prefix []string, width int) bool {
+	return len(row) == width &&
+		slices.Equal(row[:len(prefix)], prefix) &&
+		row[len(prefix)] != "" &&
+		!strings.HasPrefix(row[len(prefix)], "error=")
+}
+
 func main() {
 	k := flag.Int("k", 8, "torus radix")
 	n := flag.Int("n", 2, "torus dimensions")
@@ -228,6 +289,7 @@ func main() {
 	captureDir := flag.String("capture-dir", "", "directory for per-cell replayable reference traces (.lref)")
 	heartbeat := flag.Duration("heartbeat", 0, "periodic progress/ETA line interval on stderr (0 disables)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	resume := flag.String("resume", "", "partial output CSV from an interrupted sweep: reuse its completed rows, run only missing or errored cells")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -295,6 +357,26 @@ func main() {
 		wd.StallCycles = 20 * (*warmup + *window)
 	}
 
+	header := []string{"mapping", "d", "contexts", "prefetch", "B", "g", "tm", "rm", "Tm", "Tt", "tt", "rt", "utilization"}
+	if spec.Enabled() {
+		header = append(header, "retries", "home_retries", "dropped", "fault_cycles")
+	}
+
+	// Read the resume file in full before creating the output: -out and
+	// -resume may name the same path.
+	cached := map[string][]string{}
+	if *resume != "" {
+		rf, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		cached, err = resumeRows(rf, header)
+		rf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -306,32 +388,45 @@ func main() {
 	}
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	header := []string{"mapping", "d", "contexts", "prefetch", "B", "g", "tm", "rm", "Tm", "Tt", "tt", "rt", "utilization"}
-	if spec.Enabled() {
-		header = append(header, "retries", "home_retries", "dropped", "fault_cycles")
-	}
 	if err := cw.Write(header); err != nil {
 		fatal(err)
 	}
 
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
 	// The grid: contexts-major, mappings-minor, matching the CSV's
-	// historical row order.
+	// historical row order. Cells whose rows the resume file already
+	// holds are prefilled and never run; the rest are submitted to the
+	// engine with their position in the full grid remembered, so the
+	// merged output streams in grid order.
 	type meta struct {
 		m *mapping.Mapping
 		p int
 	}
-	var metas []meta
+	var metas []meta    // full grid
+	var fullIndex []int // submitted cell -> full-grid position
+	var rows [][]string // full grid, nil = not yet available
 	var cells []engine.Cell[machine.Metrics]
+	reused := 0
 	for _, p := range contexts {
 		for _, m := range maps {
 			p, m := p, m
+			idx := len(metas)
+			metas = append(metas, meta{m: m, p: p})
+			rows = append(rows, nil)
+			prefix := []string{m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch)}
+			if row, ok := cached[rowKey(m.Name, strconv.Itoa(p))]; ok && usableResumeRow(row, prefix, len(header)) {
+				rows[idx] = row
+				reused++
+				continue
+			}
 			c := cell{
 				tor: tor, m: m, contexts: p, prefetch: *prefetch, ratio: *ratio,
 				spec: spec, watchdog: wd, warmup: *warmup, window: *window, kernel: kernel,
 				telemetry: *telemetry_, slice: *slice, sliceDir: *sliceDir, sliceFmt: *sliceFormat,
 				traceDir: *traceDir, traceCap: *traceCap, captureDir: *captureDir, fileStem: fileStem(m.Name, p),
 			}
-			metas = append(metas, meta{m: m, p: p})
+			fullIndex = append(fullIndex, idx)
 			cells = append(cells, engine.Cell[machine.Metrics]{
 				Key: fmt.Sprintf("%s p=%d", m.Name, p),
 				Run: func(ctx context.Context) (machine.Metrics, error) {
@@ -340,8 +435,25 @@ func main() {
 			})
 		}
 	}
+	if *resume != "" {
+		fmt.Fprintf(os.Stderr, "sweep: resuming: %d of %d rows reused, %d to run\n", reused, len(metas), len(cells))
+	}
 
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	// emit flushes the longest completed prefix of the full grid, so
+	// rows stream out in grid order no matter which worker — or which
+	// earlier sweep — produced them.
+	nextEmit := 0
+	emit := func() {
+		for nextEmit < len(rows) && rows[nextEmit] != nil {
+			if err := cw.Write(rows[nextEmit]); err != nil {
+				fatal(err)
+			}
+			nextEmit++
+		}
+		cw.Flush()
+	}
+	emit()
+
 	failed := 0
 	var prog io.Writer
 	if *progress || *heartbeat > 0 {
@@ -353,7 +465,8 @@ func main() {
 	opts := engine.Options[machine.Metrics]{
 		Exec: engine.Exec{Workers: *workers, Progress: prog, Heartbeat: *heartbeat},
 		OnResult: func(r engine.Result[machine.Metrics]) {
-			m, p, met := metas[r.Index].m, metas[r.Index].p, r.Row
+			idx := fullIndex[r.Index]
+			m, p, met := metas[idx].m, metas[idx].p, r.Row
 			var row []string
 			if r.Err != nil {
 				failed++
@@ -376,10 +489,8 @@ func main() {
 						strconv.FormatInt(met.DroppedMsgs, 10), strconv.FormatInt(met.LinkFaultCycles, 10))
 				}
 			}
-			if err := cw.Write(row); err != nil {
-				fatal(err)
-			}
-			cw.Flush() // stream rows as runs finish
+			rows[idx] = row
+			emit()
 		},
 	}
 	engine.Grid(ctx, cells, opts)

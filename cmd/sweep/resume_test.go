@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+var testHeader = []string{"mapping", "d", "contexts", "prefetch", "B", "g", "tm", "rm", "Tm", "Tt", "tt", "rt", "utilization"}
+
+func TestResumeRowsParsesPartialOutput(t *testing.T) {
+	csv := strings.Join([]string{
+		strings.Join(testHeader, ","),
+		"identity,1,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138",
+		"random:1,2.5,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138",
+		"transpose,2,1,false,error=machine stalled,,,,,,,,",
+		"identity,1,2,false,11.9,3.2", // cut off mid-write
+	}, "\n") + "\n"
+	rows, err := resumeRows(strings.NewReader(csv), testHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rows[rowKey("identity", "1")]; !ok {
+		t.Error("completed row identity/p1 not indexed")
+	}
+	if _, ok := rows[rowKey("random:1", "1")]; !ok {
+		t.Error("completed row random:1/p1 not indexed")
+	}
+	// The error row and the truncated row are indexed (or not) but must
+	// never be usable.
+	prefix := []string{"transpose", "2", "1", "false"}
+	if row, ok := rows[rowKey("transpose", "1")]; ok && usableResumeRow(row, prefix, len(testHeader)) {
+		t.Error("error= row counted as usable")
+	}
+	prefix = []string{"identity", "1", "2", "false"}
+	if row, ok := rows[rowKey("identity", "2")]; ok && usableResumeRow(row, prefix, len(testHeader)) {
+		t.Error("truncated row counted as usable")
+	}
+}
+
+func TestResumeRowsDropsTrailingGarbage(t *testing.T) {
+	// A crash can leave a final line with an unterminated quote; rows
+	// before it must survive, the garbage must not.
+	csv := strings.Join(testHeader, ",") + "\n" +
+		"identity,1,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138\n" +
+		`random:1,2.5,1,false,"11.9`
+	rows, err := resumeRows(strings.NewReader(csv), testHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rows[rowKey("identity", "1")]; !ok {
+		t.Error("row before the torn tail was dropped")
+	}
+	if _, ok := rows[rowKey("random:1", "1")]; ok {
+		t.Error("torn trailing row was indexed")
+	}
+}
+
+func TestResumeRowsRejectsHeaderMismatch(t *testing.T) {
+	faultHeader := strings.Join(append(append([]string{}, testHeader...), "retries", "home_retries", "dropped", "fault_cycles"), ",")
+	if _, err := resumeRows(strings.NewReader(faultHeader+"\n"), testHeader); err == nil {
+		t.Error("fault-sweep output accepted for a fault-free resume")
+	}
+	if _, err := resumeRows(strings.NewReader(""), testHeader); err == nil {
+		t.Error("empty resume file accepted")
+	}
+}
+
+func TestUsableResumeRow(t *testing.T) {
+	prefix := []string{"identity", "1", "2", "false"}
+	good := []string{"identity", "1", "2", "false", "11.9", "3.2", "21.4", "0.046", "12.8", "34.4", "35.1", "0.0285", "0.138"}
+	if !usableResumeRow(good, prefix, len(testHeader)) {
+		t.Error("complete row rejected")
+	}
+	cases := map[string][]string{
+		"short row":        good[:7],
+		"error row":        {"identity", "1", "2", "false", "error=stalled", "", "", "", "", "", "", "", ""},
+		"empty measure":    {"identity", "1", "2", "false", "", "", "", "", "", "", "", "", ""},
+		"wrong mapping":    append([]string{"random:1"}, good[1:]...),
+		"wrong prefetch":   {"identity", "1", "2", "true", "11.9", "3.2", "21.4", "0.046", "12.8", "34.4", "35.1", "0.0285", "0.138"},
+		"wrong distance":   {"identity", "2", "2", "false", "11.9", "3.2", "21.4", "0.046", "12.8", "34.4", "35.1", "0.0285", "0.138"},
+		"extra column row": append(append([]string{}, good...), "x"),
+	}
+	for name, row := range cases {
+		if usableResumeRow(row, prefix, len(testHeader)) {
+			t.Errorf("%s counted as usable", name)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package cachesim
+
+import "fmt"
+
+// CheckpointState is a cache's complete serializable state: every tag
+// and coherence state plus the access counters, enough to restore the
+// cache bit for bit.
+type CheckpointState struct {
+	Tags                    []uint64
+	States                  []State
+	Hits, Misses, Evictions int64
+}
+
+// Checkpoint captures the cache's current state. The returned slices
+// are copies; mutating them does not affect the cache.
+func (c *Cache) Checkpoint() CheckpointState {
+	return CheckpointState{
+		Tags:      append([]uint64(nil), c.tags...),
+		States:    append([]State(nil), c.states...),
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+	}
+}
+
+// Restore overwrites the cache with a previously captured state. The
+// state must come from a cache of the same geometry.
+func (c *Cache) Restore(s CheckpointState) error {
+	if len(s.Tags) != c.cfg.Lines || len(s.States) != c.cfg.Lines {
+		return fmt.Errorf("cachesim: checkpoint has %d tags/%d states, cache has %d lines",
+			len(s.Tags), len(s.States), c.cfg.Lines)
+	}
+	for i, st := range s.States {
+		if st > Modified {
+			return fmt.Errorf("cachesim: checkpoint line %d has invalid state %d", i, st)
+		}
+	}
+	copy(c.tags, s.Tags)
+	copy(c.states, s.States)
+	c.hits.SetValue(s.Hits)
+	c.misses.SetValue(s.Misses)
+	c.evictions.SetValue(s.Evictions)
+	return nil
+}

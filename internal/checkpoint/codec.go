@@ -1,0 +1,1574 @@
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"locality/internal/cachesim"
+	"locality/internal/cohsim"
+	"locality/internal/faults"
+	"locality/internal/netsim"
+	"locality/internal/procsim"
+	"locality/internal/stats"
+)
+
+// Wire layout (after Magic + Version):
+//
+//	fingerprint
+//	PNow, WindowStart, ChunkDone, window kernel accounting
+//	kernel state
+//	transaction table — every *Transaction reachable from the protocol
+//	  state or an in-flight message payload, deduplicated and sorted by
+//	  ID; all other sites reference transactions by ID (0 = nil)
+//	per-node processor states
+//	protocol state (caches, directories, MSHRs, event heap, counters)
+//	network state (message table, routers, queues, counters)
+//	link-fault and loss-coin states (presence-flagged)
+//	slicer state (presence-flagged)
+//
+// Unsigned quantities are uvarints, possibly-negative ones zigzag
+// varints, floats 8-byte little-endian IEEE 754 bit patterns, RNG
+// states fixed 8-byte little-endian words. Collections ordered by the
+// producing Checkpoint methods (ascending address / (due, seq) /
+// message discovery order) make the encoding canonical: re-encoding a
+// decoded checkpoint is byte-identical.
+
+// Write streams the checkpoint to w in the wire format.
+func Write(w io.Writer, c *Checkpoint) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	txns, err := collectTxns(c)
+	if err != nil {
+		return err
+	}
+	byPtr := make(map[*cohsim.Transaction]int64, len(txns))
+	for _, t := range txns {
+		byPtr[t] = t.ID
+	}
+	ref := func(t *cohsim.Transaction) uint64 {
+		if t == nil {
+			return 0
+		}
+		return uint64(byPtr[t])
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return err
+	}
+	writeFingerprint(bw, &c.FP)
+
+	putUvarint(bw, uint64(c.PNow))
+	putUvarint(bw, uint64(c.WindowStart))
+	putUvarint(bw, uint64(c.ChunkDone))
+	putUvarint(bw, uint64(c.KSWindow.Ticked))
+	putUvarint(bw, uint64(c.KSWindow.Skipped))
+
+	k := &c.Kernel
+	putVarint(bw, k.Now)
+	putUvarint(bw, uint64(k.Stats.Ticked))
+	putUvarint(bw, uint64(k.Stats.Skipped))
+	putVarint(bw, int64(k.Pending))
+	putBool(bw, k.Attr != nil)
+	if k.Attr != nil {
+		putUvarint(bw, uint64(len(k.Attr)))
+		for _, v := range k.Attr {
+			putUvarint(bw, uint64(v))
+		}
+		putUvarint(bw, uint64(k.AttrNone))
+	}
+
+	putUvarint(bw, uint64(len(txns)))
+	for _, t := range txns {
+		writeTxn(bw, t.State())
+	}
+
+	putUvarint(bw, uint64(len(c.Procs)))
+	for i := range c.Procs {
+		writeProc(bw, &c.Procs[i])
+	}
+	writeProto(bw, &c.Proto, ref)
+	if err := writeNet(bw, &c.Net, ref); err != nil {
+		return err
+	}
+
+	putBool(bw, c.LinkFaults != nil)
+	if lf := c.LinkFaults; lf != nil {
+		putUvarint(bw, uint64(len(lf.Links)))
+		for _, l := range lf.Links {
+			putU64(bw, l.RNG)
+			putVarint(bw, l.Start)
+			putVarint(bw, l.End)
+			putBool(bw, l.Init)
+		}
+		putUvarint(bw, uint64(lf.DownCycles))
+		putUvarint(bw, uint64(lf.FaultCount))
+	}
+	putBool(bw, c.LossCoin != nil)
+	if co := c.LossCoin; co != nil {
+		putU64(bw, co.RNG)
+		putUvarint(bw, uint64(co.Heads))
+		putUvarint(bw, uint64(co.Total))
+	}
+	putBool(bw, c.Slicer != nil)
+	if sl := c.Slicer; sl != nil {
+		putVarint(bw, sl.Next)
+		for _, v := range sl.Prev {
+			putVarint(bw, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// collectTxns gathers every transaction reachable from the checkpoint —
+// protocol structures and in-flight message payloads alike — and
+// returns them sorted by ID. A message can reference a transaction
+// present in no protocol structure (a writeback racing its
+// transaction's completion), which is why the table is unified here
+// rather than delegated to cohsim.
+func collectTxns(c *Checkpoint) ([]*cohsim.Transaction, error) {
+	byID := make(map[int64]*cohsim.Transaction)
+	var list []*cohsim.Transaction
+	add := func(t *cohsim.Transaction) error {
+		if t == nil {
+			return nil
+		}
+		if t.ID < 1 {
+			return fmt.Errorf("checkpoint: transaction ID %d, must be ≥ 1", t.ID)
+		}
+		if prev, ok := byID[t.ID]; ok {
+			if prev != t {
+				return fmt.Errorf("checkpoint: two transactions share ID %d", t.ID)
+			}
+			return nil
+		}
+		byID[t.ID] = t
+		list = append(list, t)
+		return nil
+	}
+	for i := range c.Proto.Nodes {
+		n := &c.Proto.Nodes[i]
+		for _, de := range n.Dir {
+			if err := add(de.Txn); err != nil {
+				return nil, err
+			}
+			for _, q := range de.Queue {
+				if err := add(q.Txn); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, ms := range n.MSHR {
+			if err := add(ms.Txn); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range c.Proto.Events {
+		if err := add(e.Act.Txn); err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.Net.Messages {
+		msg, ok := c.Net.Messages[i].Payload.(cohsim.Msg)
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: message %d payload is %T, want cohsim.Msg", i, c.Net.Messages[i].Payload)
+		}
+		if err := add(msg.Txn); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(list, func(a, b int) bool { return list[a].ID < list[b].ID })
+	if len(list) > maxTxns {
+		return nil, fmt.Errorf("checkpoint: %d live transactions exceed cap %d", len(list), maxTxns)
+	}
+	return list, nil
+}
+
+func writeFingerprint(bw *bufio.Writer, f *Fingerprint) {
+	putUvarint(bw, uint64(f.Radix))
+	putUvarint(bw, uint64(f.Dims))
+	putUvarint(bw, uint64(f.Contexts))
+	putString(bw, f.MappingName)
+	putUvarint(bw, uint64(len(f.Place)))
+	for _, node := range f.Place {
+		putUvarint(bw, uint64(node))
+	}
+	putUvarint(bw, uint64(f.SwitchTime))
+	putUvarint(bw, uint64(f.HitLatency))
+	putUvarint(bw, uint64(f.ClockRatio))
+	putUvarint(bw, uint64(f.BufferDepth))
+	putUvarint(bw, uint64(f.CacheLines))
+	putUvarint(bw, uint64(f.LineSize))
+	putUvarint(bw, uint64(f.HWPointers))
+	putUvarint(bw, uint64(f.LocalDelay))
+	putUvarint(bw, uint64(f.ReadCompute))
+	putUvarint(bw, uint64(f.WriteCompute))
+	putString(bw, f.Workload)
+	putUvarint(bw, uint64(f.ReqLatency))
+	putUvarint(bw, uint64(f.DirLatency))
+	putUvarint(bw, uint64(f.MemLatency))
+	putUvarint(bw, uint64(f.CacheRespLatency))
+	putUvarint(bw, uint64(f.FillLatency))
+	putUvarint(bw, uint64(f.SWTrapLatency))
+	putUvarint(bw, uint64(f.RetryTimeout))
+	putString(bw, f.FaultSpec)
+	bw.WriteByte(f.Kernel)
+	putUvarint(bw, uint64(f.SliceEvery))
+}
+
+func writeTxn(bw *bufio.Writer, t cohsim.TxnState) {
+	putUvarint(bw, uint64(t.ID))
+	putUvarint(bw, uint64(t.Node))
+	putUvarint(bw, t.Addr)
+	putBool(bw, t.Write)
+	putVarint(bw, t.Started)
+	putVarint(bw, t.Completed)
+	putUvarint(bw, uint64(t.NetMessages))
+	putUvarint(bw, uint64(t.Retries))
+	putBool(bw, t.Done)
+	putUvarint(bw, uint64(len(t.Waiters)))
+	for _, w := range t.Waiters {
+		putUvarint(bw, uint64(w))
+	}
+	putBool(bw, t.PendingWrite)
+	putVarint(bw, int64(t.Epoch))
+}
+
+func writeOp(bw *bufio.Writer, op procsim.Op) {
+	bw.WriteByte(byte(op.Kind))
+	putUvarint(bw, uint64(op.Cycles))
+	putUvarint(bw, op.Addr)
+}
+
+func writeProc(bw *bufio.Writer, p *procsim.CheckpointState) {
+	putUvarint(bw, uint64(len(p.Ctxs)))
+	for i := range p.Ctxs {
+		cs := &p.Ctxs[i]
+		bw.WriteByte(cs.State)
+		putBool(bw, cs.HasPending)
+		if cs.HasPending {
+			writeOp(bw, cs.Pending)
+		}
+		putBool(bw, cs.HasLook)
+		if cs.HasLook {
+			writeOp(bw, cs.Look)
+		}
+		putUvarint(bw, uint64(cs.Remaining))
+		putUvarint(bw, uint64(len(cs.WBPending)))
+		for _, addr := range cs.WBPending {
+			putUvarint(bw, addr)
+		}
+		putUvarint(bw, uint64(cs.Fetched))
+	}
+	putUvarint(bw, uint64(p.Cur))
+	putUvarint(bw, uint64(p.SwitchLeft))
+	putVarint(bw, p.LastTick)
+	putUvarint(bw, uint64(p.Busy))
+	putUvarint(bw, uint64(p.Switching))
+	putUvarint(bw, uint64(p.Idle))
+	putUvarint(bw, uint64(p.Accesses))
+	putUvarint(bw, uint64(p.Misses))
+	putUvarint(bw, uint64(p.Prefetches))
+	putUvarint(bw, uint64(p.WriteBehinds))
+}
+
+func writeProto(bw *bufio.Writer, p *cohsim.CheckpointState, ref func(*cohsim.Transaction) uint64) {
+	putUvarint(bw, uint64(len(p.Nodes)))
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		putUvarint(bw, uint64(len(n.Cache.Tags)))
+		for _, tag := range n.Cache.Tags {
+			putUvarint(bw, tag)
+		}
+		putUvarint(bw, uint64(len(n.Cache.States)))
+		for _, st := range n.Cache.States {
+			bw.WriteByte(byte(st))
+		}
+		putUvarint(bw, uint64(n.Cache.Hits))
+		putUvarint(bw, uint64(n.Cache.Misses))
+		putUvarint(bw, uint64(n.Cache.Evictions))
+		putUvarint(bw, uint64(len(n.Dir)))
+		for _, de := range n.Dir {
+			putUvarint(bw, de.Addr)
+			bw.WriteByte(de.State)
+			putUvarint(bw, uint64(len(de.Sharers)))
+			for _, sh := range de.Sharers {
+				putUvarint(bw, uint64(sh))
+			}
+			putVarint(bw, int64(de.Owner))
+			bw.WriteByte(de.Busy)
+			putUvarint(bw, uint64(len(de.PendingInv)))
+			for _, pi := range de.PendingInv {
+				putUvarint(bw, uint64(pi))
+			}
+			putUvarint(bw, uint64(de.OpSeq))
+			putVarint(bw, int64(de.Requester))
+			putUvarint(bw, ref(de.Txn))
+			putUvarint(bw, uint64(len(de.Queue)))
+			for _, q := range de.Queue {
+				bw.WriteByte(q.Kind)
+				putUvarint(bw, uint64(q.From))
+				putUvarint(bw, ref(q.Txn))
+			}
+		}
+		putUvarint(bw, uint64(len(n.MSHR)))
+		for _, ms := range n.MSHR {
+			putUvarint(bw, ms.Addr)
+			putUvarint(bw, ref(ms.Txn))
+		}
+	}
+	putUvarint(bw, uint64(len(p.Events)))
+	for _, e := range p.Events {
+		putVarint(bw, e.Due)
+		putUvarint(bw, uint64(e.Seq))
+		a := e.Act
+		bw.WriteByte(a.Kind)
+		putVarint(bw, int64(a.Node))
+		putVarint(bw, int64(a.Peer))
+		bw.WriteByte(a.MsgKind)
+		putUvarint(bw, a.Addr)
+		putUvarint(bw, ref(a.Txn))
+		putVarint(bw, a.Seq)
+		putVarint(bw, int64(a.Epoch))
+		putUvarint(bw, uint64(a.Attempt))
+		putUvarint(bw, uint64(a.Size))
+	}
+	putUvarint(bw, uint64(p.Seq))
+	putUvarint(bw, uint64(p.TxnSeq))
+	putVarint(bw, p.Now)
+	putUvarint(bw, uint64(len(p.NextSend)))
+	for _, v := range p.NextSend {
+		putVarint(bw, v)
+	}
+	putUvarint(bw, uint64(p.Transactions))
+	putMean(bw, p.TxnLatency)
+	putMean(bw, p.TxnMsgs)
+	putUvarint(bw, uint64(p.NetMessages))
+	putUvarint(bw, uint64(len(p.KindCounts)))
+	for _, v := range p.KindCounts {
+		putUvarint(bw, uint64(v))
+	}
+	putUvarint(bw, uint64(p.SWTraps))
+	putUvarint(bw, uint64(p.ReadMisses))
+	putUvarint(bw, uint64(p.WriteMisses))
+	putUvarint(bw, uint64(p.Retries))
+	putUvarint(bw, uint64(p.HomeRetries))
+	putUvarint(bw, uint64(p.Dropped))
+}
+
+func writeNet(bw *bufio.Writer, n *netsim.CheckpointState, ref func(*cohsim.Transaction) uint64) error {
+	putUvarint(bw, uint64(len(n.Messages)))
+	for i := range n.Messages {
+		ms := &n.Messages[i]
+		msg, ok := ms.Payload.(cohsim.Msg)
+		if !ok {
+			return fmt.Errorf("checkpoint: message %d payload is %T, want cohsim.Msg", i, ms.Payload)
+		}
+		putUvarint(bw, uint64(ms.Src))
+		putUvarint(bw, uint64(ms.Dst))
+		putUvarint(bw, uint64(ms.Size))
+		bw.WriteByte(byte(msg.Kind))
+		putUvarint(bw, msg.Addr)
+		putUvarint(bw, uint64(msg.From))
+		putUvarint(bw, ref(msg.Txn))
+		putVarint(bw, msg.Seq)
+		putVarint(bw, ms.EnqueuedAt)
+		putVarint(bw, ms.InjectedAt)
+		putVarint(bw, ms.DeliveredAt)
+		putUvarint(bw, uint64(ms.Hops))
+		putUvarint(bw, uint64(ms.Remaining))
+		putVarint(bw, int64(ms.CurDim))
+		putUvarint(bw, uint64(ms.VCClass))
+	}
+	putUvarint(bw, uint64(len(n.Routers)))
+	for i := range n.Routers {
+		r := &n.Routers[i]
+		putUvarint(bw, uint64(len(r.Inputs)))
+		for _, flits := range r.Inputs {
+			putUvarint(bw, uint64(len(flits)))
+			for _, f := range flits {
+				putUvarint(bw, uint64(f.Msg))
+				putUvarint(bw, uint64(f.Seq))
+				putVarint(bw, f.ArrivedAt)
+			}
+		}
+		putUvarint(bw, uint64(len(r.Owner)))
+		for _, o := range r.Owner {
+			putVarint(bw, int64(o))
+		}
+		putUvarint(bw, uint64(len(r.OwnerInput)))
+		for _, v := range r.OwnerInput {
+			putUvarint(bw, uint64(v))
+		}
+		putUvarint(bw, uint64(len(r.LastGranted)))
+		for _, v := range r.LastGranted {
+			putUvarint(bw, uint64(v))
+		}
+		putUvarint(bw, uint64(len(r.LastVC)))
+		for _, v := range r.LastVC {
+			putUvarint(bw, uint64(v))
+		}
+	}
+	putUvarint(bw, uint64(len(n.InjectQ)))
+	for _, q := range n.InjectQ {
+		putUvarint(bw, uint64(len(q)))
+		for _, idx := range q {
+			putUvarint(bw, uint64(idx))
+		}
+	}
+	putUvarint(bw, uint64(len(n.Local)))
+	for _, e := range n.Local {
+		putUvarint(bw, uint64(e.Msg))
+		putVarint(bw, e.Due)
+	}
+	putVarint(bw, n.Now)
+	putVarint(bw, n.LastProgress)
+	putUvarint(bw, uint64(n.FlitsIn))
+	putUvarint(bw, uint64(n.FlitsOut))
+	putVarint(bw, n.StatsSince)
+	putUvarint(bw, uint64(n.Injected))
+	putUvarint(bw, uint64(n.Delivered))
+	putUvarint(bw, uint64(n.FlitHops))
+	putUvarint(bw, uint64(n.FaultStalls))
+	putMean(bw, n.Latency)
+	putMean(bw, n.NetLatency)
+	putMean(bw, n.Hops)
+	putMean(bw, n.Sizes)
+	return nil
+}
+
+// WriteFile writes the checkpoint to path.
+func WriteFile(path string, c *Checkpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func putUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n]) // bufio defers errors to Flush
+}
+
+func putVarint(bw *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+func putBool(bw *bufio.Writer, b bool) {
+	if b {
+		bw.WriteByte(1)
+	} else {
+		bw.WriteByte(0)
+	}
+}
+
+func putU64(bw *bufio.Writer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	bw.Write(buf[:])
+}
+
+func putFloat(bw *bufio.Writer, f float64) {
+	putU64(bw, math.Float64bits(f))
+}
+
+func putString(bw *bufio.Writer, s string) {
+	putUvarint(bw, uint64(len(s)))
+	bw.WriteString(s)
+}
+
+func putMean(bw *bufio.Writer, m stats.MeanState) {
+	putUvarint(bw, uint64(m.N))
+	putFloat(bw, m.Mean)
+	putFloat(bw, m.M2)
+	putFloat(bw, m.Min)
+	putFloat(bw, m.Max)
+}
+
+// decoder wraps the input with the bounds checking the hostile-input
+// contract requires.
+type decoder struct {
+	r *bufio.Reader
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+func (d *decoder) varint(what string) (int64, error) {
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+// count reads a varint and bounds it; max guards allocation size.
+func (d *decoder) count(what string, max int) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("checkpoint: %s %d exceeds cap %d", what, v, max)
+	}
+	return int(v), nil
+}
+
+// i64 reads an unsigned quantity that lands in an int64 field.
+func (d *decoder) i64(what string) (int64, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(maxTime) {
+		return 0, fmt.Errorf("checkpoint: absurd %s %d", what, v)
+	}
+	return int64(v), nil
+}
+
+func (d *decoder) byteVal(what string) (byte, error) {
+	b, err := d.r.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: reading %s: %w", what, err)
+	}
+	return b, nil
+}
+
+func (d *decoder) boolVal(what string) (bool, error) {
+	b, err := d.byteVal(what)
+	if err != nil {
+		return false, err
+	}
+	if b > 1 {
+		return false, fmt.Errorf("checkpoint: %s flag %d, want 0 or 1", what, b)
+	}
+	return b == 1, nil
+}
+
+func (d *decoder) u64(what string) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		return 0, fmt.Errorf("checkpoint: reading %s: %w", what, err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func (d *decoder) float(what string) (float64, error) {
+	v, err := d.u64(what)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(v), nil
+}
+
+func (d *decoder) str(what string, max int) (string, error) {
+	n, err := d.count(what+" length", max)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", fmt.Errorf("checkpoint: reading %s: %w", what, err)
+	}
+	return string(buf), nil
+}
+
+func (d *decoder) mean(what string) (stats.MeanState, error) {
+	var m stats.MeanState
+	var err error
+	if m.N, err = d.i64(what + " count"); err != nil {
+		return m, err
+	}
+	if m.Mean, err = d.float(what + " mean"); err != nil {
+		return m, err
+	}
+	if m.M2, err = d.float(what + " M2"); err != nil {
+		return m, err
+	}
+	if m.Min, err = d.float(what + " min"); err != nil {
+		return m, err
+	}
+	if m.Max, err = d.float(what + " max"); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+func (d *decoder) op(what string) (procsim.Op, error) {
+	var op procsim.Op
+	kind, err := d.byteVal(what + " kind")
+	if err != nil {
+		return op, err
+	}
+	if kind > byte(procsim.OpHalt) {
+		return op, fmt.Errorf("checkpoint: %s kind %d invalid", what, kind)
+	}
+	op.Kind = procsim.OpKind(kind)
+	cycles, err := d.count(what+" cycles", 1<<32)
+	if err != nil {
+		return op, err
+	}
+	op.Cycles = cycles
+	if op.Addr, err = d.uvarint(what + " address"); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+// Read decodes a checkpoint from r, validating every structural
+// invariant. It never trusts a declared count for more than an
+// incremental allocation, so truncated, corrupt, or adversarial
+// inputs fail with an error rather than a panic or a huge allocation.
+func Read(r io.Reader) (*Checkpoint, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q (want %q)", magic[:], Magic)
+	}
+	version, err := d.r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading version: %w", err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", version, Version)
+	}
+
+	c := &Checkpoint{}
+	nodes, err := d.readFingerprint(&c.FP)
+	if err != nil {
+		return nil, err
+	}
+
+	if c.PNow, err = d.i64("cycle"); err != nil {
+		return nil, err
+	}
+	if c.WindowStart, err = d.i64("window origin"); err != nil {
+		return nil, err
+	}
+	if c.ChunkDone, err = d.i64("chunk offset"); err != nil {
+		return nil, err
+	}
+	if c.KSWindow.Ticked, err = d.i64("window ticked"); err != nil {
+		return nil, err
+	}
+	if c.KSWindow.Skipped, err = d.i64("window skipped"); err != nil {
+		return nil, err
+	}
+
+	if c.Kernel.Now, err = d.varint("kernel clock"); err != nil {
+		return nil, err
+	}
+	if c.Kernel.Stats.Ticked, err = d.i64("kernel ticked"); err != nil {
+		return nil, err
+	}
+	if c.Kernel.Stats.Skipped, err = d.i64("kernel skipped"); err != nil {
+		return nil, err
+	}
+	pending, err := d.varint("kernel pending charge")
+	if err != nil {
+		return nil, err
+	}
+	if pending < -1 || pending > int64(nodes)+8 {
+		return nil, fmt.Errorf("checkpoint: kernel pending charge %d out of range", pending)
+	}
+	c.Kernel.Pending = int(pending)
+	hasAttr, err := d.boolVal("attribution presence")
+	if err != nil {
+		return nil, err
+	}
+	if hasAttr {
+		n, err := d.count("attribution length", nodes+8)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			v, err := d.i64("attribution charge")
+			if err != nil {
+				return nil, err
+			}
+			c.Kernel.Attr = append(c.Kernel.Attr, v)
+		}
+		if c.Kernel.AttrNone, err = d.i64("unattributed charge"); err != nil {
+			return nil, err
+		}
+	}
+
+	txnCount, err := d.count("transaction table length", maxTxns)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[int64]*cohsim.Transaction)
+	prevID := int64(0)
+	for i := 0; i < txnCount; i++ {
+		t, err := d.readTxn(nodes, c.FP.Contexts)
+		if err != nil {
+			return nil, err
+		}
+		if t.ID <= prevID {
+			return nil, fmt.Errorf("checkpoint: transaction table not strictly ascending at entry %d", i)
+		}
+		prevID = t.ID
+		byID[t.ID] = cohsim.NewTransactionFromState(t)
+	}
+	txn := func(what string) (*cohsim.Transaction, error) {
+		id, err := d.i64(what)
+		if err != nil {
+			return nil, err
+		}
+		if id == 0 {
+			return nil, nil
+		}
+		t, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: %s references unknown transaction %d", what, id)
+		}
+		return t, nil
+	}
+
+	procCount, err := d.count("processor count", maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < procCount; i++ {
+		ps, err := d.readProc(c.FP.Contexts)
+		if err != nil {
+			return nil, err
+		}
+		c.Procs = append(c.Procs, ps)
+	}
+	if err := d.readProto(&c.Proto, nodes, txn); err != nil {
+		return nil, err
+	}
+	if err := d.readNet(&c.Net, txn); err != nil {
+		return nil, err
+	}
+
+	hasLF, err := d.boolVal("link-fault presence")
+	if err != nil {
+		return nil, err
+	}
+	if hasLF {
+		lf := &faults.LinkFaultsState{}
+		n, err := d.count("link count", maxChannels)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			var l faults.LinkState
+			if l.RNG, err = d.u64("link RNG state"); err != nil {
+				return nil, err
+			}
+			if l.Start, err = d.varint("fault start"); err != nil {
+				return nil, err
+			}
+			if l.End, err = d.varint("fault end"); err != nil {
+				return nil, err
+			}
+			if l.Init, err = d.boolVal("link initialized"); err != nil {
+				return nil, err
+			}
+			lf.Links = append(lf.Links, l)
+		}
+		if lf.DownCycles, err = d.i64("down cycles"); err != nil {
+			return nil, err
+		}
+		if lf.FaultCount, err = d.i64("fault count"); err != nil {
+			return nil, err
+		}
+		c.LinkFaults = lf
+	}
+	hasCoin, err := d.boolVal("loss-coin presence")
+	if err != nil {
+		return nil, err
+	}
+	if hasCoin {
+		co := &faults.CoinState{}
+		if co.RNG, err = d.u64("coin RNG state"); err != nil {
+			return nil, err
+		}
+		if co.Heads, err = d.i64("coin heads"); err != nil {
+			return nil, err
+		}
+		if co.Total, err = d.i64("coin total"); err != nil {
+			return nil, err
+		}
+		c.LossCoin = co
+	}
+	hasSlicer, err := d.boolVal("slicer presence")
+	if err != nil {
+		return nil, err
+	}
+	if hasSlicer {
+		sl := &SlicerState{}
+		if sl.Next, err = d.varint("slice boundary"); err != nil {
+			return nil, err
+		}
+		for i := range sl.Prev {
+			if sl.Prev[i], err = d.varint("slice origin"); err != nil {
+				return nil, err
+			}
+		}
+		c.Slicer = sl
+	}
+
+	// A well-formed checkpoint ends exactly here.
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("checkpoint: trailing bytes after slicer state")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (d *decoder) readFingerprint(f *Fingerprint) (int, error) {
+	var err error
+	if f.Radix, err = d.count("radix", maxRadix); err != nil {
+		return 0, err
+	}
+	if f.Dims, err = d.count("dims", maxDims); err != nil {
+		return 0, err
+	}
+	if f.Contexts, err = d.count("contexts", maxContexts); err != nil {
+		return 0, err
+	}
+	if f.Contexts < 1 {
+		// Contexts bounds later reads (waiter lists), so reject early.
+		return 0, fmt.Errorf("checkpoint: context count %d, must be ≥ 1", f.Contexts)
+	}
+	if f.MappingName, err = d.str("mapping name", maxNameLen); err != nil {
+		return 0, err
+	}
+	nodes, err := f.Nodes()
+	if err != nil {
+		return 0, err
+	}
+	placeLen, err := d.count("placement length", maxNodes)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < placeLen; i++ {
+		node, err := d.count("placement entry", maxNodes)
+		if err != nil {
+			return 0, err
+		}
+		f.Place = append(f.Place, node)
+	}
+	for _, field := range []struct {
+		dst *int
+		str string
+	}{
+		{&f.SwitchTime, "switch time"},
+		{&f.HitLatency, "hit latency"},
+		{&f.ClockRatio, "clock ratio"},
+		{&f.BufferDepth, "buffer depth"},
+		{&f.CacheLines, "cache lines"},
+		{&f.LineSize, "line size"},
+		{&f.HWPointers, "hardware pointers"},
+		{&f.LocalDelay, "local delay"},
+		{&f.ReadCompute, "read compute"},
+		{&f.WriteCompute, "write compute"},
+	} {
+		if *field.dst, err = d.count(field.str, maxEntries); err != nil {
+			return 0, err
+		}
+	}
+	if f.Workload, err = d.str("workload identity", maxNameLen); err != nil {
+		return 0, err
+	}
+	for _, field := range []struct {
+		dst *int
+		str string
+	}{
+		{&f.ReqLatency, "request latency"},
+		{&f.DirLatency, "directory latency"},
+		{&f.MemLatency, "memory latency"},
+		{&f.CacheRespLatency, "cache response latency"},
+		{&f.FillLatency, "fill latency"},
+		{&f.SWTrapLatency, "software trap latency"},
+		{&f.RetryTimeout, "retry timeout"},
+	} {
+		if *field.dst, err = d.count(field.str, maxEntries); err != nil {
+			return 0, err
+		}
+	}
+	if f.FaultSpec, err = d.str("fault spec", maxNameLen); err != nil {
+		return 0, err
+	}
+	if f.Kernel, err = d.byteVal("kernel mode"); err != nil {
+		return 0, err
+	}
+	if f.SliceEvery, err = d.i64("slice interval"); err != nil {
+		return 0, err
+	}
+	return nodes, nil
+}
+
+func (d *decoder) readTxn(nodes, contexts int) (cohsim.TxnState, error) {
+	var t cohsim.TxnState
+	var err error
+	if t.ID, err = d.i64("transaction ID"); err != nil {
+		return t, err
+	}
+	if t.ID < 1 {
+		return t, fmt.Errorf("checkpoint: transaction ID %d, must be ≥ 1", t.ID)
+	}
+	if t.Node, err = d.count("transaction node", nodes-1); err != nil {
+		return t, err
+	}
+	if t.Addr, err = d.uvarint("transaction address"); err != nil {
+		return t, err
+	}
+	if t.Write, err = d.boolVal("transaction write"); err != nil {
+		return t, err
+	}
+	if t.Started, err = d.varint("transaction start"); err != nil {
+		return t, err
+	}
+	if t.Completed, err = d.varint("transaction completion"); err != nil {
+		return t, err
+	}
+	if t.NetMessages, err = d.count("transaction message count", maxMessages); err != nil {
+		return t, err
+	}
+	if t.Retries, err = d.count("transaction retries", maxEvents); err != nil {
+		return t, err
+	}
+	if t.Done, err = d.boolVal("transaction done"); err != nil {
+		return t, err
+	}
+	nw, err := d.count("waiter count", contexts)
+	if err != nil {
+		return t, err
+	}
+	for i := 0; i < nw; i++ {
+		w, err := d.count("waiter thread", contexts-1)
+		if err != nil {
+			return t, err
+		}
+		t.Waiters = append(t.Waiters, w)
+	}
+	if t.PendingWrite, err = d.boolVal("transaction pending write"); err != nil {
+		return t, err
+	}
+	epoch, err := d.varint("transaction epoch")
+	if err != nil {
+		return t, err
+	}
+	if epoch < 0 || epoch > int64(^uint32(0)>>1) {
+		return t, fmt.Errorf("checkpoint: transaction epoch %d out of range", epoch)
+	}
+	t.Epoch = int32(epoch)
+	return t, nil
+}
+
+func (d *decoder) readProc(contexts int) (procsim.CheckpointState, error) {
+	var p procsim.CheckpointState
+	nctx, err := d.count("context count", maxContexts)
+	if err != nil {
+		return p, err
+	}
+	for i := 0; i < nctx; i++ {
+		var cs procsim.ContextState
+		if cs.State, err = d.byteVal("context state"); err != nil {
+			return p, err
+		}
+		if cs.HasPending, err = d.boolVal("pending-op presence"); err != nil {
+			return p, err
+		}
+		if cs.HasPending {
+			if cs.Pending, err = d.op("pending op"); err != nil {
+				return p, err
+			}
+		}
+		if cs.HasLook, err = d.boolVal("lookahead presence"); err != nil {
+			return p, err
+		}
+		if cs.HasLook {
+			if cs.Look, err = d.op("lookahead op"); err != nil {
+				return p, err
+			}
+		}
+		if cs.Remaining, err = d.count("burst remainder", maxEntries); err != nil {
+			return p, err
+		}
+		nwb, err := d.count("write-behind count", maxQueue)
+		if err != nil {
+			return p, err
+		}
+		for j := 0; j < nwb; j++ {
+			addr, err := d.uvarint("write-behind address")
+			if err != nil {
+				return p, err
+			}
+			cs.WBPending = append(cs.WBPending, addr)
+		}
+		if cs.Fetched, err = d.i64("fetch count"); err != nil {
+			return p, err
+		}
+		p.Ctxs = append(p.Ctxs, cs)
+	}
+	if p.Cur, err = d.count("scheduled context", maxContexts); err != nil {
+		return p, err
+	}
+	if p.SwitchLeft, err = d.count("switch countdown", maxEntries); err != nil {
+		return p, err
+	}
+	if p.LastTick, err = d.varint("last tick"); err != nil {
+		return p, err
+	}
+	for _, field := range []struct {
+		dst *int64
+		str string
+	}{
+		{&p.Busy, "busy cycles"},
+		{&p.Switching, "switch cycles"},
+		{&p.Idle, "idle cycles"},
+		{&p.Accesses, "access count"},
+		{&p.Misses, "miss count"},
+		{&p.Prefetches, "prefetch count"},
+		{&p.WriteBehinds, "write-behind count"},
+	} {
+		if *field.dst, err = d.i64(field.str); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+func (d *decoder) readProto(p *cohsim.CheckpointState, nodes int, txn func(string) (*cohsim.Transaction, error)) error {
+	nodeCount, err := d.count("protocol node count", maxNodes)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nodeCount; i++ {
+		var ns cohsim.NodeState
+		ntags, err := d.count("cache tag count", maxEntries)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < ntags; j++ {
+			tag, err := d.uvarint("cache tag")
+			if err != nil {
+				return err
+			}
+			ns.Cache.Tags = append(ns.Cache.Tags, tag)
+		}
+		nstates, err := d.count("cache state count", maxEntries)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < nstates; j++ {
+			st, err := d.byteVal("cache line state")
+			if err != nil {
+				return err
+			}
+			ns.Cache.States = append(ns.Cache.States, cachesim.State(st))
+		}
+		if ns.Cache.Hits, err = d.i64("cache hits"); err != nil {
+			return err
+		}
+		if ns.Cache.Misses, err = d.i64("cache misses"); err != nil {
+			return err
+		}
+		if ns.Cache.Evictions, err = d.i64("cache evictions"); err != nil {
+			return err
+		}
+		ndir, err := d.count("directory entry count", maxEntries)
+		if err != nil {
+			return err
+		}
+		prevAddr := uint64(0)
+		for j := 0; j < ndir; j++ {
+			de, err := d.readDirEntry(nodes, txn)
+			if err != nil {
+				return err
+			}
+			if j > 0 && de.Addr <= prevAddr {
+				return fmt.Errorf("checkpoint: directory of node %d not strictly ascending at entry %d", i, j)
+			}
+			prevAddr = de.Addr
+			ns.Dir = append(ns.Dir, de)
+		}
+		nmshr, err := d.count("MSHR count", maxEntries)
+		if err != nil {
+			return err
+		}
+		prevAddr = 0
+		for j := 0; j < nmshr; j++ {
+			var ms cohsim.MSHRState
+			if ms.Addr, err = d.uvarint("MSHR address"); err != nil {
+				return err
+			}
+			if j > 0 && ms.Addr <= prevAddr {
+				return fmt.Errorf("checkpoint: MSHR table of node %d not strictly ascending at entry %d", i, j)
+			}
+			prevAddr = ms.Addr
+			if ms.Txn, err = txn("MSHR transaction"); err != nil {
+				return err
+			}
+			ns.MSHR = append(ns.MSHR, ms)
+		}
+		p.Nodes = append(p.Nodes, ns)
+	}
+	nev, err := d.count("event count", maxEvents)
+	if err != nil {
+		return err
+	}
+	prevDue, prevSeq := int64(-1), int64(-1)
+	for i := 0; i < nev; i++ {
+		var e cohsim.EventState
+		if e.Due, err = d.varint("event due time"); err != nil {
+			return err
+		}
+		if e.Seq, err = d.i64("event sequence"); err != nil {
+			return err
+		}
+		if i > 0 && (e.Due < prevDue || (e.Due == prevDue && e.Seq <= prevSeq)) {
+			return fmt.Errorf("checkpoint: event heap not strictly ascending at entry %d", i)
+		}
+		prevDue, prevSeq = e.Due, e.Seq
+		a := &e.Act
+		if a.Kind, err = d.byteVal("action kind"); err != nil {
+			return err
+		}
+		node, err := d.varint("action node")
+		if err != nil {
+			return err
+		}
+		peer, err := d.varint("action peer")
+		if err != nil {
+			return err
+		}
+		if node < -1 || node >= int64(nodes) || peer < -1 || peer >= int64(nodes) {
+			return fmt.Errorf("checkpoint: action endpoints %d→%d out of range", node, peer)
+		}
+		a.Node, a.Peer = int(node), int(peer)
+		if a.MsgKind, err = d.byteVal("action message kind"); err != nil {
+			return err
+		}
+		if a.Addr, err = d.uvarint("action address"); err != nil {
+			return err
+		}
+		if a.Txn, err = txn("action transaction"); err != nil {
+			return err
+		}
+		if a.Seq, err = d.varint("action sequence"); err != nil {
+			return err
+		}
+		epoch, err := d.varint("action epoch")
+		if err != nil {
+			return err
+		}
+		if epoch < 0 || epoch > int64(^uint32(0)>>1) {
+			return fmt.Errorf("checkpoint: action epoch %d out of range", epoch)
+		}
+		a.Epoch = int32(epoch)
+		if a.Attempt, err = d.count("action attempt", maxEvents); err != nil {
+			return err
+		}
+		if a.Size, err = d.count("action size", maxQueue); err != nil {
+			return err
+		}
+		p.Events = append(p.Events, e)
+	}
+	if p.Seq, err = d.i64("protocol sequence"); err != nil {
+		return err
+	}
+	if p.TxnSeq, err = d.i64("transaction sequence"); err != nil {
+		return err
+	}
+	if p.Now, err = d.varint("protocol clock"); err != nil {
+		return err
+	}
+	nsend, err := d.count("send slot count", maxNodes)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nsend; i++ {
+		v, err := d.varint("send slot")
+		if err != nil {
+			return err
+		}
+		p.NextSend = append(p.NextSend, v)
+	}
+	if p.Transactions, err = d.i64("transaction count"); err != nil {
+		return err
+	}
+	if p.TxnLatency, err = d.mean("transaction latency"); err != nil {
+		return err
+	}
+	if p.TxnMsgs, err = d.mean("transaction messages"); err != nil {
+		return err
+	}
+	if p.NetMessages, err = d.i64("network message count"); err != nil {
+		return err
+	}
+	nkinds, err := d.count("kind counter count", maxCounters)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nkinds; i++ {
+		v, err := d.i64("kind counter")
+		if err != nil {
+			return err
+		}
+		p.KindCounts = append(p.KindCounts, v)
+	}
+	for _, field := range []struct {
+		dst *int64
+		str string
+	}{
+		{&p.SWTraps, "software traps"},
+		{&p.ReadMisses, "read misses"},
+		{&p.WriteMisses, "write misses"},
+		{&p.Retries, "retries"},
+		{&p.HomeRetries, "home retries"},
+		{&p.Dropped, "dropped messages"},
+	} {
+		if *field.dst, err = d.i64(field.str); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *decoder) readDirEntry(nodes int, txn func(string) (*cohsim.Transaction, error)) (cohsim.DirEntryState, error) {
+	var de cohsim.DirEntryState
+	var err error
+	if de.Addr, err = d.uvarint("directory address"); err != nil {
+		return de, err
+	}
+	if de.State, err = d.byteVal("directory state"); err != nil {
+		return de, err
+	}
+	nsh, err := d.count("sharer count", nodes)
+	if err != nil {
+		return de, err
+	}
+	for i := 0; i < nsh; i++ {
+		sh, err := d.count("sharer", nodes-1)
+		if err != nil {
+			return de, err
+		}
+		de.Sharers = append(de.Sharers, sh)
+	}
+	owner, err := d.varint("directory owner")
+	if err != nil {
+		return de, err
+	}
+	if owner < -1 || owner >= int64(nodes) {
+		return de, fmt.Errorf("checkpoint: directory owner %d out of range", owner)
+	}
+	de.Owner = int(owner)
+	if de.Busy, err = d.byteVal("directory busy state"); err != nil {
+		return de, err
+	}
+	npi, err := d.count("pending invalidation count", nodes)
+	if err != nil {
+		return de, err
+	}
+	for i := 0; i < npi; i++ {
+		pi, err := d.count("pending invalidation", nodes-1)
+		if err != nil {
+			return de, err
+		}
+		de.PendingInv = append(de.PendingInv, pi)
+	}
+	if de.OpSeq, err = d.i64("directory operation sequence"); err != nil {
+		return de, err
+	}
+	req, err := d.varint("directory requester")
+	if err != nil {
+		return de, err
+	}
+	if req < -1 || req >= int64(nodes) {
+		return de, fmt.Errorf("checkpoint: directory requester %d out of range", req)
+	}
+	de.Requester = int(req)
+	if de.Txn, err = txn("directory transaction"); err != nil {
+		return de, err
+	}
+	nq, err := d.count("queued request count", maxQueue)
+	if err != nil {
+		return de, err
+	}
+	for i := 0; i < nq; i++ {
+		var q cohsim.QueuedReqState
+		if q.Kind, err = d.byteVal("queued request kind"); err != nil {
+			return de, err
+		}
+		if q.From, err = d.count("queued requester", nodes-1); err != nil {
+			return de, err
+		}
+		if q.Txn, err = txn("queued transaction"); err != nil {
+			return de, err
+		}
+		de.Queue = append(de.Queue, q)
+	}
+	return de, nil
+}
+
+func (d *decoder) readNet(n *netsim.CheckpointState, txn func(string) (*cohsim.Transaction, error)) error {
+	nmsg, err := d.count("message count", maxMessages)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nmsg; i++ {
+		var ms netsim.MessageState
+		var msg cohsim.Msg
+		if ms.Src, err = d.count("message source", maxNodes); err != nil {
+			return err
+		}
+		if ms.Dst, err = d.count("message destination", maxNodes); err != nil {
+			return err
+		}
+		if ms.Size, err = d.count("message size", maxQueue); err != nil {
+			return err
+		}
+		kind, err := d.byteVal("payload kind")
+		if err != nil {
+			return err
+		}
+		msg.Kind = cohsim.MsgKind(kind)
+		if msg.Addr, err = d.uvarint("payload address"); err != nil {
+			return err
+		}
+		if msg.From, err = d.count("payload source", maxNodes); err != nil {
+			return err
+		}
+		if msg.Txn, err = txn("payload transaction"); err != nil {
+			return err
+		}
+		if msg.Seq, err = d.varint("payload sequence"); err != nil {
+			return err
+		}
+		ms.Payload = msg
+		if ms.EnqueuedAt, err = d.varint("enqueue time"); err != nil {
+			return err
+		}
+		if ms.InjectedAt, err = d.varint("injection time"); err != nil {
+			return err
+		}
+		if ms.DeliveredAt, err = d.varint("delivery time"); err != nil {
+			return err
+		}
+		if ms.Hops, err = d.count("message hops", maxNodes); err != nil {
+			return err
+		}
+		if ms.Remaining, err = d.count("flits remaining", maxQueue); err != nil {
+			return err
+		}
+		dim, err := d.varint("routing dimension")
+		if err != nil {
+			return err
+		}
+		if dim < -1 || dim > maxDims {
+			return fmt.Errorf("checkpoint: routing dimension %d out of range", dim)
+		}
+		ms.CurDim = int(dim)
+		if ms.VCClass, err = d.count("virtual channel class", 1); err != nil {
+			return err
+		}
+		n.Messages = append(n.Messages, ms)
+	}
+	msgRef := func(what string) (int, error) {
+		if len(n.Messages) == 0 {
+			return 0, fmt.Errorf("checkpoint: %s references a message but the table is empty", what)
+		}
+		return d.count(what, len(n.Messages)-1)
+	}
+
+	nrouters, err := d.count("router count", maxNodes)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < nrouters; v++ {
+		var rs netsim.RouterState
+		nin, err := d.count("input buffer count", maxPorts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nin; i++ {
+			nf, err := d.count("buffered flit count", maxQueue)
+			if err != nil {
+				return err
+			}
+			var flits []netsim.FlitState
+			for j := 0; j < nf; j++ {
+				var f netsim.FlitState
+				if f.Msg, err = msgRef("buffered flit"); err != nil {
+					return err
+				}
+				if f.Seq, err = d.count("flit sequence", maxQueue); err != nil {
+					return err
+				}
+				if f.ArrivedAt, err = d.varint("flit arrival"); err != nil {
+					return err
+				}
+				flits = append(flits, f)
+			}
+			rs.Inputs = append(rs.Inputs, flits)
+		}
+		nown, err := d.count("owner count", maxPorts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nown; i++ {
+			o, err := d.varint("output owner")
+			if err != nil {
+				return err
+			}
+			if o < -1 || o >= int64(len(n.Messages)) {
+				return fmt.Errorf("checkpoint: output owner %d out of range", o)
+			}
+			rs.Owner = append(rs.Owner, int(o))
+		}
+		noi, err := d.count("owner input count", maxPorts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < noi; i++ {
+			oi, err := d.count("owner input", maxPorts)
+			if err != nil {
+				return err
+			}
+			rs.OwnerInput = append(rs.OwnerInput, oi)
+		}
+		ng, err := d.count("arbitration rotor count", maxPorts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ng; i++ {
+			g, err := d.count("arbitration rotor", maxPorts)
+			if err != nil {
+				return err
+			}
+			rs.LastGranted = append(rs.LastGranted, g)
+		}
+		nvc, err := d.count("VC rotor count", maxPorts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nvc; i++ {
+			vc, err := d.count("VC rotor", 1)
+			if err != nil {
+				return err
+			}
+			rs.LastVC = append(rs.LastVC, vc)
+		}
+		n.Routers = append(n.Routers, rs)
+	}
+
+	nq, err := d.count("injection queue count", maxNodes)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < nq; v++ {
+		qn, err := d.count("queued message count", maxMessages)
+		if err != nil {
+			return err
+		}
+		var q []int
+		for i := 0; i < qn; i++ {
+			idx, err := msgRef("queued message")
+			if err != nil {
+				return err
+			}
+			q = append(q, idx)
+		}
+		n.InjectQ = append(n.InjectQ, q)
+	}
+	nlocal, err := d.count("local delivery count", maxMessages)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nlocal; i++ {
+		var e netsim.LocalState
+		if e.Msg, err = msgRef("local delivery"); err != nil {
+			return err
+		}
+		if e.Due, err = d.varint("local due time"); err != nil {
+			return err
+		}
+		n.Local = append(n.Local, e)
+	}
+
+	if n.Now, err = d.varint("network clock"); err != nil {
+		return err
+	}
+	if n.LastProgress, err = d.varint("last progress"); err != nil {
+		return err
+	}
+	if n.FlitsIn, err = d.i64("flits in"); err != nil {
+		return err
+	}
+	if n.FlitsOut, err = d.i64("flits out"); err != nil {
+		return err
+	}
+	if n.StatsSince, err = d.varint("stats origin"); err != nil {
+		return err
+	}
+	for _, field := range []struct {
+		dst *int64
+		str string
+	}{
+		{&n.Injected, "injected count"},
+		{&n.Delivered, "delivered count"},
+		{&n.FlitHops, "flit hops"},
+		{&n.FaultStalls, "fault stalls"},
+	} {
+		if *field.dst, err = d.i64(field.str); err != nil {
+			return err
+		}
+	}
+	if n.Latency, err = d.mean("latency"); err != nil {
+		return err
+	}
+	if n.NetLatency, err = d.mean("network latency"); err != nil {
+		return err
+	}
+	if n.Hops, err = d.mean("hop distance"); err != nil {
+		return err
+	}
+	if n.Sizes, err = d.mean("message size"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadFile decodes the checkpoint at path.
+func ReadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,299 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"locality/internal/cachesim"
+	"locality/internal/cohsim"
+	"locality/internal/faults"
+	"locality/internal/netsim"
+	"locality/internal/procsim"
+	"locality/internal/sim"
+	"locality/internal/stats"
+)
+
+// testCheckpoint builds a small synthetic checkpoint exercising every
+// wire-format feature: shared transactions (one referenced from a
+// directory entry, an MSHR slot, and the event heap; one riding only in
+// protocol structures and a network payload), buffered flits, local
+// deliveries, fault-model state, and window bookkeeping.
+func testCheckpoint() *Checkpoint {
+	t1 := cohsim.NewTransactionFromState(cohsim.TxnState{
+		ID: 1, Node: 0, Addr: 0x40, Started: 950, Waiters: []int{1}, Epoch: 1,
+	})
+	t2 := cohsim.NewTransactionFromState(cohsim.TxnState{
+		ID: 2, Node: 2, Addr: 0x80, Write: true, Started: 970,
+		NetMessages: 2, Retries: 1, PendingWrite: true, Epoch: 2,
+	})
+
+	cache := func() cachesim.CheckpointState {
+		return cachesim.CheckpointState{
+			Tags:   make([]uint64, 16),
+			States: make([]cachesim.State, 16),
+			Hits:   51, Misses: 9, Evictions: 3,
+		}
+	}
+	nodes := make([]cohsim.NodeState, 4)
+	for i := range nodes {
+		nodes[i] = cohsim.NodeState{Cache: cache()}
+	}
+	nodes[0].Dir = []cohsim.DirEntryState{{
+		Addr: 0x40, State: 1, Sharers: []int{1, 3}, Owner: -1, Busy: 1,
+		PendingInv: []int{3}, OpSeq: 4, Requester: 0, Txn: t1,
+		Queue: []cohsim.QueuedReqState{{Kind: 1, From: 2, Txn: t2}},
+	}}
+	nodes[0].MSHR = []cohsim.MSHRState{{Addr: 0x40, Txn: t1}}
+	nodes[2].MSHR = []cohsim.MSHRState{{Addr: 0x80, Txn: t2}}
+
+	net := netsim.CheckpointState{
+		Messages: []netsim.MessageState{{
+			Src: 2, Dst: 0, Size: 3,
+			Payload:    cohsim.Msg{Kind: 1, Addr: 0x80, From: 2, Txn: t2, Seq: 4},
+			EnqueuedAt: 1990, InjectedAt: 1992, Hops: 1, Remaining: 2, VCClass: 1,
+		}},
+		Routers: make([]netsim.RouterState, 4),
+		InjectQ: make([][]int, 4),
+		Local:   []netsim.LocalState{{Msg: 0, Due: 2007}},
+		Now:     2002, LastProgress: 2001, FlitsIn: 280, FlitsOut: 277,
+		StatsSince: 1000, Injected: 93, Delivered: 91, FlitHops: 240, FaultStalls: 3,
+		Latency:    stats.MeanState{N: 91, Mean: 14.25, M2: 33, Min: 4, Max: 40},
+		NetLatency: stats.MeanState{N: 91, Mean: 9.5, M2: 20, Min: 2, Max: 31},
+		Hops:       stats.MeanState{N: 93, Mean: 1.5, M2: 8, Min: 0, Max: 3},
+		Sizes:      stats.MeanState{N: 93, Mean: 2.25, M2: 12, Min: 1, Max: 6},
+	}
+	const nin = 5
+	for v := range net.Routers {
+		r := &net.Routers[v]
+		r.Inputs = make([][]netsim.FlitState, nin)
+		r.Owner = make([]int, nin)
+		for i := range r.Owner {
+			r.Owner[i] = -1
+		}
+		r.OwnerInput = make([]int, nin)
+		r.LastGranted = make([]int, nin)
+		r.LastVC = make([]int, 2)
+	}
+	net.Routers[0].Inputs[4] = []netsim.FlitState{{Msg: 0, Seq: 1, ArrivedAt: 2001}}
+	net.Routers[0].Owner[1] = 0
+	net.Routers[0].OwnerInput[1] = 4
+	net.InjectQ[2] = []int{0}
+
+	procs := make([]procsim.CheckpointState, 4)
+	for i := range procs {
+		procs[i] = procsim.CheckpointState{
+			Ctxs: []procsim.ContextState{
+				{
+					HasLook: true, Look: procsim.Op{Kind: procsim.OpRead, Addr: 0x40},
+					Remaining: 3, Fetched: 12,
+				},
+				{
+					State:      2, // blocked
+					HasPending: true, Pending: procsim.Op{Kind: procsim.OpWrite, Addr: 0x80},
+					WBPending: []uint64{0x80}, Fetched: 9,
+				},
+			},
+			Cur: 0, SwitchLeft: 0, LastTick: 999,
+			Busy: 700, Switching: 120, Idle: 180,
+			Accesses: 60, Misses: 9, Prefetches: 2, WriteBehinds: 1,
+		}
+	}
+
+	return &Checkpoint{
+		FP: Fingerprint{
+			Radix: 2, Dims: 2, Contexts: 2,
+			MappingName: "identity", Place: []int{0, 1, 2, 3},
+			SwitchTime: 11, HitLatency: 1, ClockRatio: 2, BufferDepth: 8,
+			CacheLines: 16, LineSize: 16,
+			ReadCompute: 20, WriteCompute: 20,
+			RetryTimeout: 500,
+			FaultSpec:    "seed=7,loss=0.01,mttf=3000,stall=8..64",
+		},
+		PNow: 1000, WindowStart: 500,
+		KSWindow:  sim.Stats{Ticked: 420, Skipped: 80},
+		ChunkDone: 72,
+		Kernel: sim.KernelState{
+			Now: 1000, Stats: sim.Stats{Ticked: 900, Skipped: 100}, Pending: -1,
+		},
+		Procs: procs,
+		Proto: cohsim.CheckpointState{
+			Nodes: nodes,
+			Events: []cohsim.EventState{
+				{Due: 1003, Seq: 40, Act: cohsim.ActionState{
+					Kind: 1, Node: 0, Peer: 2, MsgKind: 3, Addr: 0x40,
+					Txn: t1, Seq: 4, Epoch: 1, Size: 2,
+				}},
+				{Due: 1010, Seq: 41, Act: cohsim.ActionState{
+					Kind: 2, Txn: t2, Epoch: 2, Attempt: 1,
+				}},
+			},
+			Seq: 42, TxnSeq: 2, Now: 1000,
+			NextSend:     []int64{1001, 0, 998, 0},
+			Transactions: 37,
+			TxnLatency:   stats.MeanState{N: 37, Mean: 120.5, M2: 88.25, Min: 60, Max: 300},
+			TxnMsgs:      stats.MeanState{N: 37, Mean: 2.5, M2: 1.25, Min: 2, Max: 5},
+			NetMessages:  93,
+			KindCounts:   []int64{10, 8, 0, 9, 1, 0, 2, 0, 1, 0},
+			SWTraps:      1, ReadMisses: 20, WriteMisses: 17,
+			Retries: 1, HomeRetries: 1, Dropped: 2,
+		},
+		Net: net,
+		LinkFaults: &faults.LinkFaultsState{
+			Links: []faults.LinkState{
+				{RNG: 0x0123456789abcdef, Start: 500, End: 540, Init: true},
+				{},
+			},
+			DownCycles: 40, FaultCount: 1,
+		},
+		LossCoin: &faults.CoinState{RNG: 0xfedcba9876543210, Heads: 1, Total: 93},
+	}
+}
+
+func encode(t *testing.T, c *Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := testCheckpoint()
+	data := encode(t, want)
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("decoded checkpoint differs from original")
+	}
+	if !bytes.Equal(encode(t, got), data) {
+		t.Error("re-encoding the decoded checkpoint changed its bytes")
+	}
+
+	// Pointer sharing must be rebuilt, not just value equality: the
+	// directory entry, its MSHR slot, and the event heap all named the
+	// same transaction, as did the queued request and the in-flight
+	// message payload.
+	t1 := got.Proto.Nodes[0].Dir[0].Txn
+	if got.Proto.Nodes[0].MSHR[0].Txn != t1 || got.Proto.Events[0].Act.Txn != t1 {
+		t.Error("transaction 1 no longer shared between directory, MSHR, and events")
+	}
+	t2 := got.Proto.Nodes[0].Dir[0].Queue[0].Txn
+	if got.Proto.Nodes[2].MSHR[0].Txn != t2 || got.Proto.Events[1].Act.Txn != t2 {
+		t.Error("transaction 2 no longer shared between queue, MSHR, and events")
+	}
+	if got.Net.Messages[0].Payload.(cohsim.Msg).Txn != t2 {
+		t.Error("in-flight payload lost its transaction identity")
+	}
+}
+
+// TestGoldenFixture pins the wire format: the committed fixture must
+// decode to the reference checkpoint and re-encode byte-identically,
+// so any format change that breaks old checkpoints fails here.
+// Regenerate with
+// CHECKPOINT_REGEN_GOLDEN=1 go test ./internal/checkpoint -run Golden
+// only alongside a version bump.
+func TestGoldenFixture(t *testing.T) {
+	path := filepath.Join("testdata", "golden.lckp")
+	want := testCheckpoint()
+	if os.Getenv("CHECKPOINT_REGEN_GOLDEN") == "1" {
+		if err := WriteFile(path, want); err != nil {
+			t.Fatalf("regenerating fixture: %v", err)
+		}
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("decoding golden fixture: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("golden fixture no longer decodes to the reference checkpoint")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, got), data) {
+		t.Error("re-encoding the golden fixture changed its bytes")
+	}
+}
+
+func TestReadRejects(t *testing.T) {
+	valid := encode(t, testCheckpoint())
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "magic"},
+		{"bad magic", []byte("NOPE"), "magic"},
+		{"bad version", append([]byte(Magic), 99), "version"},
+		{"truncated", valid[:len(valid)/2], ""},
+		{"trailing byte", append(append([]byte{}, valid...), 0), "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("hostile input accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutate := func(f func(*Checkpoint)) *Checkpoint {
+		c := testCheckpoint()
+		f(c)
+		return c
+	}
+	cases := []struct {
+		name string
+		c    *Checkpoint
+	}{
+		{"kernel clock mismatch", mutate(func(c *Checkpoint) { c.Kernel.Now++ })},
+		{"window after now", mutate(func(c *Checkpoint) { c.WindowStart = c.PNow + 1 })},
+		{"missing processor", mutate(func(c *Checkpoint) { c.Procs = c.Procs[:3] })},
+		{"wrong contexts", mutate(func(c *Checkpoint) { c.Procs[1].Ctxs = c.Procs[1].Ctxs[:1] })},
+		{"bad placement", mutate(func(c *Checkpoint) { c.FP.Place[0] = 1 })},
+		{"bad fault spec", mutate(func(c *Checkpoint) { c.FP.FaultSpec = "loss=2" })},
+		{"orphan slicer", mutate(func(c *Checkpoint) { c.Slicer = &SlicerState{} })},
+		{"orphan link faults", mutate(func(c *Checkpoint) { c.FP.FaultSpec = "loss=0.01" })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.c.Validate(); err == nil {
+				t.Error("invalid checkpoint passed Validate")
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, tc.c); err == nil {
+				t.Error("invalid checkpoint encoded without error")
+			}
+		})
+	}
+}
+
+func TestFingerprintEqual(t *testing.T) {
+	a, b := testCheckpoint().FP, testCheckpoint().FP
+	if !a.Equal(&b) {
+		t.Fatal("identical fingerprints compare unequal")
+	}
+	b.Place = append([]int(nil), a.Place...)
+	b.Place[2], b.Place[3] = b.Place[3], b.Place[2]
+	if a.Equal(&b) {
+		t.Error("fingerprints with different placements compare equal")
+	}
+	c := testCheckpoint().FP
+	c.RetryTimeout++
+	if a.Equal(&c) {
+		t.Error("fingerprints with different retry deadlines compare equal")
+	}
+}

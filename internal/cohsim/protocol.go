@@ -327,11 +327,63 @@ type node struct {
 	mshr  map[uint64]*outstanding
 }
 
+// actKind discriminates the scheduled protocol steps. Events hold
+// plain action records rather than closures so the pending heap can be
+// serialized into a checkpoint and rebuilt exactly on restore.
+type actKind uint8
+
+const (
+	// actTransportSend hands a fully-accounted message to the transport
+	// when the sending controller's occupancy slot arrives. node/peer
+	// are src/dst; size is the flit count decided at send time.
+	actTransportSend actKind = iota
+	// actIssue sends a transaction's initial (or chained) request after
+	// the miss-handling latency. node/peer are requester/home.
+	actIssue
+	// actRetry is a requester-side retransmission deadline for txn's
+	// current epoch/attempt.
+	actRetry
+	// actHomeRetry is a home-side sub-operation deadline; node is the
+	// home, addr the entry, seq the operation it guards.
+	actHomeRetry
+	// actHomeAction performs the directory transition for a request
+	// after the directory (and any software-trap) latency. node/peer
+	// are home/requester.
+	actHomeAction
+	// actSharerInv drops a shared copy and acknowledges after the cache
+	// response latency. node/peer are sharer/home.
+	actSharerInv
+	// actOwnerFetch downgrades or invalidates at the owner and responds
+	// with data. node/peer are owner/home; msgKind is the fetch kind.
+	actOwnerFetch
+	// actHomeReply sends a composed home reply and releases the entry.
+	// node/peer are home/requester.
+	actHomeReply
+	// actGrantFill installs a granted line at the requester after the
+	// fill latency. node is the requester; msgKind the grant kind.
+	actGrantFill
+)
+
+// action is one serializable scheduled protocol step; which fields are
+// meaningful depends on kind (see the actKind constants).
+type action struct {
+	kind    actKind
+	node    int
+	peer    int
+	msgKind MsgKind
+	addr    uint64
+	txn     *Transaction
+	seq     int64
+	epoch   int32
+	attempt int
+	size    int
+}
+
 // event is a scheduled protocol action.
 type event struct {
 	due int64
 	seq int64
-	fn  func(now int64)
+	act action
 }
 
 type eventHeap []event
@@ -410,10 +462,10 @@ func (p *Protocol) Completed() []*Transaction { return p.completed }
 // Cache exposes a node's cache for workload setup and invariant checks.
 func (p *Protocol) Cache(nodeID int) *cachesim.Cache { return p.nodes[nodeID].cache }
 
-// schedule queues fn to run at now+delay processor cycles.
-func (p *Protocol) schedule(delay int, fn func(now int64)) {
+// schedule queues an action to run at now+delay processor cycles.
+func (p *Protocol) schedule(delay int, a action) {
 	p.seq++
-	heap.Push(&p.events, event{due: p.now + int64(delay), seq: p.seq, fn: fn})
+	heap.Push(&p.events, event{due: p.now + int64(delay), seq: p.seq, act: a})
 }
 
 // Tick advances protocol time to nowP, executing all due actions.
@@ -421,7 +473,127 @@ func (p *Protocol) Tick(nowP int64) {
 	p.now = nowP
 	for len(p.events) > 0 && p.events[0].due <= nowP {
 		e := heap.Pop(&p.events).(event)
-		e.fn(nowP)
+		p.fire(e.act, nowP)
+	}
+}
+
+// fire executes one scheduled action. Each branch reproduces exactly
+// what the pre-checkpoint closure for that site did; any state an
+// action needs beyond its record is re-derived from protocol state
+// (directory entries are never deleted, so entry lookups are stable).
+func (p *Protocol) fire(a action, now int64) {
+	switch a.kind {
+	case actTransportSend:
+		p.transport.Send(a.node, a.peer, a.size,
+			Msg{Kind: a.msgKind, Addr: a.addr, From: a.node, Txn: a.txn, Seq: a.seq})
+	case actIssue:
+		p.send(a.node, a.peer, a.msgKind, a.addr, a.txn)
+	case actRetry:
+		txn := a.txn
+		if txn.done || txn.epoch != a.epoch {
+			return
+		}
+		out, ok := p.nodes[txn.Node].mshr[txn.Addr]
+		if !ok || out.txn != txn {
+			return
+		}
+		p.retries.Inc()
+		txn.Retries++
+		kind := MsgRReq
+		if txn.Write {
+			kind = MsgWReq
+		}
+		p.send(txn.Node, p.cfg.Home(txn.Addr), kind, txn.Addr, txn)
+		p.armRetry(txn, a.epoch, a.attempt+1)
+	case actHomeRetry:
+		e := p.entry(a.node, a.addr)
+		if e.opSeq != a.seq {
+			return
+		}
+		switch e.busy {
+		case busyInvalidations:
+			for _, s := range e.pendingInv {
+				p.sendSeq(a.node, s, MsgInv, e.addr, e.txn, a.seq)
+			}
+		case busyFetchRead:
+			p.sendSeq(a.node, e.owner, MsgFetch, e.addr, e.txn, a.seq)
+		case busyFetchWrite:
+			p.sendSeq(a.node, e.owner, MsgFetchInv, e.addr, e.txn, a.seq)
+		default:
+			// The operation completed (or moved to reply composition);
+			// nothing to retransmit.
+			return
+		}
+		p.homeRetries.Inc()
+		p.armHomeRetry(a.node, e, a.seq, a.attempt+1)
+	case actHomeAction:
+		p.homeAction(a.node, p.entry(a.node, a.addr), a.msgKind, a.peer, a.txn)
+	case actSharerInv:
+		p.nodes[a.node].cache.Invalidate(a.addr)
+		p.sendSeq(a.node, a.peer, MsgInvAck, a.addr, a.txn, a.seq)
+	case actOwnerFetch:
+		cache := p.nodes[a.node].cache
+		switch cache.Lookup(a.addr) {
+		case cachesim.Modified:
+			if a.msgKind == MsgFetch {
+				cache.SetState(a.addr, cachesim.Shared)
+			} else {
+				cache.Invalidate(a.addr)
+			}
+		default:
+			if !p.resilient() {
+				// Eviction writeback crossed the fetch; nothing to do.
+				return
+			}
+			// Resilient mode models a writeback buffer: the node can
+			// always reproduce the data the home is fetching, whether the
+			// line was evicted (its victim writeback may have been lost)
+			// or a previous fetch response was lost after the line was
+			// already demoted. Responding is idempotent at the home
+			// because the response echoes the operation sequence number.
+			if a.msgKind == MsgFetchInv {
+				cache.Invalidate(a.addr)
+			}
+		}
+		p.sendSeq(a.node, a.peer, MsgWBData, a.addr, a.txn, a.seq)
+	case actHomeReply:
+		e := p.entry(a.node, a.addr)
+		p.send(a.node, a.peer, a.msgKind, a.addr, a.txn)
+		e.busy = busyNone
+		p.drainQueue(a.node, e)
+	case actGrantFill:
+		n := &p.nodes[a.node]
+		txn := a.txn
+		if p.resilient() {
+			// Retransmitted requests can draw duplicate grants; only the
+			// grant matching the live transaction in its current phase
+			// may complete it.
+			out, ok := n.mshr[a.addr]
+			if !ok || out.txn != txn || txn.done {
+				return
+			}
+			wantWrite := a.msgKind == MsgWGrant || a.msgKind == MsgWGrantData
+			if txn.Write != wantWrite {
+				return // grant from the read phase of a chained read→write
+			}
+		}
+		switch a.msgKind {
+		case MsgRData:
+			p.installLine(a.node, a.addr, cachesim.Shared, txn)
+		case MsgWGrantData:
+			p.installLine(a.node, a.addr, cachesim.Modified, txn)
+		case MsgWGrant:
+			if n.cache.Lookup(a.addr) != cachesim.Invalid {
+				n.cache.SetState(a.addr, cachesim.Modified)
+			} else {
+				// The shared copy was displaced after the upgrade was
+				// requested; treat the grant as carrying data.
+				p.installLine(a.node, a.addr, cachesim.Modified, txn)
+			}
+		}
+		p.completeTxn(a.node, txn, now)
+	default:
+		panic(fmt.Sprintf("cohsim: unknown action kind %d", a.kind))
 	}
 }
 
@@ -480,9 +652,7 @@ func (p *Protocol) sendSeq(src, dst int, kind MsgKind, addr uint64, txn *Transac
 		p.transport.Send(src, dst, size, m)
 		return
 	}
-	p.schedule(int(when-p.now), func(now int64) {
-		p.transport.Send(src, dst, size, m)
-	})
+	p.schedule(int(when-p.now), action{kind: actTransportSend, node: src, peer: dst, msgKind: kind, addr: addr, txn: txn, seq: seq, size: size})
 }
 
 // Access is the processor's entry point: thread on nodeID touches addr.
@@ -609,9 +779,7 @@ func (p *Protocol) issue(txn *Transaction) {
 	if txn.Write {
 		kind = MsgWReq
 	}
-	p.schedule(p.cfg.ReqLatency, func(now int64) {
-		p.send(txn.Node, home, kind, txn.Addr, txn)
-	})
+	p.schedule(p.cfg.ReqLatency, action{kind: actIssue, node: txn.Node, peer: home, msgKind: kind, addr: txn.Addr, txn: txn})
 	if p.resilient() {
 		txn.epoch++
 		p.armRetry(txn, txn.epoch, 0)
@@ -637,23 +805,7 @@ func (p *Protocol) backoffMult(attempt int) int {
 // deadlines from superseded phases cancel themselves.
 func (p *Protocol) armRetry(txn *Transaction, epoch int32, attempt int) {
 	delay := p.cfg.ReqLatency + p.cfg.Retry.Timeout*p.backoffMult(attempt)
-	p.schedule(delay, func(now int64) {
-		if txn.done || txn.epoch != epoch {
-			return
-		}
-		out, ok := p.nodes[txn.Node].mshr[txn.Addr]
-		if !ok || out.txn != txn {
-			return
-		}
-		p.retries.Inc()
-		txn.Retries++
-		kind := MsgRReq
-		if txn.Write {
-			kind = MsgWReq
-		}
-		p.send(txn.Node, p.cfg.Home(txn.Addr), kind, txn.Addr, txn)
-		p.armRetry(txn, epoch, attempt+1)
-	})
+	p.schedule(delay, action{kind: actRetry, txn: txn, epoch: epoch, attempt: attempt})
 }
 
 // beginOp marks a directory entry busy with a new home-side operation
@@ -673,27 +825,7 @@ func (p *Protocol) beginOp(home int, e *dirEntry, kind busyKind) {
 // invalidations, or the fetch) with exponential backoff.
 func (p *Protocol) armHomeRetry(home int, e *dirEntry, seq int64, attempt int) {
 	delay := p.cfg.Retry.HomeTimeout * p.backoffMult(attempt)
-	p.schedule(delay, func(now int64) {
-		if e.opSeq != seq {
-			return
-		}
-		switch e.busy {
-		case busyInvalidations:
-			for _, s := range e.pendingInv {
-				p.sendSeq(home, s, MsgInv, e.addr, e.txn, seq)
-			}
-		case busyFetchRead:
-			p.sendSeq(home, e.owner, MsgFetch, e.addr, e.txn, seq)
-		case busyFetchWrite:
-			p.sendSeq(home, e.owner, MsgFetchInv, e.addr, e.txn, seq)
-		default:
-			// The operation completed (or moved to reply composition);
-			// nothing to retransmit.
-			return
-		}
-		p.homeRetries.Inc()
-		p.armHomeRetry(home, e, seq, attempt+1)
-	})
+	p.schedule(delay, action{kind: actHomeRetry, node: home, addr: e.addr, seq: seq, attempt: attempt})
 }
 
 // Deliver hands an arriving protocol message to its destination node.
@@ -742,9 +874,7 @@ func (p *Protocol) homeRequest(home int, m Msg) {
 		delay += p.cfg.SWTrapLatency
 		p.swTraps.Inc()
 	}
-	p.schedule(delay, func(now int64) {
-		p.homeAction(home, e, m.Kind, m.From, m.Txn)
-	})
+	p.schedule(delay, action{kind: actHomeAction, node: home, peer: m.From, msgKind: m.Kind, addr: m.Addr, txn: m.Txn})
 }
 
 // overflowed reports whether the sharer set exceeds the hardware
@@ -842,11 +972,7 @@ func (p *Protocol) homeAction(home int, e *dirEntry, kind MsgKind, from int, txn
 // sharerInvalidate handles MsgInv at a sharer: drop the copy (if still
 // present; it may have been silently evicted) and acknowledge.
 func (p *Protocol) sharerInvalidate(nodeID int, m Msg) {
-	home := m.From
-	p.schedule(p.cfg.CacheRespLatency, func(now int64) {
-		p.nodes[nodeID].cache.Invalidate(m.Addr)
-		p.sendSeq(nodeID, home, MsgInvAck, m.Addr, m.Txn, m.Seq)
-	})
+	p.schedule(p.cfg.CacheRespLatency, action{kind: actSharerInv, node: nodeID, peer: m.From, addr: m.Addr, txn: m.Txn, seq: m.Seq})
 }
 
 // homeInvAck counts invalidation acknowledgments; the last one grants
@@ -897,33 +1023,7 @@ func (p *Protocol) homeInvAck(home int, m Msg) {
 // ownerFetch handles Fetch/FetchInv at the (former) owner. If the line
 // was already evicted the writeback in flight will satisfy the home.
 func (p *Protocol) ownerFetch(nodeID int, m Msg) {
-	home := m.From
-	p.schedule(p.cfg.CacheRespLatency, func(now int64) {
-		cache := p.nodes[nodeID].cache
-		switch cache.Lookup(m.Addr) {
-		case cachesim.Modified:
-			if m.Kind == MsgFetch {
-				cache.SetState(m.Addr, cachesim.Shared)
-			} else {
-				cache.Invalidate(m.Addr)
-			}
-		default:
-			if !p.resilient() {
-				// Eviction writeback crossed the fetch; nothing to do.
-				return
-			}
-			// Resilient mode models a writeback buffer: the node can
-			// always reproduce the data the home is fetching, whether the
-			// line was evicted (its victim writeback may have been lost)
-			// or a previous fetch response was lost after the line was
-			// already demoted. Responding is idempotent at the home
-			// because the response echoes the operation sequence number.
-			if m.Kind == MsgFetchInv {
-				cache.Invalidate(m.Addr)
-			}
-		}
-		p.sendSeq(nodeID, home, MsgWBData, m.Addr, m.Txn, m.Seq)
-	})
+	p.schedule(p.cfg.CacheRespLatency, action{kind: actOwnerFetch, node: nodeID, peer: m.From, msgKind: m.Kind, addr: m.Addr, txn: m.Txn, seq: m.Seq})
 }
 
 // homeWriteback handles WBData (fetch response) and WB (victim
@@ -971,11 +1071,7 @@ func (p *Protocol) homeWriteback(home int, m Msg) {
 // on.
 func (p *Protocol) homeReply(home int, e *dirEntry, delay, dst int, kind MsgKind, txn *Transaction) {
 	e.busy = busyReply
-	p.schedule(delay, func(now int64) {
-		p.send(home, dst, kind, e.addr, txn)
-		e.busy = busyNone
-		p.drainQueue(home, e)
-	})
+	p.schedule(delay, action{kind: actHomeReply, node: home, peer: dst, msgKind: kind, addr: e.addr, txn: txn})
 }
 
 // drainQueue re-dispatches requests that queued while the entry was
@@ -992,38 +1088,7 @@ func (p *Protocol) drainQueue(home int, e *dirEntry) {
 // requesterGrant completes a transaction at the requester: install or
 // upgrade the line, wake the blocked threads.
 func (p *Protocol) requesterGrant(nodeID int, m Msg) {
-	p.schedule(p.cfg.FillLatency, func(now int64) {
-		n := &p.nodes[nodeID]
-		txn := m.Txn
-		if p.resilient() {
-			// Retransmitted requests can draw duplicate grants; only the
-			// grant matching the live transaction in its current phase
-			// may complete it.
-			out, ok := n.mshr[m.Addr]
-			if !ok || out.txn != txn || txn.done {
-				return
-			}
-			wantWrite := m.Kind == MsgWGrant || m.Kind == MsgWGrantData
-			if txn.Write != wantWrite {
-				return // grant from the read phase of a chained read→write
-			}
-		}
-		switch m.Kind {
-		case MsgRData:
-			p.installLine(nodeID, m.Addr, cachesim.Shared, txn)
-		case MsgWGrantData:
-			p.installLine(nodeID, m.Addr, cachesim.Modified, txn)
-		case MsgWGrant:
-			if n.cache.Lookup(m.Addr) != cachesim.Invalid {
-				n.cache.SetState(m.Addr, cachesim.Modified)
-			} else {
-				// The shared copy was displaced after the upgrade was
-				// requested; treat the grant as carrying data.
-				p.installLine(nodeID, m.Addr, cachesim.Modified, txn)
-			}
-		}
-		p.completeTxn(nodeID, txn, now)
-	})
+	p.schedule(p.cfg.FillLatency, action{kind: actGrantFill, node: nodeID, msgKind: m.Kind, addr: m.Addr, txn: m.Txn})
 }
 
 // installLine installs a line, emitting a victim writeback for any

@@ -1,0 +1,68 @@
+package faults
+
+import "fmt"
+
+// Every fault schedule is driven by plain splitmix64 generator state
+// (one uint64 per stream) plus renewal bookkeeping, so checkpointing is
+// an exact copy: a restored schedule produces the same remaining fault
+// sequence, cycle for cycle, as an uninterrupted one.
+
+// LinkState is one channel's serialized schedule state.
+type LinkState struct {
+	RNG        uint64
+	Start, End int64
+	Init       bool
+}
+
+// LinkFaultsState is the serialized state of a LinkFaults schedule.
+type LinkFaultsState struct {
+	Links      []LinkState
+	DownCycles int64
+	FaultCount int64
+}
+
+// Checkpoint captures the schedule's current state.
+func (lf *LinkFaults) Checkpoint() LinkFaultsState {
+	s := LinkFaultsState{
+		Links:      make([]LinkState, len(lf.links)),
+		DownCycles: lf.downCnt,
+		FaultCount: lf.faultCnt,
+	}
+	for i, st := range lf.links {
+		s.Links[i] = LinkState{RNG: st.r.state, Start: st.start, End: st.end, Init: st.init}
+	}
+	return s
+}
+
+// Restore overwrites the schedule with a previously captured state. The
+// state must come from a schedule over the same channel count.
+func (lf *LinkFaults) Restore(s LinkFaultsState) error {
+	if len(s.Links) != len(lf.links) {
+		return fmt.Errorf("faults: checkpoint has %d channels, schedule has %d", len(s.Links), len(lf.links))
+	}
+	for i, st := range s.Links {
+		lf.links[i] = linkState{r: rng{state: st.RNG}, start: st.Start, end: st.End, init: st.Init}
+	}
+	lf.downCnt = s.DownCycles
+	lf.faultCnt = s.FaultCount
+	return nil
+}
+
+// CoinState is the serialized state of a Coin stream.
+type CoinState struct {
+	RNG          uint64
+	Heads, Total int64
+}
+
+// Checkpoint captures the coin's current state.
+func (c *Coin) Checkpoint() CoinState {
+	return CoinState{RNG: c.r.state, Heads: c.heads, Total: c.total}
+}
+
+// Restore overwrites the coin's state; the probability is configuration
+// and stays as constructed.
+func (c *Coin) Restore(s CoinState) {
+	c.r.state = s.RNG
+	c.heads = s.Heads
+	c.total = s.Total
+}

@@ -1,0 +1,126 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLinkFaultsRestoreMatchesUnbrokenRun: snapshot a link-fault
+// schedule mid-run, restore it into a fresh schedule, and the restored
+// copy must produce the remaining fault sequence cycle for cycle —
+// regardless of how the pre-snapshot span was chunked, and whether the
+// continuation is queried per-cycle or in bulk.
+func TestLinkFaultsRestoreMatchesUnbrokenRun(t *testing.T) {
+	const channels, mid, horizon = 6, 7321, 20000
+	chunkings := [][]int64{
+		{1},
+		{mid},
+		{7, 1, 191, 3, 1024},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		for ci, chunks := range chunkings {
+			ref := NewLinkFaults(linkSpec(seed), channels)
+			broken := NewLinkFaults(linkSpec(seed), channels)
+			// Drive both to mid; the broken copy takes the ragged path.
+			for ch := 0; ch < channels; ch++ {
+				ref.CountDown(ch, 0, mid)
+				pos, ki := int64(0), 0
+				for pos < mid {
+					n := chunks[ki%len(chunks)]
+					ki++
+					if pos+n > mid {
+						n = mid - pos
+					}
+					broken.CountDown(ch, pos, pos+n)
+					pos += n
+				}
+			}
+			state := broken.Checkpoint()
+			if !reflect.DeepEqual(state, ref.Checkpoint()) {
+				t.Fatalf("seed %d chunking %d: chunking changed the schedule state", seed, ci)
+			}
+
+			restored := NewLinkFaults(linkSpec(seed), channels)
+			if err := restored.Restore(state); err != nil {
+				t.Fatal(err)
+			}
+			// Continuation: per-cycle on the unbroken schedule, mixed
+			// per-cycle and bulk on the restored one.
+			for ch := 0; ch < channels; ch++ {
+				var refDown int64
+				for now := int64(mid); now < horizon; now++ {
+					if ref.Down(ch, now) {
+						refDown++
+					}
+				}
+				var resDown int64
+				for now := int64(mid); now < horizon; {
+					if now%3 == 0 {
+						if restored.Down(ch, now) {
+							resDown++
+						}
+						now++
+						continue
+					}
+					span := int64(100 + now%77)
+					if now+span > horizon {
+						span = horizon - now
+					}
+					resDown += restored.CountDown(ch, now, now+span)
+					now += span
+				}
+				if refDown != resDown {
+					t.Errorf("seed %d chunking %d channel %d: down %d unbroken vs %d restored",
+						seed, ci, ch, refDown, resDown)
+				}
+			}
+			if ref.DownCycles() != restored.DownCycles() {
+				t.Errorf("seed %d chunking %d: DownCycles %d unbroken vs %d restored",
+					seed, ci, ref.DownCycles(), restored.DownCycles())
+			}
+			if ref.faultCnt != restored.faultCnt {
+				t.Errorf("seed %d chunking %d: renewals %d unbroken vs %d restored",
+					seed, ci, ref.faultCnt, restored.faultCnt)
+			}
+		}
+	}
+}
+
+// TestLinkFaultsRestoreRejectsWrongGeometry: a snapshot only restores
+// into a schedule over the same channel count.
+func TestLinkFaultsRestoreRejectsWrongGeometry(t *testing.T) {
+	lf := NewLinkFaults(linkSpec(1), 4)
+	state := lf.Checkpoint()
+	other := NewLinkFaults(linkSpec(1), 5)
+	if err := other.Restore(state); err == nil {
+		t.Error("restore accepted a snapshot over a different channel count")
+	}
+}
+
+// TestCoinRestoreMatchesUnbrokenRun: snapshot a loss coin mid-stream
+// and the restored copy must flip the remaining sequence identically,
+// with identical heads/total accounting.
+func TestCoinRestoreMatchesUnbrokenRun(t *testing.T) {
+	const mid, horizon = 4096, 20000
+	for seed := int64(1); seed <= 3; seed++ {
+		ref := NewCoin(seed, 0x10c4, 0.01)
+		broken := NewCoin(seed, 0x10c4, 0.01)
+		for i := 0; i < mid; i++ {
+			ref.Next()
+			broken.Next()
+		}
+		restored := NewCoin(seed, 0x10c4, 0.01)
+		restored.Restore(broken.Checkpoint())
+		for i := mid; i < horizon; i++ {
+			if ref.Next() != restored.Next() {
+				t.Fatalf("seed %d: coin sequences diverge at flip %d", seed, i)
+			}
+		}
+		if ref.Hits() != restored.Hits() {
+			t.Errorf("seed %d: hit accounting differs: %d unbroken vs %d restored", seed, ref.Hits(), restored.Hits())
+		}
+		if !reflect.DeepEqual(ref.Checkpoint(), restored.Checkpoint()) {
+			t.Errorf("seed %d: post-run coin states differ", seed)
+		}
+	}
+}

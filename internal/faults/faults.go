@@ -375,6 +375,10 @@ type StallReport struct {
 	// Snapshot is the multi-line diagnostic state dump (VC occupancy,
 	// directory state, …).
 	Snapshot string
+	// Checkpoint is the path of the emergency machine checkpoint written
+	// at detection, when checkpointing is configured; empty otherwise.
+	// Restoring it reproduces the stall from just before the hang.
+	Checkpoint string
 }
 
 // Error implements the error interface.

@@ -1,0 +1,288 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"locality/internal/checkpoint"
+	"locality/internal/faults"
+	"locality/internal/procsim"
+)
+
+// This file connects the machine to package checkpoint: building a
+// snapshot of every substrate at a P-cycle boundary, writing it
+// atomically, and rebuilding a machine from one mid-stream. The
+// correctness contract is byte-identity: restore at cycle C and run to
+// the end, and the metrics, sweep rows, and trace events from C onward
+// match the uninterrupted run exactly.
+
+// CheckpointSpec configures crash-recovery snapshots.
+type CheckpointSpec struct {
+	// Every writes a periodic snapshot each time the machine crosses a
+	// multiple of Every P-cycles. Zero disables periodic snapshots.
+	Every int64
+	// Dir is where snapshot files land. A non-empty Dir alone (Every
+	// zero) still enables the final snapshot on cancellation and the
+	// emergency snapshot on a watchdog stall.
+	Dir string
+	// Keep bounds how many periodic snapshots are retained; older ones
+	// are deleted as new ones are written. Zero keeps all of them.
+	// Cancellation and stall snapshots are never pruned.
+	Keep int
+}
+
+// Validate checks the spec.
+func (s CheckpointSpec) Validate() error {
+	if s.Every < 0 {
+		return fmt.Errorf("machine: checkpoint interval %d, must be ≥ 0", s.Every)
+	}
+	if s.Keep < 0 {
+		return fmt.Errorf("machine: checkpoint keep %d, must be ≥ 0", s.Keep)
+	}
+	if s.Every > 0 && s.Dir == "" {
+		return fmt.Errorf("machine: periodic checkpoints require a directory")
+	}
+	return nil
+}
+
+// fingerprint describes the configuration this machine was built from,
+// in enough detail that restoring a checkpoint into a machine with a
+// matching fingerprint reproduces the original run exactly.
+func (m *Machine) fingerprint() checkpoint.Fingerprint {
+	cfg := &m.cfg
+	var spec faults.Spec
+	if cfg.Faults != nil {
+		spec = *cfg.Faults
+	}
+	retry := cfg.RetryTimeout
+	if retry == 0 && spec.LossRate > 0 {
+		retry = DefaultRetryTimeout
+	}
+	wid := ""
+	if cfg.Workload != nil {
+		if f, ok := cfg.Workload.(interface{ FingerprintID() string }); ok {
+			wid = f.FingerprintID()
+		} else {
+			wid = fmt.Sprintf("%T", cfg.Workload)
+		}
+	}
+	return checkpoint.Fingerprint{
+		Radix:            cfg.Topo.K(),
+		Dims:             cfg.Topo.N(),
+		Contexts:         cfg.Contexts,
+		MappingName:      cfg.Mapping.Name,
+		Place:            append([]int(nil), cfg.Mapping.Place...),
+		SwitchTime:       cfg.SwitchTime,
+		HitLatency:       cfg.HitLatency,
+		ClockRatio:       cfg.ClockRatio,
+		BufferDepth:      cfg.BufferDepth,
+		CacheLines:       cfg.CacheLines,
+		LineSize:         cfg.LineSize,
+		HWPointers:       cfg.HWPointers,
+		LocalDelay:       cfg.LocalDelay,
+		ReadCompute:      cfg.ReadCompute,
+		WriteCompute:     cfg.WriteCompute,
+		Workload:         wid,
+		ReqLatency:       cfg.ReqLatency,
+		DirLatency:       cfg.DirLatency,
+		MemLatency:       cfg.MemLatency,
+		CacheRespLatency: cfg.CacheRespLatency,
+		FillLatency:      cfg.FillLatency,
+		SWTrapLatency:    cfg.SWTrapLatency,
+		RetryTimeout:     retry,
+		FaultSpec:        spec.String(),
+		Kernel:           uint8(cfg.Kernel),
+		SliceEvery:       cfg.SliceEvery,
+	}
+}
+
+// BuildCheckpoint assembles a snapshot of the machine's complete
+// simulation state at the current P-cycle boundary. chunkDone is how
+// far into the current RunChecked call the machine is; a restored run
+// uses it to re-align chunk boundaries with the interrupted call.
+// Telemetry histograms and trace sinks are observational and are not
+// captured; a restored run re-attaches fresh ones.
+func (m *Machine) BuildCheckpoint(chunkDone int64) *checkpoint.Checkpoint {
+	ck := &checkpoint.Checkpoint{
+		FP:          m.fingerprint(),
+		PNow:        m.pnow,
+		WindowStart: m.windowStart,
+		KSWindow:    m.ksWindow,
+		ChunkDone:   chunkDone,
+		Kernel:      m.kernel.Checkpoint(),
+		Procs:       make([]procsim.CheckpointState, len(m.procs)),
+		Proto:       m.proto.Checkpoint(),
+		Net:         m.net.Checkpoint(),
+	}
+	for i, p := range m.procs {
+		ck.Procs[i] = p.Checkpoint()
+	}
+	if m.linkFaults != nil {
+		s := m.linkFaults.Checkpoint()
+		ck.LinkFaults = &s
+	}
+	if m.lossCoin != nil {
+		s := m.lossCoin.Checkpoint()
+		ck.LossCoin = &s
+	}
+	if m.slicer != nil {
+		p := m.slicer.prev
+		ck.Slicer = &checkpoint.SlicerState{
+			Next: m.slicer.next,
+			Prev: [8]int64{p.cycle, p.busy, p.ticked, p.skipped, p.injected, p.delivered, p.dropped, p.downCyc},
+		}
+	}
+	return ck
+}
+
+// WriteCheckpoint writes a snapshot to path atomically (temp file plus
+// rename), so a crash mid-write never leaves a truncated .lckp behind.
+func (m *Machine) WriteCheckpoint(path string, chunkDone int64) error {
+	ck := m.BuildCheckpoint(chunkDone)
+	tmp := path + ".tmp"
+	if err := checkpoint.WriteFile(tmp, ck); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// writeAuto writes a snapshot into the configured directory named
+// <prefix>-<cycle>.lckp and returns its path.
+func (m *Machine) writeAuto(prefix string, chunkDone int64) (string, error) {
+	if err := os.MkdirAll(m.cfg.Checkpoint.Dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(m.cfg.Checkpoint.Dir, fmt.Sprintf("%s-%d.lckp", prefix, m.pnow))
+	if err := m.WriteCheckpoint(path, chunkDone); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// prunePeriodic records a periodic snapshot and deletes the oldest
+// ones beyond the configured Keep bound.
+func (m *Machine) prunePeriodic(path string) {
+	m.ckptHistory = append(m.ckptHistory, path)
+	if keep := m.cfg.Checkpoint.Keep; keep > 0 {
+		for len(m.ckptHistory) > keep {
+			os.Remove(m.ckptHistory[0])
+			m.ckptHistory = m.ckptHistory[1:]
+		}
+	}
+}
+
+// stallCheckpoint writes an emergency snapshot next to a watchdog
+// stall and records its path in the report, so a stalled long run can
+// be dissected — or resumed with a longer stall bound — instead of
+// rerun from scratch.
+func (m *Machine) stallCheckpoint(err error, chunkDone int64) {
+	var rep *faults.StallReport
+	if !errors.As(err, &rep) || m.cfg.Checkpoint.Dir == "" {
+		return
+	}
+	if path, werr := m.writeAuto("stall", chunkDone); werr == nil {
+		rep.Checkpoint = path
+		m.lastCkpt = path
+	}
+}
+
+// LastCheckpoint returns the path of the most recent snapshot written,
+// or "" if none has been.
+func (m *Machine) LastCheckpoint() string { return m.lastCkpt }
+
+// RestoreFrom builds a machine from cfg and overwrites its simulation
+// state with a previously captured checkpoint, resuming mid-stream.
+// cfg must describe the same machine the checkpoint was taken on —
+// topology, mapping, workload, latencies, fault schedule, kernel mode
+// — which is enforced by fingerprint comparison. Observational
+// attachments (Trace, Telemetry, SliceWriter, Checkpoint spec,
+// Watchdog) may differ: they do not alter simulated behavior, though a
+// restored run's trace naturally only contains events from the
+// checkpoint cycle onward. Capture is the exception and is rejected:
+// operations fetched before the checkpoint are not replayed, so a
+// restored capture would be incomplete.
+func RestoreFrom(cfg Config, ck *checkpoint.Checkpoint) (*Machine, error) {
+	if cfg.Capture != nil {
+		return nil, fmt.Errorf("machine: cannot restore into a capturing run (operations before the checkpoint were never recorded)")
+	}
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if fp := m.fingerprint(); !fp.Equal(&ck.FP) {
+		return nil, fmt.Errorf("machine: checkpoint was taken under a different configuration (fingerprint mismatch)")
+	}
+	for i, p := range m.procs {
+		if err := p.Restore(ck.Procs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.proto.Restore(ck.Proto); err != nil {
+		return nil, err
+	}
+	if err := m.net.Restore(ck.Net); err != nil {
+		return nil, err
+	}
+	// The fingerprint pins the fault spec, so machine and checkpoint
+	// agree on which fault streams exist.
+	if m.linkFaults != nil {
+		if err := m.linkFaults.Restore(*ck.LinkFaults); err != nil {
+			return nil, err
+		}
+	}
+	if m.lossCoin != nil {
+		m.lossCoin.Restore(*ck.LossCoin)
+	}
+	if err := m.kernel.Restore(ck.Kernel); err != nil {
+		return nil, err
+	}
+	m.pnow = ck.PNow
+	m.windowStart = ck.WindowStart
+	m.ksWindow = ck.KSWindow
+	if m.slicer != nil {
+		s := ck.Slicer // non-nil: fingerprint match pins SliceEvery
+		m.slicer.next = s.Next
+		m.slicer.prev = sliceBase{
+			cycle: s.Prev[0], busy: s.Prev[1], ticked: s.Prev[2], skipped: s.Prev[3],
+			injected: s.Prev[4], delivered: s.Prev[5], dropped: s.Prev[6], downCyc: s.Prev[7],
+		}
+	}
+	m.resumePhase = ck.ChunkDone
+	return m, nil
+}
+
+// ResumeMeasuredChecked continues the standard experiment protocol
+// (warmup, stats reset, measurement window) from wherever the restored
+// machine left off, and returns the window's metrics. It reproduces
+// the uninterrupted RunMeasuredChecked(warmup, window) byte for byte:
+// if the checkpoint landed during warmup the stats reset still happens
+// at exactly cycle warmup; afterward, only the remaining window runs.
+func (m *Machine) ResumeMeasuredChecked(ctx context.Context, warmup, window int64) (Metrics, error) {
+	if m.pnow <= warmup {
+		// A checkpoint at exactly cycle warmup was written inside
+		// RunChecked(warmup), before ResetStats ran — redo the reset.
+		if err := m.RunChecked(ctx, warmup-m.pnow); err != nil {
+			return Metrics{}, err
+		}
+		m.ResetStats()
+		if err := m.RunChecked(ctx, window); err != nil {
+			return Metrics{}, err
+		}
+	} else {
+		if err := m.RunChecked(ctx, warmup+window-m.pnow); err != nil {
+			return Metrics{}, err
+		}
+	}
+	return m.Measure(), nil
+}

@@ -91,6 +91,13 @@ type Config struct {
 	// explicitly to force either way.
 	RetryTimeout int
 
+	// Checkpoint configures crash-recovery snapshots: periodic .lckp
+	// files every Every P-cycles, plus a final snapshot when the run is
+	// canceled or a watchdog stall fires. The zero value disables
+	// checkpointing and leaves the run loop byte-identical to an
+	// unconfigured build.
+	Checkpoint CheckpointSpec
+
 	// Kernel selects the execution loop: KernelEvent (the zero value)
 	// skips quiescent spans, KernelTick executes every cycle. The two
 	// produce bit-identical results; tick mode exists as an escape
@@ -177,6 +184,9 @@ func (c Config) Validate() error {
 	if c.SliceEvery > 0 && (c.Telemetry == nil || c.SliceWriter == nil) {
 		return fmt.Errorf("machine: time-sliced sampling requires both Telemetry and SliceWriter")
 	}
+	if err := c.Checkpoint.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -200,6 +210,19 @@ type Machine struct {
 	txnLat     *telemetry.HistogramVec // txn round-trip by requester→home distance
 	home       func(addr uint64) int
 	slicer     *slicer
+
+	// lossCoin is the message-loss stream (nil when loss is disabled);
+	// held here so checkpoints can capture and restore its position.
+	lossCoin *faults.Coin
+	// resumePhase is the chunk offset a restored run re-enters the run
+	// loop at, so chunk boundaries — and the kernel's Run-call
+	// accounting — land on the same cycles as the uninterrupted run.
+	// Consumed by the next RunChecked call.
+	resumePhase int64
+	// lastCkpt is the most recent checkpoint file written; ckptHistory
+	// tracks periodic snapshots for Keep-based pruning.
+	lastCkpt    string
+	ckptHistory []string
 }
 
 // transport adapts netsim to the protocol's Transport interface.
@@ -265,6 +288,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	var loss func(src, dst int, msg cohsim.Msg) bool
 	if coin := faults.NewCoin(spec.Seed, lossStream, spec.LossRate); coin != nil {
+		m.lossCoin = coin
 		loss = func(src, dst int, msg cohsim.Msg) bool { return coin.Next() }
 	}
 
@@ -374,24 +398,65 @@ const ctxPollInterval = 4096
 // deadlocked. Canceling ctx stops the run at the next poll point with
 // the context's error, which is how the experiment engine (and Ctrl-C
 // in the cmds) interrupts in-flight simulations.
+//
+// With checkpointing configured, the loop additionally writes a
+// snapshot every Checkpoint.Every P-cycles (on absolute cycle
+// boundaries, so an interrupted and a fresh run agree on where
+// snapshots land), a final snapshot when ctx is canceled, and an
+// emergency snapshot when the watchdog fires. Run-call chunk
+// boundaries affect the event kernel's ticked/skipped accounting, so a
+// restored run re-aligns its chunks to the interrupted call's phase
+// (resumePhase): the sequence of kernel Run calls after the checkpoint
+// cycle is identical to the uninterrupted run's, which is what makes
+// restored metrics byte-identical. With checkpointing disabled the
+// loop is step-for-step identical to a build without it.
 func (m *Machine) RunChecked(ctx context.Context, pCycles int64) error {
 	interval := int64(ctxPollInterval)
 	if m.cfg.Watchdog.Enabled() {
 		interval = int64(m.cfg.Watchdog.Interval())
 	}
+	phase := m.resumePhase
+	m.resumePhase = 0
+	every := m.cfg.Checkpoint.Every
+	var nextCkpt int64
+	if every > 0 {
+		nextCkpt = (m.pnow/every + 1) * every
+	}
 	for done := int64(0); done < pCycles; {
 		if err := ctx.Err(); err != nil {
+			if m.cfg.Checkpoint.Dir != "" {
+				// Best-effort final snapshot; the context error is
+				// what the caller needs to see either way.
+				if path, werr := m.writeAuto("ckpt", phase+done); werr == nil {
+					m.lastCkpt = path
+				}
+			}
 			return err
 		}
-		step := interval
+		step := interval - (done+phase)%interval
 		if rest := pCycles - done; rest < step {
 			step = rest
+		}
+		if every > 0 {
+			if toCkpt := nextCkpt - m.pnow; toCkpt < step {
+				step = toCkpt
+			}
 		}
 		ticked := m.kernel.Stats().Ticked
 		m.advance(step)
 		done += step
+		if every > 0 && m.pnow == nextCkpt {
+			path, err := m.writeAuto("ckpt", phase+done)
+			if err != nil {
+				return fmt.Errorf("machine: writing checkpoint: %w", err)
+			}
+			m.lastCkpt = path
+			m.prunePeriodic(path)
+			nextCkpt += every
+		}
 		if m.cfg.Watchdog.Enabled() {
 			if err := m.checkProgress(m.kernel.Stats().Ticked - ticked); err != nil {
+				m.stallCheckpoint(err, phase+done)
 				return err
 			}
 		}

@@ -1,0 +1,298 @@
+package netsim
+
+import (
+	"fmt"
+
+	"locality/internal/stats"
+)
+
+// This file serializes the fabric. A Message is shared by pointer
+// between its buffered flits, virtual-output ownerships, injection
+// queue slot, and local-bypass entry; the checkpoint flattens every
+// distinct message into an indexed table (enumeration order: router
+// buffers, then owners, then injection queues, then local bypass — a
+// deterministic order, so encoding is canonical) and references it by
+// index. Payloads ride along as opaque values; the checkpoint codec is
+// responsible for encoding them.
+
+// MessageState is one in-flight message's serialized state.
+type MessageState struct {
+	Src, Dst, Size                      int
+	Payload                             any
+	EnqueuedAt, InjectedAt, DeliveredAt int64
+	Hops                                int
+	Remaining                           int
+	CurDim                              int
+	VCClass                             int
+}
+
+// FlitState is one buffered flit; Msg indexes the message table.
+type FlitState struct {
+	Msg       int
+	Seq       int
+	ArrivedAt int64
+}
+
+// RouterState is one switch's serialized state. Inputs hold each
+// buffer's flits in pop order.
+type RouterState struct {
+	Inputs      [][]FlitState
+	Owner       []int // message index, -1 when free
+	OwnerInput  []int
+	LastGranted []int
+	LastVC      []int
+}
+
+// LocalState is one local-bypass delivery in flight.
+type LocalState struct {
+	Msg int
+	Due int64
+}
+
+// CheckpointState is the network's complete serializable state.
+type CheckpointState struct {
+	Messages []MessageState
+	Routers  []RouterState
+	InjectQ  [][]int // message indices per node
+	Local    []LocalState
+
+	Now          int64
+	LastProgress int64
+	FlitsIn      int64
+	FlitsOut     int64
+
+	StatsSince  int64
+	Injected    int64
+	Delivered   int64
+	FlitHops    int64
+	FaultStalls int64
+	Latency     stats.MeanState
+	NetLatency  stats.MeanState
+	Hops        stats.MeanState
+	Sizes       stats.MeanState
+}
+
+// Checkpoint captures the network's current state.
+func (nw *Network) Checkpoint() CheckpointState {
+	index := make(map[*Message]int)
+	var msgs []MessageState
+	ref := func(m *Message) int {
+		if i, ok := index[m]; ok {
+			return i
+		}
+		i := len(msgs)
+		index[m] = i
+		msgs = append(msgs, MessageState{
+			Src: m.Src, Dst: m.Dst, Size: m.Size,
+			Payload:     m.Payload,
+			EnqueuedAt:  m.EnqueuedAt,
+			InjectedAt:  m.InjectedAt,
+			DeliveredAt: m.DeliveredAt,
+			Hops:        m.Hops,
+			Remaining:   m.remaining,
+			CurDim:      m.curDim,
+			VCClass:     m.vcClass,
+		})
+		return i
+	}
+	s := CheckpointState{
+		Routers:      make([]RouterState, len(nw.routers)),
+		InjectQ:      make([][]int, len(nw.injectQ)),
+		Now:          nw.now,
+		LastProgress: nw.lastProgress,
+		FlitsIn:      nw.flitsIn,
+		FlitsOut:     nw.flitsOut,
+		StatsSince:   nw.statsSince,
+		Injected:     nw.injected.Value(),
+		Delivered:    nw.deliveredCount.Value(),
+		FlitHops:     nw.flitHops.Value(),
+		FaultStalls:  nw.faultStalls.Value(),
+		Latency:      nw.latency.State(),
+		NetLatency:   nw.netLatency.State(),
+		Hops:         nw.hops.State(),
+		Sizes:        nw.sizes.State(),
+	}
+	for v := range nw.routers {
+		r := &nw.routers[v]
+		rs := RouterState{
+			Inputs:      make([][]FlitState, len(r.inputs)),
+			Owner:       make([]int, len(r.owner)),
+			OwnerInput:  append([]int(nil), r.ownerInput...),
+			LastGranted: append([]int(nil), r.lastGranted...),
+			LastVC:      append([]int(nil), r.lastVC...),
+		}
+		for i, in := range r.inputs {
+			var flits []FlitState // nil when empty, matching the codec
+			for n := 0; n < in.count; n++ {
+				f := in.buf[(in.head+n)%len(in.buf)]
+				flits = append(flits, FlitState{Msg: ref(f.msg), Seq: f.seq, ArrivedAt: f.arrivedAt})
+			}
+			rs.Inputs[i] = flits
+		}
+		for i, owner := range r.owner {
+			if owner == nil {
+				rs.Owner[i] = -1
+			} else {
+				rs.Owner[i] = ref(owner)
+			}
+		}
+		s.Routers[v] = rs
+	}
+	for v, q := range nw.injectQ {
+		idxs := make([]int, len(q))
+		for i, m := range q {
+			idxs[i] = ref(m)
+		}
+		s.InjectQ[v] = idxs
+	}
+	s.Local = make([]LocalState, len(nw.local))
+	for i, e := range nw.local {
+		s.Local[i] = LocalState{Msg: ref(e.msg), Due: e.due}
+	}
+	s.Messages = msgs
+	return s
+}
+
+// Restore overwrites the network with a previously captured state. The
+// network must be freshly built with the same configuration; the
+// delivery callback and fault model stay as wired.
+func (nw *Network) Restore(s CheckpointState) error {
+	if len(s.Routers) != len(nw.routers) {
+		return fmt.Errorf("netsim: checkpoint has %d routers, network has %d", len(s.Routers), len(nw.routers))
+	}
+	if len(s.InjectQ) != len(nw.injectQ) {
+		return fmt.Errorf("netsim: checkpoint has %d injection queues, network has %d", len(s.InjectQ), len(nw.injectQ))
+	}
+	nodes := nw.topo.Nodes()
+	for i, ms := range s.Messages {
+		if ms.Src < 0 || ms.Src >= nodes || ms.Dst < 0 || ms.Dst >= nodes {
+			return fmt.Errorf("netsim: message %d endpoints %d→%d out of range", i, ms.Src, ms.Dst)
+		}
+		if ms.Size < 1 || ms.Remaining < 0 || ms.Remaining > ms.Size {
+			return fmt.Errorf("netsim: message %d size %d / remaining %d invalid", i, ms.Size, ms.Remaining)
+		}
+		if ms.CurDim < -1 || ms.CurDim >= nw.dims || ms.VCClass < 0 || ms.VCClass > 1 {
+			return fmt.Errorf("netsim: message %d routing state invalid", i)
+		}
+	}
+	checkRef := func(what string, idx int) error {
+		if idx < 0 || idx >= len(s.Messages) {
+			return fmt.Errorf("netsim: %s references message %d of %d", what, idx, len(s.Messages))
+		}
+		return nil
+	}
+	nin := 2*nw.ports + 1
+	for v, rs := range s.Routers {
+		if len(rs.Inputs) != nin || len(rs.Owner) != nin || len(rs.OwnerInput) != nin || len(rs.LastGranted) != nin {
+			return fmt.Errorf("netsim: router %d checkpoint geometry mismatch", v)
+		}
+		if len(rs.LastVC) != nw.ports {
+			return fmt.Errorf("netsim: router %d has %d VC rotors, want %d", v, len(rs.LastVC), nw.ports)
+		}
+		for i, flits := range rs.Inputs {
+			if len(flits) > nw.cfg.BufferDepth {
+				return fmt.Errorf("netsim: router %d input %d holds %d flits, depth is %d", v, i, len(flits), nw.cfg.BufferDepth)
+			}
+			for _, f := range flits {
+				if err := checkRef("buffered flit", f.Msg); err != nil {
+					return err
+				}
+				if f.Seq < 0 || f.Seq >= s.Messages[f.Msg].Size {
+					return fmt.Errorf("netsim: flit sequence %d outside message of %d flits", f.Seq, s.Messages[f.Msg].Size)
+				}
+			}
+		}
+		for i, owner := range rs.Owner {
+			if owner != -1 {
+				if err := checkRef("output owner", owner); err != nil {
+					return err
+				}
+			}
+			if rs.OwnerInput[i] < 0 || rs.OwnerInput[i] >= nin {
+				return fmt.Errorf("netsim: router %d owner input %d out of range", v, rs.OwnerInput[i])
+			}
+			if rs.LastGranted[i] < 0 || rs.LastGranted[i] >= nin {
+				return fmt.Errorf("netsim: router %d arbitration rotor %d out of range", v, rs.LastGranted[i])
+			}
+		}
+		for o, vc := range rs.LastVC {
+			if vc < 0 || vc > 1 {
+				return fmt.Errorf("netsim: router %d port %d VC rotor %d invalid", v, o, vc)
+			}
+		}
+	}
+	for v, q := range s.InjectQ {
+		for _, idx := range q {
+			if err := checkRef(fmt.Sprintf("injection queue %d", v), idx); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range s.Local {
+		if err := checkRef("local delivery", e.Msg); err != nil {
+			return err
+		}
+	}
+
+	msgs := make([]*Message, len(s.Messages))
+	for i, ms := range s.Messages {
+		msgs[i] = &Message{
+			Src: ms.Src, Dst: ms.Dst, Size: ms.Size,
+			Payload:     ms.Payload,
+			EnqueuedAt:  ms.EnqueuedAt,
+			InjectedAt:  ms.InjectedAt,
+			DeliveredAt: ms.DeliveredAt,
+			Hops:        ms.Hops,
+			remaining:   ms.Remaining,
+			curDim:      ms.CurDim,
+			vcClass:     ms.VCClass,
+		}
+	}
+	for v, rs := range s.Routers {
+		r := &nw.routers[v]
+		for i, flits := range rs.Inputs {
+			in := r.inputs[i]
+			in.head, in.count = 0, len(flits)
+			for n, f := range flits {
+				in.buf[n] = flit{msg: msgs[f.Msg], seq: f.Seq, arrivedAt: f.ArrivedAt}
+			}
+		}
+		for i, owner := range rs.Owner {
+			if owner == -1 {
+				r.owner[i] = nil
+			} else {
+				r.owner[i] = msgs[owner]
+			}
+		}
+		copy(r.ownerInput, rs.OwnerInput)
+		copy(r.lastGranted, rs.LastGranted)
+		copy(r.lastVC, rs.LastVC)
+	}
+	nw.queued = 0
+	for v, q := range s.InjectQ {
+		queue := make([]*Message, len(q))
+		for i, idx := range q {
+			queue[i] = msgs[idx]
+		}
+		nw.injectQ[v] = queue
+		nw.queued += len(queue)
+	}
+	nw.local = make([]localEntry, len(s.Local))
+	for i, e := range s.Local {
+		nw.local[i] = localEntry{msg: msgs[e.Msg], due: e.Due}
+	}
+	nw.now = s.Now
+	nw.lastProgress = s.LastProgress
+	nw.flitsIn = s.FlitsIn
+	nw.flitsOut = s.FlitsOut
+	nw.statsSince = s.StatsSince
+	nw.injected.SetValue(s.Injected)
+	nw.deliveredCount.SetValue(s.Delivered)
+	nw.flitHops.SetValue(s.FlitHops)
+	nw.faultStalls.SetValue(s.FaultStalls)
+	nw.latency.SetState(s.Latency)
+	nw.netLatency.SetState(s.NetLatency)
+	nw.hops.SetState(s.Hops)
+	nw.sizes.SetState(s.Sizes)
+	return nw.Check()
+}

@@ -125,6 +125,10 @@ type context struct {
 	// wbPending holds addresses with write-behind operations not yet
 	// confirmed by a fence.
 	wbPending []uint64
+	// fetched counts operations drawn from prog (every prog.Next call),
+	// so a checkpoint can record the program's position and a restore
+	// can fast-forward a fresh program to it.
+	fetched int64
 }
 
 // Processor is one node's processor.
@@ -288,6 +292,7 @@ func (p *Processor) fetch(c *context, ctxIdx int) *Op {
 		return op
 	}
 	next := c.prog.Next()
+	c.fetched++
 	if p.cfg.OnOp != nil {
 		p.cfg.OnOp(p.nodeID, ctxIdx, next)
 	}

@@ -97,6 +97,24 @@ func (m *Mean) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", m.n, m.Mean(), m.StdDev(), m.min, m.max)
 }
 
+// MeanState is the exact internal state of a Mean accumulator, exposed
+// so checkpoints can round-trip it bit for bit (the fields mirror the
+// Welford recurrence's state, not derived quantities).
+type MeanState struct {
+	N                  int64
+	Mean, M2, Min, Max float64
+}
+
+// State captures the accumulator's internal state.
+func (m *Mean) State() MeanState {
+	return MeanState{N: m.n, Mean: m.mean, M2: m.m2, Min: m.min, Max: m.max}
+}
+
+// SetState overwrites the accumulator with a previously captured state.
+func (m *Mean) SetState(s MeanState) {
+	m.n, m.mean, m.m2, m.min, m.max = s.N, s.Mean, s.M2, s.Min, s.Max
+}
+
 // Counter is a monotonically increasing event counter.
 type Counter struct{ v int64 }
 
@@ -113,6 +131,9 @@ func (c *Counter) Addn(n int64) {
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v }
+
+// SetValue overwrites the count; used only by checkpoint restore.
+func (c *Counter) SetValue(v int64) { c.v = v }
 
 // Rate returns the count per unit of elapsed, or 0 when elapsed is 0.
 func (c *Counter) Rate(elapsed float64) float64 {
