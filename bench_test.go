@@ -23,6 +23,7 @@ import (
 	"locality/internal/netsim"
 	"locality/internal/telemetry"
 	"locality/internal/topology"
+	"locality/internal/workload"
 )
 
 // benchValidationConfig is the reduced validation study used by the
@@ -249,9 +250,9 @@ func BenchmarkMachineCycle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mach.Run(2000) // warm up into steady state
+	runCycles(b, mach, 2000) // warm up into steady state
 	b.ResetTimer()
-	mach.Run(int64(b.N))
+	runCycles(b, mach, int64(b.N))
 }
 
 // BenchmarkMachineRun measures full-system throughput of the two
@@ -282,16 +283,61 @@ func BenchmarkMachineRun(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				mach.Run(2000) // warm up into steady state
+				runCycles(b, mach, 2000) // warm up into steady state
 				mach.ResetStats()
 				b.ResetTimer()
-				mach.Run(int64(b.N))
+				runCycles(b, mach, int64(b.N))
 				b.StopTimer()
 				met := mach.Measure()
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 				b.ReportMetric(met.SkipRatio(), "skip-ratio")
 			})
 		}
+	}
+}
+
+// BenchmarkShardedKernel measures the sharded kernel's wall-clock
+// scaling at 1/2/4/8 shards on its best-case workload: the read-share
+// application on a 16×16 torus, where steady state is pure cache hits,
+// the fabric stays drained, and the conservative-lookahead windows are
+// maximal. Reported metrics: simulated P-cycles per wall second, the
+// number of parallel windows opened, and the fraction of cycles
+// covered by windows. cmd/shardbench runs the same comparison
+// standalone and writes BENCH_sharded.json. Shard goroutines only buy
+// wall-clock time when GOMAXPROCS > 1; results are bit-identical
+// regardless (TestKernelParity).
+func BenchmarkShardedKernel(b *testing.B) {
+	tor := topology.MustNew(16, 2)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			cfg := machine.DefaultConfig(tor, mapping.Identity(tor), 1)
+			cfg.Workload = workload.ReadShareConfig{Graph: tor, Instances: 1, LineSize: cfg.LineSize, Compute: 20}
+			cfg.Kernel = machine.KernelSharded
+			cfg.Shards = shards
+			// The lookahead L = Req + Dir + min(CacheResp, Mem + Fill)
+			// prices only the cold fills here (steady state never enters
+			// the protocol), but it bounds the provable independence
+			// horizon: stretch it so each window amortizes its dispatch
+			// and merge overhead.
+			cfg.ReqLatency, cfg.DirLatency = 60, 60
+			mach, err := machine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm up past the cold fills so the fabric drains.
+			if _, err := mach.Execute(context.Background(), machine.RunSpec{Cycles: 4000}); err != nil {
+				b.Fatal(err)
+			}
+			mach.ResetStats()
+			base := mach.ShardWindows()
+			b.ResetTimer()
+			if _, err := mach.Execute(context.Background(), machine.RunSpec{Cycles: int64(b.N)}); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			b.ReportMetric(float64(mach.ShardWindows()-base), "windows")
+		})
 	}
 }
 
@@ -310,7 +356,11 @@ func BenchmarkAblationBufferDepth(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				met := mach.RunMeasured(2000, 6000)
+				res, err := mach.Execute(context.Background(), machine.RunSpec{Warmup: 2000, Window: 6000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met := res.Metrics
 				b.ReportMetric(met.MsgLatency, "Tm-Ncycles")
 			}
 		})
@@ -332,7 +382,11 @@ func BenchmarkAblationDirectoryPointers(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				met := mach.RunMeasured(2000, 6000)
+				res, err := mach.Execute(context.Background(), machine.RunSpec{Warmup: 2000, Window: 6000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met := res.Metrics
 				b.ReportMetric(met.InterTxnTime, "tt-Pcycles")
 			}
 		})
@@ -367,6 +421,13 @@ func benchName(prefix string, v int) string {
 	return fmt.Sprintf("%s=%d", prefix, v)
 }
 
+// runCycles advances a machine inside a benchmark loop.
+func runCycles(b *testing.B, mach *machine.Machine, n int64) {
+	if _, err := mach.Execute(context.Background(), machine.RunSpec{Cycles: n}); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSweepGrid measures the default cmd/sweep grid — the suite
 // mapping set at one context on the 64-node machine — through the
 // experiment engine at one and four workers. The workers=4/workers=1
@@ -393,7 +454,8 @@ func BenchmarkSweepGrid(b *testing.B) {
 							if err != nil {
 								return machine.Metrics{}, err
 							}
-							return mach.RunMeasuredChecked(ctx, 4000, 12000)
+							res, err := mach.Execute(ctx, machine.RunSpec{Warmup: 4000, Window: 12000})
+							return res.Metrics, err
 						},
 					}
 				}
@@ -439,10 +501,10 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				mach.Run(2000)
+				runCycles(b, mach, 2000)
 				mach.ResetStats()
 				b.ResetTimer()
-				mach.Run(int64(b.N))
+				runCycles(b, mach, int64(b.N))
 				b.StopTimer()
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 			})

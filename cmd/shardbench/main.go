@@ -1,0 +1,150 @@
+// Command shardbench measures the sharded kernel's wall-clock scaling
+// on its best-case workload — the read-share application on a 16×16
+// torus, where steady state is pure cache hits and the conservative-
+// lookahead windows are maximal — and writes the comparison as JSON.
+//
+//	shardbench -out BENCH_sharded.json
+//	shardbench -min-speedup 1.0   # exit 1 unless 4 shards beat 1 shard
+//
+// Each shard count runs the same machine for -cycles P-cycles, -reps
+// times; the fastest repetition wins, which filters scheduler noise
+// the way testing.B's minimum-style reporting does. Shard goroutines
+// only buy wall-clock time when GOMAXPROCS > 1 — the report records
+// GOMAXPROCS and NumCPU so a flat curve on a one-core host reads as
+// what it is. Results are bit-identical at every shard count
+// (TestKernelParity); this command measures speed only.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/topology"
+	"locality/internal/workload"
+)
+
+// shardResult is one shard count's best-of-reps measurement.
+type shardResult struct {
+	Shards       int     `json:"shards"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Windows is the number of parallel windows the measured run opened.
+	Windows int64   `json:"windows"`
+	Speedup float64 `json:"speedup_vs_1_shard"`
+}
+
+// result is the JSON report.
+type result struct {
+	Nodes      int           `json:"nodes"`
+	Contexts   int           `json:"contexts"`
+	Compute    int           `json:"compute_cycles"`
+	Lookahead  int           `json:"lookahead_pcycles"`
+	Cycles     int64         `json:"measured_pcycles"`
+	Reps       int           `json:"reps"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Results    []shardResult `json:"results"`
+	MinSpeedup float64       `json:"min_speedup_at_4"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shardbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sharded.json", "output JSON path")
+	cycles := flag.Int64("cycles", 30000, "measured P-cycles per repetition")
+	reps := flag.Int("reps", 3, "repetitions per shard count (fastest wins)")
+	minSpeedup := flag.Float64("min-speedup", 0, "exit 1 unless the 4-shard speedup over 1 shard reaches this (0 disables)")
+	flag.Parse()
+
+	tor, err := topology.New(16, 2)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	var lookahead int
+	run := func(shards int) shardResult {
+		best := shardResult{Shards: shards}
+		for r := 0; r < *reps; r++ {
+			cfg := machine.DefaultConfig(tor, mapping.Identity(tor), 1)
+			cfg.Workload = workload.ReadShareConfig{Graph: tor, Instances: 1, LineSize: cfg.LineSize, Compute: 20}
+			cfg.Kernel = machine.KernelSharded
+			cfg.Shards = shards
+			// The lookahead prices only the cold fills (steady state
+			// never enters the protocol) but bounds the window size:
+			// stretch it so windows amortize their dispatch overhead.
+			cfg.ReqLatency, cfg.DirLatency = 60, 60
+			mach, err := machine.New(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			lookahead = mach.Protocol().EntryLookahead()
+			// Warm up past the cold fills so the fabric drains.
+			if _, err := mach.Execute(ctx, machine.RunSpec{Cycles: 4000}); err != nil {
+				fatal(err)
+			}
+			mach.ResetStats()
+			base := mach.ShardWindows()
+			t0 := time.Now()
+			if _, err := mach.Execute(ctx, machine.RunSpec{Cycles: *cycles}); err != nil {
+				fatal(err)
+			}
+			if rate := float64(*cycles) / time.Since(t0).Seconds(); rate > best.CyclesPerSec {
+				best.CyclesPerSec = rate
+				best.Windows = mach.ShardWindows() - base
+			}
+		}
+		return best
+	}
+
+	res := result{
+		Nodes: tor.Nodes(), Contexts: 1, Compute: 20,
+		Cycles: *cycles, Reps: *reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		MinSpeedup: *minSpeedup,
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		sr := run(shards)
+		sr.Speedup = 1
+		if len(res.Results) > 0 {
+			sr.Speedup = sr.CyclesPerSec / res.Results[0].CyclesPerSec
+		}
+		res.Results = append(res.Results, sr)
+	}
+	res.Lookahead = lookahead
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	for _, sr := range res.Results {
+		fmt.Printf("shards=%d  %9.0f cycles/s  %5d windows  %.2fx\n",
+			sr.Shards, sr.CyclesPerSec, sr.Windows, sr.Speedup)
+	}
+	fmt.Printf("GOMAXPROCS %d, NumCPU %d, lookahead %d P-cycles\n",
+		res.GOMAXPROCS, res.NumCPU, res.Lookahead)
+	if *minSpeedup > 0 {
+		at4 := res.Results[2].Speedup
+		if at4 < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "shardbench: 4-shard speedup %.2fx below required %.2fx\n", at4, *minSpeedup)
+			os.Exit(1)
+		}
+	}
+}

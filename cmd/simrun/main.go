@@ -7,6 +7,7 @@
 //	simrun -mapping diag:3 -window 40000
 //	simrun -mapping antilocal -contexts 4 -ratio 1
 //	simrun -mapping random:1 -fault-rate 0.01 -link-mttf 5000
+//	simrun -k 16 -kernel sharded -shards 4
 //	simrun -mapping random:1 -telemetry
 //	simrun -mapping random:1 -trace-out trace.json -slice 1000 -slice-out slices.csv
 //	simrun -window 2000000 -checkpoint-every 100000 -checkpoint-dir ckpts -checkpoint-keep 4
@@ -52,6 +53,7 @@ import (
 	"locality/internal/faults"
 	"locality/internal/machine"
 	"locality/internal/mapsel"
+	"locality/internal/sim"
 	"locality/internal/telemetry"
 	"locality/internal/topology"
 	"locality/internal/trace"
@@ -76,7 +78,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed")
 	linkMTTF := flag.Float64("link-mttf", 0, "mean N-cycles between transient faults per link (0 disables)")
 	watchdog := flag.Int64("watchdog", 0, "abort after this many P-cycles without progress (0 = auto when faults enabled)")
-	kernelFlag := flag.String("kernel", "event", "execution kernel: event (skip quiescent cycles) or tick (naive reference loop); results are bit-identical")
+	kernelFlag := flag.String("kernel", "event", "execution kernel: event (skip quiescent cycles), tick (naive reference loop), or sharded (parallel windows); results are bit-identical")
+	shards := flag.Int("shards", 0, "parallel shards under -kernel sharded (0 = min(GOMAXPROCS, radix)); affects wall-clock speed only")
+	shardDim := flag.Int("shard-dim", 0, "torus dimension the shard slabs cut across")
 	telemetry_ := flag.Bool("telemetry", false, "enable the metrics registry and cycle attribution; dump both after the run")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this path (implies tracing)")
 	traceCap := flag.Int("trace-cap", 1<<16, "trace ring-buffer capacity in events")
@@ -101,12 +105,14 @@ func main() {
 	if err := spec.Validate(); err != nil {
 		fatal(err)
 	}
-	kernel, err := machine.ParseKernelMode(*kernelFlag)
+	kernel, err := sim.ParseKernel(*kernelFlag)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := machine.DefaultConfig(tor, m, *contexts)
 	cfg.Kernel = kernel
+	cfg.Shards = *shards
+	cfg.ShardDim = *shardDim
 	cfg.ClockRatio = *ratio
 	cfg.BufferDepth = *buffers
 	cfg.HWPointers = *pointers
@@ -166,7 +172,8 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	met, err := mach.ResumeMeasuredChecked(ctx, *warmup, *window)
+	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: *warmup, Window: *window, ResumeFrom: true})
+	met := res.Metrics
 	if err != nil {
 		var rep *faults.StallReport
 		if errors.As(err, &rep) {
@@ -199,6 +206,9 @@ func main() {
 	fmt.Printf("channel utilization      %.3f\n", met.ChannelUtilization)
 	fmt.Printf("kernel                   %s: %d cycles executed, %d skipped (%.1f%% skip ratio)\n",
 		kernel, met.CyclesTicked, met.CyclesSkipped, 100*met.SkipRatio())
+	if kernel == sim.KernelSharded {
+		fmt.Printf("parallel windows         %d\n", mach.ShardWindows())
+	}
 	if met.SWTraps > 0 {
 		fmt.Printf("LimitLESS traps          %d\n", met.SWTraps)
 	}

@@ -20,6 +20,11 @@
 // with error=<message> in the first measurement column; the rest of
 // the grid still runs and sweep exits nonzero at the end.
 //
+// The output's first line is a "# kernel=<kind>" comment recording the
+// execution kernel; all kernels produce bit-identical rows, but a
+// resumed sweep refuses a resume file recorded under a different
+// kernel rather than silently mixing provenance.
+//
 // Interrupted sweeps resume: -resume old.csv re-emits the completed
 // rows of a partial output verbatim and runs only the cells that are
 // missing, errored, or cut off mid-write. The merged output streams in
@@ -46,8 +51,10 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +74,7 @@ import (
 	"locality/internal/mapping"
 	"locality/internal/mapsel"
 	"locality/internal/replay"
+	"locality/internal/sim"
 	"locality/internal/telemetry"
 	"locality/internal/topology"
 	"locality/internal/trace"
@@ -109,6 +117,7 @@ type cell struct {
 	warmup   int64
 	window   int64
 	kernel   machine.KernelMode
+	shards   int
 
 	// Observability (all optional). Each cell owns its registry — the
 	// engine runs cells concurrently and registries are single-owner.
@@ -128,6 +137,7 @@ type cell struct {
 func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 	cfg := machine.DefaultConfig(c.tor, c.m, c.contexts)
 	cfg.Kernel = c.kernel
+	cfg.Shards = c.shards
 	cfg.ClockRatio = c.ratio
 	if c.prefetch {
 		cfg.Workload = workload.RelaxationConfig{
@@ -171,10 +181,11 @@ func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 	if err != nil {
 		return machine.Metrics{}, err
 	}
-	met, err := mach.RunMeasuredChecked(ctx, c.warmup, c.window)
+	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: c.warmup, Window: c.window})
 	if err != nil {
 		return machine.Metrics{}, err
 	}
+	met := res.Metrics
 	mach.FlushSlices()
 	if cfg.SliceWriter != nil {
 		if err := cfg.SliceWriter.Err(); err != nil {
@@ -219,15 +230,37 @@ func rowKey(mappingName, contexts string) string {
 	return mappingName + "\x00" + contexts
 }
 
-// resumeRows parses a partial sweep output. The header must match the
-// current invocation's exactly (a mismatch means the old sweep ran
-// with different fault flags and its rows are not comparable). A row
-// cut off mid-write by the interruption — or anything after it — is
-// dropped; completed rows are returned keyed by rowKey, later
-// duplicates winning.
-func resumeRows(r io.Reader, header []string) (map[string][]string, error) {
-	cr := csv.NewReader(r)
+// kernelComment is the header comment recording which execution kernel
+// produced a sweep CSV, written as the file's first line.
+func kernelComment(kernel machine.KernelMode) string {
+	return "# kernel=" + kernel.String()
+}
+
+// resumeRows parses a partial sweep output. The kernel comment, when
+// present, must name this invocation's kernel — rows swept under a
+// different kernel are refused outright rather than silently mixed
+// (files from sweeps predating the comment carry no kernel line and
+// are accepted). The CSV header must match the current invocation's
+// exactly (a mismatch means the old sweep ran with different fault
+// flags and its rows are not comparable). A row cut off mid-write by
+// the interruption — or anything after it — is dropped; completed rows
+// are returned keyed by rowKey, later duplicates winning.
+func resumeRows(r io.Reader, header []string, kernel machine.KernelMode) (map[string][]string, error) {
+	br := bufio.NewReader(r)
+	if peek, _ := br.Peek(1); len(peek) == 1 && peek[0] == '#' {
+		line, err := br.ReadString('\n')
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("reading resume kernel comment: %w", err)
+		}
+		line = strings.TrimSpace(line)
+		if got, want := line, kernelComment(kernel); got != want {
+			return nil, fmt.Errorf("resume file was swept with %q, this sweep runs %q: refusing to mix rows from different kernels (rerun with the matching -kernel)",
+				strings.TrimPrefix(got, "# kernel="), kernel)
+		}
+	}
+	cr := csv.NewReader(br)
 	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
 	first, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("reading resume header: %w", err)
@@ -279,7 +312,8 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0, "abort a cell after this many P-cycles without progress (0 = auto when faults enabled)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
-	kernelFlag := flag.String("kernel", "event", "execution kernel: event (skip quiescent cycles) or tick (naive reference loop); rows are bit-identical either way")
+	kernelFlag := flag.String("kernel", "event", "execution kernel: event (skip quiescent cycles), tick (naive reference loop), or sharded (parallel windows); rows are bit-identical either way")
+	shards := flag.Int("shards", 0, "parallel shards per cell under -kernel sharded (0 = min(GOMAXPROCS, radix)); wall-clock only")
 	telemetry_ := flag.Bool("telemetry", false, "per-cell metrics registry + cycle attribution (CSV output unchanged)")
 	slice := flag.Int64("slice", 0, "per-cell time-sliced sampling every N P-cycles (0 disables; needs -slice-dir)")
 	sliceDir := flag.String("slice-dir", "", "directory for per-cell time-slice files (implies -telemetry)")
@@ -337,7 +371,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	kernel, err := machine.ParseKernelMode(*kernelFlag)
+	kernel, err := sim.ParseKernel(*kernelFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -370,7 +404,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cached, err = resumeRows(rf, header)
+		cached, err = resumeRows(rf, header, kernel)
 		rf.Close()
 		if err != nil {
 			fatal(err)
@@ -385,6 +419,11 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	// The kernel comment precedes the CSV header so resumed sweeps can
+	// refuse rows produced under a different kernel.
+	if _, err := fmt.Fprintln(w, kernelComment(kernel)); err != nil {
+		fatal(err)
 	}
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
@@ -422,7 +461,7 @@ func main() {
 			}
 			c := cell{
 				tor: tor, m: m, contexts: p, prefetch: *prefetch, ratio: *ratio,
-				spec: spec, watchdog: wd, warmup: *warmup, window: *window, kernel: kernel,
+				spec: spec, watchdog: wd, warmup: *warmup, window: *window, kernel: kernel, shards: *shards,
 				telemetry: *telemetry_, slice: *slice, sliceDir: *sliceDir, sliceFmt: *sliceFormat,
 				traceDir: *traceDir, traceCap: *traceCap, captureDir: *captureDir, fileStem: fileStem(m.Name, p),
 			}

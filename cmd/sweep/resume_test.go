@@ -3,19 +3,22 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"locality/internal/machine"
 )
 
 var testHeader = []string{"mapping", "d", "contexts", "prefetch", "B", "g", "tm", "rm", "Tm", "Tt", "tt", "rt", "utilization"}
 
 func TestResumeRowsParsesPartialOutput(t *testing.T) {
 	csv := strings.Join([]string{
+		kernelComment(machine.KernelEvent),
 		strings.Join(testHeader, ","),
 		"identity,1,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138",
 		"random:1,2.5,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138",
 		"transpose,2,1,false,error=machine stalled,,,,,,,,",
 		"identity,1,2,false,11.9,3.2", // cut off mid-write
 	}, "\n") + "\n"
-	rows, err := resumeRows(strings.NewReader(csv), testHeader)
+	rows, err := resumeRows(strings.NewReader(csv), testHeader, machine.KernelEvent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +46,7 @@ func TestResumeRowsDropsTrailingGarbage(t *testing.T) {
 	csv := strings.Join(testHeader, ",") + "\n" +
 		"identity,1,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138\n" +
 		`random:1,2.5,1,false,"11.9`
-	rows, err := resumeRows(strings.NewReader(csv), testHeader)
+	rows, err := resumeRows(strings.NewReader(csv), testHeader, machine.KernelEvent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +60,44 @@ func TestResumeRowsDropsTrailingGarbage(t *testing.T) {
 
 func TestResumeRowsRejectsHeaderMismatch(t *testing.T) {
 	faultHeader := strings.Join(append(append([]string{}, testHeader...), "retries", "home_retries", "dropped", "fault_cycles"), ",")
-	if _, err := resumeRows(strings.NewReader(faultHeader+"\n"), testHeader); err == nil {
+	if _, err := resumeRows(strings.NewReader(faultHeader+"\n"), testHeader, machine.KernelEvent); err == nil {
 		t.Error("fault-sweep output accepted for a fault-free resume")
 	}
-	if _, err := resumeRows(strings.NewReader(""), testHeader); err == nil {
+	if _, err := resumeRows(strings.NewReader(""), testHeader, machine.KernelEvent); err == nil {
 		t.Error("empty resume file accepted")
+	}
+}
+
+func TestResumeRowsRejectsKernelMismatch(t *testing.T) {
+	body := strings.Join(testHeader, ",") + "\n" +
+		"identity,1,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138\n"
+
+	// A sharded sweep must refuse rows recorded under the tick kernel,
+	// and name both kernels in the error.
+	in := kernelComment(machine.KernelTick) + "\n" + body
+	_, err := resumeRows(strings.NewReader(in), testHeader, machine.KernelSharded)
+	if err == nil {
+		t.Fatal("tick-kernel resume file accepted for a sharded sweep")
+	}
+	for _, want := range []string{"tick", "sharded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("kernel-mismatch error %q does not name %q", err, want)
+		}
+	}
+
+	// Matching kernel comment: accepted, rows indexed.
+	in = kernelComment(machine.KernelSharded) + "\n" + body
+	rows, err := resumeRows(strings.NewReader(in), testHeader, machine.KernelSharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rows[rowKey("identity", "1")]; !ok {
+		t.Error("row under the matching kernel comment not indexed")
+	}
+
+	// Legacy file with no kernel comment: accepted for compatibility.
+	if _, err := resumeRows(strings.NewReader(body), testHeader, machine.KernelSharded); err != nil {
+		t.Errorf("legacy resume file without kernel comment rejected: %v", err)
 	}
 }
 

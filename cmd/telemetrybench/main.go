@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -60,6 +61,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx := context.Background()
 	run := func(telem bool) float64 {
 		best := 0.0
 		for r := 0; r < *reps; r++ {
@@ -72,10 +74,14 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			mach.Run(2000) // settle into steady state
+			if _, err := mach.Execute(ctx, machine.RunSpec{Cycles: 2000}); err != nil {
+				fatal(err) // settle into steady state
+			}
 			mach.ResetStats()
 			t0 := time.Now()
-			mach.Run(*cycles)
+			if _, err := mach.Execute(ctx, machine.RunSpec{Cycles: *cycles}); err != nil {
+				fatal(err)
+			}
 			if rate := float64(*cycles) / time.Since(t0).Seconds(); rate > best {
 				best = rate
 			}

@@ -39,6 +39,7 @@ import (
 	"locality/internal/mapsel"
 	"locality/internal/replay"
 	"locality/internal/report"
+	"locality/internal/sim"
 	"locality/internal/topology"
 	"locality/internal/workload"
 )
@@ -123,10 +124,11 @@ func runCapture(ctx context.Context, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	met, err := mach.RunMeasuredChecked(ctx, *warmup, *window)
+	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: *warmup, Window: *window})
 	if err != nil {
 		fatal(err)
 	}
+	met := res.Metrics
 	tr, err := mach.CapturedTrace(*warmup, *window)
 	if err != nil {
 		fatal(err)
@@ -175,7 +177,7 @@ func runReplay(ctx context.Context, args []string) {
 	contexts := fs.Int("contexts", 0, "hardware contexts (0 = recorded count)")
 	warmup := fs.Int64("warmup", 0, "warmup P-cycles (0 = recorded)")
 	window := fs.Int64("window", 0, "measurement window P-cycles (0 = recorded)")
-	kernelFlag := fs.String("kernel", "event", "execution kernel: event or tick; results are bit-identical")
+	kernelFlag := fs.String("kernel", "event", "execution kernel: event, tick, or sharded; results are bit-identical")
 	loop := fs.Bool("loop", false, "rewind exhausted streams instead of halting")
 	fs.Parse(args)
 	if *in == "" {
@@ -185,7 +187,7 @@ func runReplay(ctx context.Context, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	kernel, err := machine.ParseKernelMode(*kernelFlag)
+	kernel, err := sim.ParseKernel(*kernelFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -224,11 +226,11 @@ func runReplay(ctx context.Context, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	met, err := mach.RunMeasuredChecked(ctx, wu, wi)
+	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: wu, Window: wi})
 	if err != nil {
 		fatal(err)
 	}
-	printMetrics(met)
+	printMetrics(res.Metrics)
 }
 
 func runFit(ctx context.Context, args []string) {

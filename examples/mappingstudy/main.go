@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		met := mach.RunMeasured(4000, 12000)
+		res, err := mach.Execute(context.Background(), machine.RunSpec{Warmup: 4000, Window: 12000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		met := res.Metrics
 		if baseline == 0 {
 			baseline = met.InterTxnTime
 		}

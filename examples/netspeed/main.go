@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			tts[i] = mach.RunMeasured(4000, 12000).InterTxnTime
+			res, err := mach.Execute(context.Background(), machine.RunSpec{Warmup: 4000, Window: 12000})
+			if err != nil {
+				log.Fatal(err)
+			}
+			tts[i] = res.InterTxnTime
 		}
 		fmt.Printf("%6dx %13.1f %11.1f %9.2fx\n", ratio, tts[0], tts[1], tts[1]/tts[0])
 	}

@@ -1,0 +1,154 @@
+package cohsim
+
+import "locality/internal/cachesim"
+
+// This file splits the processor-facing entry points (Access,
+// Prefetch, WriteBehind, Join) into a node-local half and a deferred
+// global half, for the sharded kernel. The node-local half — cache
+// lookup and LRU update, MSHR coalescing, transaction creation — reads
+// and writes only p.nodes[nodeID], so processors in different shards
+// may call it concurrently. The global half — transaction ID
+// assignment, miss counters, and scheduling the initial request on the
+// shared event heap — is returned as a DeferredOp for the kernel to
+// apply serially, at the same cycle, in the order the sequential loop
+// would have produced.
+//
+// Timing is preserved exactly: the deferred half only schedules
+// actions at now + ReqLatency or later, and the kernel applies it
+// within cycle now (after Tick(now) has drained the heap's due
+// actions), so every scheduled action lands in the heap with the same
+// (due, seq) it would have had under sequential execution.
+//
+// The sharded variants never write p.now: that is the protocol's
+// global clock, pinned by Tick at every executed cycle. The sequential
+// wrappers below still write it, preserving their historical behavior
+// for direct (unsharded) callers.
+
+// DeferredOp is the global half of an entry-point call, to be applied
+// by the kernel's serial replay.
+type DeferredOp func()
+
+// EntryLookahead returns the minimum number of P-cycles between an
+// entry-point call and that call's earliest effect outside the calling
+// node — the conservative lookahead bound the sharded kernel runs
+// under. The fastest chains from an entry at cycle u are
+//
+//	u + Req + Dir (+transport) + CacheResp   sharer/owner cache mutation
+//	u + Req + Dir (+transport) + Mem + Fill  grant fill at the requester
+//
+// (every grant passes through homeReply's MemLatency and
+// requesterGrant's FillLatency; every third-party cache response
+// passes through CacheRespLatency; transport, occupancy, SW-trap, and
+// retry delays only add). The bound is their minimum with zero
+// transport delay.
+func (c Config) EntryLookahead() int {
+	c.applyDefaults()
+	grant := c.MemLatency + c.FillLatency
+	resp := c.CacheRespLatency
+	if grant < resp {
+		resp = grant
+	}
+	return c.ReqLatency + c.DirLatency + resp
+}
+
+// EntryLookahead reports the protocol instance's lookahead bound (the
+// configured latencies with defaults applied).
+func (p *Protocol) EntryLookahead() int { return p.cfg.EntryLookahead() }
+
+// admitTxn performs a deferred transaction's global bookkeeping:
+// assign its machine-wide ID and count the miss.
+func (p *Protocol) admitTxn(txn *Transaction) {
+	p.txnSeq++
+	txn.ID = p.txnSeq
+	if txn.Write {
+		p.writeMiss.Inc()
+	} else {
+		p.readMiss.Inc()
+	}
+}
+
+// AccessSharded is Access restricted to node-local state; the returned
+// DeferredOp (nil on hits and coalesced misses) completes the call.
+func (p *Protocol) AccessSharded(nodeID, thread int, addr uint64, write bool, now int64) (hit bool, deferred DeferredOp) {
+	n := &p.nodes[nodeID]
+	line := n.cache.LineAddr(addr)
+	if write {
+		if n.cache.AccessWrite(addr) {
+			return true, nil
+		}
+	} else {
+		if n.cache.AccessRead(addr) {
+			return true, nil
+		}
+	}
+	// Coalesce with an outstanding transaction on the same line.
+	if out, ok := n.mshr[line]; ok {
+		out.txn.waiters = append(out.txn.waiters, thread)
+		if write && !out.txn.Write {
+			out.txn.pendingWrite = true
+		}
+		return false, nil
+	}
+	txn := &Transaction{Node: nodeID, Addr: line, Write: write, Started: now}
+	txn.waiters = append(txn.waiters, thread)
+	n.mshr[line] = &outstanding{txn: txn}
+	return false, func() {
+		p.admitTxn(txn)
+		p.issue(txn)
+	}
+}
+
+// PrefetchSharded is Prefetch restricted to node-local state; the
+// returned DeferredOp (nil when nothing was initiated) completes it.
+func (p *Protocol) PrefetchSharded(nodeID int, addr uint64, now int64) (issued bool, deferred DeferredOp) {
+	n := &p.nodes[nodeID]
+	line := n.cache.LineAddr(addr)
+	if n.cache.Lookup(line) != cachesim.Invalid {
+		return false, nil
+	}
+	if _, ok := n.mshr[line]; ok {
+		return false, nil
+	}
+	txn := &Transaction{Node: nodeID, Addr: line, Write: false, Started: now}
+	n.mshr[line] = &outstanding{txn: txn}
+	return true, func() {
+		p.admitTxn(txn)
+		p.issue(txn)
+	}
+}
+
+// WriteBehindSharded is WriteBehind restricted to node-local state;
+// the returned DeferredOp (nil when nothing new was issued) completes
+// it.
+func (p *Protocol) WriteBehindSharded(nodeID int, addr uint64, now int64) (initiated bool, deferred DeferredOp) {
+	n := &p.nodes[nodeID]
+	line := n.cache.LineAddr(addr)
+	if n.cache.Lookup(line) == cachesim.Modified {
+		return false, nil
+	}
+	if out, ok := n.mshr[line]; ok {
+		if !out.txn.Write && !out.txn.pendingWrite {
+			out.txn.pendingWrite = true
+			return true, nil
+		}
+		return false, nil
+	}
+	txn := &Transaction{Node: nodeID, Addr: line, Write: true, Started: now}
+	n.mshr[line] = &outstanding{txn: txn}
+	return true, func() {
+		p.admitTxn(txn)
+		p.issue(txn)
+	}
+}
+
+// JoinSharded is Join restricted to node-local state. Join has no
+// global half, so there is no DeferredOp to return.
+func (p *Protocol) JoinSharded(nodeID, thread int, addr uint64, now int64) bool {
+	n := &p.nodes[nodeID]
+	out, ok := n.mshr[n.cache.LineAddr(addr)]
+	if !ok {
+		return false
+	}
+	out.txn.waiters = append(out.txn.waiters, thread)
+	return true
+}

@@ -126,10 +126,11 @@ func RunDegradation(ctx context.Context, cfg DegradationConfig) ([]DegradationRo
 				if err != nil {
 					return row, err
 				}
-				met, err := mach.RunMeasuredChecked(ctx, cfg.Warmup, cfg.Window)
+				res, err := mach.Execute(ctx, machine.RunSpec{Warmup: cfg.Warmup, Window: cfg.Window})
 				if err != nil {
 					return row, err
 				}
+				met := res.Metrics
 				row.Tm = met.MsgLatency
 				row.Tt = met.TxnLatency
 				row.InterTxnTime = met.InterTxnTime

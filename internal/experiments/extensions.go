@@ -102,10 +102,11 @@ func RunTolerance(ctx context.Context, cfg ToleranceConfig) ([]ToleranceRow, err
 				if err != nil {
 					return ToleranceRow{}, fmt.Errorf("experiments: tolerance %q: %w", v.label, err)
 				}
-				met, err := mach.RunMeasuredChecked(ctx, cfg.Warmup, cfg.Window)
+				res, err := mach.Execute(ctx, machine.RunSpec{Warmup: cfg.Warmup, Window: cfg.Window})
 				if err != nil {
 					return ToleranceRow{}, fmt.Errorf("experiments: tolerance %q: %w", v.label, err)
 				}
+				met := res.Metrics
 				return ToleranceRow{
 					Label:        v.label,
 					Mapping:      m.Name,

@@ -84,7 +84,11 @@ func measureGainSimCell(ctx context.Context, k int, cfg GainSimConfig) (GainSimR
 		if err != nil {
 			return machine.Metrics{}, err
 		}
-		return mach.RunMeasuredChecked(ctx, cfg.Warmup, cfg.Window)
+		res, err := mach.Execute(ctx, machine.RunSpec{Warmup: cfg.Warmup, Window: cfg.Window})
+		if err != nil {
+			return machine.Metrics{}, err
+		}
+		return res.Metrics, nil
 	}
 	idealMet, err := measure(ideal)
 	if err != nil {

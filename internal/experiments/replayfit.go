@@ -141,10 +141,11 @@ func measureReplayCell(ctx context.Context, tor *topology.Torus, m *mapping.Mapp
 	if err != nil {
 		return MappingPoint{}, fmt.Errorf("experiments: building replay machine for %s p=%d: %w", m.Name, contexts, err)
 	}
-	met, err := mach.RunMeasuredChecked(ctx, warmup, window)
+	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: warmup, Window: window})
 	if err != nil {
 		return MappingPoint{}, fmt.Errorf("experiments: replaying %s p=%d: %w", m.Name, contexts, err)
 	}
+	met := res.Metrics
 	if met.Messages == 0 {
 		return MappingPoint{}, fmt.Errorf("experiments: no traffic replaying %s p=%d", m.Name, contexts)
 	}

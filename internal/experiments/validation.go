@@ -161,10 +161,11 @@ func measureValidationCell(ctx context.Context, tor *topology.Torus, m *mapping.
 	if err != nil {
 		return MappingPoint{}, fmt.Errorf("experiments: building machine for %s p=%d: %w", m.Name, p, err)
 	}
-	met, err := mach.RunMeasuredChecked(ctx, cfg.Warmup, cfg.Window)
+	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: cfg.Warmup, Window: cfg.Window})
 	if err != nil {
 		return MappingPoint{}, fmt.Errorf("experiments: measuring %s p=%d: %w", m.Name, p, err)
 	}
+	met := res.Metrics
 	if met.Messages == 0 {
 		return MappingPoint{}, fmt.Errorf("experiments: no traffic measured for %s p=%d", m.Name, p)
 	}

@@ -268,21 +268,13 @@ func RestoreFrom(cfg Config, ck *checkpoint.Checkpoint) (*Machine, error) {
 // the uninterrupted RunMeasuredChecked(warmup, window) byte for byte:
 // if the checkpoint landed during warmup the stats reset still happens
 // at exactly cycle warmup; afterward, only the remaining window runs.
+//
+// Deprecated: use Execute(ctx, RunSpec{Warmup: warmup, Window: window,
+// ResumeFrom: true}).
 func (m *Machine) ResumeMeasuredChecked(ctx context.Context, warmup, window int64) (Metrics, error) {
-	if m.pnow <= warmup {
-		// A checkpoint at exactly cycle warmup was written inside
-		// RunChecked(warmup), before ResetStats ran — redo the reset.
-		if err := m.RunChecked(ctx, warmup-m.pnow); err != nil {
-			return Metrics{}, err
-		}
-		m.ResetStats()
-		if err := m.RunChecked(ctx, window); err != nil {
-			return Metrics{}, err
-		}
-	} else {
-		if err := m.RunChecked(ctx, warmup+window-m.pnow); err != nil {
-			return Metrics{}, err
-		}
+	res, err := m.Execute(ctx, RunSpec{Warmup: warmup, Window: window, ResumeFrom: true})
+	if err != nil {
+		return Metrics{}, err
 	}
-	return m.Measure(), nil
+	return res.Metrics, nil
 }

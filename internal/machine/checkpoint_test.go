@@ -29,6 +29,7 @@ func buildCkptMachine(t *testing.T, c parityCell, mode KernelMode, tr *trace.Tra
 	cfg := DefaultConfig(tor, m, c.contexts)
 	cfg.Faults = c.spec
 	cfg.Kernel = mode
+	cfg.Shards = c.shards
 	cfg.Trace = tr
 	cfg.LocalDelay = c.localDelay
 	cfg.Checkpoint = ck
@@ -56,7 +57,7 @@ func ckptCollect(mach *Machine, met Metrics, tr *trace.Tracer, withFaults bool) 
 	for node := 0; node < mach.cfg.Topo.Nodes(); node++ {
 		procs = append(procs, mach.Processor(node).Snapshot())
 	}
-	events := tr.Filter(func(e trace.Event) bool { return e.Kind != trace.KindKernelSkip })
+	events := tr.Filter(func(e trace.Event) bool { return !kernelMeta(e) })
 	return ckptResult{met: met, row: sweepRow(met, withFaults), procs: procs, events: events, now: mach.Now()}
 }
 
@@ -90,6 +91,7 @@ func restoreAndFinish(t *testing.T, c parityCell, mode KernelMode, path string, 
 	cfg := DefaultConfig(tor, m, c.contexts)
 	cfg.Faults = c.spec
 	cfg.Kernel = mode
+	cfg.Shards = c.shards
 	tr := trace.New(1 << 14)
 	cfg.Trace = tr
 	cfg.LocalDelay = c.localDelay
@@ -104,11 +106,11 @@ func restoreAndFinish(t *testing.T, c parityCell, mode KernelMode, path string, 
 	if mach.Now() != ck.PNow {
 		t.Fatalf("restored clock %d, checkpoint taken at %d", mach.Now(), ck.PNow)
 	}
-	met, err := mach.ResumeMeasuredChecked(context.Background(), warmup, window)
+	res, err := mach.Execute(context.Background(), RunSpec{Warmup: warmup, Window: window, ResumeFrom: true})
 	if err != nil {
 		t.Fatalf("resuming from %s: %v", path, err)
 	}
-	return ckptCollect(mach, met, tr, c.spec != nil), ck
+	return ckptCollect(mach, res.Metrics, tr, c.spec != nil), ck
 }
 
 // eventsFrom filters a full-run trace down to the events a run
@@ -154,9 +156,23 @@ func compareCkptResults(t *testing.T, label string, want, got ckptResult) {
 	}
 }
 
+// ckptKernels is the kernel axis of the restore grid: both sequential
+// kernels plus the sharded kernel at one, two, and four shards.
+var ckptKernels = []struct {
+	mode   KernelMode
+	shards int
+	label  string
+}{
+	{KernelEvent, 0, "event"},
+	{KernelTick, 0, "tick"},
+	{KernelSharded, 1, "sharded-s1"},
+	{KernelSharded, 2, "sharded-s2"},
+	{KernelSharded, 4, "sharded-s4"},
+}
+
 // TestCheckpointRestoreParity is the PR's core guarantee, run as a
 // differential grid over mappings × context counts × fault schedules ×
-// both kernels: restore at cycle C and run to the end, and the
+// every kernel: restore at cycle C and run to the end, and the
 // metrics, sweep CSV row, per-processor accounting, and post-C trace
 // events are byte-identical to the uninterrupted run — and the run
 // that wrote the checkpoints is itself byte-identical to one that
@@ -167,17 +183,19 @@ func TestCheckpointRestoreParity(t *testing.T) {
 	// poll interval, the watchdog interval, or the warmup boundary —
 	// every restore re-enters the run loop mid-chunk.
 	const every = 293
-	for _, mode := range []KernelMode{KernelEvent, KernelTick} {
+	for _, kc := range ckptKernels {
+		mode := kc.mode
 		for _, c := range parityGrid() {
 			c, mode := c, mode
-			t.Run(mode.String()+"/"+c.name, func(t *testing.T) {
+			c.shards = kc.shards
+			t.Run(kc.label+"/"+c.name, func(t *testing.T) {
 				t.Parallel()
 				dir := t.TempDir()
 
 				// Reference: no checkpointing configured at all.
 				trRef := trace.New(1 << 14)
 				ref := buildParityMachine(t, c, mode, trRef)
-				metRef, err := ref.RunMeasuredChecked(context.Background(), warmup, window)
+				metRef, err := execMeasuredChecked(context.Background(), ref, warmup, window)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -186,7 +204,7 @@ func TestCheckpointRestoreParity(t *testing.T) {
 				// Run A: same machine with periodic checkpoints enabled.
 				trA := trace.New(1 << 14)
 				machA := buildCkptMachine(t, c, mode, trA, CheckpointSpec{Every: every, Dir: dir})
-				metA, err := machA.RunMeasuredChecked(context.Background(), warmup, window)
+				metA, err := execMeasuredChecked(context.Background(), machA, warmup, window)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -283,12 +301,14 @@ func TestCheckpointAtWarmupBoundary(t *testing.T) {
 	const warmup, window = 500, 2000
 	c := parityCell{name: "identity/p2/faults", mapName: "identity", contexts: 2,
 		spec: &faults.Spec{Seed: 7, LossRate: 0.01, LinkMTTF: 3000, StallMin: 8, StallMax: 64}}
-	for _, mode := range []KernelMode{KernelEvent, KernelTick} {
-		t.Run(mode.String(), func(t *testing.T) {
+	for _, kc := range ckptKernels {
+		mode, c := kc.mode, c
+		c.shards = kc.shards
+		t.Run(kc.label, func(t *testing.T) {
 			dir := t.TempDir()
 			trRef := trace.New(1 << 14)
 			ref := buildParityMachine(t, c, mode, trRef)
-			metRef, err := ref.RunMeasuredChecked(context.Background(), warmup, window)
+			metRef, err := execMeasuredChecked(context.Background(), ref, warmup, window)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -296,7 +316,7 @@ func TestCheckpointAtWarmupBoundary(t *testing.T) {
 
 			trA := trace.New(1 << 14)
 			machA := buildCkptMachine(t, c, mode, trA, CheckpointSpec{Every: warmup, Dir: dir})
-			if _, err := machA.RunMeasuredChecked(context.Background(), warmup, window); err != nil {
+			if _, err := execMeasuredChecked(context.Background(), machA, warmup, window); err != nil {
 				t.Fatal(err)
 			}
 			path := filepath.Join(dir, fmt.Sprintf("ckpt-%d.lckp", warmup))
@@ -322,7 +342,7 @@ func TestCheckpointOnCancel(t *testing.T) {
 
 	trRef := trace.New(1 << 14)
 	ref := buildParityMachine(t, c, KernelEvent, trRef)
-	metRef, err := ref.RunMeasuredChecked(context.Background(), warmup, window)
+	metRef, err := execMeasuredChecked(context.Background(), ref, warmup, window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,13 +351,13 @@ func TestCheckpointOnCancel(t *testing.T) {
 	dir := t.TempDir()
 	tr := trace.New(1 << 14)
 	mach := buildCkptMachine(t, c, KernelEvent, tr, CheckpointSpec{Dir: dir})
-	if err := mach.RunChecked(context.Background(), warmup); err != nil {
+	if _, err := mach.Execute(context.Background(), RunSpec{Cycles: warmup}); err != nil {
 		t.Fatal(err)
 	}
 	mach.ResetStats()
 	canceled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := mach.RunChecked(canceled, window); !errors.Is(err, context.Canceled) {
+	if _, err := mach.Execute(canceled, RunSpec{Cycles: window}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled run returned %v, want context.Canceled", err)
 	}
 	path := mach.LastCheckpoint()
@@ -363,7 +383,7 @@ func TestCheckpointOnStall(t *testing.T) {
 		c.Watchdog = faults.Watchdog{StallCycles: 3000}
 		c.Checkpoint = CheckpointSpec{Dir: dir}
 	})
-	err := mach.RunChecked(context.Background(), 200000)
+	_, err := mach.Execute(context.Background(), RunSpec{Cycles: 200000})
 	var rep *faults.StallReport
 	if !errors.As(err, &rep) {
 		t.Fatalf("expected a StallReport, got %v", err)
@@ -392,7 +412,7 @@ func TestCheckpointKeepPrunes(t *testing.T) {
 	dir := t.TempDir()
 	c := parityCell{name: "identity/p1", mapName: "identity", contexts: 1}
 	mach := buildCkptMachine(t, c, KernelEvent, nil, CheckpointSpec{Every: 250, Dir: dir, Keep: 3})
-	if err := mach.RunChecked(context.Background(), 2000); err != nil {
+	if _, err := mach.Execute(context.Background(), RunSpec{Cycles: 2000}); err != nil {
 		t.Fatal(err)
 	}
 	paths := listCheckpoints(t, dir)
@@ -412,7 +432,7 @@ func TestRestoreRejectsMismatchedConfig(t *testing.T) {
 	dir := t.TempDir()
 	c := parityCell{name: "identity/p2", mapName: "identity", contexts: 2}
 	mach := buildCkptMachine(t, c, KernelEvent, nil, CheckpointSpec{Every: 250, Dir: dir})
-	if err := mach.RunChecked(context.Background(), 500); err != nil {
+	if _, err := mach.Execute(context.Background(), RunSpec{Cycles: 500}); err != nil {
 		t.Fatal(err)
 	}
 	ck, err := checkpoint.ReadFile(mach.LastCheckpoint())

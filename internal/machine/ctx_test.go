@@ -25,7 +25,7 @@ func TestRunCheckedContextCancel(t *testing.T) {
 		cancel()
 	}()
 	const huge = 1 << 40
-	err = mach.RunChecked(ctx, huge)
+	_, err = mach.Execute(ctx, RunSpec{Cycles: huge})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -44,7 +44,7 @@ func TestRunCheckedAlreadyCanceled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := mach.RunChecked(ctx, 100000); !errors.Is(err, context.Canceled) {
+	if _, err := mach.Execute(ctx, RunSpec{Cycles: 100000}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if mach.Now() != 0 {
@@ -66,13 +66,13 @@ func TestRunCheckedChunkingIsInvisible(t *testing.T) {
 	}
 	const warmup, window = 2000, 9000 // not a multiple of the poll interval
 	a := build()
-	a.Run(warmup)
+	execCycles(t, a, warmup)
 	a.ResetStats()
-	a.Run(window)
+	execCycles(t, a, window)
 	plain := a.Measure()
 
 	b := build()
-	met, err := b.RunMeasuredChecked(context.Background(), warmup, window)
+	met, err := execMeasuredChecked(context.Background(), b, warmup, window)
 	if err != nil {
 		t.Fatal(err)
 	}

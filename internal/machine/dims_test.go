@@ -17,7 +17,7 @@ func TestThreeDimensionalMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met := mach.RunMeasured(2000, 8000)
+	met := execMeasured(t, mach, 2000, 8000)
 	if met.Transactions == 0 {
 		t.Fatal("no transactions on the 3-D machine")
 	}
@@ -42,8 +42,8 @@ func TestThreeDimensionalLocalityStillWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	im := ideal.RunMeasured(2000, 8000)
-	rm := random.RunMeasured(2000, 8000)
+	im := execMeasured(t, ideal, 2000, 8000)
+	rm := execMeasured(t, random, 2000, 8000)
 	if im.InterTxnTime >= rm.InterTxnTime {
 		t.Errorf("3-D ideal tt %g should beat random tt %g", im.InterTxnTime, rm.InterTxnTime)
 	}
@@ -60,7 +60,7 @@ func TestThreeDimensionalLocalityStillWins(t *testing.T) {
 		t.Fatal(err)
 	}
 	gain3 := rm.InterTxnTime / im.InterTxnTime
-	gain2 := random2.RunMeasured(2000, 8000).InterTxnTime / ideal2.RunMeasured(2000, 8000).InterTxnTime
+	gain2 := execMeasured(t, random2, 2000, 8000).InterTxnTime / execMeasured(t, ideal2, 2000, 8000).InterTxnTime
 	if gain3 >= gain2 {
 		t.Errorf("3-D locality gain %.3f should be below 2-D gain %.3f at 64 nodes", gain3, gain2)
 	}
@@ -72,7 +72,7 @@ func TestOneDimensionalRingMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met := mach.RunMeasured(1000, 5000)
+	met := execMeasured(t, mach, 1000, 5000)
 	if met.Transactions == 0 {
 		t.Fatal("no transactions on the ring machine")
 	}

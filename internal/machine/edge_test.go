@@ -17,7 +17,7 @@ func TestRadixTwoMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met := mach.RunMeasured(1000, 5000)
+	met := execMeasured(t, mach, 1000, 5000)
 	if met.Transactions == 0 {
 		t.Fatal("no transactions on the 2-ary 3-cube")
 	}
@@ -39,7 +39,7 @@ func TestMinimalMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met := mach.RunMeasured(500, 3000)
+	met := execMeasured(t, mach, 500, 3000)
 	if met.Transactions == 0 {
 		t.Fatal("no transactions on the two-node machine")
 	}

@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"locality/internal/mapping"
+	"locality/internal/topology"
+)
+
+// Test helpers funneling the suite through the one public entry point,
+// so every behavioral test exercises Execute rather than the
+// deprecated wrappers.
+
+// execCycles advances m by n P-cycles and returns the metrics
+// accumulated since the last statistics reset.
+func execCycles(t testing.TB, m *Machine, n int64) Metrics {
+	t.Helper()
+	res, err := m.Execute(context.Background(), RunSpec{Cycles: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Metrics
+}
+
+// execMeasured runs the standard experiment protocol (warmup, stats
+// reset, measurement window) and returns the window's metrics.
+func execMeasured(t testing.TB, m *Machine, warmup, window int64) Metrics {
+	t.Helper()
+	res, err := m.Execute(context.Background(), RunSpec{Warmup: warmup, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Metrics
+}
+
+// execMeasuredChecked is execMeasured for tests that assert on the
+// error instead of requiring success.
+func execMeasuredChecked(ctx context.Context, m *Machine, warmup, window int64) (Metrics, error) {
+	res, err := m.Execute(ctx, RunSpec{Warmup: warmup, Window: window})
+	return res.Metrics, err
+}
+
+func TestRunSpecValidate(t *testing.T) {
+	valid := []RunSpec{
+		{},
+		{Cycles: 5},
+		{Warmup: 2000, Window: 8000},
+		{Window: 8000},
+		{Warmup: 2000, Window: 8000, ResumeFrom: true},
+	}
+	for _, s := range valid {
+		if err := s.validate(); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+	}
+	invalid := []RunSpec{
+		{Cycles: -1},
+		{Warmup: -1},
+		{Window: -1},
+		{Cycles: 5, Warmup: 2000},
+		{Cycles: 5, Window: 8000},
+		{ResumeFrom: true},
+		{Warmup: 2000, ResumeFrom: true}, // no window to resume toward
+		{Cycles: 5, ResumeFrom: true},
+	}
+	for _, s := range invalid {
+		if err := s.validate(); err == nil {
+			t.Errorf("%+v accepted", s)
+		}
+	}
+
+	// Execute surfaces validation errors without touching the machine.
+	tor := topology.MustNew(4, 2)
+	mach, err := New(DefaultConfig(tor, mapping.Identity(tor), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Execute(context.Background(), RunSpec{Cycles: 5, Window: 10}); err == nil {
+		t.Error("Execute accepted a contradictory RunSpec")
+	} else if !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("unhelpful validation error: %v", err)
+	}
+	if mach.Now() != 0 {
+		t.Errorf("rejected Execute advanced the clock to %d", mach.Now())
+	}
+}
+
+// TestDeprecatedWrappersMatchExecute pins the compatibility contract
+// for the one-PR deprecation window: each legacy entry point is a thin
+// forwarder producing exactly what the equivalent Execute call does.
+func TestDeprecatedWrappersMatchExecute(t *testing.T) {
+	tor := topology.MustNew(4, 2)
+	build := func() *Machine {
+		m, err := New(DefaultConfig(tor, mapping.Random(tor, 3), 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	const warmup, window = 1000, 4000
+	ctx := context.Background()
+
+	want := execMeasured(t, build(), warmup, window)
+
+	if got := build().RunMeasured(warmup, window); got != want {
+		t.Errorf("RunMeasured diverged from Execute:\n%+v\n%+v", got, want)
+	}
+	if got, err := build().RunMeasuredChecked(ctx, warmup, window); err != nil || got != want {
+		t.Errorf("RunMeasuredChecked diverged from Execute (err %v):\n%+v\n%+v", err, got, want)
+	}
+	// ResumeFrom on a fresh machine degenerates to the fresh protocol.
+	if got, err := build().ResumeMeasuredChecked(ctx, warmup, window); err != nil || got != want {
+		t.Errorf("ResumeMeasuredChecked diverged from Execute (err %v):\n%+v\n%+v", err, got, want)
+	}
+
+	a, b := build(), build()
+	a.Run(warmup)
+	a.ResetStats()
+	a.Run(window)
+	if got := a.Measure(); got != want {
+		t.Errorf("Run diverged from Execute:\n%+v\n%+v", got, want)
+	}
+	if err := b.RunChecked(ctx, warmup); err != nil {
+		t.Fatal(err)
+	}
+	b.ResetStats()
+	if err := b.RunChecked(ctx, window); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Measure(); got != want {
+		t.Errorf("RunChecked diverged from Execute:\n%+v\n%+v", got, want)
+	}
+}

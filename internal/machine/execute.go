@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+)
+
+// RunSpec describes one Execute call: either a plain advance of Cycles
+// P-cycles, or the standard experiment protocol (warm up for Warmup
+// cycles, reset statistics, run the Window-cycle measurement window).
+// The two forms are mutually exclusive.
+type RunSpec struct {
+	// Cycles advances the machine by this many P-cycles with no stats
+	// reset. Mutually exclusive with Warmup/Window.
+	Cycles int64
+	// Warmup and Window select the experiment protocol: run Warmup
+	// cycles, reset statistics, run Window cycles, measure.
+	Warmup, Window int64
+	// ResumeFrom continues the Warmup/Window protocol from wherever
+	// the machine's clock already stands (a machine restored from a
+	// checkpoint): if the clock is at or before the warmup boundary
+	// the stats reset still happens at exactly cycle Warmup, and only
+	// the remainder of the protocol runs. Requires the Warmup/Window
+	// form.
+	ResumeFrom bool
+}
+
+func (s RunSpec) validate() error {
+	if s.Cycles < 0 || s.Warmup < 0 || s.Window < 0 {
+		return fmt.Errorf("machine: negative RunSpec field: %+v", s)
+	}
+	if s.Cycles > 0 && (s.Warmup > 0 || s.Window > 0) {
+		return fmt.Errorf("machine: RunSpec.Cycles is mutually exclusive with Warmup/Window: %+v", s)
+	}
+	if s.ResumeFrom && (s.Cycles > 0 || s.Window == 0) {
+		return fmt.Errorf("machine: RunSpec.ResumeFrom requires the Warmup/Window form: %+v", s)
+	}
+	return nil
+}
+
+// measured reports whether the spec runs the experiment protocol (as
+// opposed to a plain advance).
+func (s RunSpec) measured() bool { return s.Warmup > 0 || s.Window > 0 }
+
+// Result is what one Execute call produced. Metrics covers the
+// measurement window under the Warmup/Window protocol, or everything
+// since the last statistics reset under a plain Cycles advance.
+type Result struct {
+	Metrics
+}
+
+// Execute advances the machine according to spec, under the configured
+// watchdog and checkpointing, stopping early with the context's error
+// if ctx is canceled at a poll point. It subsumes the historical
+// Run/RunChecked/RunMeasured/RunMeasuredChecked/ResumeMeasuredChecked
+// entry points:
+//
+//	Execute(ctx, RunSpec{Cycles: n})                              // Run / RunChecked
+//	Execute(ctx, RunSpec{Warmup: w, Window: n})                   // RunMeasured(Checked)
+//	Execute(ctx, RunSpec{Warmup: w, Window: n, ResumeFrom: true}) // ResumeMeasuredChecked
+//
+// On error the returned Result is the zero value.
+func (m *Machine) Execute(ctx context.Context, spec RunSpec) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	switch {
+	case spec.ResumeFrom && m.pnow > spec.Warmup:
+		if err := m.runChecked(ctx, spec.Warmup+spec.Window-m.pnow); err != nil {
+			return Result{}, err
+		}
+	case spec.measured():
+		// From a checkpoint at or before the warmup boundary the reset
+		// below still lands at exactly cycle Warmup, so the resumed
+		// protocol is the fresh protocol with a shorter first leg.
+		warmup := spec.Warmup
+		if spec.ResumeFrom {
+			warmup -= m.pnow
+		}
+		if err := m.runChecked(ctx, warmup); err != nil {
+			return Result{}, err
+		}
+		m.ResetStats()
+		if err := m.runChecked(ctx, spec.Window); err != nil {
+			return Result{}, err
+		}
+	default:
+		if err := m.runChecked(ctx, spec.Cycles); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Metrics: m.Measure()}, nil
+}

@@ -31,8 +31,8 @@ func faultyMachine(t *testing.T, spec *faults.Spec, mutate func(*Config)) *Machi
 // same measurements as each other — fault plumbing must be invisible
 // until enabled.
 func TestZeroFaultSpecIsIdentical(t *testing.T) {
-	base := faultyMachine(t, nil, nil).RunMeasured(2000, 8000)
-	zero := faultyMachine(t, &faults.Spec{Seed: 99}, nil).RunMeasured(2000, 8000)
+	base := execMeasured(t, faultyMachine(t, nil, nil), 2000, 8000)
+	zero := execMeasured(t, faultyMachine(t, &faults.Spec{Seed: 99}, nil), 2000, 8000)
 	if !reflect.DeepEqual(base, zero) {
 		t.Errorf("zero fault spec perturbed the run:\nbase %+v\nzero %+v", base, zero)
 	}
@@ -49,7 +49,7 @@ func TestFaultRunsAreSeedDeterministic(t *testing.T) {
 		mach := faultyMachine(t, spec, func(c *Config) {
 			c.Watchdog = faults.Watchdog{StallCycles: 100000}
 		})
-		met, err := mach.RunMeasuredChecked(context.Background(), 2000, 8000)
+		met, err := execMeasuredChecked(context.Background(), mach, 2000, 8000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +80,7 @@ func TestWatchdogConvertsPermanentStallToTypedError(t *testing.T) {
 	mach := faultyMachine(t, spec, func(c *Config) {
 		c.Watchdog = faults.Watchdog{StallCycles: 3000}
 	})
-	err := mach.RunChecked(context.Background(), 200000)
+	_, err := mach.Execute(context.Background(), RunSpec{Cycles: 200000})
 	if err == nil {
 		t.Fatal("no error from a machine whose every link is dead")
 	}
@@ -113,7 +113,7 @@ func TestLossyRunCompletesUnderWatchdog(t *testing.T) {
 	mach := faultyMachine(t, spec, func(c *Config) {
 		c.Watchdog = faults.Watchdog{StallCycles: 200000}
 	})
-	met, err := mach.RunMeasuredChecked(context.Background(), 2000, 10000)
+	met, err := execMeasuredChecked(context.Background(), mach, 2000, 10000)
 	if err != nil {
 		t.Fatalf("lossy-but-resilient run stalled: %v", err)
 	}

@@ -8,40 +8,29 @@ import (
 	"locality/internal/trace"
 )
 
-// KernelMode selects the machine's execution loop.
-type KernelMode uint8
+// KernelMode selects the machine's execution loop. It is sim's typed
+// kernel enum; the alias keeps the historical machine.KernelEvent /
+// machine.KernelTick spellings working.
+type KernelMode = sim.KernelKind
 
 const (
 	// KernelEvent is the default: the sim kernel executes a cycle,
 	// then advances straight to the global minimum next-event,
 	// skipping quiescent spans. Bit-identical to KernelTick.
-	KernelEvent KernelMode = iota
+	KernelEvent = sim.KernelEvent
 	// KernelTick is the naive reference loop, executing every cycle.
 	// Kept as an escape hatch and for differential testing.
-	KernelTick
+	KernelTick = sim.KernelTick
+	// KernelSharded is the event kernel with conservative-lookahead
+	// parallel windows over spatial processor shards. Bit-identical to
+	// KernelEvent; see Config.Shards and Config.ShardDim.
+	KernelSharded = sim.KernelSharded
 )
 
-// String implements fmt.Stringer ("event" / "tick").
-func (k KernelMode) String() string {
-	switch k {
-	case KernelEvent:
-		return "event"
-	case KernelTick:
-		return "tick"
-	}
-	return fmt.Sprintf("KernelMode(%d)", uint8(k))
-}
-
-// ParseKernelMode parses "event" or "tick".
-func ParseKernelMode(s string) (KernelMode, error) {
-	switch s {
-	case "event":
-		return KernelEvent, nil
-	case "tick":
-		return KernelTick, nil
-	}
-	return 0, fmt.Errorf("machine: unknown kernel mode %q (want \"event\" or \"tick\")", s)
-}
+// ParseKernelMode parses a kernel selector.
+//
+// Deprecated: use sim.ParseKernel, which this forwards to.
+func ParseKernelMode(s string) (KernelMode, error) { return sim.ParseKernel(s) }
 
 // The machine registers three kinds of components with the sim kernel,
 // in the exact order of the historical per-cycle loop — protocol, then
@@ -101,7 +90,9 @@ func (c netComp) Advance(to int64) {
 // telemetry sampler, when enabled, registers last: it observes each
 // executed cycle after every substrate has ticked it, and appending it
 // keeps the attribution indices of the historical components stable.
-func (m *Machine) buildKernel() {
+// Under KernelSharded it additionally builds the shard runner and,
+// with telemetry on, the per-shard attribution gauges.
+func (m *Machine) buildKernel() error {
 	comps := make([]sim.Component, 0, len(m.procs)+3)
 	comps = append(comps, protoComp{m})
 	for _, p := range m.procs {
@@ -123,14 +114,40 @@ func (m *Machine) buildKernel() {
 			})
 		})
 	}
+	if m.cfg.Kernel == KernelSharded {
+		if err := m.buildSharder(); err != nil {
+			return err
+		}
+		if reg := m.cfg.Telemetry; reg != nil {
+			for s, g := range m.shard.groups {
+				g := g
+				reg.GaugeFunc(fmt.Sprintf("attr/shard/%d", s), func() float64 {
+					attr, _ := m.kernel.Attribution()
+					if attr == nil {
+						return 0
+					}
+					var sum int64
+					for _, node := range g {
+						sum += attr[1+node]
+					}
+					return float64(sum)
+				})
+			}
+			reg.GaugeFunc("kernel/shard_windows", func() float64 { return float64(m.ShardWindows()) })
+		}
+	}
+	return nil
 }
 
 // advance moves the machine forward pCycles P-cycles under the
 // configured kernel mode.
 func (m *Machine) advance(pCycles int64) {
-	if m.cfg.Kernel == KernelTick {
+	switch m.cfg.Kernel {
+	case KernelTick:
 		m.kernel.RunTick(pCycles)
-	} else {
+	case KernelSharded:
+		m.sharder.Run(pCycles)
+	default:
 		m.kernel.Run(pCycles)
 	}
 	m.pnow = m.kernel.Now()

@@ -99,10 +99,21 @@ type Config struct {
 	Checkpoint CheckpointSpec
 
 	// Kernel selects the execution loop: KernelEvent (the zero value)
-	// skips quiescent spans, KernelTick executes every cycle. The two
-	// produce bit-identical results; tick mode exists as an escape
-	// hatch and differential-testing reference.
+	// skips quiescent spans, KernelTick executes every cycle, and
+	// KernelSharded adds conservative-lookahead parallel windows over
+	// spatial processor shards. All three produce bit-identical
+	// results; tick mode exists as an escape hatch and
+	// differential-testing reference.
 	Kernel KernelMode
+	// Shards is the number of parallel shards under KernelSharded: the
+	// torus is cut into that many contiguous coordinate slabs along
+	// ShardDim, one goroutine each. Zero picks min(GOMAXPROCS, radix).
+	// The shard count affects wall-clock speed only, never simulated
+	// results. Ignored by the other kernels.
+	Shards int
+	// ShardDim is the torus dimension the shard slabs cut across
+	// (default 0). Ignored by the other kernels.
+	ShardDim int
 
 	// Telemetry, when non-nil, is a registry the machine and all its
 	// substrates publish metrics into: counters and gauges over
@@ -184,6 +195,15 @@ func (c Config) Validate() error {
 	if c.SliceEvery > 0 && (c.Telemetry == nil || c.SliceWriter == nil) {
 		return fmt.Errorf("machine: time-sliced sampling requires both Telemetry and SliceWriter")
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("machine: shard count %d, must be ≥ 0", c.Shards)
+	}
+	if c.ShardDim < 0 || c.ShardDim >= c.Topo.N() {
+		return fmt.Errorf("machine: shard dimension %d outside the torus's %d dimensions", c.ShardDim, c.Topo.N())
+	}
+	if c.Shards > c.Topo.K() {
+		return fmt.Errorf("machine: %d shards exceed the torus radix %d along one dimension", c.Shards, c.Topo.K())
+	}
 	if err := c.Checkpoint.Validate(); err != nil {
 		return err
 	}
@@ -198,7 +218,11 @@ type Machine struct {
 	proto  *cohsim.Protocol
 	procs  []*procsim.Processor
 	kernel *sim.Kernel
-	pnow   int64
+	// sharder and shard are the KernelSharded runner and its lane
+	// state; both nil under the other kernels.
+	sharder *sim.ShardRunner
+	shard   *shardState
+	pnow    int64
 	// pCyclesSince tracks the measurement window origin.
 	windowStart int64
 	// ksWindow is the kernel accounting at the window origin.
@@ -343,46 +367,86 @@ func New(cfg Config) (*Machine, error) {
 		pcfg.OnOp = cfg.Capture.Record
 	}
 	for nodeID := range m.procs {
-		proc, err := procsim.New(nodeID, pcfg, memAdapter{proto}, programs[nodeID])
+		proc, err := procsim.New(nodeID, pcfg, memAdapter{m}, programs[nodeID])
 		if err != nil {
 			return nil, err
 		}
 		m.procs[nodeID] = proc
 	}
 	m.initTelemetry()
-	m.buildKernel()
+	if err := m.buildKernel(); err != nil {
+		return nil, err
+	}
 	if m.slicer != nil {
 		m.slicer.rebase() // needs the kernel's stats as a delta origin
 	}
 	return m, nil
 }
 
-// memAdapter narrows the protocol to procsim's MemorySystem.
-type memAdapter struct{ p *cohsim.Protocol }
+// memAdapter narrows the protocol to procsim's MemorySystem. During a
+// sharded parallel window (shard.active) it routes through the
+// protocol's node-local sharded entry points and lanes the deferred
+// global halves for the serial replay; otherwise it is a plain
+// pass-through.
+type memAdapter struct{ m *Machine }
 
 func (a memAdapter) Access(node, context int, addr uint64, write bool, now int64) bool {
-	return a.p.Access(node, context, addr, write, now)
+	if sh := a.m.shard; sh != nil && sh.active {
+		hit, op := a.m.proto.AccessSharded(node, context, addr, write, now)
+		if op != nil {
+			sh.push(node, now, op)
+		}
+		return hit
+	}
+	return a.m.proto.Access(node, context, addr, write, now)
 }
 
 func (a memAdapter) Prefetch(node int, addr uint64, now int64) bool {
-	return a.p.Prefetch(node, addr, now)
+	if sh := a.m.shard; sh != nil && sh.active {
+		issued, op := a.m.proto.PrefetchSharded(node, addr, now)
+		if op != nil {
+			sh.push(node, now, op)
+		}
+		return issued
+	}
+	return a.m.proto.Prefetch(node, addr, now)
 }
 
 func (a memAdapter) WriteBehind(node int, addr uint64, now int64) bool {
-	return a.p.WriteBehind(node, addr, now)
+	if sh := a.m.shard; sh != nil && sh.active {
+		initiated, op := a.m.proto.WriteBehindSharded(node, addr, now)
+		if op != nil {
+			sh.push(node, now, op)
+		}
+		return initiated
+	}
+	return a.m.proto.WriteBehind(node, addr, now)
 }
 
 func (a memAdapter) Join(node, thread int, addr uint64, now int64) bool {
-	return a.p.Join(node, thread, addr, now)
+	if sh := a.m.shard; sh != nil && sh.active {
+		return a.m.proto.JoinSharded(node, thread, addr, now)
+	}
+	return a.m.proto.Join(node, thread, addr, now)
 }
 
-// Run advances the machine by pCycles processor cycles. It is
-// RunChecked under a background context with the error discarded:
-// with the watchdog disabled (the default) no error can occur; with a
-// watchdog configured, prefer RunChecked — a stall silently ends a
-// plain Run early.
+// Run advances the machine by pCycles processor cycles with the error
+// discarded: with the watchdog disabled (the default) no error can
+// occur; with a watchdog configured, prefer Execute — a stall silently
+// ends a plain Run early.
+//
+// Deprecated: use Execute(ctx, RunSpec{Cycles: pCycles}).
 func (m *Machine) Run(pCycles int64) {
-	_ = m.RunChecked(context.Background(), pCycles)
+	_, _ = m.Execute(context.Background(), RunSpec{Cycles: pCycles})
+}
+
+// RunChecked advances the machine by pCycles processor cycles under
+// the configured watchdog and checkpointing.
+//
+// Deprecated: use Execute(ctx, RunSpec{Cycles: pCycles}).
+func (m *Machine) RunChecked(ctx context.Context, pCycles int64) error {
+	_, err := m.Execute(ctx, RunSpec{Cycles: pCycles})
+	return err
 }
 
 // ctxPollInterval is the granularity, in P-cycles, at which RunChecked
@@ -391,13 +455,14 @@ func (m *Machine) Run(pCycles int64) {
 // point every few thousand cycles (microseconds of simulated work).
 const ctxPollInterval = 4096
 
-// RunChecked advances the machine by pCycles processor cycles under
-// the configured watchdog: every check interval it verifies flit
-// conservation and forward progress, returning a *faults.StallReport
-// (wrapping faults.ErrStalled) if the machine has livelocked or
-// deadlocked. Canceling ctx stops the run at the next poll point with
-// the context's error, which is how the experiment engine (and Ctrl-C
-// in the cmds) interrupts in-flight simulations.
+// runChecked is the run loop backing Execute: it advances the machine
+// by pCycles processor cycles under the configured watchdog — every
+// check interval it verifies flit conservation and forward progress,
+// returning a *faults.StallReport (wrapping faults.ErrStalled) if the
+// machine has livelocked or deadlocked. Canceling ctx stops the run at
+// the next poll point with the context's error, which is how the
+// experiment engine (and Ctrl-C in the cmds) interrupts in-flight
+// simulations.
 //
 // With checkpointing configured, the loop additionally writes a
 // snapshot every Checkpoint.Every P-cycles (on absolute cycle
@@ -410,7 +475,7 @@ const ctxPollInterval = 4096
 // cycle is identical to the uninterrupted run's, which is what makes
 // restored metrics byte-identical. With checkpointing disabled the
 // loop is step-for-step identical to a build without it.
-func (m *Machine) RunChecked(ctx context.Context, pCycles int64) error {
+func (m *Machine) runChecked(ctx context.Context, pCycles int64) error {
 	interval := int64(ctxPollInterval)
 	if m.cfg.Watchdog.Enabled() {
 		interval = int64(m.cfg.Watchdog.Interval())
@@ -635,23 +700,22 @@ func (m *Machine) Measure() Metrics {
 // RunMeasured performs the standard experiment protocol: warm up for
 // warmup P-cycles, reset statistics, run the measurement window, and
 // return its metrics.
+//
+// Deprecated: use Execute(ctx, RunSpec{Warmup: warmup, Window: window}).
 func (m *Machine) RunMeasured(warmup, window int64) Metrics {
-	m.Run(warmup)
-	m.ResetStats()
-	m.Run(window)
-	return m.Measure()
+	res, _ := m.Execute(context.Background(), RunSpec{Warmup: warmup, Window: window})
+	return res.Metrics
 }
 
 // RunMeasuredChecked is RunMeasured under the configured watchdog and
 // context: it returns early with a *faults.StallReport if either phase
 // stalls, or with the context error if ctx is canceled mid-run.
+//
+// Deprecated: use Execute(ctx, RunSpec{Warmup: warmup, Window: window}).
 func (m *Machine) RunMeasuredChecked(ctx context.Context, warmup, window int64) (Metrics, error) {
-	if err := m.RunChecked(ctx, warmup); err != nil {
+	res, err := m.Execute(ctx, RunSpec{Warmup: warmup, Window: window})
+	if err != nil {
 		return Metrics{}, err
 	}
-	m.ResetStats()
-	if err := m.RunChecked(ctx, window); err != nil {
-		return Metrics{}, err
-	}
-	return m.Measure(), nil
+	return res.Metrics, nil
 }

@@ -49,7 +49,7 @@ func TestConfigValidate(t *testing.T) {
 
 func TestRunProducesSteadyTraffic(t *testing.T) {
 	mach := smallMachine(t, 1, ident)
-	met := mach.RunMeasured(2000, 8000)
+	met := execMeasured(t, mach, 2000, 8000)
 	if met.Transactions == 0 || met.Messages == 0 {
 		t.Fatalf("no traffic: %+v", met)
 	}
@@ -90,7 +90,7 @@ func TestMeasuredDistanceTracksMapping(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		met := mach.RunMeasured(2000, 8000)
+		met := execMeasured(t, mach, 2000, 8000)
 		want := m.AvgDistance(tor)
 		if math.Abs(met.AvgDistance-want) > 0.4 {
 			t.Errorf("%s: measured d = %g, mapping d = %g", m.Name, met.AvgDistance, want)
@@ -101,8 +101,8 @@ func TestMeasuredDistanceTracksMapping(t *testing.T) {
 func TestLocalityImprovesPerformance(t *testing.T) {
 	idealM := smallMachine(t, 1, ident)
 	randomM := smallMachine(t, 1, rnd)
-	idealMet := idealM.RunMeasured(2000, 10000)
-	randomMet := randomM.RunMeasured(2000, 10000)
+	idealMet := execMeasured(t, idealM, 2000, 10000)
+	randomMet := execMeasured(t, randomM, 2000, 10000)
 	if idealMet.InterTxnTime >= randomMet.InterTxnTime {
 		t.Errorf("ideal tt %g should beat random tt %g", idealMet.InterTxnTime, randomMet.InterTxnTime)
 	}
@@ -116,8 +116,8 @@ func TestMultithreadingMasksLatency(t *testing.T) {
 	// (lower tt): the extra contexts overlap communication latency.
 	one := smallMachine(t, 1, rnd)
 	two := smallMachine(t, 2, rnd)
-	m1 := one.RunMeasured(2000, 10000)
-	m2 := two.RunMeasured(2000, 10000)
+	m1 := execMeasured(t, one, 2000, 10000)
+	m2 := execMeasured(t, two, 2000, 10000)
 	if m2.InterTxnTime >= m1.InterTxnTime {
 		t.Errorf("2-context tt %g should beat 1-context tt %g", m2.InterTxnTime, m1.InterTxnTime)
 	}
@@ -126,8 +126,8 @@ func TestMultithreadingMasksLatency(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	a := smallMachine(t, 2, rnd)
 	b := smallMachine(t, 2, rnd)
-	ma := a.RunMeasured(1000, 4000)
-	mb := b.RunMeasured(1000, 4000)
+	ma := execMeasured(t, a, 1000, 4000)
+	mb := execMeasured(t, b, 1000, 4000)
 	if ma != mb {
 		t.Errorf("identical configurations diverged:\n%+v\n%+v", ma, mb)
 	}
@@ -135,7 +135,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestCoherenceInvariantAfterRun(t *testing.T) {
 	mach := smallMachine(t, 2, rnd)
-	mach.Run(20000)
+	execCycles(t, mach, 20000)
 	// For every state word: at most one Modified copy machine-wide,
 	// and never Modified alongside Shared copies.
 	wl := mach.Workload().(workload.RelaxationConfig)
@@ -164,9 +164,9 @@ func TestCoherenceInvariantAfterRun(t *testing.T) {
 
 func TestProcessorsNeverPermanentlyStall(t *testing.T) {
 	mach := smallMachine(t, 1, rnd)
-	mach.Run(5000)
+	execCycles(t, mach, 5000)
 	before := mach.Protocol().Snapshot().Transactions
-	mach.Run(5000)
+	execCycles(t, mach, 5000)
 	after := mach.Protocol().Snapshot().Transactions
 	if after <= before {
 		t.Fatalf("no forward progress: %d -> %d transactions", before, after)
@@ -192,8 +192,8 @@ func TestSlowNetworkRaisesLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fMet := fm.RunMeasured(2000, 8000)
-	sMet := sm.RunMeasured(2000, 8000)
+	fMet := execMeasured(t, fm, 2000, 8000)
+	sMet := execMeasured(t, sm, 2000, 8000)
 	// In P-cycle terms the slower network must hurt end performance.
 	if sMet.InterTxnTime <= fMet.InterTxnTime {
 		t.Errorf("slower network tt %g should exceed faster tt %g", sMet.InterTxnTime, fMet.InterTxnTime)
@@ -208,7 +208,7 @@ func TestHWPointerOverflowTraps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met := mach.RunMeasured(2000, 8000)
+	met := execMeasured(t, mach, 2000, 8000)
 	if met.SWTraps == 0 {
 		t.Error("expected LimitLESS software traps with 1 hardware pointer")
 	}
@@ -216,7 +216,7 @@ func TestHWPointerOverflowTraps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fullMet := full.RunMeasured(2000, 8000)
+	fullMet := execMeasured(t, full, 2000, 8000)
 	if fullMet.SWTraps != 0 {
 		t.Error("full-map directory must not trap")
 	}
@@ -231,7 +231,7 @@ func TestMaskedRegimeAtIdealMapping(t *testing.T) {
 	// fully masks latency: tt approaches the floor Tr + Tc and idle
 	// time is negligible.
 	mach := smallMachine(t, 4, ident)
-	met := mach.RunMeasured(3000, 10000)
+	met := execMeasured(t, mach, 3000, 10000)
 	grain := mach.Workload().(workload.RelaxationConfig).GrainEstimate(1)
 	floor := grain + 11
 	if met.InterTxnTime > floor*1.25 {

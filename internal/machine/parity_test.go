@@ -20,6 +20,7 @@ type parityCell struct {
 	contexts   int
 	spec       *faults.Spec
 	localDelay int
+	shards     int // Config.Shards; only meaningful under KernelSharded
 }
 
 func parityGrid() []parityCell {
@@ -72,6 +73,7 @@ func buildParityMachine(t *testing.T, c parityCell, mode KernelMode, tr *trace.T
 	cfg.Kernel = mode
 	cfg.Trace = tr
 	cfg.LocalDelay = c.localDelay
+	cfg.Shards = c.shards
 	if c.spec != nil {
 		cfg.Watchdog = faults.Watchdog{StallCycles: 200000}
 	}
@@ -80,6 +82,13 @@ func buildParityMachine(t *testing.T, c parityCell, mode KernelMode, tr *trace.T
 		t.Fatal(err)
 	}
 	return mach
+}
+
+// kernelMeta drops trace events that describe how the kernel executed
+// the run (skip markers, shard windows) rather than what the simulated
+// machine did; parity comparisons exclude them.
+func kernelMeta(e trace.Event) bool {
+	return e.Kind == trace.KindKernelSkip || e.Kind == trace.KindShardWindow
 }
 
 // sweepRow formats metrics exactly as cmd/sweep does (same float verb
@@ -108,61 +117,72 @@ func normalizeKernelStats(met Metrics) Metrics {
 	return met
 }
 
-// TestKernelParity is the PR's core guarantee: the event kernel is
-// bit-identical to the tick kernel — Metrics, sweep CSV rows,
-// per-processor cycle accounting, and trace streams — across
-// mappings, context counts, and fault injection.
+// TestKernelParity is the PR's core guarantee: the event kernel and
+// the sharded kernel (at 1, 2, and 4 shards) are bit-identical to the
+// tick kernel — Metrics, sweep CSV rows, per-processor cycle
+// accounting, and trace streams — across mappings, context counts,
+// and fault injection.
 func TestKernelParity(t *testing.T) {
 	const warmup, window = 500, 2000
 	for _, c := range parityGrid() {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			type result struct {
+				label  string
 				met    Metrics
 				procs  []procsim.Stats
 				events []trace.Event
 				now    int64
 			}
-			run := func(mode KernelMode) result {
+			run := func(label string, cell parityCell, mode KernelMode) result {
 				tr := trace.New(1 << 14)
-				mach := buildParityMachine(t, c, mode, tr)
-				met := mach.RunMeasured(warmup, window)
+				mach := buildParityMachine(t, cell, mode, tr)
+				met := execMeasured(t, mach, warmup, window)
 				procs := make([]procsim.Stats, 0)
 				for node := 0; node < mach.cfg.Topo.Nodes(); node++ {
 					procs = append(procs, mach.Processor(node).Snapshot())
 				}
-				// Skip markers are event-kernel bookkeeping, not
-				// machine behavior: drop them before comparing.
-				events := tr.Filter(func(e trace.Event) bool { return e.Kind != trace.KindKernelSkip })
-				return result{met: met, procs: procs, events: events, now: mach.Now()}
+				// Skip markers and shard windows are kernel
+				// bookkeeping, not machine behavior: drop them before
+				// comparing.
+				events := tr.Filter(func(e trace.Event) bool { return !kernelMeta(e) })
+				return result{label: label, met: met, procs: procs, events: events, now: mach.Now()}
 			}
-			tick := run(KernelTick)
-			event := run(KernelEvent)
-
-			if tick.now != event.now {
-				t.Fatalf("clocks diverged: tick %d, event %d", tick.now, event.now)
-			}
-			if got, want := normalizeKernelStats(event.met), normalizeKernelStats(tick.met); !reflect.DeepEqual(got, want) {
-				t.Errorf("Metrics differ:\n tick:  %+v\n event: %+v", want, got)
-			}
-			if tickRow, eventRow := sweepRow(tick.met, c.spec != nil), sweepRow(event.met, c.spec != nil); tickRow != eventRow {
-				t.Errorf("sweep CSV rows differ:\n tick:  %s\n event: %s", tickRow, eventRow)
-			}
-			if !reflect.DeepEqual(tick.procs, event.procs) {
-				t.Errorf("per-processor accounting differs:\n tick:  %+v\n event: %+v", tick.procs, event.procs)
-			}
-			if !reflect.DeepEqual(tick.events, event.events) {
-				n := len(tick.events)
-				if len(event.events) < n {
-					n = len(event.events)
+			compare := func(tick, other result) {
+				t.Helper()
+				if tick.now != other.now {
+					t.Fatalf("clocks diverged: tick %d, %s %d", tick.now, other.label, other.now)
 				}
-				for i := 0; i < n; i++ {
-					if tick.events[i] != event.events[i] {
-						t.Errorf("trace streams diverge at event %d:\n tick:  %v\n event: %v", i, tick.events[i], event.events[i])
-						break
+				if got, want := normalizeKernelStats(other.met), normalizeKernelStats(tick.met); !reflect.DeepEqual(got, want) {
+					t.Errorf("Metrics differ:\n tick: %+v\n %s: %+v", want, other.label, got)
+				}
+				if tickRow, otherRow := sweepRow(tick.met, c.spec != nil), sweepRow(other.met, c.spec != nil); tickRow != otherRow {
+					t.Errorf("sweep CSV rows differ:\n tick: %s\n %s: %s", tickRow, other.label, otherRow)
+				}
+				if !reflect.DeepEqual(tick.procs, other.procs) {
+					t.Errorf("per-processor accounting differs:\n tick: %+v\n %s: %+v", tick.procs, other.label, other.procs)
+				}
+				if !reflect.DeepEqual(tick.events, other.events) {
+					n := len(tick.events)
+					if len(other.events) < n {
+						n = len(other.events)
 					}
+					for i := 0; i < n; i++ {
+						if tick.events[i] != other.events[i] {
+							t.Errorf("trace streams diverge at event %d:\n tick: %v\n %s: %v", i, tick.events[i], other.label, other.events[i])
+							break
+						}
+					}
+					t.Errorf("trace streams differ (%d tick events, %d %s events)", len(tick.events), len(other.events), other.label)
 				}
-				t.Errorf("trace streams differ (%d tick events, %d event-kernel events)", len(tick.events), len(event.events))
+			}
+			tick := run("tick", c, KernelTick)
+			event := run("event", c, KernelEvent)
+			compare(tick, event)
+			for _, shards := range []int{1, 2, 4} {
+				cs := c
+				cs.shards = shards
+				compare(tick, run("sharded/s"+strconv.Itoa(shards), cs, KernelSharded))
 			}
 
 			// Self-consistency of the skip accounting in event mode.
@@ -177,6 +197,30 @@ func TestKernelParity(t *testing.T) {
 	}
 }
 
+// TestShardedKernelDeterminismStress re-runs one sharded configuration
+// many times and demands identical Metrics every time. Goroutine
+// scheduling varies freely across runs; if any scheduling decision
+// could leak into simulated state (a lane merged in arrival order
+// instead of (cycle, node) order, say), twenty runs on a config with
+// multi-shard windows would catch it far more reliably than a single
+// differential pass.
+func TestShardedKernelDeterminismStress(t *testing.T) {
+	const runs = 20
+	c := parityCell{mapName: "random", contexts: 2, localDelay: 9, shards: 4}
+	var want Metrics
+	for i := 0; i < runs; i++ {
+		mach := buildParityMachine(t, c, KernelSharded, nil)
+		met := execMeasured(t, mach, 500, 2000)
+		if i == 0 {
+			want = met
+			continue
+		}
+		if !reflect.DeepEqual(met, want) {
+			t.Fatalf("run %d diverged:\n first: %+v\n now:   %+v", i, want, met)
+		}
+	}
+}
+
 // TestEventKernelActuallySkips guards against the event kernel
 // silently degenerating into the tick kernel: on the default workload
 // with its 20-cycle compute grain there are always quiescent spans.
@@ -188,7 +232,7 @@ func TestEventKernelActuallySkips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met := mach.RunMeasured(1000, 4000)
+	met := execMeasured(t, mach, 1000, 4000)
 	if met.CyclesSkipped == 0 {
 		t.Fatal("event kernel skipped nothing on a compute-heavy workload")
 	}
@@ -213,7 +257,7 @@ func TestEventKernelSkipsWithSlowLocalDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met := mach.RunMeasured(1000, 4000)
+	met := execMeasured(t, mach, 1000, 4000)
 	if r := met.SkipRatio(); r < 0.3 {
 		t.Errorf("skip ratio %.2f with LocalDelay 15, want ≥ 0.3 (local deliveries should stay skippable)", r)
 	}

@@ -37,8 +37,8 @@ func prefetchMachine(t *testing.T, m *mapping.Mapping, prefetch bool) *Machine {
 func TestPrefetchingToleratesLatency(t *testing.T) {
 	tor := topology.MustNew(4, 2)
 	m := mapping.Random(tor, 3)
-	plain := prefetchMachine(t, m, false).RunMeasured(3000, 10000)
-	pref := prefetchMachine(t, m, true).RunMeasured(3000, 10000)
+	plain := execMeasured(t, prefetchMachine(t, m, false), 3000, 10000)
+	pref := execMeasured(t, prefetchMachine(t, m, true), 3000, 10000)
 	if pref.InterTxnTime >= plain.InterTxnTime {
 		t.Errorf("prefetching tt = %g should beat blocking tt = %g", pref.InterTxnTime, plain.InterTxnTime)
 	}
@@ -61,8 +61,8 @@ func TestPrefetchingRaisesLatencySensitivity(t *testing.T) {
 	far := mapping.Optimize(tor, 2, +1, 100)
 
 	slowdown := func(prefetch bool) float64 {
-		a := prefetchMachine(t, near, prefetch).RunMeasured(3000, 10000)
-		b := prefetchMachine(t, far, prefetch).RunMeasured(3000, 10000)
+		a := execMeasured(t, prefetchMachine(t, near, prefetch), 3000, 10000)
+		b := execMeasured(t, prefetchMachine(t, far, prefetch), 3000, 10000)
 		return b.InterTxnTime / a.InterTxnTime
 	}
 	plainSlowdown := slowdown(false)
@@ -78,7 +78,7 @@ func TestPrefetchingRaisesLatencySensitivity(t *testing.T) {
 func TestPrefetchCounters(t *testing.T) {
 	tor := topology.MustNew(4, 2)
 	mach := prefetchMachine(t, mapping.Identity(tor), true)
-	mach.Run(5000)
+	execCycles(t, mach, 5000)
 	var total int64
 	for n := 0; n < tor.Nodes(); n++ {
 		total += mach.Processor(n).Snapshot().Prefetches

@@ -29,7 +29,7 @@ func captureCell(t *testing.T, c parityCell) (Metrics, *replay.Trace) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met := mach.RunMeasured(rtWarmup, rtWindow)
+	met := execMeasured(t, mach, rtWarmup, rtWindow)
 	tr, err := mach.CapturedTrace(rtWarmup, rtWindow)
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func replayCell(t *testing.T, c parityCell, tr *replay.Trace, mode KernelMode) M
 	if err != nil {
 		t.Fatal(err)
 	}
-	return mach.RunMeasured(tr.Header.Warmup, tr.Header.Window)
+	return execMeasured(t, mach, tr.Header.Warmup, tr.Header.Window)
 }
 
 // TestCaptureReplayRoundTrip is the subsystem's end-to-end guarantee:
@@ -115,7 +115,7 @@ func TestReplayGridWorkerInvariance(t *testing.T) {
 					if err != nil {
 						return "", err
 					}
-					met, err := mach.RunMeasuredChecked(ctx, tr.Header.Warmup, tr.Header.Window)
+					met, err := execMeasuredChecked(ctx, mach, tr.Header.Warmup, tr.Header.Window)
 					if err != nil {
 						return "", err
 					}

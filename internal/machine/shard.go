@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"locality/internal/cohsim"
+	"locality/internal/sim"
+	"locality/internal/trace"
+)
+
+// This file assembles the machine's sharded-kernel support on top of
+// sim.ShardRunner: the spatial partition of the torus into shards, the
+// per-shard lanes that collect the processors' deferred protocol
+// entries during a parallel window, and the deterministic merge that
+// replays them in exact sequential order.
+//
+// The shard components are the processors (kernel registration indices
+// 1..Nodes); the protocol, the network, and the sampler stay global.
+// During a window the processors run concurrently, so their calls into
+// the coherence protocol go through the sharded entry points: the
+// node-local half executes immediately (processor and cache state are
+// shard-private), and the global half comes back as a cohsim.
+// DeferredOp, stamped with its cycle and node into the calling shard's
+// lane. When the window's parallel phase ends, the lanes are merged —
+// stable-sorted by (cycle, node), which reconstructs the sequential
+// loop's call order exactly, because within one (cycle, node) all ops
+// sit in a single lane in call order — and the replay drains the
+// merged queue through the kernel's Apply hook.
+
+// deferredCall is one deferred protocol entry awaiting serial replay.
+type deferredCall struct {
+	cycle int64
+	node  int
+	op    cohsim.DeferredOp
+}
+
+// shardState is the machine's window-scoped shard bookkeeping.
+type shardState struct {
+	groups [][]int // node IDs per shard
+	laneOf []int   // node ID → shard index
+	lanes  [][]deferredCall
+	merged []deferredCall
+	cursor int
+	// active is true only between a window's Begin and End hooks: the
+	// parallel phase, when processor entry calls must be deferred. Set
+	// and cleared serially by the kernel, before goroutines start and
+	// after they join.
+	active bool
+	// windows counts parallel windows opened (diagnostics only).
+	windows int64
+}
+
+// push records a deferred op from node at the given cycle. Called from
+// shard goroutines; nodes in different shards never share a lane.
+func (s *shardState) push(node int, cycle int64, op cohsim.DeferredOp) {
+	lane := s.laneOf[node]
+	s.lanes[lane] = append(s.lanes[lane], deferredCall{cycle: cycle, node: node, op: op})
+}
+
+// shardLayout partitions the torus into cfg.Shards contiguous
+// coordinate slabs along dimension cfg.ShardDim. Shards == 0 picks
+// min(GOMAXPROCS, radix). The layout never affects simulated results —
+// only which goroutine advances which processors.
+func (cfg *Config) shardLayout() ([][]int, error) {
+	k := cfg.Topo.K()
+	dim := cfg.ShardDim
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > k {
+			shards = k
+		}
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	groups := make([][]int, shards)
+	for id := 0; id < cfg.Topo.Nodes(); id++ {
+		s := cfg.Topo.Coords(id)[dim] * shards / k
+		groups[s] = append(groups[s], id)
+	}
+	for s, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("machine: shard %d of %d is empty (radix %d along dimension %d)", s, shards, k, dim)
+		}
+	}
+	return groups, nil
+}
+
+// buildSharder wires the shard runner: layout, lanes, and the
+// Begin/End/Apply hooks closing over the machine. Called from
+// buildKernel when cfg.Kernel is KernelSharded.
+func (m *Machine) buildSharder() error {
+	groups, err := m.cfg.shardLayout()
+	if err != nil {
+		return err
+	}
+	sh := &shardState{
+		groups: groups,
+		laneOf: make([]int, m.cfg.Topo.Nodes()),
+		lanes:  make([][]deferredCall, len(groups)),
+	}
+	for s, g := range groups {
+		for _, node := range g {
+			sh.laneOf[node] = s
+		}
+	}
+	m.shard = sh
+
+	plan := sim.ShardPlan{
+		First:     1, // registration order: protocol, then the processors
+		Count:     len(m.procs),
+		Groups:    groups,
+		Lookahead: int64(m.proto.EntryLookahead()),
+		Begin: func(from, until int64) {
+			if sh.cursor != len(sh.merged) {
+				panic(fmt.Sprintf("machine: %d deferred protocol entries never replayed", len(sh.merged)-sh.cursor))
+			}
+			sh.merged = sh.merged[:0]
+			sh.cursor = 0
+			for i := range sh.lanes {
+				sh.lanes[i] = sh.lanes[i][:0]
+			}
+			sh.active = true
+			sh.windows++
+			m.cfg.Trace.Emit(trace.Event{
+				Cycle: from, Kind: trace.KindShardWindow,
+				Node: -1, Peer: len(sh.groups), Info: until - from,
+			})
+		},
+		End: func(from, until int64) {
+			sh.active = false
+			for _, lane := range sh.lanes {
+				sh.merged = append(sh.merged, lane...)
+			}
+			sort.SliceStable(sh.merged, func(i, j int) bool {
+				a, b := &sh.merged[i], &sh.merged[j]
+				if a.cycle != b.cycle {
+					return a.cycle < b.cycle
+				}
+				return a.node < b.node
+			})
+		},
+		Apply: func(node int, now int64) {
+			for sh.cursor < len(sh.merged) {
+				d := &sh.merged[sh.cursor]
+				if d.cycle != now || d.node != node {
+					break
+				}
+				sh.cursor++
+				d.op()
+			}
+		},
+	}
+	m.sharder, err = sim.NewShardRunner(m.kernel, plan)
+	return err
+}
+
+// ShardWindows reports how many parallel windows the sharded kernel
+// has opened (0 under the other kernels, or before the first window).
+func (m *Machine) ShardWindows() int64 {
+	if m.shard == nil {
+		return 0
+	}
+	return m.shard.windows
+}

@@ -37,7 +37,7 @@ func TestTelemetryIsObservationallyNeutral(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					return mach2.RunMeasured(warmup, window)
+					return execMeasured(t, mach2, warmup, window)
 				}
 				plain := run(nil)
 				instrumented := run(telemetry.New())
@@ -68,7 +68,7 @@ func TestAttributionPartitionsExecutedCycles(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				mach.RunMeasured(500, 2000)
+				execMeasured(t, mach, 500, 2000)
 				attr := mach.Attribution()
 				if got, want := attr.Total(), mach.KernelStats().Ticked; got != want {
 					t.Errorf("%v kernel: attribution total %d != executed cycles %d (%s)", mode, got, want, attr)
@@ -89,7 +89,7 @@ func TestAttributionZeroWithoutTelemetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mach.RunMeasured(200, 500)
+	execMeasured(t, mach, 200, 500)
 	if attr := mach.Attribution(); attr != (Attribution{}) {
 		t.Errorf("attribution populated without telemetry: %s", attr)
 	}
@@ -107,7 +107,7 @@ func TestLatencyHistogramsMeasureThOfD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mach.Run(4000)
+	execCycles(t, mach, 4000)
 
 	// Key 0 holds node-local deliveries (the fabric bypass, outside the
 	// network's Delivered counter); every routed message travels ≥ 1 hop
@@ -160,7 +160,7 @@ func TestSliceStreamContents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mach.Run(3500)
+	execCycles(t, mach, 3500)
 	mach.FlushSlices()
 	if err := sw.Err(); err != nil {
 		t.Fatal(err)
@@ -231,7 +231,7 @@ func TestSlicingDoesNotPerturbResults(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return mach.RunMeasured(500, 2000)
+			return execMeasured(t, mach, 500, 2000)
 		}
 		plain := run(0)
 		sliced := run(333) // deliberately misaligned with the run chunking
@@ -254,7 +254,7 @@ func TestDiagSnapshotIncludesTelemetry(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mach.Run(1500)
+		execCycles(t, mach, 1500)
 		snap := mach.DiagSnapshot()
 		for _, want := range []string{"cycle attribution:", "telemetry registry:", "kernel/cycles_ticked", "proto/", "net/"} {
 			if !strings.Contains(snap, want) {
@@ -267,7 +267,7 @@ func TestDiagSnapshotIncludesTelemetry(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bare.Run(1500)
+		execCycles(t, bare, 1500)
 		if s := bare.DiagSnapshot(); strings.Contains(s, "telemetry registry") {
 			t.Errorf("%v kernel: uninstrumented DiagSnapshot mentions telemetry:\n%s", mode, s)
 		}
@@ -333,7 +333,7 @@ func TestStallReportParityAcrossKernels(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				err = mach.RunChecked(context.Background(), 200000)
+				_, err = mach.Execute(context.Background(), RunSpec{Cycles: 200000})
 				var rep *faults.StallReport
 				if !errors.As(err, &rep) {
 					t.Fatalf("%v kernel: expected a StallReport, got %v", mode, err)

@@ -17,7 +17,7 @@ func TestMachineTracing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mach.Run(3000)
+	execCycles(t, mach, 3000)
 
 	if tr.Count(trace.KindMsgSend) == 0 {
 		t.Error("no message-send events traced")
@@ -62,5 +62,5 @@ func TestMachineWithoutTracerIsQuiet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mach.Run(1000) // would panic on a nil-dereference if mis-wired
+	execCycles(t, mach, 1000) // would panic on a nil-dereference if mis-wired
 }

@@ -35,8 +35,8 @@ func TestUniformWorkloadHasNoLocalityToExploit(t *testing.T) {
 	// ideal placement buys (essentially) nothing — the situation the
 	// paper describes for applications without physical locality.
 	tor := topology.MustNew(4, 2)
-	identMet := uniformMachine(t, mapping.Identity(tor)).RunMeasured(3000, 10000)
-	randMet := uniformMachine(t, mapping.Random(tor, 7)).RunMeasured(3000, 10000)
+	identMet := execMeasured(t, uniformMachine(t, mapping.Identity(tor)), 3000, 10000)
+	randMet := execMeasured(t, uniformMachine(t, mapping.Random(tor, 7)), 3000, 10000)
 
 	// Measured communication distance approaches the Equation 17
 	// expectation regardless of the mapping...
@@ -62,8 +62,8 @@ func TestUniformVsRelaxationLocality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	relaxMet := relax.RunMeasured(3000, 10000)
-	uniMet := uniformMachine(t, mapping.Identity(tor)).RunMeasured(3000, 10000)
+	relaxMet := execMeasured(t, relax, 3000, 10000)
+	uniMet := execMeasured(t, uniformMachine(t, mapping.Identity(tor)), 3000, 10000)
 	if uniMet.MsgLatency <= relaxMet.MsgLatency {
 		t.Errorf("uniform Tm %g should exceed single-hop relaxation Tm %g", uniMet.MsgLatency, relaxMet.MsgLatency)
 	}

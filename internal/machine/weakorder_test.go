@@ -35,8 +35,8 @@ func weakOrderMachine(t *testing.T, m *mapping.Mapping, weak bool) *Machine {
 func TestWeakOrderingHidesWriteLatency(t *testing.T) {
 	tor := topology.MustNew(4, 2)
 	m := mapping.Random(tor, 3)
-	strong := weakOrderMachine(t, m, false).RunMeasured(3000, 10000)
-	weak := weakOrderMachine(t, m, true).RunMeasured(3000, 10000)
+	strong := execMeasured(t, weakOrderMachine(t, m, false), 3000, 10000)
+	weak := execMeasured(t, weakOrderMachine(t, m, true), 3000, 10000)
 	// Work completed per cycle is the honest comparison (the weak run
 	// issues the same transactions but overlaps one of five).
 	if weak.TxnRate <= strong.TxnRate {
@@ -50,7 +50,7 @@ func TestWeakOrderingHidesWriteLatency(t *testing.T) {
 func TestWeakOrderingStillCoherent(t *testing.T) {
 	tor := topology.MustNew(4, 2)
 	mach := weakOrderMachine(t, mapping.Random(tor, 9), true)
-	mach.Run(20000)
+	execCycles(t, mach, 20000)
 	wl := mach.Workload().(workload.RelaxationConfig)
 	for th := 0; th < tor.Nodes(); th++ {
 		addr := wl.StateAddr(0, th)

@@ -32,8 +32,8 @@ func (p *Processor) NextEvent() int64 {
 }
 
 // maxMergeOps bounds how many back-to-back compute operations one
-// NextEvent call folds into the running burst, so a compute-only
-// program cannot trap the lookahead in an unbounded loop.
+// merge folds into the running burst, so a compute-only program cannot
+// trap the lookahead in an unbounded loop.
 const maxMergeOps = 64
 
 // mergeBursts is the bulk multi-burst lookahead: while the running
@@ -44,28 +44,36 @@ const maxMergeOps = 64
 // per-cycle fetch path too (one fetch cycle plus C−1 drain cycles,
 // with zero-length bursts costing their one fetch cycle) — so Tick,
 // Advance, and all counters are unchanged; only the number of
-// executed cycles shrinks. The first non-compute op lands in the
+// executed cycles shrinks. The op ending the merge lands in the
 // lookahead slot, where fetch picks it up at the merged span's end. A
 // pending (blocked-and-retrying) memory op disables merging: the
 // program's next op is not up yet.
+//
+// Merging is a function of program position only, never of how often
+// NextEvent is polled: a non-empty lookahead slot ends the merge even
+// when it holds a compute op parked by a previous capped fold. The
+// sharded kernel depends on this — it polls NextEvent on a different
+// schedule than the sequential loop, and both must leave the context
+// in bit-identical state.
 func (p *Processor) mergeBursts(c *context) {
-	if c.pending != nil {
+	if c.pending != nil || c.look != nil {
 		return
 	}
 	for i := 0; i < maxMergeOps; i++ {
-		if c.look == nil {
-			c.look = p.fetch(c, p.cur)
-		}
-		if c.look.Kind != OpCompute {
+		op := p.fetch(c, p.cur)
+		if op.Kind != OpCompute {
+			c.look = op
 			return
 		}
-		cy := c.look.Cycles
+		cy := op.Cycles
 		if cy < 1 {
 			cy = 1 // a zero-length burst still costs its fetch cycle
 		}
 		c.remaining += cy
-		c.look = nil
 	}
+	// Cap reached: park the next op — compute or not — so further polls
+	// cannot fold deeper.
+	c.look = p.fetch(c, p.cur)
 }
 
 // Advance implements sim.Advancer: applies cycles (lastTick, to] in

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file adds the kernel's third execution mode: conservative-
+// lookahead sharded execution. It is the event loop of Run with one
+// extra mechanism — wherever a lookahead bound proves that no other
+// component's activity can reach a contiguous range of per-node
+// "shard" components for a span of cycles, those components are
+// advanced through the span concurrently (grouped into shards, one
+// goroutine each) ahead of the main loop. Their externally visible
+// calls are deferred into per-shard lanes and replayed serially, in
+// the exact order the sequential loop would have made them, as the
+// main loop executes the span's cycles. Results are bit-identical to
+// Run.
+//
+// The correctness argument, in terms of the Component contract:
+//
+//   - Shard components may interact with the rest of the machine only
+//     through deferred effects with latency ≥ Lookahead: an entry made
+//     at cycle u cannot influence any component's state before cycle
+//     u + Lookahead. Entries happen only inside a shard component's
+//     Tick, and Ticks happen only at its announced NextEvent cycles
+//     (a Tick at any other cycle is equivalent to Advance).
+//   - Non-shard components may influence shard components at any
+//     executed cycle, so a window never extends past the earliest
+//     non-shard NextEvent observed when it opens. New non-shard events
+//     scheduled inside the window are consequences of deferred shard
+//     entries made at cycles ≥ the window's first shard event, so
+//     their shard-visible effects land at or beyond the horizon.
+//
+// Within a window, then, each shard component's trajectory depends
+// only on its own state: it can be run to the horizon in isolation.
+// The main loop replays the window's cycles with the pre-advanced
+// components masked out — their recorded event cycles stand in for
+// NextEvent, and the Apply hook stands in for Tick, draining the
+// deferred-call lanes — so every other component, and every observer
+// (stats, attribution, skip tracing), sees the sequential schedule.
+
+// ShardPlan configures sharded execution over a kernel.
+type ShardPlan struct {
+	// First and Count delimit the shard components: the contiguous
+	// registration-index range [First, First+Count). Everything outside
+	// the range is a global component, executed only by the main loop.
+	First, Count int
+	// Groups partitions the shard components into shards by offset
+	// (0 ≤ offset < Count): one goroutine advances each group. Offsets
+	// must cover each component at most once; components left out of
+	// every group are treated as global.
+	Groups [][]int
+	// Lookahead is the minimum number of cycles between a shard
+	// component's externally visible entry call and that call's
+	// earliest effect on any component. Zero is always safe and
+	// degenerates to purely sequential execution.
+	Lookahead int64
+	// MinWindow suppresses parallel phases shorter than this many
+	// cycles, where goroutine dispatch costs more than it saves. Zero
+	// selects a small default. Any value is bit-identical to any other.
+	MinWindow int64
+	// Begin, when non-nil, runs serially just before a window's
+	// parallel phase, with the half-open cycle span [from, until).
+	Begin func(from, until int64)
+	// End, when non-nil, runs serially right after the parallel phase
+	// completes, before any of the window's cycles execute. This is
+	// where deferred-call lanes are merged into replay order.
+	End func(from, until int64)
+	// Apply substitutes for shard component offset's Tick(now) while
+	// the main loop replays a window: it must apply the component's
+	// deferred external calls for cycle now, in the order the component
+	// made them. Required.
+	Apply func(offset int, now int64)
+}
+
+const defaultMinWindow = 4
+
+func (p *ShardPlan) minWindow() int64 {
+	if p.MinWindow > 0 {
+		return p.MinWindow
+	}
+	return defaultMinWindow
+}
+
+// ShardRunner executes a kernel under a ShardPlan. Construct with
+// NewShardRunner once per kernel; Run may be called repeatedly and
+// interleaves correctly with checkpointing (a window never outlives
+// the Run call that opened it, so at every Run boundary the kernel's
+// ordinary state is the complete state).
+type ShardRunner struct {
+	k    *Kernel
+	plan ShardPlan
+	// inShard[offset] reports whether shard component offset belongs to
+	// some group (is actually parallelized).
+	inShard []bool
+	// horizon is the exclusive end of the current window: shard
+	// components have been pre-advanced through horizon-1. When
+	// k.now ≥ horizon no window is open.
+	horizon int64
+	// dues[offset] lists the cycles in [window start, horizon) at which
+	// shard component offset announced an event and was ticked during
+	// the parallel phase; cur[offset] is the replay cursor into it.
+	dues [][]int64
+	cur  []int
+}
+
+// NewShardRunner validates the plan against the kernel and returns a
+// runner.
+func NewShardRunner(k *Kernel, plan ShardPlan) (*ShardRunner, error) {
+	if plan.First < 0 || plan.Count < 1 || plan.First+plan.Count > len(k.comps) {
+		return nil, fmt.Errorf("sim: shard range [%d, %d) outside the kernel's %d components",
+			plan.First, plan.First+plan.Count, len(k.comps))
+	}
+	if plan.Lookahead < 0 {
+		return nil, fmt.Errorf("sim: negative shard lookahead %d", plan.Lookahead)
+	}
+	if plan.Apply == nil {
+		return nil, fmt.Errorf("sim: shard plan needs an Apply hook")
+	}
+	if len(plan.Groups) == 0 {
+		return nil, fmt.Errorf("sim: shard plan has no groups")
+	}
+	inShard := make([]bool, plan.Count)
+	for _, g := range plan.Groups {
+		for _, off := range g {
+			if off < 0 || off >= plan.Count {
+				return nil, fmt.Errorf("sim: shard offset %d outside [0, %d)", off, plan.Count)
+			}
+			if inShard[off] {
+				return nil, fmt.Errorf("sim: shard offset %d in more than one group", off)
+			}
+			inShard[off] = true
+		}
+	}
+	return &ShardRunner{
+		k:       k,
+		plan:    plan,
+		inShard: inShard,
+		dues:    make([][]int64, plan.Count),
+		cur:     make([]int, plan.Count),
+	}, nil
+}
+
+// Run advances the kernel by cycles in sharded event mode. It
+// reproduces Kernel.Run bit for bit: same executed cycles, same
+// component call order within them, same stats, attribution, and skip
+// observations.
+func (r *ShardRunner) Run(cycles int64) {
+	k := r.k
+	end := k.now + cycles
+	for k.now < end {
+		if k.now >= r.horizon {
+			r.maybeOpen(end)
+		}
+		r.tick()
+		if k.now >= end {
+			if k.attr != nil {
+				// Mirror Run: decide the charge for the cycle at end
+				// now, so chunked runs attribute identically.
+				if next, arg := r.sweep(); next == k.now {
+					k.pending = arg
+				}
+			}
+			return
+		}
+		next, arg := r.sweep()
+		if next <= k.now {
+			k.pending = arg
+			continue // something is due immediately: no skip
+		}
+		if next > end {
+			next = end
+			arg = -1 // clamped: nothing forced the cycle at end
+		}
+		r.advance(next - 1)
+		if k.onSkip != nil {
+			k.onSkip(k.now, next)
+		}
+		k.stats.Skipped += next - k.now
+		k.now = next
+		k.pending = arg
+	}
+}
+
+// masked reports whether component index i is substituted during the
+// current window's replay (pre-advanced in the parallel phase).
+func (r *ShardRunner) masked(i int, now int64) (int, bool) {
+	off := i - r.plan.First
+	if now < r.horizon && off >= 0 && off < r.plan.Count && r.inShard[off] {
+		return off, true
+	}
+	return 0, false
+}
+
+// tick mirrors Kernel.tick, replaying pre-advanced shard components
+// through Apply instead of Tick.
+func (r *ShardRunner) tick() {
+	k := r.k
+	now := k.now
+	for i, c := range k.comps {
+		if off, ok := r.masked(i, now); ok {
+			if cur := r.cur[off]; cur < len(r.dues[off]) && r.dues[off][cur] == now {
+				r.cur[off] = cur + 1
+			}
+			r.plan.Apply(off, now)
+		} else {
+			c.Tick(now)
+		}
+	}
+	k.stats.Ticked++
+	k.now = now + 1
+	if k.attr != nil {
+		if k.pending >= 0 {
+			k.attr[k.pending]++
+		} else {
+			k.attrNone++
+		}
+		k.pending = -1
+	}
+}
+
+// sweep mirrors Kernel.sweep, substituting each pre-advanced shard
+// component's recorded event cycles for its NextEvent. Once a
+// component's recorded events are drained its live NextEvent is
+// correct again: the next value it announces lies at or beyond the
+// horizon, exactly what its sequential self would report from within
+// the window (NextEvent trajectories are position-determined).
+func (r *ShardRunner) sweep() (int64, int) {
+	k := r.k
+	next, arg := Never, -1
+	for i, c := range k.comps {
+		var ne int64
+		if off, ok := r.masked(i, k.now); ok && r.cur[off] < len(r.dues[off]) {
+			ne = r.dues[off][r.cur[off]]
+		} else {
+			ne = c.NextEvent()
+		}
+		if ne < next {
+			next, arg = ne, i
+		}
+	}
+	return next, arg
+}
+
+// advance mirrors Run's bulk-skip, omitting shard components already
+// advanced past the target by the parallel phase.
+func (r *ShardRunner) advance(to int64) {
+	k := r.k
+	for i, a := range k.advs {
+		if a == nil {
+			continue
+		}
+		if _, ok := r.masked(i, to); ok {
+			continue // pre-advanced through horizon-1 ≥ to
+		}
+		a.Advance(to)
+	}
+}
+
+// maybeOpen computes the largest provably independent window starting
+// at the current cycle and, if it is worth parallelizing, pre-advances
+// every shard component through it.
+func (r *ShardRunner) maybeOpen(end int64) {
+	k := r.k
+	plan := &r.plan
+	for off := range r.cur {
+		if r.cur[off] != len(r.dues[off]) {
+			panic(fmt.Sprintf("sim: window closed with %d unreplayed events for shard component %d",
+				len(r.dues[off])-r.cur[off], off))
+		}
+	}
+	from := k.now
+	// Global components bound the window directly: their executed
+	// cycles may touch shard state with no latency floor.
+	until := end
+	shardNext := Never
+	for i, c := range k.comps {
+		off := i - plan.First
+		if off >= 0 && off < plan.Count && r.inShard[off] {
+			if ne := c.NextEvent(); ne < shardNext {
+				shardNext = ne
+			}
+			continue
+		}
+		if ne := c.NextEvent(); ne < until {
+			until = ne
+		}
+	}
+	// Shard components bound it through the lookahead: an entry at
+	// cycle u has no effect on anything before u + Lookahead, and the
+	// earliest possible entry is the earliest shard event.
+	if shardNext < until {
+		if h := shardNext + plan.Lookahead; h < until {
+			until = h
+		}
+	}
+	if until-from < plan.minWindow() {
+		return
+	}
+	if plan.Begin != nil {
+		plan.Begin(from, until)
+	}
+	if len(plan.Groups) == 1 {
+		r.advanceGroup(plan.Groups[0], from, until)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(plan.Groups))
+		for _, g := range plan.Groups {
+			go func(g []int) {
+				defer wg.Done()
+				r.advanceGroup(g, from, until)
+			}(g)
+		}
+		wg.Wait()
+	}
+	if plan.End != nil {
+		plan.End(from, until)
+	}
+	r.horizon = until
+}
+
+// advanceGroup runs one shard: each of its components is advanced
+// independently through [from, until), ticking at exactly the cycles
+// its NextEvent announces and recording them for the replay.
+func (r *ShardRunner) advanceGroup(group []int, from, until int64) {
+	for _, off := range group {
+		c := r.k.comps[r.plan.First+off]
+		adv := r.k.advs[r.plan.First+off]
+		dues := r.dues[off][:0]
+		last := from - 1
+		for {
+			ne := c.NextEvent()
+			if ne >= until {
+				break
+			}
+			if ne <= last {
+				panic(fmt.Sprintf("sim: shard component %d announced cycle %d, at or before last executed cycle %d",
+					off, ne, last))
+			}
+			if adv != nil && ne-1 > last {
+				adv.Advance(ne - 1)
+			}
+			c.Tick(ne)
+			last = ne
+			dues = append(dues, ne)
+		}
+		if adv != nil && until-1 > last {
+			adv.Advance(until - 1)
+		}
+		r.dues[off] = dues
+		r.cur[off] = 0
+	}
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardFixture builds one global component plus four shard components
+// with sparse, staggered event scripts. The scripted type's internal
+// assertions (Tick contiguity, Advance never crossing an event) are
+// themselves a large part of the test: sharded execution that skipped
+// or double-ran a cycle would trip them.
+func shardFixture(t *testing.T) (*Kernel, []*scripted) {
+	g := newScripted(t, 5, 40, 90)
+	s0 := newScripted(t, 0, 7, 33, 80)
+	s1 := newScripted(t, 12, 34)
+	s2 := newScripted(t) // never has an event
+	s3 := newScripted(t, 3, 77, 78, 79)
+	k := New(g, s0, s1, s2, s3)
+	return k, []*scripted{g, s0, s1, s2, s3}
+}
+
+func shardPlan(applied *[][2]int64) ShardPlan {
+	return ShardPlan{
+		First: 1, Count: 4,
+		Groups: [][]int{{0, 1}, {2, 3}},
+		// The scripted components never interact, so any lookahead
+		// bound is valid; a huge one makes windows as large as the
+		// global component permits.
+		Lookahead: 1 << 20,
+		Apply: func(off int, now int64) {
+			if applied != nil {
+				*applied = append(*applied, [2]int64{int64(off), now})
+			}
+		},
+	}
+}
+
+func TestShardRunnerMatchesRun(t *testing.T) {
+	const cycles = 100
+	ref, refComps := shardFixture(t)
+	var refSkips [][2]int64
+	ref.SetOnSkip(func(from, to int64) { refSkips = append(refSkips, [2]int64{from, to}) })
+	ref.Run(cycles)
+
+	k, comps := shardFixture(t)
+	var skips, applied [][2]int64
+	k.SetOnSkip(func(from, to int64) { skips = append(skips, [2]int64{from, to}) })
+	var windows int
+	plan := shardPlan(&applied)
+	plan.Begin = func(from, until int64) { windows++ }
+	r, err := NewShardRunner(k, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(cycles)
+
+	if windows == 0 {
+		t.Fatal("no parallel window ever opened: the fixture exercises nothing")
+	}
+	if k.Now() != ref.Now() {
+		t.Fatalf("Now() = %d, want %d", k.Now(), ref.Now())
+	}
+	// The replay must reproduce the sequential schedule exactly: same
+	// executed/skipped split, same skip spans.
+	if k.Stats() != ref.Stats() {
+		t.Errorf("stats %+v, want %+v", k.Stats(), ref.Stats())
+	}
+	if !reflect.DeepEqual(skips, refSkips) {
+		t.Errorf("skip spans %v, want %v", skips, refSkips)
+	}
+	// The global component is ticked live on every executed cycle.
+	if !reflect.DeepEqual(comps[0].ticked, refComps[0].ticked) {
+		t.Errorf("global component ticked %v, want %v", comps[0].ticked, refComps[0].ticked)
+	}
+	// Shard components end in the sequential end state, with every
+	// quiescent cycle accrued exactly once and every event executed.
+	for i, s := range comps[1:] {
+		want := refComps[1+i]
+		if s.last != want.last || s.quietAcc != want.quietAcc {
+			t.Errorf("shard %d end state (last %d, quiet %d), want (last %d, quiet %d)",
+				i, s.last, s.quietAcc, want.last, want.quietAcc)
+		}
+		for e := range s.events {
+			n := 0
+			for _, c := range s.ticked {
+				if c == e {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Errorf("shard %d event cycle %d ticked %d times", i, e, n)
+			}
+		}
+	}
+	// Within a window, Apply substitutes for Tick on every executed
+	// cycle, for every shard component — including event cycles, where
+	// the recorded due is consumed.
+	perCycle := map[int64]int{}
+	for _, a := range applied {
+		perCycle[a[1]]++
+	}
+	for cycle, n := range perCycle {
+		if n != 4 {
+			t.Errorf("cycle %d applied to %d shard components, want 4", cycle, n)
+		}
+	}
+}
+
+func TestShardRunnerChunkedRunsMatchWholeRun(t *testing.T) {
+	whole, wholeComps := shardFixture(t)
+	rw, err := NewShardRunner(whole, shardPlan(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw.Run(120)
+
+	chunked, chunkedComps := shardFixture(t)
+	rc, err := NewShardRunner(chunked, shardPlan(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uneven chunks: windows must never outlive the Run call that
+	// opened them, so every boundary is a consistent kernel state.
+	for _, n := range []int64{1, 7, 30, 2, 60, 20} {
+		rc.Run(n)
+	}
+
+	if whole.Now() != chunked.Now() {
+		t.Fatalf("Now() = %d vs %d", whole.Now(), chunked.Now())
+	}
+	if got, want := chunked.Stats().Cycles(), whole.Stats().Cycles(); got != want {
+		t.Errorf("total cycles %d, want %d", got, want)
+	}
+	for i := range wholeComps {
+		if wholeComps[i].last != chunkedComps[i].last || wholeComps[i].quietAcc != chunkedComps[i].quietAcc {
+			t.Errorf("component %d diverged across chunking: (last %d, quiet %d) vs (last %d, quiet %d)",
+				i, chunkedComps[i].last, chunkedComps[i].quietAcc, wholeComps[i].last, wholeComps[i].quietAcc)
+		}
+	}
+}
+
+func TestShardRunnerMinWindowSuppressesParallelism(t *testing.T) {
+	k, comps := shardFixture(t)
+	ref, refComps := shardFixture(t)
+	ref.Run(100)
+
+	var applied [][2]int64
+	plan := shardPlan(&applied)
+	plan.MinWindow = 1 << 30 // no window is ever worth opening
+	r, err := NewShardRunner(k, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(100)
+	if len(applied) != 0 {
+		t.Errorf("%d Apply calls despite a prohibitive MinWindow", len(applied))
+	}
+	if k.Stats() != ref.Stats() {
+		t.Errorf("stats %+v, want %+v", k.Stats(), ref.Stats())
+	}
+	for i := range comps {
+		if comps[i].last != refComps[i].last || comps[i].quietAcc != refComps[i].quietAcc {
+			t.Errorf("component %d diverged with parallelism suppressed", i)
+		}
+	}
+}
+
+func TestNewShardRunnerRejectsBadPlans(t *testing.T) {
+	k, _ := shardFixture(t)
+	apply := func(int, int64) {}
+	cases := map[string]ShardPlan{
+		"range outside kernel":  {First: 1, Count: 5, Groups: [][]int{{0}}, Apply: apply},
+		"negative first":        {First: -1, Count: 2, Groups: [][]int{{0}}, Apply: apply},
+		"zero count":            {First: 1, Count: 0, Groups: [][]int{{0}}, Apply: apply},
+		"negative lookahead":    {First: 1, Count: 4, Lookahead: -1, Groups: [][]int{{0}}, Apply: apply},
+		"missing apply":         {First: 1, Count: 4, Groups: [][]int{{0}}},
+		"no groups":             {First: 1, Count: 4, Apply: apply},
+		"offset out of range":   {First: 1, Count: 4, Groups: [][]int{{4}}, Apply: apply},
+		"offset in two groups":  {First: 1, Count: 4, Groups: [][]int{{0, 1}, {1}}, Apply: apply},
+		"negative group offset": {First: 1, Count: 4, Groups: [][]int{{-1}}, Apply: apply},
+	}
+	for name, plan := range cases {
+		if _, err := NewShardRunner(k, plan); err == nil {
+			t.Errorf("%s: plan accepted", name)
+		} else if !strings.Contains(err.Error(), "sim:") {
+			t.Errorf("%s: error %q lacks package prefix", name, err)
+		}
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	for in, want := range map[string]KernelKind{
+		"event": KernelEvent, "tick": KernelTick, "sharded": KernelSharded,
+	} {
+		got, err := ParseKernel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() != in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), in)
+		}
+	}
+	if _, err := ParseKernel("parallel"); err == nil {
+		t.Error("ParseKernel accepted an unknown kernel name")
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"locality/internal/procsim"
+	"locality/internal/topology"
+)
+
+// ReadShareConfig is a communication-light workload: each thread
+// repeatedly reads its own state word and its torus neighbors' words,
+// computing between reads, and never writes. After the cold misses
+// every word sits Shared in every reader's cache, so the steady state
+// is pure cache hits — no coherency traffic at all. It exists to
+// characterize the sharded kernel's best case (cmd/shardbench and
+// BenchmarkShardedKernel): with the fabric permanently drained, the
+// conservative-lookahead windows are as wide as the lookahead bound
+// allows, and the per-processor work between windows is maximal.
+type ReadShareConfig struct {
+	// Graph supplies the thread count and neighbor sets (threads =
+	// nodes, as in the relaxation workload).
+	Graph *topology.Torus
+	// Instances is the number of independent copies (one per context).
+	Instances int
+	// LineSize is the cache line size; each state word gets a line.
+	LineSize int
+	// Compute is the burst between consecutive reads, in P-cycles.
+	Compute int
+}
+
+// Validate checks the configuration.
+func (c ReadShareConfig) Validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("workload: nil graph")
+	}
+	if c.Instances < 1 {
+		return fmt.Errorf("workload: instance count %d, must be ≥ 1", c.Instances)
+	}
+	if c.LineSize < 1 {
+		return fmt.Errorf("workload: line size %d, must be ≥ 1", c.LineSize)
+	}
+	if c.Compute < 0 {
+		return fmt.Errorf("workload: negative compute cycles")
+	}
+	return nil
+}
+
+// stateAddr mirrors RelaxationConfig's address scheme.
+func (c ReadShareConfig) stateAddr(inst, thread int) uint64 {
+	return uint64(inst*c.Graph.Nodes()+thread) * uint64(c.LineSize)
+}
+
+// HomeFunc implements Workload: thread i's word lives on node i. The
+// workload is read-only, so homes only matter for the cold fills.
+func (c ReadShareConfig) HomeFunc() func(addr uint64) int {
+	nodes := c.Graph.Nodes()
+	return func(addr uint64) int {
+		return int(addr/uint64(c.LineSize)) % nodes
+	}
+}
+
+// FingerprintID pins the checkpoint fingerprint to the parameters that
+// shape the generated programs.
+func (c ReadShareConfig) FingerprintID() string {
+	return fmt.Sprintf("readshare/i%d/l%d/c%d", c.Instances, c.LineSize, c.Compute)
+}
+
+// readShareThread loops [compute, read] over a fixed address set.
+type readShareThread struct {
+	compute int
+	addrs   []uint64
+	pos     int
+}
+
+// Next implements procsim.Program.
+func (p *readShareThread) Next() procsim.Op {
+	i := p.pos
+	p.pos = (p.pos + 1) % (2 * len(p.addrs))
+	if i%2 == 0 {
+		return procsim.Op{Kind: procsim.OpCompute, Cycles: p.compute}
+	}
+	return procsim.Op{Kind: procsim.OpRead, Addr: p.addrs[i/2]}
+}
+
+// Programs implements Workload. Thread i runs on node i regardless of
+// mapping — with no steady-state communication there is no locality
+// for a mapping to exploit, so the identity placement keeps the
+// workload self-contained.
+func (c ReadShareConfig) Programs() ([][]procsim.Program, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := c.Graph.Nodes()
+	out := make([][]procsim.Program, nodes)
+	for node := 0; node < nodes; node++ {
+		out[node] = make([]procsim.Program, c.Instances)
+		for inst := 0; inst < c.Instances; inst++ {
+			addrs := []uint64{c.stateAddr(inst, node)}
+			for _, nb := range c.Graph.Neighbors(node) {
+				addrs = append(addrs, c.stateAddr(inst, nb))
+			}
+			out[node][inst] = &readShareThread{compute: c.Compute, addrs: addrs}
+		}
+	}
+	return out, nil
+}
+
+var _ Workload = ReadShareConfig{}
