@@ -4,6 +4,15 @@
 // 16-byte lines). The cache tracks coherence state per line (Invalid,
 // Shared, Modified); the protocol engine in package cohsim drives the
 // state transitions.
+//
+// Storage is sparse: only occupied (non-Invalid) frames are held, in a
+// map keyed by frame index, so an empty or lightly touched cache costs
+// O(occupied lines) memory instead of O(configured lines). That is
+// what lets a 10^5-node machine with mostly-idle caches fit in RAM.
+// Map iteration order never leaks into simulated behavior: lookups and
+// updates address single frames, and the only whole-cache walks
+// (StateCensus, Checkpoint) produce order-independent counts or sort
+// before emitting.
 package cachesim
 
 import (
@@ -48,13 +57,21 @@ type Config struct {
 	LineSize int
 }
 
+// line is one occupied frame: the full line address it holds and its
+// coherence state (never Invalid — Invalid frames are absent).
+type line struct {
+	tag   uint64
+	state State
+}
+
 // Cache is one node's direct-mapped coherent cache.
 type Cache struct {
 	cfg        Config
 	indexMask  uint64
 	offsetBits uint
-	tags       []uint64
-	states     []State
+	// lines maps frame index → occupied line. Allocated lazily on the
+	// first Install, so a never-written cache costs a few words.
+	lines map[int]line
 
 	hits      stats.Counter
 	misses    stats.Counter
@@ -73,8 +90,6 @@ func New(cfg Config) (*Cache, error) {
 		cfg:        cfg,
 		indexMask:  uint64(cfg.Lines - 1),
 		offsetBits: uint(bits.TrailingZeros(uint(cfg.LineSize))),
-		tags:       make([]uint64, cfg.Lines),
-		states:     make([]State, cfg.Lines),
 	}, nil
 }
 
@@ -100,11 +115,11 @@ func (c *Cache) index(addr uint64) int {
 // absent (either never installed or a conflicting tag occupies the
 // frame).
 func (c *Cache) Lookup(addr uint64) State {
-	i := c.index(addr)
-	if c.states[i] == Invalid || c.tags[i] != c.LineAddr(addr) {
+	ln, ok := c.lines[c.index(addr)]
+	if !ok || ln.tag != c.LineAddr(addr) {
 		return Invalid
 	}
-	return c.states[i]
+	return ln.state
 }
 
 // AccessRead records a read access: a hit if the line is Shared or
@@ -145,16 +160,18 @@ func (c *Cache) Install(addr uint64, s State) (Eviction, bool) {
 		panic("cachesim: Install with Invalid state")
 	}
 	i := c.index(addr)
-	line := c.LineAddr(addr)
+	la := c.LineAddr(addr)
 	var ev Eviction
 	had := false
-	if c.states[i] != Invalid && c.tags[i] != line {
-		ev = Eviction{LineAddr: c.tags[i], State: c.states[i]}
+	if prev, ok := c.lines[i]; ok && prev.tag != la {
+		ev = Eviction{LineAddr: prev.tag, State: prev.state}
 		had = true
 		c.evictions.Inc()
 	}
-	c.tags[i] = line
-	c.states[i] = s
+	if c.lines == nil {
+		c.lines = make(map[int]line)
+	}
+	c.lines[i] = line{tag: la, state: s}
 	return ev, had
 }
 
@@ -163,22 +180,25 @@ func (c *Cache) Install(addr uint64, s State) (Eviction, bool) {
 // bookkeeping errors loud.
 func (c *Cache) SetState(addr uint64, s State) {
 	i := c.index(addr)
-	if c.states[i] == Invalid || c.tags[i] != c.LineAddr(addr) {
+	ln, ok := c.lines[i]
+	if !ok || ln.tag != c.LineAddr(addr) {
 		panic(fmt.Sprintf("cachesim: SetState on absent line %#x", addr))
 	}
-	c.states[i] = s
+	ln.state = s
+	c.lines[i] = ln
 }
 
 // Invalidate drops the line containing addr if present, reporting
-// whether it was present and its prior state.
+// whether it was present and its prior state. The frame is released:
+// an invalidated line costs no memory.
 func (c *Cache) Invalidate(addr uint64) (State, bool) {
 	i := c.index(addr)
-	if c.states[i] == Invalid || c.tags[i] != c.LineAddr(addr) {
+	ln, ok := c.lines[i]
+	if !ok || ln.tag != c.LineAddr(addr) {
 		return Invalid, false
 	}
-	prior := c.states[i]
-	c.states[i] = Invalid
-	return prior, true
+	delete(c.lines, i)
+	return ln.state, true
 }
 
 // Hits returns the number of hit accesses recorded.
@@ -196,11 +216,15 @@ func (c *Cache) Lines() int { return c.cfg.Lines }
 // LineSize returns the configured line size in bytes.
 func (c *Cache) LineSize() int { return c.cfg.LineSize }
 
+// Occupied returns the number of frames currently holding a line; the
+// cache's resident footprint is proportional to this, not to Lines.
+func (c *Cache) Occupied() int { return len(c.lines) }
+
 // StateCensus returns how many lines are currently in each state;
 // used by protocol invariant checks.
 func (c *Cache) StateCensus() (shared, modified int) {
-	for _, s := range c.states {
-		switch s {
+	for _, ln := range c.lines {
+		switch ln.state {
 		case Shared:
 			shared++
 		case Modified:

@@ -1,42 +1,79 @@
 package cachesim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
-// CheckpointState is a cache's complete serializable state: every tag
-// and coherence state plus the access counters, enough to restore the
-// cache bit for bit.
+// LineState is one occupied frame's serialized state, tagged with its
+// frame index.
+type LineState struct {
+	Index int
+	Tag   uint64
+	State State
+}
+
+// CheckpointState is a cache's complete serializable state: every
+// occupied line plus the access counters, enough to restore the cache
+// bit for bit. Lines is sparse — Invalid frames are omitted — and
+// sorted by ascending frame index, so the encoding is canonical and
+// its size tracks occupancy, not capacity.
 type CheckpointState struct {
-	Tags                    []uint64
-	States                  []State
+	Lines                   []LineState
 	Hits, Misses, Evictions int64
 }
 
-// Checkpoint captures the cache's current state. The returned slices
-// are copies; mutating them does not affect the cache.
+// Zero reports whether the state carries nothing worth serializing: no
+// occupied lines and zero counters. Whole-machine checkpoints omit
+// zero-state caches.
+func (s *CheckpointState) Zero() bool {
+	return len(s.Lines) == 0 && s.Hits == 0 && s.Misses == 0 && s.Evictions == 0
+}
+
+// Checkpoint captures the cache's current state. The returned slice is
+// a copy; mutating it does not affect the cache.
 func (c *Cache) Checkpoint() CheckpointState {
-	return CheckpointState{
-		Tags:      append([]uint64(nil), c.tags...),
-		States:    append([]State(nil), c.states...),
+	s := CheckpointState{
 		Hits:      c.hits.Value(),
 		Misses:    c.misses.Value(),
 		Evictions: c.evictions.Value(),
 	}
+	if len(c.lines) > 0 {
+		s.Lines = make([]LineState, 0, len(c.lines))
+		for i, ln := range c.lines {
+			s.Lines = append(s.Lines, LineState{Index: i, Tag: ln.tag, State: ln.state})
+		}
+		sort.Slice(s.Lines, func(a, b int) bool { return s.Lines[a].Index < s.Lines[b].Index })
+	}
+	return s
 }
 
 // Restore overwrites the cache with a previously captured state. The
-// state must come from a cache of the same geometry.
+// state must come from a cache of the same geometry: every entry's
+// frame index must be strictly ascending and in range, its state
+// non-Invalid, and its tag line-aligned and mapping to that frame.
 func (c *Cache) Restore(s CheckpointState) error {
-	if len(s.Tags) != c.cfg.Lines || len(s.States) != c.cfg.Lines {
-		return fmt.Errorf("cachesim: checkpoint has %d tags/%d states, cache has %d lines",
-			len(s.Tags), len(s.States), c.cfg.Lines)
-	}
-	for i, st := range s.States {
-		if st > Modified {
-			return fmt.Errorf("cachesim: checkpoint line %d has invalid state %d", i, st)
+	prev := -1
+	for _, ln := range s.Lines {
+		if ln.Index <= prev || ln.Index >= c.cfg.Lines {
+			return fmt.Errorf("cachesim: checkpoint frame %d out of order or range (previous %d, %d lines)",
+				ln.Index, prev, c.cfg.Lines)
+		}
+		prev = ln.Index
+		if ln.State == Invalid || ln.State > Modified {
+			return fmt.Errorf("cachesim: checkpoint frame %d has invalid state %d", ln.Index, ln.State)
+		}
+		if c.LineAddr(ln.Tag) != ln.Tag || c.index(ln.Tag) != ln.Index {
+			return fmt.Errorf("cachesim: checkpoint tag %#x does not belong in frame %d", ln.Tag, ln.Index)
 		}
 	}
-	copy(c.tags, s.Tags)
-	copy(c.states, s.States)
+	c.lines = nil
+	if len(s.Lines) > 0 {
+		c.lines = make(map[int]line, len(s.Lines))
+		for _, ln := range s.Lines {
+			c.lines[ln.Index] = line{tag: ln.Tag, state: ln.State}
+		}
+	}
 	c.hits.SetValue(s.Hits)
 	c.misses.SetValue(s.Misses)
 	c.evictions.SetValue(s.Evictions)

@@ -28,8 +28,11 @@ import (
 // Magic begins every serialized checkpoint.
 const Magic = "LCKP"
 
-// Version is the current wire-format version.
-const Version = 1
+// Version is the current wire-format version. Version 2 made the
+// netsim router/injection-queue sections and the protocol node section
+// sparse (zero-state entries omitted, index-tagged, strictly
+// ascending) so snapshots of mostly-idle large machines stay small.
+const Version = 2
 
 // Hardening caps: upper bounds a hostile file cannot talk us past.
 // They are far above any simulation this package targets.
@@ -273,11 +276,22 @@ func (c *Checkpoint) Validate() error {
 	if len(c.Proto.NextSend) != nodes {
 		return fmt.Errorf("checkpoint: %d protocol send slots for %d nodes", len(c.Proto.NextSend), nodes)
 	}
-	if len(c.Net.Routers) != nodes {
-		return fmt.Errorf("checkpoint: %d router states for %d nodes", len(c.Net.Routers), nodes)
+	prev := -1
+	for _, r := range c.Net.Routers {
+		if r.Index <= prev || r.Index >= nodes {
+			return fmt.Errorf("checkpoint: router index %d out of order or range (previous %d, nodes %d)", r.Index, prev, nodes)
+		}
+		prev = r.Index
 	}
-	if len(c.Net.InjectQ) != nodes {
-		return fmt.Errorf("checkpoint: %d injection queues for %d nodes", len(c.Net.InjectQ), nodes)
+	prev = -1
+	for _, q := range c.Net.InjectQ {
+		if q.Node <= prev || q.Node >= nodes {
+			return fmt.Errorf("checkpoint: injection queue node %d out of order or range (previous %d, nodes %d)", q.Node, prev, nodes)
+		}
+		prev = q.Node
+		if len(q.Msgs) == 0 {
+			return fmt.Errorf("checkpoint: empty injection queue entry for node %d", q.Node)
+		}
 	}
 	spec, err := faults.ParseSpec(c.FP.FaultSpec)
 	if err != nil {

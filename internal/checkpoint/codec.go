@@ -282,17 +282,35 @@ func writeProc(bw *bufio.Writer, p *procsim.CheckpointState) {
 	putUvarint(bw, uint64(p.WriteBehinds))
 }
 
+// protoNodeZero reports whether a node carries no serializable
+// protocol state; such nodes are omitted from the wire and restored to
+// their zero value.
+func protoNodeZero(n *cohsim.NodeState) bool {
+	return n.Cache.Zero() && len(n.Dir) == 0 && len(n.MSHR) == 0
+}
+
 func writeProto(bw *bufio.Writer, p *cohsim.CheckpointState, ref func(*cohsim.Transaction) uint64) {
-	putUvarint(bw, uint64(len(p.Nodes)))
+	// The node section is sparse: only nodes with non-zero state appear,
+	// index-tagged, in ascending order (Nodes itself is dense in memory,
+	// so iteration order gives ascending indices for free).
+	nz := 0
+	for i := range p.Nodes {
+		if !protoNodeZero(&p.Nodes[i]) {
+			nz++
+		}
+	}
+	putUvarint(bw, uint64(nz))
 	for i := range p.Nodes {
 		n := &p.Nodes[i]
-		putUvarint(bw, uint64(len(n.Cache.Tags)))
-		for _, tag := range n.Cache.Tags {
-			putUvarint(bw, tag)
+		if protoNodeZero(n) {
+			continue
 		}
-		putUvarint(bw, uint64(len(n.Cache.States)))
-		for _, st := range n.Cache.States {
-			bw.WriteByte(byte(st))
+		putUvarint(bw, uint64(i))
+		putUvarint(bw, uint64(len(n.Cache.Lines)))
+		for _, ln := range n.Cache.Lines {
+			putUvarint(bw, uint64(ln.Index))
+			putUvarint(bw, ln.Tag)
+			bw.WriteByte(byte(ln.State))
 		}
 		putUvarint(bw, uint64(n.Cache.Hits))
 		putUvarint(bw, uint64(n.Cache.Misses))
@@ -393,6 +411,7 @@ func writeNet(bw *bufio.Writer, n *netsim.CheckpointState, ref func(*cohsim.Tran
 	putUvarint(bw, uint64(len(n.Routers)))
 	for i := range n.Routers {
 		r := &n.Routers[i]
+		putUvarint(bw, uint64(r.Index))
 		putUvarint(bw, uint64(len(r.Inputs)))
 		for _, flits := range r.Inputs {
 			putUvarint(bw, uint64(len(flits)))
@@ -421,8 +440,9 @@ func writeNet(bw *bufio.Writer, n *netsim.CheckpointState, ref func(*cohsim.Tran
 	}
 	putUvarint(bw, uint64(len(n.InjectQ)))
 	for _, q := range n.InjectQ {
-		putUvarint(bw, uint64(len(q)))
-		for _, idx := range q {
+		putUvarint(bw, uint64(q.Node))
+		putUvarint(bw, uint64(len(q.Msgs)))
+		for _, idx := range q.Msgs {
 			putUvarint(bw, uint64(idx))
 		}
 	}
@@ -765,7 +785,7 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	if err := d.readProto(&c.Proto, nodes, txn); err != nil {
 		return nil, err
 	}
-	if err := d.readNet(&c.Net, txn); err != nil {
+	if err := d.readNet(&c.Net, nodes, txn); err != nil {
 		return nil, err
 	}
 
@@ -1063,33 +1083,47 @@ func (d *decoder) readProc(contexts int) (procsim.CheckpointState, error) {
 }
 
 func (d *decoder) readProto(p *cohsim.CheckpointState, nodes int, txn func(string) (*cohsim.Transaction, error)) error {
-	nodeCount, err := d.count("protocol node count", maxNodes)
+	// The wire carries only nodes with non-zero state, index-tagged in
+	// strictly ascending order; the in-memory representation is dense.
+	p.Nodes = make([]cohsim.NodeState, nodes)
+	nodeCount, err := d.count("protocol node count", nodes)
 	if err != nil {
 		return err
 	}
-	for i := 0; i < nodeCount; i++ {
-		var ns cohsim.NodeState
-		ntags, err := d.count("cache tag count", maxEntries)
+	prevNode := -1
+	for k := 0; k < nodeCount; k++ {
+		i, err := d.count("protocol node index", nodes-1)
 		if err != nil {
 			return err
 		}
-		for j := 0; j < ntags; j++ {
-			tag, err := d.uvarint("cache tag")
-			if err != nil {
+		if i <= prevNode {
+			return fmt.Errorf("checkpoint: protocol node indices not strictly ascending at %d", i)
+		}
+		prevNode = i
+		ns := &p.Nodes[i]
+		nlines, err := d.count("cache line count", maxEntries)
+		if err != nil {
+			return err
+		}
+		prevFrame := -1
+		for j := 0; j < nlines; j++ {
+			var ln cachesim.LineState
+			if ln.Index, err = d.count("cache frame index", maxEntries); err != nil {
 				return err
 			}
-			ns.Cache.Tags = append(ns.Cache.Tags, tag)
-		}
-		nstates, err := d.count("cache state count", maxEntries)
-		if err != nil {
-			return err
-		}
-		for j := 0; j < nstates; j++ {
+			if ln.Index <= prevFrame {
+				return fmt.Errorf("checkpoint: cache frames of node %d not strictly ascending at entry %d", i, j)
+			}
+			prevFrame = ln.Index
+			if ln.Tag, err = d.uvarint("cache tag"); err != nil {
+				return err
+			}
 			st, err := d.byteVal("cache line state")
 			if err != nil {
 				return err
 			}
-			ns.Cache.States = append(ns.Cache.States, cachesim.State(st))
+			ln.State = cachesim.State(st)
+			ns.Cache.Lines = append(ns.Cache.Lines, ln)
 		}
 		if ns.Cache.Hits, err = d.i64("cache hits"); err != nil {
 			return err
@@ -1135,7 +1169,6 @@ func (d *decoder) readProto(p *cohsim.CheckpointState, nodes int, txn func(strin
 			}
 			ns.MSHR = append(ns.MSHR, ms)
 		}
-		p.Nodes = append(p.Nodes, ns)
 	}
 	nev, err := d.count("event count", maxEvents)
 	if err != nil {
@@ -1335,7 +1368,7 @@ func (d *decoder) readDirEntry(nodes int, txn func(string) (*cohsim.Transaction,
 	return de, nil
 }
 
-func (d *decoder) readNet(n *netsim.CheckpointState, txn func(string) (*cohsim.Transaction, error)) error {
+func (d *decoder) readNet(n *netsim.CheckpointState, nodes int, txn func(string) (*cohsim.Transaction, error)) error {
 	nmsg, err := d.count("message count", maxMessages)
 	if err != nil {
 		return err
@@ -1405,12 +1438,23 @@ func (d *decoder) readNet(n *netsim.CheckpointState, txn func(string) (*cohsim.T
 		return d.count(what, len(n.Messages)-1)
 	}
 
-	nrouters, err := d.count("router count", maxNodes)
+	// Router and injection-queue entries are sparse: each is tagged with
+	// its index, and indices must be strictly ascending (which also
+	// guarantees canonical encoding and no duplicates).
+	nrouters, err := d.count("router count", nodes)
 	if err != nil {
 		return err
 	}
+	prevRouter := -1
 	for v := 0; v < nrouters; v++ {
 		var rs netsim.RouterState
+		if rs.Index, err = d.count("router index", nodes-1); err != nil {
+			return err
+		}
+		if rs.Index <= prevRouter {
+			return fmt.Errorf("checkpoint: router indices not strictly ascending at %d", rs.Index)
+		}
+		prevRouter = rs.Index
 		nin, err := d.count("input buffer count", maxPorts)
 		if err != nil {
 			return err
@@ -1486,24 +1530,35 @@ func (d *decoder) readNet(n *netsim.CheckpointState, txn func(string) (*cohsim.T
 		n.Routers = append(n.Routers, rs)
 	}
 
-	nq, err := d.count("injection queue count", maxNodes)
+	nq, err := d.count("injection queue count", nodes)
 	if err != nil {
 		return err
 	}
+	prevNode := -1
 	for v := 0; v < nq; v++ {
+		var qs netsim.InjectQState
+		if qs.Node, err = d.count("injection queue node", nodes-1); err != nil {
+			return err
+		}
+		if qs.Node <= prevNode {
+			return fmt.Errorf("checkpoint: injection queue nodes not strictly ascending at %d", qs.Node)
+		}
+		prevNode = qs.Node
 		qn, err := d.count("queued message count", maxMessages)
 		if err != nil {
 			return err
 		}
-		var q []int
+		if qn == 0 {
+			return fmt.Errorf("checkpoint: empty injection queue entry for node %d", qs.Node)
+		}
 		for i := 0; i < qn; i++ {
 			idx, err := msgRef("queued message")
 			if err != nil {
 				return err
 			}
-			q = append(q, idx)
+			qs.Msgs = append(qs.Msgs, idx)
 		}
-		n.InjectQ = append(n.InjectQ, q)
+		n.InjectQ = append(n.InjectQ, qs)
 	}
 	nlocal, err := d.count("local delivery count", maxMessages)
 	if err != nil {

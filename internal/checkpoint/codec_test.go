@@ -31,16 +31,18 @@ func testCheckpoint() *Checkpoint {
 		NetMessages: 2, Retries: 1, PendingWrite: true, Epoch: 2,
 	})
 
-	cache := func() cachesim.CheckpointState {
-		return cachesim.CheckpointState{
-			Tags:   make([]uint64, 16),
-			States: make([]cachesim.State, 16),
-			Hits:   51, Misses: 9, Evictions: 3,
-		}
-	}
+	// Node 3 carries no state at all: it must vanish from the wire and
+	// decode back to its zero value. Node 1 has counters but no lines —
+	// non-zero, with an empty sparse cache section.
 	nodes := make([]cohsim.NodeState, 4)
-	for i := range nodes {
-		nodes[i] = cohsim.NodeState{Cache: cache()}
+	nodes[0].Cache = cachesim.CheckpointState{
+		Lines: []cachesim.LineState{{Index: 4, Tag: 0x40, State: cachesim.Shared}},
+		Hits:  51, Misses: 9, Evictions: 3,
+	}
+	nodes[1].Cache = cachesim.CheckpointState{Hits: 12, Misses: 2}
+	nodes[2].Cache = cachesim.CheckpointState{
+		Lines: []cachesim.LineState{{Index: 8, Tag: 0x80, State: cachesim.Modified}},
+		Hits:  40, Misses: 7, Evictions: 1,
 	}
 	nodes[0].Dir = []cohsim.DirEntryState{{
 		Addr: 0x40, State: 1, Sharers: []int{1, 3}, Owner: -1, Busy: 1,
@@ -56,32 +58,33 @@ func testCheckpoint() *Checkpoint {
 			Payload:    cohsim.Msg{Kind: 1, Addr: 0x80, From: 2, Txn: t2, Seq: 4},
 			EnqueuedAt: 1990, InjectedAt: 1992, Hops: 1, Remaining: 2, VCClass: 1,
 		}},
-		Routers: make([]netsim.RouterState, 4),
-		InjectQ: make([][]int, 4),
-		Local:   []netsim.LocalState{{Msg: 0, Due: 2007}},
-		Now:     2002, LastProgress: 2001, FlitsIn: 280, FlitsOut: 277,
+		Local: []netsim.LocalState{{Msg: 0, Due: 2007}},
+		Now:   2002, LastProgress: 2001, FlitsIn: 280, FlitsOut: 277,
 		StatsSince: 1000, Injected: 93, Delivered: 91, FlitHops: 240, FaultStalls: 3,
 		Latency:    stats.MeanState{N: 91, Mean: 14.25, M2: 33, Min: 4, Max: 40},
 		NetLatency: stats.MeanState{N: 91, Mean: 9.5, M2: 20, Min: 2, Max: 31},
 		Hops:       stats.MeanState{N: 93, Mean: 1.5, M2: 8, Min: 0, Max: 3},
 		Sizes:      stats.MeanState{N: 93, Mean: 2.25, M2: 12, Min: 1, Max: 6},
 	}
+	// The router section is sparse: only router 0 carries state (a
+	// buffered flit and a held output); routers 1–3 are omitted.
 	const nin = 5
-	for v := range net.Routers {
-		r := &net.Routers[v]
-		r.Inputs = make([][]netsim.FlitState, nin)
-		r.Owner = make([]int, nin)
-		for i := range r.Owner {
-			r.Owner[i] = -1
-		}
-		r.OwnerInput = make([]int, nin)
-		r.LastGranted = make([]int, nin)
-		r.LastVC = make([]int, 2)
+	r0 := netsim.RouterState{
+		Index:       0,
+		Inputs:      make([][]netsim.FlitState, nin),
+		Owner:       make([]int, nin),
+		OwnerInput:  make([]int, nin),
+		LastGranted: make([]int, nin),
+		LastVC:      make([]int, 2),
 	}
-	net.Routers[0].Inputs[4] = []netsim.FlitState{{Msg: 0, Seq: 1, ArrivedAt: 2001}}
-	net.Routers[0].Owner[1] = 0
-	net.Routers[0].OwnerInput[1] = 4
-	net.InjectQ[2] = []int{0}
+	for i := range r0.Owner {
+		r0.Owner[i] = -1
+	}
+	r0.Inputs[4] = []netsim.FlitState{{Msg: 0, Seq: 1, ArrivedAt: 2001}}
+	r0.Owner[1] = 0
+	r0.OwnerInput[1] = 4
+	net.Routers = []netsim.RouterState{r0}
+	net.InjectQ = []netsim.InjectQState{{Node: 2, Msgs: []int{0}}}
 
 	procs := make([]procsim.CheckpointState, 4)
 	for i := range procs {

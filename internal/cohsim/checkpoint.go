@@ -173,10 +173,15 @@ func (p *Protocol) Checkpoint() CheckpointState {
 	}
 	for i := range p.nodes {
 		n := &p.nodes[i]
-		ns := NodeState{
-			Cache: n.cache.Checkpoint(),
-			Dir:   make([]DirEntryState, 0, len(n.dir)),
-			MSHR:  make([]MSHRState, 0, len(n.mshr)),
+		ns := NodeState{}
+		if n.cache != nil {
+			ns.Cache = n.cache.Checkpoint()
+		}
+		if len(n.dir) > 0 {
+			ns.Dir = make([]DirEntryState, 0, len(n.dir))
+		}
+		if len(n.mshr) > 0 {
+			ns.MSHR = make([]MSHRState, 0, len(n.mshr))
 		}
 		for addr, e := range n.dir {
 			queue := make([]QueuedReqState, len(e.queue))
@@ -292,10 +297,23 @@ func (p *Protocol) Restore(s CheckpointState) error {
 	}
 	for i, ns := range s.Nodes {
 		n := &p.nodes[i]
-		if err := n.cache.Restore(ns.Cache); err != nil {
-			return err
+		// A node with zero cache state stays (or becomes) unmaterialized;
+		// its cache re-materializes empty on the next touch, which is
+		// indistinguishable from restoring an empty cache.
+		if ns.Cache.Zero() {
+			n.cache = nil
+		} else {
+			if n.cache == nil {
+				n.cache = cachesim.MustNew(p.cfg.Cache)
+			}
+			if err := n.cache.Restore(ns.Cache); err != nil {
+				return err
+			}
 		}
-		n.dir = make(map[uint64]*dirEntry, len(ns.Dir))
+		n.dir = nil
+		if len(ns.Dir) > 0 {
+			n.dir = make(map[uint64]*dirEntry, len(ns.Dir))
+		}
 		for _, de := range ns.Dir {
 			queue := make([]queuedReq, len(de.Queue))
 			for qi, q := range de.Queue {
@@ -314,7 +332,10 @@ func (p *Protocol) Restore(s CheckpointState) error {
 				queue:      queue,
 			}
 		}
-		n.mshr = make(map[uint64]*outstanding, len(ns.MSHR))
+		n.mshr = nil
+		if len(ns.MSHR) > 0 {
+			n.mshr = make(map[uint64]*outstanding, len(ns.MSHR))
+		}
 		for _, ms := range ns.MSHR {
 			if ms.Txn == nil {
 				return fmt.Errorf("cohsim: MSHR entry %#x at node %d has no transaction", ms.Addr, i)

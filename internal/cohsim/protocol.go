@@ -438,15 +438,33 @@ func New(cfg Config) (*Protocol, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
+	// Per-node state materializes lazily: the nodes slice holds zero
+	// values (nil cache, nil dir/MSHR maps) until a node is touched, so
+	// construction cost and resident memory track touched nodes, not
+	// machine size — the large zeroed slice is untouched OS pages.
 	p := &Protocol{cfg: cfg, nodes: make([]node, cfg.Nodes), nextSend: make([]int64, cfg.Nodes)}
-	for i := range p.nodes {
-		p.nodes[i] = node{
-			cache: cachesim.MustNew(cfg.Cache),
-			dir:   make(map[uint64]*dirEntry),
-			mshr:  make(map[uint64]*outstanding),
-		}
-	}
 	return p, nil
+}
+
+// node returns node i, materializing its cache on first touch (the
+// cache is itself sparse, so this is a handful of words). The dir and
+// MSHR maps stay nil until their writers first insert; reads and
+// deletes on nil maps are safe.
+func (p *Protocol) node(i int) *node {
+	n := &p.nodes[i]
+	if n.cache == nil {
+		n.cache = cachesim.MustNew(p.cfg.Cache)
+	}
+	return n
+}
+
+// setMSHR inserts an outstanding-transaction slot, creating the map on
+// first use.
+func (n *node) setMSHR(line uint64, out *outstanding) {
+	if n.mshr == nil {
+		n.mshr = make(map[uint64]*outstanding)
+	}
+	n.mshr[line] = out
 }
 
 // SetTransport attaches the message transport.
@@ -460,7 +478,7 @@ func (p *Protocol) KeepTransactions(keep bool) { p.keepTxns = keep }
 func (p *Protocol) Completed() []*Transaction { return p.completed }
 
 // Cache exposes a node's cache for workload setup and invariant checks.
-func (p *Protocol) Cache(nodeID int) *cachesim.Cache { return p.nodes[nodeID].cache }
+func (p *Protocol) Cache(nodeID int) *cachesim.Cache { return p.node(nodeID).cache }
 
 // schedule queues an action to run at now+delay processor cycles.
 func (p *Protocol) schedule(delay int, a action) {
@@ -529,10 +547,10 @@ func (p *Protocol) fire(a action, now int64) {
 	case actHomeAction:
 		p.homeAction(a.node, p.entry(a.node, a.addr), a.msgKind, a.peer, a.txn)
 	case actSharerInv:
-		p.nodes[a.node].cache.Invalidate(a.addr)
+		p.node(a.node).cache.Invalidate(a.addr)
 		p.sendSeq(a.node, a.peer, MsgInvAck, a.addr, a.txn, a.seq)
 	case actOwnerFetch:
-		cache := p.nodes[a.node].cache
+		cache := p.node(a.node).cache
 		switch cache.Lookup(a.addr) {
 		case cachesim.Modified:
 			if a.msgKind == MsgFetch {
@@ -562,7 +580,7 @@ func (p *Protocol) fire(a action, now int64) {
 		e.busy = busyNone
 		p.drainQueue(a.node, e)
 	case actGrantFill:
-		n := &p.nodes[a.node]
+		n := p.node(a.node)
 		txn := a.txn
 		if p.resilient() {
 			// Retransmitted requests can draw duplicate grants; only the
@@ -703,7 +721,7 @@ func (p *Protocol) WriteBehind(nodeID int, addr uint64, now int64) bool {
 // Outstanding reports whether a transaction is in flight at nodeID for
 // the line containing addr (used by fences).
 func (p *Protocol) Outstanding(nodeID int, addr uint64) bool {
-	n := &p.nodes[nodeID]
+	n := p.node(nodeID)
 	_, ok := n.mshr[n.cache.LineAddr(addr)]
 	return ok
 }
@@ -801,10 +819,14 @@ func (p *Protocol) Deliver(dst int, m Msg, nowP int64) {
 // entry returns (creating if needed) the directory entry at home for a
 // line.
 func (p *Protocol) entry(home int, addr uint64) *dirEntry {
-	e, ok := p.nodes[home].dir[addr]
+	n := &p.nodes[home]
+	e, ok := n.dir[addr]
 	if !ok {
+		if n.dir == nil {
+			n.dir = make(map[uint64]*dirEntry)
+		}
 		e = &dirEntry{addr: addr, owner: -1}
-		p.nodes[home].dir[addr] = e
+		n.dir[addr] = e
 	}
 	return e
 }
@@ -1041,7 +1063,7 @@ func (p *Protocol) requesterGrant(nodeID int, m Msg) {
 // installLine installs a line, emitting a victim writeback for any
 // Modified line it displaces (attributed to the causing transaction).
 func (p *Protocol) installLine(nodeID int, addr uint64, s cachesim.State, txn *Transaction) {
-	ev, had := p.nodes[nodeID].cache.Install(addr, s)
+	ev, had := p.node(nodeID).cache.Install(addr, s)
 	if had && ev.State == cachesim.Modified {
 		p.send(nodeID, p.cfg.Home(ev.LineAddr), MsgWB, ev.LineAddr, txn)
 	}

@@ -70,7 +70,7 @@ func (p *Protocol) admitTxn(txn *Transaction) {
 // AccessSharded is Access restricted to node-local state; the returned
 // DeferredOp (nil on hits and coalesced misses) completes the call.
 func (p *Protocol) AccessSharded(nodeID, thread int, addr uint64, write bool, now int64) (hit bool, deferred DeferredOp) {
-	n := &p.nodes[nodeID]
+	n := p.node(nodeID)
 	line := n.cache.LineAddr(addr)
 	if write {
 		if n.cache.AccessWrite(addr) {
@@ -91,7 +91,7 @@ func (p *Protocol) AccessSharded(nodeID, thread int, addr uint64, write bool, no
 	}
 	txn := &Transaction{Node: nodeID, Addr: line, Write: write, Started: now}
 	txn.waiters = append(txn.waiters, thread)
-	n.mshr[line] = &outstanding{txn: txn}
+	n.setMSHR(line, &outstanding{txn: txn})
 	return false, func() {
 		p.admitTxn(txn)
 		p.issue(txn)
@@ -101,7 +101,7 @@ func (p *Protocol) AccessSharded(nodeID, thread int, addr uint64, write bool, no
 // PrefetchSharded is Prefetch restricted to node-local state; the
 // returned DeferredOp (nil when nothing was initiated) completes it.
 func (p *Protocol) PrefetchSharded(nodeID int, addr uint64, now int64) (issued bool, deferred DeferredOp) {
-	n := &p.nodes[nodeID]
+	n := p.node(nodeID)
 	line := n.cache.LineAddr(addr)
 	if n.cache.Lookup(line) != cachesim.Invalid {
 		return false, nil
@@ -110,7 +110,7 @@ func (p *Protocol) PrefetchSharded(nodeID int, addr uint64, now int64) (issued b
 		return false, nil
 	}
 	txn := &Transaction{Node: nodeID, Addr: line, Write: false, Started: now}
-	n.mshr[line] = &outstanding{txn: txn}
+	n.setMSHR(line, &outstanding{txn: txn})
 	return true, func() {
 		p.admitTxn(txn)
 		p.issue(txn)
@@ -121,7 +121,7 @@ func (p *Protocol) PrefetchSharded(nodeID int, addr uint64, now int64) (issued b
 // the returned DeferredOp (nil when nothing new was issued) completes
 // it.
 func (p *Protocol) WriteBehindSharded(nodeID int, addr uint64, now int64) (initiated bool, deferred DeferredOp) {
-	n := &p.nodes[nodeID]
+	n := p.node(nodeID)
 	line := n.cache.LineAddr(addr)
 	if n.cache.Lookup(line) == cachesim.Modified {
 		return false, nil
@@ -134,7 +134,7 @@ func (p *Protocol) WriteBehindSharded(nodeID int, addr uint64, now int64) (initi
 		return false, nil
 	}
 	txn := &Transaction{Node: nodeID, Addr: line, Write: true, Started: now}
-	n.mshr[line] = &outstanding{txn: txn}
+	n.setMSHR(line, &outstanding{txn: txn})
 	return true, func() {
 		p.admitTxn(txn)
 		p.issue(txn)
@@ -144,7 +144,7 @@ func (p *Protocol) WriteBehindSharded(nodeID int, addr uint64, now int64) (initi
 // JoinSharded is Join restricted to node-local state. Join has no
 // global half, so there is no DeferredOp to return.
 func (p *Protocol) JoinSharded(nodeID, thread int, addr uint64, now int64) bool {
-	n := &p.nodes[nodeID]
+	n := p.node(nodeID)
 	out, ok := n.mshr[n.cache.LineAddr(addr)]
 	if !ok {
 		return false

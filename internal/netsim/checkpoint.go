@@ -14,6 +14,15 @@ import (
 // deterministic order, so encoding is canonical) and references it by
 // index. Payloads ride along as opaque values; the checkpoint codec is
 // responsible for encoding them.
+//
+// The encoding is sparse: only routers with non-zero state (buffered
+// flits, held outputs, or non-zero arbitration rotors) and non-empty
+// injection queues appear, each tagged with its index, in strictly
+// ascending order. A large mostly-idle fabric therefore checkpoints in
+// O(touched routers) space and the encoding is canonical — a restored
+// network re-encodes to the identical state. Unobservable residue is
+// canonicalized away: OwnerInput is recorded as 0 for free outputs
+// (the field is only read while the output is held).
 
 // MessageState is one in-flight message's serialized state.
 type MessageState struct {
@@ -33,14 +42,21 @@ type FlitState struct {
 	ArrivedAt int64
 }
 
-// RouterState is one switch's serialized state. Inputs hold each
-// buffer's flits in pop order.
+// RouterState is one non-zero switch's serialized state, tagged with
+// its router index. Inputs hold each buffer's flits in pop order.
 type RouterState struct {
+	Index       int
 	Inputs      [][]FlitState
 	Owner       []int // message index, -1 when free
-	OwnerInput  []int
+	OwnerInput  []int // 0 when the output is free (canonical form)
 	LastGranted []int
 	LastVC      []int
+}
+
+// InjectQState is one node's non-empty injection queue.
+type InjectQState struct {
+	Node int
+	Msgs []int // message indices in queue order
 }
 
 // LocalState is one local-bypass delivery in flight.
@@ -50,10 +66,12 @@ type LocalState struct {
 }
 
 // CheckpointState is the network's complete serializable state.
+// Routers and InjectQ are sparse: strictly ascending indices, zero
+// state omitted.
 type CheckpointState struct {
 	Messages []MessageState
 	Routers  []RouterState
-	InjectQ  [][]int // message indices per node
+	InjectQ  []InjectQState
 	Local    []LocalState
 
 	Now          int64
@@ -70,6 +88,27 @@ type CheckpointState struct {
 	NetLatency  stats.MeanState
 	Hops        stats.MeanState
 	Sizes       stats.MeanState
+}
+
+// routerZero reports whether router v carries no serializable state:
+// no buffered flits, no held virtual outputs, and all arbitration
+// rotors at their initial values.
+func (nw *Network) routerZero(v int) bool {
+	if nw.routerFlits[v] != 0 {
+		return false
+	}
+	base := v * nw.nin
+	for key := 0; key < nw.nin; key++ {
+		if nw.owner[base+key] != nil || nw.lastGranted[base+key] != 0 {
+			return false
+		}
+	}
+	for o := 0; o < nw.ports; o++ {
+		if nw.lastVC[v*nw.ports+o] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Checkpoint captures the network's current state.
@@ -96,8 +135,6 @@ func (nw *Network) Checkpoint() CheckpointState {
 		return i
 	}
 	s := CheckpointState{
-		Routers:      make([]RouterState, len(nw.routers)),
-		InjectQ:      make([][]int, len(nw.injectQ)),
 		Now:          nw.now,
 		LastProgress: nw.lastProgress,
 		FlitsIn:      nw.flitsIn,
@@ -112,38 +149,51 @@ func (nw *Network) Checkpoint() CheckpointState {
 		Hops:         nw.hops.State(),
 		Sizes:        nw.sizes.State(),
 	}
-	for v := range nw.routers {
-		r := &nw.routers[v]
-		rs := RouterState{
-			Inputs:      make([][]FlitState, len(r.inputs)),
-			Owner:       make([]int, len(r.owner)),
-			OwnerInput:  append([]int(nil), r.ownerInput...),
-			LastGranted: append([]int(nil), r.lastGranted...),
-			LastVC:      append([]int(nil), r.lastVC...),
+	for v := 0; v < nw.nodes; v++ {
+		if nw.routerZero(v) {
+			continue
 		}
-		for i, in := range r.inputs {
+		base := v * nw.nin
+		rs := RouterState{
+			Index:       v,
+			Inputs:      make([][]FlitState, nw.nin),
+			Owner:       make([]int, nw.nin),
+			OwnerInput:  make([]int, nw.nin),
+			LastGranted: make([]int, nw.nin),
+			LastVC:      make([]int, nw.ports),
+		}
+		for key := 0; key < nw.nin; key++ {
+			in := &nw.in[base+key]
 			var flits []FlitState // nil when empty, matching the codec
 			for n := 0; n < in.count; n++ {
 				f := in.buf[(in.head+n)%len(in.buf)]
 				flits = append(flits, FlitState{Msg: ref(f.msg), Seq: f.seq, ArrivedAt: f.arrivedAt})
 			}
-			rs.Inputs[i] = flits
+			rs.Inputs[key] = flits
 		}
-		for i, owner := range r.owner {
-			if owner == nil {
-				rs.Owner[i] = -1
+		for key := 0; key < nw.nin; key++ {
+			if owner := nw.owner[base+key]; owner != nil {
+				rs.Owner[key] = ref(owner)
+				rs.OwnerInput[key] = int(nw.ownerInput[base+key])
 			} else {
-				rs.Owner[i] = ref(owner)
+				rs.Owner[key] = -1
 			}
+			rs.LastGranted[key] = int(nw.lastGranted[base+key])
 		}
-		s.Routers[v] = rs
+		for o := 0; o < nw.ports; o++ {
+			rs.LastVC[o] = int(nw.lastVC[v*nw.ports+o])
+		}
+		s.Routers = append(s.Routers, rs)
 	}
 	for v, q := range nw.injectQ {
+		if len(q) == 0 {
+			continue
+		}
 		idxs := make([]int, len(q))
 		for i, m := range q {
 			idxs[i] = ref(m)
 		}
-		s.InjectQ[v] = idxs
+		s.InjectQ = append(s.InjectQ, InjectQState{Node: v, Msgs: idxs})
 	}
 	s.Local = make([]LocalState, len(nw.local))
 	for i, e := range nw.local {
@@ -154,16 +204,12 @@ func (nw *Network) Checkpoint() CheckpointState {
 }
 
 // Restore overwrites the network with a previously captured state. The
-// network must be freshly built with the same configuration; the
-// delivery callback and fault model stay as wired.
+// network must have been built with the same configuration; the
+// delivery callback and fault model stay as wired. Every router and
+// queue absent from the sparse state is reset to zero, and the active
+// worklist is rebuilt from the restored occupancy.
 func (nw *Network) Restore(s CheckpointState) error {
-	if len(s.Routers) != len(nw.routers) {
-		return fmt.Errorf("netsim: checkpoint has %d routers, network has %d", len(s.Routers), len(nw.routers))
-	}
-	if len(s.InjectQ) != len(nw.injectQ) {
-		return fmt.Errorf("netsim: checkpoint has %d injection queues, network has %d", len(s.InjectQ), len(nw.injectQ))
-	}
-	nodes := nw.topo.Nodes()
+	nodes := nw.nodes
 	for i, ms := range s.Messages {
 		if ms.Src < 0 || ms.Src >= nodes || ms.Dst < 0 || ms.Dst >= nodes {
 			return fmt.Errorf("netsim: message %d endpoints %d→%d out of range", i, ms.Src, ms.Dst)
@@ -181,8 +227,14 @@ func (nw *Network) Restore(s CheckpointState) error {
 		}
 		return nil
 	}
-	nin := 2*nw.ports + 1
-	for v, rs := range s.Routers {
+	nin := nw.nin
+	prev := -1
+	for _, rs := range s.Routers {
+		if rs.Index <= prev || rs.Index >= nodes {
+			return fmt.Errorf("netsim: router index %d out of order or range (previous %d, nodes %d)", rs.Index, prev, nodes)
+		}
+		prev = rs.Index
+		v := rs.Index
 		if len(rs.Inputs) != nin || len(rs.Owner) != nin || len(rs.OwnerInput) != nin || len(rs.LastGranted) != nin {
 			return fmt.Errorf("netsim: router %d checkpoint geometry mismatch", v)
 		}
@@ -221,9 +273,17 @@ func (nw *Network) Restore(s CheckpointState) error {
 			}
 		}
 	}
-	for v, q := range s.InjectQ {
-		for _, idx := range q {
-			if err := checkRef(fmt.Sprintf("injection queue %d", v), idx); err != nil {
+	prev = -1
+	for _, qs := range s.InjectQ {
+		if qs.Node <= prev || qs.Node >= nodes {
+			return fmt.Errorf("netsim: injection queue node %d out of order or range (previous %d, nodes %d)", qs.Node, prev, nodes)
+		}
+		prev = qs.Node
+		if len(qs.Msgs) == 0 {
+			return fmt.Errorf("netsim: empty injection queue entry for node %d (must be omitted)", qs.Node)
+		}
+		for _, idx := range qs.Msgs {
+			if err := checkRef(fmt.Sprintf("injection queue %d", qs.Node), idx); err != nil {
 				return err
 			}
 		}
@@ -248,34 +308,69 @@ func (nw *Network) Restore(s CheckpointState) error {
 			vcClass:     ms.VCClass,
 		}
 	}
-	for v, rs := range s.Routers {
-		r := &nw.routers[v]
+	// Reset every router to zero state, then overlay the sparse entries
+	// and rebuild the active worklist from the restored occupancy.
+	for i := range nw.in {
+		nw.in[i].head, nw.in[i].count = 0, 0
+		nw.owner[i] = nil
+		nw.ownerInput[i] = 0
+		nw.lastGranted[i] = 0
+	}
+	for i := range nw.lastVC {
+		nw.lastVC[i] = 0
+	}
+	for v := 0; v < nodes; v++ {
+		nw.routerFlits[v] = 0
+		nw.occ[v] = [2]uint64{}
+		nw.injectQ[v] = nil
+		nw.isActive[v] = false
+	}
+	nw.activeIDs = nw.activeIDs[:0]
+	nw.activeDirty = false
+	for _, rs := range s.Routers {
+		v := rs.Index
+		base := v * nin
 		for i, flits := range rs.Inputs {
-			in := r.inputs[i]
+			in := &nw.in[base+i]
+			if len(flits) > 0 && in.buf == nil {
+				in.buf = make([]flit, nw.cfg.BufferDepth)
+			}
 			in.head, in.count = 0, len(flits)
 			for n, f := range flits {
 				in.buf[n] = flit{msg: msgs[f.Msg], seq: f.Seq, arrivedAt: f.ArrivedAt}
 			}
+			if len(flits) > 0 {
+				nw.setOcc(v, i)
+			}
+			nw.routerFlits[v] += int32(len(flits))
 		}
 		for i, owner := range rs.Owner {
-			if owner == -1 {
-				r.owner[i] = nil
-			} else {
-				r.owner[i] = msgs[owner]
+			if owner != -1 {
+				nw.owner[base+i] = msgs[owner]
+				nw.ownerInput[base+i] = int32(rs.OwnerInput[i])
 			}
+			nw.lastGranted[base+i] = int32(rs.LastGranted[i])
 		}
-		copy(r.ownerInput, rs.OwnerInput)
-		copy(r.lastGranted, rs.LastGranted)
-		copy(r.lastVC, rs.LastVC)
+		for o, vc := range rs.LastVC {
+			nw.lastVC[v*nw.ports+o] = uint8(vc)
+		}
 	}
 	nw.queued = 0
-	for v, q := range s.InjectQ {
-		queue := make([]*Message, len(q))
-		for i, idx := range q {
+	for _, qs := range s.InjectQ {
+		queue := make([]*Message, len(qs.Msgs))
+		for i, idx := range qs.Msgs {
 			queue[i] = msgs[idx]
 		}
-		nw.injectQ[v] = queue
+		nw.injectQ[qs.Node] = queue
 		nw.queued += len(queue)
+	}
+	for v := 0; v < nodes; v++ {
+		if nw.routerFlits[v] > 0 || len(nw.injectQ[v]) > 0 {
+			nw.activate(v)
+		}
+	}
+	if nw.forceDense {
+		nw.forceDenseSweep()
 	}
 	nw.local = make([]localEntry, len(s.Local))
 	for i, e := range s.Local {

@@ -20,11 +20,19 @@
 // latency; they are excluded from network traffic statistics, matching
 // the paper's convention that nodes never send network messages to
 // themselves.
+//
+// Per-switch state lives in flat structure-of-arrays slices indexed by
+// router, and Step iterates an active-router worklist instead of all N
+// routers, so a mostly-idle fabric costs O(active switches) per cycle
+// and an untouched switch costs no resident memory (large zeroed slices
+// are backed by untouched pages). Both changes are behavior-preserving:
+// see DESIGN.md §5i for the parity argument.
 package netsim
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 	"strings"
 
 	"locality/internal/stats"
@@ -73,21 +81,26 @@ type flit struct {
 func (f flit) isHead() bool { return f.seq == 0 }
 func (f flit) isTail() bool { return f.seq == f.msg.Size-1 }
 
-// fifo is a bounded flit queue (one switch input buffer).
+// fifo is a bounded flit queue (one switch input buffer). It is a value
+// type so buffers pack into one flat slice per network; the ring
+// storage is allocated lazily on first push, so the millions of
+// never-touched buffers of a large mostly-idle fabric cost nothing.
+// The depth is owned by the network and passed in where needed.
 type fifo struct {
 	buf   []flit
 	head  int
 	count int
 }
 
-func newFIFO(depth int) *fifo { return &fifo{buf: make([]flit, depth)} }
+func (q *fifo) full(depth int) bool { return q.count == depth }
+func (q *fifo) empty() bool         { return q.count == 0 }
 
-func (q *fifo) full() bool  { return q.count == len(q.buf) }
-func (q *fifo) empty() bool { return q.count == 0 }
-
-func (q *fifo) push(f flit) {
-	if q.full() {
+func (q *fifo) push(f flit, depth int) {
+	if q.count == depth {
 		panic("netsim: push to full buffer")
+	}
+	if q.buf == nil {
+		q.buf = make([]flit, depth)
 	}
 	q.buf[(q.head+q.count)%len(q.buf)] = f
 	q.count++
@@ -135,24 +148,6 @@ type Config struct {
 // DeliveryFunc receives each message when its tail flit arrives.
 type DeliveryFunc func(now int64, msg *Message)
 
-// Port/buffer indexing at each router, for a topology with n dims:
-//
-//	directional physical ports: o ∈ [0, 2n), o = 2·dim + (dir<0 ? 1 : 0)
-//	virtual input buffers:      o·2 + vc for vc ∈ {0, 1}
-//	injection input buffer:     4n (single buffer, no VC)
-//	virtual output keys:        o·2 + vc, ejection key 4n
-type router struct {
-	inputs []*fifo
-	// owner[key] is the message holding virtual output key, or nil.
-	owner []*Message
-	// ownerInput[key] is the input buffer index feeding that worm.
-	ownerInput []int
-	// lastGranted[key] rotates arbitration among inputs for a key.
-	lastGranted []int
-	// lastVC[o] rotates the physical channel between its two VCs.
-	lastVC []int
-}
-
 // move is one committed flit transfer for the two-phase update.
 type move struct {
 	router  int
@@ -168,14 +163,73 @@ type move struct {
 }
 
 // Network simulates the whole fabric.
+//
+// Port/buffer indexing at each router, for a topology with n dims:
+//
+//	directional physical ports: o ∈ [0, 2n), o = 2·dim + (dir<0 ? 1 : 0)
+//	virtual input buffers:      o·2 + vc for vc ∈ {0, 1}
+//	injection input buffer:     4n (single buffer, no VC)
+//	virtual output keys:        o·2 + vc, ejection key 4n
+//
+// Router state is stored structure-of-arrays: per-key state for router
+// v lives at index v·nin+key (nin = 4n+1 inputs/keys per router) and
+// per-port state at v·ports+o. The flat slices are allocated once in
+// New; because a fresh large slice is zeroed pages the OS has not
+// materialized, memory residency tracks the routers actually touched.
 type Network struct {
 	cfg   Config
 	topo  *topology.Torus
 	dims  int
 	k     int
 	ports int // directional physical ports per router (2·dims)
+	nin   int // input buffers / virtual output keys per router (2·ports+1)
+	nodes int
 
-	routers []router
+	// in[v·nin+key] is router v's input buffer for key (lazy storage).
+	in []fifo
+	// owner[v·nin+key] is the message holding virtual output key, or nil.
+	owner []*Message
+	// ownerInput[v·nin+key] is the input buffer index feeding that worm.
+	ownerInput []int32
+	// lastGranted[v·nin+key] rotates arbitration among inputs for a key.
+	lastGranted []int32
+	// lastVC[v·ports+o] rotates the physical channel between its two VCs.
+	lastVC []uint8
+
+	// routerFlits[v] counts flits buffered across all of router v's
+	// inputs, for O(1) occupancy checks.
+	routerFlits []int32
+	// occ[v] is a bitmask over router v's input buffers: bit idx is set
+	// iff in[v·nin+idx] is non-empty. Two words cover every legal
+	// topology (nin = 4n+1 ≤ 125 for n ≤ 31). decide consults it so a
+	// router's cost tracks its occupied inputs, not nin².
+	occ [][2]uint64
+	// headReq is decide's per-router scratch: headReq[idx] is the
+	// virtual output key requested by the arrived head flit at input
+	// idx, or -1. Filled from occ at the top of each router's decide.
+	headReq []int16
+
+	// Active-router worklist: v is on it iff it holds buffered flits or
+	// queued injections. Sorted ascending at the top of every Step so
+	// iteration visits routers in exactly the order the dense sweep
+	// did; activeDirty marks out-of-order appends made mid-cycle.
+	activeIDs   []int32
+	isActive    []bool
+	activeDirty bool
+	// forceDense pins every router to the worklist permanently,
+	// restoring the pre-worklist dense sweep. Behavior is identical by
+	// construction (idle routers decide nothing and mutate nothing);
+	// differential tests and benchmarks use it as the reference.
+	forceDense bool
+
+	// downAt[ch] is now+1 for every channel observed down by this
+	// cycle's fault sweep (the +1 makes the zero value "never"). Only
+	// allocated when a fault model is installed.
+	downAt []int64
+
+	// moves is the decide/commit scratch buffer, reused across cycles.
+	moves []move
+
 	// injectQ[v] holds messages waiting to enter the fabric at node v.
 	injectQ [][]*Message
 	// queued counts messages across all injection queues (partially
@@ -232,25 +286,28 @@ func New(cfg Config) (*Network, error) {
 	n := cfg.Topo.Nodes()
 	dims := cfg.Topo.N()
 	ports := 2 * dims
+	nin := 2*ports + 1
 	nw := &Network{
-		cfg:     cfg,
-		topo:    cfg.Topo,
-		dims:    dims,
-		k:       cfg.Topo.K(),
-		ports:   ports,
-		routers: make([]router, n),
-		injectQ: make([][]*Message, n),
+		cfg:         cfg,
+		topo:        cfg.Topo,
+		dims:        dims,
+		k:           cfg.Topo.K(),
+		ports:       ports,
+		nin:         nin,
+		nodes:       n,
+		in:          make([]fifo, n*nin),
+		owner:       make([]*Message, n*nin),
+		ownerInput:  make([]int32, n*nin),
+		lastGranted: make([]int32, n*nin),
+		lastVC:      make([]uint8, n*ports),
+		routerFlits: make([]int32, n),
+		occ:         make([][2]uint64, n),
+		headReq:     make([]int16, nin),
+		isActive:    make([]bool, n),
+		injectQ:     make([][]*Message, n),
 	}
-	for v := range nw.routers {
-		r := &nw.routers[v]
-		r.inputs = make([]*fifo, 2*ports+1)
-		for i := range r.inputs {
-			r.inputs[i] = newFIFO(cfg.BufferDepth)
-		}
-		r.owner = make([]*Message, 2*ports+1)
-		r.ownerInput = make([]int, 2*ports+1)
-		r.lastGranted = make([]int, 2*ports+1)
-		r.lastVC = make([]int, ports)
+	if cfg.Faults != nil {
+		nw.downAt = make([]int64, n*ports)
 	}
 	return nw, nil
 }
@@ -267,14 +324,51 @@ func (nw *Network) ejectKey() int { return 2 * nw.ports }
 // injectIn is the input buffer index of the injection port.
 func (nw *Network) injectIn() int { return 2 * nw.ports }
 
+// setOcc marks input idx of router v occupied.
+func (nw *Network) setOcc(v, idx int) {
+	nw.occ[v][idx>>6] |= 1 << (idx & 63)
+}
+
+// clrOcc marks input idx of router v empty.
+func (nw *Network) clrOcc(v, idx int) {
+	nw.occ[v][idx>>6] &^= 1 << (idx & 63)
+}
+
+// activate puts router v on the worklist if it is not already there.
+func (nw *Network) activate(v int) {
+	if nw.isActive[v] {
+		return
+	}
+	nw.isActive[v] = true
+	if n := len(nw.activeIDs); n > 0 && nw.activeIDs[n-1] > int32(v) {
+		nw.activeDirty = true
+	}
+	nw.activeIDs = append(nw.activeIDs, int32(v))
+}
+
+// forceDenseSweep marks every router permanently active, restoring the
+// pre-worklist dense per-cycle sweep for differential tests and
+// benchmark baselines. Simulated behavior is identical; only the
+// per-cycle iteration cost changes.
+func (nw *Network) forceDenseSweep() {
+	nw.forceDense = true
+	for v := 0; v < nw.nodes; v++ {
+		nw.activate(v)
+	}
+}
+
+// ActiveRouters returns the current size of the active-router worklist
+// (routers holding buffered flits or queued injections). O(1).
+func (nw *Network) ActiveRouters() int { return len(nw.activeIDs) }
+
 // Send enqueues a message for injection at its source node. Messages
 // with src == dst bypass the fabric and deliver after LocalDelay.
 func (nw *Network) Send(msg *Message) error {
 	if msg.Size < 1 {
 		return fmt.Errorf("netsim: message size %d, must be ≥ 1", msg.Size)
 	}
-	if msg.Src < 0 || msg.Src >= nw.topo.Nodes() || msg.Dst < 0 || msg.Dst >= nw.topo.Nodes() {
-		return fmt.Errorf("netsim: src %d or dst %d out of range [0,%d)", msg.Src, msg.Dst, nw.topo.Nodes())
+	if msg.Src < 0 || msg.Src >= nw.nodes || msg.Dst < 0 || msg.Dst >= nw.nodes {
+		return fmt.Errorf("netsim: src %d or dst %d out of range [0,%d)", msg.Src, msg.Dst, nw.nodes)
 	}
 	msg.EnqueuedAt = nw.now
 	msg.remaining = msg.Size
@@ -287,6 +381,7 @@ func (nw *Network) Send(msg *Message) error {
 	}
 	nw.injectQ[msg.Src] = append(nw.injectQ[msg.Src], msg)
 	nw.queued++
+	nw.activate(msg.Src)
 	return nil
 }
 
@@ -367,9 +462,17 @@ func (nw *Network) neighborFor(v, o int) int {
 
 // Step advances the network one cycle.
 func (nw *Network) Step() {
+	if nw.activeDirty {
+		slices.Sort(nw.activeIDs)
+		nw.activeDirty = false
+	}
+	if nw.cfg.Faults != nil {
+		nw.sweepFaults()
+	}
 	nw.stepInjection()
-	moves := nw.decide()
-	nw.commit(moves)
+	nw.decide()
+	nw.commit()
+	nw.compactActive()
 	nw.stepLocal()
 	nw.now++
 }
@@ -381,16 +484,38 @@ func (nw *Network) Run(cycles int64) {
 	}
 }
 
+// sweepFaults queries every channel's fault state for this cycle,
+// charging faultStalls for each down channel and stamping downAt so
+// decide can consult fault state without re-querying the model. The
+// sweep is deliberately dense — over all channels in ascending order,
+// exactly like the pre-worklist decide loop — because fault accounting
+// (FaultedChannelCycles) and the model's per-channel RNG advancement
+// are defined over every channel-cycle, occupied or not. With faults
+// enabled a cycle therefore costs O(channels); a fault-free fabric
+// (the large-machine configuration) skips this entirely.
+func (nw *Network) sweepFaults() {
+	stamp := nw.now + 1 // +1 so the zero value of downAt means "never"
+	channels := nw.nodes * nw.ports
+	for ch := 0; ch < channels; ch++ {
+		if nw.cfg.Faults.Down(ch, nw.now) {
+			nw.faultStalls.Inc()
+			nw.downAt[ch] = stamp
+		}
+	}
+}
+
 // stepInjection streams flits of queued messages into each node's
-// injection buffer, one flit per cycle per node.
+// injection buffer, one flit per cycle per node. Only active routers
+// can hold queued messages (Send activates the source).
 func (nw *Network) stepInjection() {
-	for v := range nw.routers {
+	for _, v32 := range nw.activeIDs {
+		v := int(v32)
 		q := nw.injectQ[v]
 		if len(q) == 0 {
 			continue
 		}
-		in := nw.routers[v].inputs[nw.injectIn()]
-		if in.full() {
+		in := &nw.in[v*nw.nin+nw.injectIn()]
+		if in.full(nw.cfg.BufferDepth) {
 			continue
 		}
 		msg := q[0]
@@ -400,11 +525,16 @@ func (nw *Network) stepInjection() {
 			nw.injected.Inc()
 			nw.sizes.Add(float64(msg.Size))
 		}
-		in.push(flit{msg: msg, seq: seq, arrivedAt: nw.now})
+		in.push(flit{msg: msg, seq: seq, arrivedAt: nw.now}, nw.cfg.BufferDepth)
+		nw.setOcc(v, nw.injectIn())
+		nw.routerFlits[v]++
 		nw.flitsIn++
 		nw.lastProgress = nw.now
 		msg.remaining--
 		if msg.remaining == 0 {
+			// Nil the drained slot so the backing array does not keep
+			// the delivered message reachable for the rest of the run.
+			q[0] = nil
 			nw.injectQ[v] = q[1:]
 			nw.queued--
 		}
@@ -412,43 +542,93 @@ func (nw *Network) stepInjection() {
 }
 
 // decide computes at most one flit transfer per physical channel (and
-// per ejection port) based on cycle-start state.
-func (nw *Network) decide() []move {
-	var moves []move
-	for v := range nw.routers {
-		r := &nw.routers[v]
+// per ejection port) based on cycle-start state, appending to the
+// reusable moves scratch buffer. Routers with no buffered flits can
+// produce no transfer and mutate no arbitration state, so iterating
+// the (sorted) worklist yields exactly the moves of a dense sweep, in
+// the same order.
+func (nw *Network) decide() {
+	nw.moves = nw.moves[:0]
+	for _, v32 := range nw.activeIDs {
+		v := int(v32)
+		if nw.routerFlits[v] == 0 {
+			continue
+		}
+		base := v * nw.nin
+		// Gather phase: peek each occupied input once, recording which
+		// virtual output key its arrived head flit requests. A key can
+		// grant a transfer this cycle only if some head requests it or
+		// a worm already owns it, so the arbitration below skips every
+		// other key without consulting any buffer — skipped keys would
+		// have decided nothing and mutated nothing.
+		for i := range nw.headReq {
+			nw.headReq[i] = -1
+		}
+		var avail [2]uint64
+		for w := 0; w < 2; w++ {
+			m := nw.occ[v][w]
+			for m != 0 {
+				idx := w<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				f := nw.in[base+idx].peek()
+				if !f.isHead() || f.arrivedAt >= nw.now {
+					continue
+				}
+				key := nw.requestKey(v, f.msg)
+				nw.headReq[idx] = int16(key)
+				avail[key>>6] |= 1 << (key & 63)
+			}
+		}
+		for key := 0; key < nw.nin; key++ {
+			if nw.owner[base+key] != nil {
+				avail[key>>6] |= 1 << (key & 63)
+			}
+		}
 		// Directional physical channels: arbitrate between the two VCs.
 		for o := 0; o < nw.ports; o++ {
-			if nw.cfg.Faults != nil && nw.cfg.Faults.Down(v*nw.ports+o, nw.now) {
-				// The channel is faulted this cycle: neither VC may
-				// transfer a flit; worms stall in place.
-				nw.faultStalls.Inc()
+			if avail[(o*2)>>6]&(3<<((o*2)&63)) == 0 {
+				// Neither VC of this port can grant. The two keys o·2
+				// and o·2+1 share a mask word: o·2 is even, so its bit
+				// position within the word is at most 62.
 				continue
 			}
-			firstVC := 1 - r.lastVC[o]
+			if nw.cfg.Faults != nil && nw.downAt[v*nw.ports+o] == nw.now+1 {
+				// The channel is faulted this cycle: neither VC may
+				// transfer a flit; worms stall in place.
+				continue
+			}
+			firstVC := 1 - int(nw.lastVC[v*nw.ports+o])
 			granted := false
 			for attempt := 0; attempt < 2 && !granted; attempt++ {
 				vc := (firstVC + attempt) % 2
-				if mv, ok := nw.decideVirtualOutput(v, r, o*2+vc); ok {
-					moves = append(moves, mv)
-					r.lastVC[o] = vc
+				key := o*2 + vc
+				if avail[key>>6]&(1<<(key&63)) == 0 {
+					continue
+				}
+				if mv, ok := nw.decideVirtualOutput(v, key); ok {
+					nw.moves = append(nw.moves, mv)
+					nw.lastVC[v*nw.ports+o] = uint8(vc)
 					granted = true
 				}
 			}
 		}
 		// Ejection port.
-		if mv, ok := nw.decideVirtualOutput(v, r, nw.ejectKey()); ok {
-			moves = append(moves, mv)
+		ek := nw.ejectKey()
+		if avail[ek>>6]&(1<<(ek&63)) != 0 {
+			if mv, ok := nw.decideVirtualOutput(v, ek); ok {
+				nw.moves = append(nw.moves, mv)
+			}
 		}
 	}
-	return moves
 }
 
 // decideVirtualOutput picks the flit (if any) to send through virtual
 // output key this cycle at router v.
-func (nw *Network) decideVirtualOutput(v int, r *router, key int) (move, bool) {
-	if owner := r.owner[key]; owner != nil {
-		in := r.inputs[r.ownerInput[key]]
+func (nw *Network) decideVirtualOutput(v, key int) (move, bool) {
+	base := v * nw.nin
+	if owner := nw.owner[base+key]; owner != nil {
+		input := int(nw.ownerInput[base+key])
+		in := &nw.in[base+input]
 		if in.empty() {
 			return move{}, false
 		}
@@ -456,24 +636,19 @@ func (nw *Network) decideVirtualOutput(v int, r *router, key int) (move, bool) {
 		if f.msg != owner || f.arrivedAt >= nw.now {
 			return move{}, false
 		}
-		return nw.buildMove(v, r.ownerInput[key], key, f)
+		return nw.buildMove(v, input, key, f)
 	}
-	// Arbitrate among input buffers whose head flit requests this key.
-	nin := len(r.inputs)
-	start := r.lastGranted[key]
-	for i := 1; i <= nin; i++ {
-		idx := (start + i) % nin
-		in := r.inputs[idx]
-		if in.empty() {
+	// Arbitrate among input buffers whose head flit requests this key,
+	// consulting the gather phase's per-input request table instead of
+	// re-peeking every buffer (same skip conditions, same round-robin
+	// order).
+	start := int(nw.lastGranted[base+key])
+	for i := 1; i <= nw.nin; i++ {
+		idx := (start + i) % nw.nin
+		if nw.headReq[idx] != int16(key) {
 			continue
 		}
-		f := in.peek()
-		if !f.isHead() || f.arrivedAt >= nw.now {
-			continue
-		}
-		if nw.requestKey(v, f.msg) != key {
-			continue
-		}
+		f := nw.in[base+idx].peek()
 		mv, ok := nw.buildMove(v, idx, key, f)
 		if !ok {
 			// The downstream buffer is full; no other input can use
@@ -481,7 +656,7 @@ func (nw *Network) decideVirtualOutput(v int, r *router, key int) (move, bool) {
 			return move{}, false
 		}
 		mv.acquire = f.msg
-		r.lastGranted[key] = idx
+		nw.lastGranted[base+key] = int32(idx)
 		return mv, true
 	}
 	return move{}, false
@@ -505,7 +680,7 @@ func (nw *Network) buildMove(v, input, key int, f flit) (move, bool) {
 	}
 	o := key / 2
 	next := nw.neighborFor(v, o)
-	if nw.routers[next].inputs[key].full() {
+	if nw.in[next*nw.nin+key].full(nw.cfg.BufferDepth) {
 		return move{}, false
 	}
 	return move{
@@ -521,16 +696,21 @@ func (nw *Network) buildMove(v, input, key int, f flit) (move, bool) {
 }
 
 // commit applies the decided transfers.
-func (nw *Network) commit(moves []move) {
-	if len(moves) > 0 {
+func (nw *Network) commit() {
+	if len(nw.moves) > 0 {
 		nw.lastProgress = nw.now
 	}
-	for _, mv := range moves {
-		r := &nw.routers[mv.router]
-		f := r.inputs[mv.input].pop()
+	for i := range nw.moves {
+		mv := &nw.moves[i]
+		base := mv.router * nw.nin
+		f := nw.in[base+mv.input].pop()
+		if nw.in[base+mv.input].empty() {
+			nw.clrOcc(mv.router, mv.input)
+		}
+		nw.routerFlits[mv.router]--
 		if mv.acquire != nil {
-			r.owner[mv.outKey] = mv.acquire
-			r.ownerInput[mv.outKey] = mv.input
+			nw.owner[base+mv.outKey] = mv.acquire
+			nw.ownerInput[base+mv.outKey] = int32(mv.input)
 			if !mv.eject {
 				// Update the worm's dateline state as its head
 				// advances; body flits inherit the reserved path.
@@ -544,7 +724,7 @@ func (nw *Network) commit(moves []move) {
 			}
 		}
 		if mv.release {
-			r.owner[mv.outKey] = nil
+			nw.owner[base+mv.outKey] = nil
 		}
 		if mv.eject {
 			nw.flitsOut++
@@ -558,8 +738,36 @@ func (nw *Network) commit(moves []move) {
 		}
 		nw.flitHops.Inc()
 		f.arrivedAt = nw.now
-		nw.routers[mv.dest].inputs[mv.destIn].push(f)
+		nw.in[mv.dest*nw.nin+mv.destIn].push(f, nw.cfg.BufferDepth)
+		nw.setOcc(mv.dest, mv.destIn)
+		nw.routerFlits[mv.dest]++
+		// A flit arriving this cycle cannot move before the next one
+		// (the arrivedAt >= now guard), so activating the destination
+		// now — for the next cycle's worklist — is timing-exact.
+		nw.activate(mv.dest)
 	}
+}
+
+// compactActive drops drained routers from the worklist: a router with
+// no buffered flits and no queued injections contributes nothing to
+// any future cycle until traffic re-activates it. Its persistent
+// arbitration rotors (lastGranted, lastVC) and any stretched-worm
+// output ownership stay in the flat arrays, untouched, exactly as a
+// dense sweep would leave them.
+func (nw *Network) compactActive() {
+	if nw.forceDense {
+		return
+	}
+	kept := nw.activeIDs[:0]
+	for _, v32 := range nw.activeIDs {
+		v := int(v32)
+		if nw.routerFlits[v] > 0 || len(nw.injectQ[v]) > 0 {
+			kept = append(kept, v32)
+		} else {
+			nw.isActive[v] = false
+		}
+	}
+	nw.activeIDs = kept
 }
 
 func (nw *Network) completeDelivery(msg *Message) {
@@ -667,33 +875,75 @@ func (nw *Network) ResetStats() {
 
 // inFlightFlits counts flits currently buffered anywhere in the fabric
 // (injection buffers included; queued-but-uninjected messages are not).
+// O(active routers): inactive routers hold no flits by invariant.
 func (nw *Network) inFlightFlits() int {
 	total := 0
-	for v := range nw.routers {
-		for _, in := range nw.routers[v].inputs {
-			total += in.count
-		}
+	for _, v := range nw.activeIDs {
+		total += int(nw.routerFlits[v])
 	}
 	return total
 }
 
-// Check verifies the flit-conservation invariant: every flit ever
-// accepted into the fabric has either been ejected at a destination or
-// is still sitting in a switch buffer. Watchdog and fault code call
-// this so that no code path can silently leak or duplicate flits.
+// Check verifies the fabric's structural invariants: flit conservation
+// (every flit ever accepted has either been ejected or is buffered in
+// a switch), the queued-message counter, the per-router flit counts
+// and input-occupancy masks, and the active-worklist invariant — the worklist holds exactly the
+// routers with buffered flits or queued injections (every such router,
+// no drained ones, no duplicates). Watchdog, fault, and restore code
+// call this so no code path can silently leak flits or corrupt the
+// worklist. O(N·nin), so not for per-cycle hot paths.
 func (nw *Network) Check() error {
-	inFlight := int64(nw.inFlightFlits())
+	var inFlight int64
+	for v := 0; v < nw.nodes; v++ {
+		sum := int32(0)
+		var occ [2]uint64
+		for key := 0; key < nw.nin; key++ {
+			if c := nw.in[v*nw.nin+key].count; c > 0 {
+				sum += int32(c)
+				occ[key>>6] |= 1 << (key & 63)
+			}
+		}
+		if sum != nw.routerFlits[v] {
+			return fmt.Errorf("netsim: router %d flit count drifted at cycle %d: counter %d, buffers hold %d",
+				v, nw.now, nw.routerFlits[v], sum)
+		}
+		if occ != nw.occ[v] {
+			return fmt.Errorf("netsim: router %d input-occupancy mask drifted at cycle %d: mask %x, buffers %x",
+				v, nw.now, nw.occ[v], occ)
+		}
+		occupied := sum > 0 || len(nw.injectQ[v]) > 0
+		if occupied && !nw.isActive[v] {
+			return fmt.Errorf("netsim: router %d holds traffic at cycle %d but is missing from the active worklist", v, nw.now)
+		}
+		if !occupied && nw.isActive[v] && !nw.forceDense {
+			return fmt.Errorf("netsim: drained router %d left on the active worklist at cycle %d", v, nw.now)
+		}
+		inFlight += int64(sum)
+	}
 	if nw.flitsIn != nw.flitsOut+inFlight {
 		return fmt.Errorf("netsim: flit conservation violated at cycle %d: injected %d != delivered %d + in-flight %d",
 			nw.now, nw.flitsIn, nw.flitsOut, inFlight)
 	}
 	q := 0
-	for v := range nw.routers {
+	active := 0
+	for v := 0; v < nw.nodes; v++ {
 		q += len(nw.injectQ[v])
+		if nw.isActive[v] {
+			active++
+		}
 	}
 	if q != nw.queued {
 		return fmt.Errorf("netsim: queued-message count drifted at cycle %d: counter %d, queues hold %d",
 			nw.now, nw.queued, q)
+	}
+	for _, v := range nw.activeIDs {
+		if v < 0 || int(v) >= nw.nodes || !nw.isActive[v] {
+			return fmt.Errorf("netsim: stale worklist entry %d at cycle %d", v, nw.now)
+		}
+	}
+	if len(nw.activeIDs) != active {
+		return fmt.Errorf("netsim: worklist holds %d entries but %d routers are marked active at cycle %d",
+			len(nw.activeIDs), active, nw.now)
 	}
 	return nil
 }
@@ -711,37 +961,32 @@ func (nw *Network) LastProgress() int64 { return nw.lastProgress }
 // occupancy for stall reports: per-switch virtual-channel buffer
 // occupancy, the worm holding each virtual output, and the age of the
 // oldest buffered flit. Only non-empty switches are listed, capped to
-// keep reports readable.
+// keep reports readable. O(active routers), not O(N).
 func (nw *Network) DiagSnapshot() string {
 	const maxRouters = 16
 	var b strings.Builder
 	fmt.Fprintf(&b, "network @ N-cycle %d: %d flits in flight, last progress at %d\n",
 		nw.now, nw.inFlightFlits(), nw.lastProgress)
 	var busyRouters []int
-	for v := range nw.routers {
-		occupied := false
-		for _, in := range nw.routers[v].inputs {
-			if !in.empty() {
-				occupied = true
-				break
-			}
-		}
-		if occupied || len(nw.injectQ[v]) > 0 {
+	for _, v32 := range nw.activeIDs {
+		v := int(v32)
+		if nw.routerFlits[v] > 0 || len(nw.injectQ[v]) > 0 {
 			busyRouters = append(busyRouters, v)
 		}
 	}
-	sort.Ints(busyRouters)
+	slices.Sort(busyRouters)
 	shown := busyRouters
 	if len(shown) > maxRouters {
 		shown = shown[:maxRouters]
 	}
 	for _, v := range shown {
-		r := &nw.routers[v]
+		base := v * nw.nin
 		fmt.Fprintf(&b, "  router %d (%v):", v, nw.topo.Coords(v))
 		if q := len(nw.injectQ[v]); q > 0 {
 			fmt.Fprintf(&b, " injectQ=%d", q)
 		}
-		for key, in := range r.inputs {
+		for key := 0; key < nw.nin; key++ {
+			in := &nw.in[base+key]
 			if in.empty() {
 				continue
 			}
@@ -753,8 +998,8 @@ func (nw *Network) DiagSnapshot() string {
 			fmt.Fprintf(&b, " %s=%dflits(head %d→%d age %d)",
 				name, in.count, f.msg.Src, f.msg.Dst, nw.now-f.arrivedAt)
 		}
-		for key, owner := range r.owner {
-			if owner != nil {
+		for key := 0; key < nw.nin; key++ {
+			if owner := nw.owner[base+key]; owner != nil {
 				fmt.Fprintf(&b, " owner[%d]=%d→%d", key, owner.Src, owner.Dst)
 			}
 		}

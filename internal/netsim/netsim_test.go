@@ -345,20 +345,21 @@ func TestQuiescedInitially(t *testing.T) {
 }
 
 func TestFIFO(t *testing.T) {
-	q := newFIFO(2)
-	if !q.empty() || q.full() {
+	const depth = 2
+	var q fifo
+	if !q.empty() || q.full(depth) {
 		t.Error("fresh fifo state wrong")
 	}
 	m := &Message{Size: 3}
-	q.push(flit{msg: m, seq: 0})
-	q.push(flit{msg: m, seq: 1})
-	if !q.full() {
+	q.push(flit{msg: m, seq: 0}, depth)
+	q.push(flit{msg: m, seq: 1}, depth)
+	if !q.full(depth) {
 		t.Error("fifo should be full")
 	}
 	if f := q.pop(); f.seq != 0 {
 		t.Errorf("pop seq = %d, want 0", f.seq)
 	}
-	q.push(flit{msg: m, seq: 2}) // wraps the ring buffer
+	q.push(flit{msg: m, seq: 2}, depth) // wraps the ring buffer
 	if f := q.pop(); f.seq != 1 {
 		t.Errorf("pop seq = %d, want 1", f.seq)
 	}
@@ -371,7 +372,7 @@ func TestFIFO(t *testing.T) {
 }
 
 func TestFIFOPanics(t *testing.T) {
-	q := newFIFO(1)
+	var q fifo
 	func() {
 		defer func() {
 			if recover() == nil {
@@ -380,13 +381,13 @@ func TestFIFOPanics(t *testing.T) {
 		}()
 		q.pop()
 	}()
-	q.push(flit{})
+	q.push(flit{}, 1)
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Error("push to full fifo should panic")
 			}
 		}()
-		q.push(flit{})
+		q.push(flit{}, 1)
 	}()
 }

@@ -8,7 +8,7 @@ func (nw *Network) QueuedMessages() int { return nw.queued }
 
 // InFlightFlits counts flits currently buffered anywhere in the fabric
 // (injection buffers included; queued-but-uninjected messages are
-// not). O(switches).
+// not). O(active switches).
 func (nw *Network) InFlightFlits() int { return nw.inFlightFlits() }
 
 // PublishTelemetry registers the fabric's counters and occupancy as
@@ -24,6 +24,7 @@ func (nw *Network) PublishTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("net/flit_hops", func() float64 { return float64(nw.flitHops.Value()) })
 	reg.GaugeFunc("net/queued_messages", func() float64 { return float64(nw.QueuedMessages()) })
 	reg.GaugeFunc("net/in_flight_flits", func() float64 { return float64(nw.InFlightFlits()) })
+	reg.GaugeFunc("net/active_routers", func() float64 { return float64(nw.ActiveRouters()) })
 	reg.GaugeFunc("net/latency_mean", func() float64 { return nw.latency.Mean() })
 	reg.GaugeFunc("net/net_latency_mean", func() float64 { return nw.netLatency.Mean() })
 	reg.GaugeFunc("net/hops_mean", func() float64 { return nw.hops.Mean() })

@@ -149,9 +149,15 @@ func (t *Torus) Neighbor(id, dim, dir int) int {
 	if dir != 1 && dir != -1 {
 		panic(fmt.Sprintf("topology: direction %d must be ±1", dir))
 	}
-	c := t.Coords(id)
-	c[dim] = ((c[dim]+dir)%t.k + t.k) % t.k
-	return t.ID(c)
+	// Pure arithmetic — this sits on the simulator's per-flit hot path,
+	// so it must not allocate the way Coords/ID do.
+	stride := 1
+	for i := 0; i < dim; i++ {
+		stride *= t.k
+	}
+	c := (id / stride) % t.k
+	nc := ((c+dir)%t.k + t.k) % t.k
+	return id + (nc-c)*stride
 }
 
 // Route computes the e-cube (dimension-ordered, minimal) route from src

@@ -55,6 +55,17 @@ type RelaxationConfig struct {
 	// of Section 2.1. The ownership acquisition (invalidating all the
 	// neighbors' copies) then overlaps the next iteration's reads.
 	WeakOrdering bool
+	// Stagger prepends a one-shot compute burst to each thread,
+	// spreading thread start times uniformly over one iteration's
+	// compute length. Without it every thread issues its k-th access
+	// at the same cycle, so a measurement window cuts all threads at
+	// the same phase and completed-access counts are insensitive to
+	// per-access latency; staggered threads are cut at uniformly
+	// distributed phases, making windowed throughput track latency the
+	// way a long self-desynchronizing run would. The delay is a pure
+	// function of the thread index, so runs stay deterministic and
+	// checkpoint fast-forward replays it exactly.
+	Stagger bool
 }
 
 // Validate checks the configuration.
@@ -113,6 +124,9 @@ type relaxThread struct {
 	cfg       RelaxationConfig
 	neighbors []uint64 // neighbor state word addresses
 	own       uint64
+	// delay is the one-shot stagger burst still to be emitted (0 when
+	// disabled or already emitted).
+	delay int
 	// position within one iteration.
 	pos int
 }
@@ -127,6 +141,11 @@ type relaxThread struct {
 // read phase, and the fence only enforces write-after-write order on
 // the thread's own word.
 func (r *relaxThread) Next() procsim.Op {
+	if r.delay > 0 {
+		d := r.delay
+		r.delay = 0
+		return procsim.Op{Kind: procsim.OpCompute, Cycles: d}
+	}
 	deg := len(r.neighbors)
 	fence := 0
 	if r.cfg.WeakOrdering {
@@ -175,6 +194,9 @@ func (c RelaxationConfig) Programs() ([][]procsim.Program, error) {
 	for thread, proc := range c.Map.Place {
 		threadOn[proc] = thread
 	}
+	// One iteration's total compute, for spreading staggered starts.
+	deg := len(c.Graph.Neighbors(0))
+	iterCompute := deg*c.ReadCompute + c.WriteCompute
 	out := make([][]procsim.Program, nodes)
 	for proc := 0; proc < nodes; proc++ {
 		thread := threadOn[proc]
@@ -185,10 +207,15 @@ func (c RelaxationConfig) Programs() ([][]procsim.Program, error) {
 			for i, nb := range nbrs {
 				addrs[i] = c.StateAddr(inst, nb)
 			}
+			delay := 0
+			if c.Stagger {
+				delay = (inst*nodes + thread) * iterCompute / (c.Instances * nodes)
+			}
 			out[proc][inst] = &relaxThread{
 				cfg:       c,
 				neighbors: addrs,
 				own:       c.StateAddr(inst, thread),
+				delay:     delay,
 			}
 		}
 	}
