@@ -1,0 +1,297 @@
+// Command perfcheck is the performance regression gate. It runs a
+// canonical probe simulation, appends the result to the run ledger,
+// and compares it against the history of identical probes plus the
+// committed BENCH_*.json baselines, exiting nonzero when something
+// got slower than the noise thresholds allow:
+//
+//	perfcheck -ledger ledger.jsonl
+//	perfcheck -ledger ledger.jsonl -max-slowdown 0.3
+//	perfcheck -skip-probe -check-metrics scrape.txt -check-statusz statusz.json
+//
+// Checks, in order:
+//
+//   - Probe: a fixed 8×8 torus / 2-context machine runs a short
+//     measured window; its cycles/sec must be within -max-slowdown of
+//     the median of prior ledger records for the same probe on the
+//     same host shape (fingerprint + GOMAXPROCS). The first run on a
+//     fresh ledger establishes the baseline and passes.
+//   - BENCH_telemetry.json: the committed telemetry-overhead benchmark
+//     must report within_budget.
+//   - BENCH_sharded.json: the recorded 4-shard speedup must meet the
+//     file's own min_speedup_at_4 gate.
+//   - BENCH_scale.json: each machine size's measured locality gain
+//     must agree with the model's prediction within -gain-tolerance.
+//   - -check-metrics: a saved /metrics scrape must be well-formed
+//     Prometheus text exposition (the pure-Go promtool equivalent).
+//   - -check-statusz: a saved /statusz?format=json document must parse
+//     and carry a health verdict.
+//
+// The noise thresholds are deliberately generous: perfcheck gates
+// "the sharded kernel lost its speedup" and "the event kernel got 2×
+// slower", not single-digit jitter between CI hosts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/obs"
+	"locality/internal/telemetry"
+	"locality/internal/topology"
+)
+
+// probeLabel names the canonical probe; records under other labels
+// never gate against it.
+const probeLabel = "probe:k8n2p2"
+
+const probeWarmup, probeWindow = int64(1000), int64(4000)
+
+var failures int
+
+func failf(format string, args ...any) {
+	failures++
+	fmt.Printf("perfcheck: FAIL %s\n", fmt.Sprintf(format, args...))
+}
+
+func passf(format string, args ...any) {
+	fmt.Printf("perfcheck: ok   %s\n", fmt.Sprintf(format, args...))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfcheck:", err)
+	os.Exit(2)
+}
+
+// runProbe executes the canonical probe machine and returns its ledger
+// record (not yet appended).
+func runProbe() (obs.RunRecord, error) {
+	tor, err := topology.New(8, 2)
+	if err != nil {
+		return obs.RunRecord{}, err
+	}
+	cfg := machine.DefaultConfig(tor, mapping.Random(tor, 1), 2)
+	cfg.Telemetry = telemetry.New()
+	mach, err := machine.New(cfg)
+	if err != nil {
+		return obs.RunRecord{}, err
+	}
+	rec := obs.NewRunRecord("perfcheck")
+	rec.Label = probeLabel
+	rec.Kernel = cfg.Kernel.String()
+	rec.FillMachine(mach)
+	t0 := time.Now()
+	res, err := mach.Execute(context.Background(), machine.RunSpec{Warmup: probeWarmup, Window: probeWindow})
+	if err != nil {
+		return obs.RunRecord{}, err
+	}
+	rec.FillOutcome(time.Since(t0), probeWarmup+probeWindow)
+	rec.Metrics = &res.Metrics
+	return rec, nil
+}
+
+// gateProbe compares the fresh probe against the median of comparable
+// historical records: same command, label, machine fingerprint, and
+// GOMAXPROCS (a different host shape is a different baseline).
+func gateProbe(history []obs.RunRecord, cur obs.RunRecord, maxSlowdown float64) {
+	var rates []float64
+	for _, r := range history {
+		if r.Cmd == cur.Cmd && r.Label == cur.Label && r.Fingerprint == cur.Fingerprint &&
+			r.GOMAXPROCS == cur.GOMAXPROCS && r.Error == "" && r.CyclesPerSec > 0 {
+			rates = append(rates, r.CyclesPerSec)
+		}
+	}
+	if len(rates) == 0 {
+		passf("probe %.0f cycles/s (first comparable record, baseline established)", cur.CyclesPerSec)
+		return
+	}
+	sort.Float64s(rates)
+	median := rates[len(rates)/2]
+	floor := median * (1 - maxSlowdown)
+	if cur.CyclesPerSec < floor {
+		failf("probe %.0f cycles/s is below %.0f (median %.0f of %d prior runs, -max-slowdown %.0f%%)",
+			cur.CyclesPerSec, floor, median, len(rates), maxSlowdown*100)
+		return
+	}
+	passf("probe %.0f cycles/s vs median %.0f (%d prior runs)", cur.CyclesPerSec, median, len(rates))
+}
+
+func checkTelemetryBench(path string) {
+	var b struct {
+		OverheadFrac float64 `json:"overhead_frac"`
+		BudgetFrac   float64 `json:"budget_frac"`
+		WithinBudget bool    `json:"within_budget"`
+	}
+	if !loadJSON(path, &b) {
+		return
+	}
+	if !b.WithinBudget {
+		failf("%s: telemetry overhead %.1f%% exceeds budget %.1f%%", filepath.Base(path), b.OverheadFrac*100, b.BudgetFrac*100)
+		return
+	}
+	passf("%s: telemetry overhead %.1f%% within %.1f%% budget", filepath.Base(path), b.OverheadFrac*100, b.BudgetFrac*100)
+}
+
+func checkShardedBench(path string) {
+	var b struct {
+		Results []struct {
+			Shards  int     `json:"shards"`
+			Rate    float64 `json:"cycles_per_sec"`
+			Speedup float64 `json:"speedup_vs_1_shard"`
+		} `json:"results"`
+		MinSpeedupAt4 float64 `json:"min_speedup_at_4"`
+	}
+	if !loadJSON(path, &b) {
+		return
+	}
+	for _, r := range b.Results {
+		if r.Rate <= 0 {
+			failf("%s: %d-shard run recorded %.0f cycles/s", filepath.Base(path), r.Shards, r.Rate)
+			return
+		}
+	}
+	for _, r := range b.Results {
+		if r.Shards == 4 && r.Speedup < b.MinSpeedupAt4 {
+			failf("%s: 4-shard speedup %.2f below the file's own %.2f gate", filepath.Base(path), r.Speedup, b.MinSpeedupAt4)
+			return
+		}
+	}
+	passf("%s: %d shard counts, 4-shard gate %.2f met", filepath.Base(path), len(b.Results), b.MinSpeedupAt4)
+}
+
+func checkScaleBench(path string, gainTol float64) {
+	var b struct {
+		Results []struct {
+			Radix    int     `json:"radix"`
+			Nodes    int     `json:"nodes"`
+			Measured float64 `json:"measured_gain"`
+			Model    float64 `json:"model_gain"`
+			Wall     float64 `json:"wall_seconds"`
+			Heap     float64 `json:"heap_peak_mb"`
+		} `json:"results"`
+	}
+	if !loadJSON(path, &b) {
+		return
+	}
+	for _, r := range b.Results {
+		if r.Wall <= 0 || r.Heap <= 0 {
+			failf("%s: k=%d missing cost accounting (wall %.3fs, heap %.1f MB)", filepath.Base(path), r.Radix, r.Wall, r.Heap)
+			return
+		}
+		if r.Model <= 0 {
+			failf("%s: k=%d has no model prediction", filepath.Base(path), r.Radix)
+			return
+		}
+		if rel := math.Abs(r.Measured-r.Model) / r.Model; rel > gainTol {
+			failf("%s: k=%d (N=%d) measured gain %.4f vs model %.4f diverges %.1f%% (> %.0f%%)",
+				filepath.Base(path), r.Radix, r.Nodes, r.Measured, r.Model, rel*100, gainTol*100)
+			return
+		}
+	}
+	passf("%s: %d sizes, measured vs model gain within %.0f%%", filepath.Base(path), len(b.Results), gainTol*100)
+}
+
+// loadJSON reads path into v; a missing file is a warning (the
+// baseline was never committed), a malformed one a failure.
+func loadJSON(path string, v any) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("perfcheck: skip %s (not present)\n", filepath.Base(path))
+			return false
+		}
+		failf("%s: %v", filepath.Base(path), err)
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		failf("%s: %v", filepath.Base(path), err)
+		return false
+	}
+	return true
+}
+
+func checkMetricsFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		failf("metrics scrape: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := obs.ValidateExposition(f); err != nil {
+		failf("metrics scrape %s: %v", path, err)
+		return
+	}
+	passf("metrics scrape %s is well-formed exposition", path)
+}
+
+func checkStatuszFile(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		failf("statusz document: %v", err)
+		return
+	}
+	var st struct {
+		Health struct {
+			Status string `json:"status"`
+		} `json:"health"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		failf("statusz document %s: %v", path, err)
+		return
+	}
+	if st.Health.Status == "" {
+		failf("statusz document %s carries no health verdict", path)
+		return
+	}
+	passf("statusz document %s parses, health=%s", path, st.Health.Status)
+}
+
+func main() {
+	ledger := flag.String("ledger", "ledger.jsonl", "JSONL run ledger to gate against (the probe appends to it)")
+	benchDir := flag.String("bench-dir", ".", "directory holding the BENCH_*.json baselines")
+	maxSlowdown := flag.Float64("max-slowdown", 0.5, "allowed fractional cycles/sec drop vs the historical median")
+	gainTol := flag.Float64("gain-tolerance", 0.15, "allowed relative measured-vs-model gain divergence in BENCH_scale.json")
+	skipProbe := flag.Bool("skip-probe", false, "skip the live probe run; validate baselines and documents only")
+	checkMetrics := flag.String("check-metrics", "", "validate a saved /metrics scrape file")
+	checkStatusz := flag.String("check-statusz", "", "validate a saved /statusz?format=json document")
+	flag.Parse()
+
+	if !*skipProbe {
+		history, err := obs.ReadLedger(*ledger)
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := runProbe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.AppendLedger(*ledger, rec); err != nil {
+			fatal(err)
+		}
+		gateProbe(history, rec, *maxSlowdown)
+	}
+
+	checkTelemetryBench(filepath.Join(*benchDir, "BENCH_telemetry.json"))
+	checkShardedBench(filepath.Join(*benchDir, "BENCH_sharded.json"))
+	checkScaleBench(filepath.Join(*benchDir, "BENCH_scale.json"), *gainTol)
+	if *checkMetrics != "" {
+		checkMetricsFile(*checkMetrics)
+	}
+	if *checkStatusz != "" {
+		checkStatuszFile(*checkStatusz)
+	}
+
+	if failures > 0 {
+		fmt.Printf("perfcheck: %d check(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("perfcheck: all checks passed")
+}

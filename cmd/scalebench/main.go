@@ -9,6 +9,13 @@
 //
 //	scalebench -out BENCH_scale.json
 //	scalebench -radices 32,100 -window 2000   # quick smoke
+//	scalebench -obs localhost:9090 -ledger ledger.jsonl
+//
+// -obs serves the live observability endpoints (/metrics, /statusz,
+// /healthz, /debug/pprof) for the duration of the run — on the large
+// cells a scrape shows the current cycle, rate, and ETA instead of a
+// silent multi-minute wait. -ledger appends one structured run record
+// per machine size for cmd/perfcheck to gate regressions against.
 //
 // Each machine size simulates the ideal and random placements back to
 // back and pairs the measured gain with the analytic model's
@@ -30,6 +37,9 @@ import (
 	"time"
 
 	"locality/internal/experiments"
+	"locality/internal/machine"
+	"locality/internal/obs"
+	"locality/internal/telemetry"
 )
 
 // cellResult is one machine size's measurement plus its cost.
@@ -90,6 +100,8 @@ func main() {
 	warmup := flag.Int64("warmup", 4000, "warmup P-cycles per run")
 	window := flag.Int64("window", 8000, "measured P-cycles per run")
 	seed := flag.Int64("seed", 1, "random-mapping seed")
+	obsAddr := flag.String("obs", "", "serve live observability (/metrics, /statusz, /healthz, /debug/pprof) on this address, e.g. localhost:9090")
+	ledger := flag.String("ledger", "", "append a structured run record per machine size to this JSONL ledger (e.g. ledger.jsonl)")
 	flag.Parse()
 
 	ks, err := parseRadices(*radices)
@@ -102,6 +114,20 @@ func main() {
 	cfg.Warmup = *warmup
 	cfg.Window = *window
 	cfg.Seed = *seed
+
+	if *obsAddr != "" {
+		bridge := obs.NewBridge()
+		srv, err := obs.NewServer(*obsAddr, bridge)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "scalebench: observability at http://%s/\n", srv.Addr())
+		cfg.Instrument = func(label string, mc *machine.Config) {
+			mc.Telemetry = telemetry.New()
+			mc.Observer = bridge.MachineObserver(label, cfg.Warmup+cfg.Window)
+		}
+	}
 
 	res := result{
 		Contexts: cfg.Contexts, Compute: cfg.Compute,
@@ -128,6 +154,16 @@ func main() {
 		})
 		fmt.Printf("k=%-4d N=%-7d d̄=%6.2f  gain %.3f (model %.3f)  %5.1fs  heap %.0f MB\n",
 			r.Radix, r.Nodes, r.RandomD, r.MeasuredGain, r.ModelGain, wall, heapPeakMB())
+		if *ledger != "" {
+			rec := obs.NewRunRecord("scalebench")
+			rec.Label = fmt.Sprintf("gainscale k=%d", k)
+			rec.Radix, rec.Dims, rec.Nodes, rec.Contexts = r.Radix, 2, r.Nodes, cfg.Contexts
+			// Two placements simulated back to back per cell.
+			rec.FillOutcome(time.Duration(wall*float64(time.Second)), 2*(cfg.Warmup+cfg.Window))
+			if err := obs.AppendLedger(*ledger, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "scalebench:", err)
+			}
+		}
 	}
 
 	f, err := os.Create(*out)

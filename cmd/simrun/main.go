@@ -27,13 +27,18 @@
 // produces output byte-identical to the uninterrupted run.
 //
 // Observability: -telemetry appends the metrics-registry dump and the
-// per-component cycle-attribution breakdown to the report; -trace-out
-// writes a Chrome trace-event JSON (load it in Perfetto or
-// chrome://tracing) of message flows, transactions, and kernel-skip
-// spans; -slice streams time-sliced interval samples (utilization,
-// queue depths, skip ratio, fault state) to -slice-out as CSV or
-// JSONL. None of these change the simulated results; without them the
-// output is byte-identical to an uninstrumented run.
+// per-component cycle-attribution breakdown to the report; -analyze
+// appends the ranked bottleneck report (implies -telemetry); -obs
+// serves /metrics (Prometheus), /statusz, /healthz, and /debug/pprof
+// on the given address for the duration of the run; -ledger appends
+// one structured run record to a JSONL ledger that cmd/perfcheck
+// gates regressions against; -trace-out writes a Chrome trace-event
+// JSON (load it in Perfetto or chrome://tracing) of message flows,
+// transactions, and kernel-skip spans; -slice streams time-sliced
+// interval samples (utilization, queue depths, skip ratio, fault
+// state) to -slice-out as CSV or JSONL. None of these change the
+// simulated results; without them the output is byte-identical to an
+// uninstrumented run.
 //
 // Mapping selectors are parsed by internal/mapsel: identity,
 // transpose, bitrev, antilocal[:seed], local[:seed], diag[:shift],
@@ -48,11 +53,14 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"locality/internal/checkpoint"
 	"locality/internal/faults"
 	"locality/internal/machine"
 	"locality/internal/mapsel"
+	"locality/internal/obs"
+	"locality/internal/report"
 	"locality/internal/sim"
 	"locality/internal/telemetry"
 	"locality/internal/topology"
@@ -82,6 +90,9 @@ func main() {
 	shards := flag.Int("shards", 0, "parallel shards under -kernel sharded (0 = min(GOMAXPROCS, radix)); affects wall-clock speed only")
 	shardDim := flag.Int("shard-dim", 0, "torus dimension the shard slabs cut across")
 	telemetry_ := flag.Bool("telemetry", false, "enable the metrics registry and cycle attribution; dump both after the run")
+	analyze := flag.Bool("analyze", false, "append the ranked bottleneck report after the run (implies -telemetry)")
+	obsAddr := flag.String("obs", "", "serve live observability (/metrics, /statusz, /healthz, /debug/pprof) on this address, e.g. localhost:9090")
+	ledger := flag.String("ledger", "", "append a structured run record to this JSONL ledger (e.g. ledger.jsonl)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this path (implies tracing)")
 	traceCap := flag.Int("trace-cap", 1<<16, "trace ring-buffer capacity in events")
 	slice := flag.Int64("slice", 0, "emit one time-sliced sample every N P-cycles (0 disables; implies -telemetry)")
@@ -144,13 +155,32 @@ func main() {
 		cfg.SliceEvery = *slice
 		cfg.SliceWriter = writer
 	}
-	if *telemetry_ {
+	if *analyze {
+		*telemetry_ = true
+	}
+	// The obs server needs a registry to expose, but -obs alone does
+	// not add the textual dump to the report: stdout stays
+	// byte-identical to an unobserved run.
+	if *telemetry_ || *obsAddr != "" {
 		cfg.Telemetry = telemetry.New()
 	}
 	if *ckptEvery > 0 && *ckptDir == "" {
 		*ckptDir = "."
 	}
 	cfg.Checkpoint = machine.CheckpointSpec{Every: *ckptEvery, Dir: *ckptDir, Keep: *ckptKeep}
+
+	label := fmt.Sprintf("%s k=%d n=%d p=%d", *mapSel, *k, *n, *contexts)
+	var bridge *obs.Bridge
+	if *obsAddr != "" {
+		bridge = obs.NewBridge()
+		srv, err := obs.NewServer(*obsAddr, bridge)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "simrun: observability at http://%s/\n", srv.Addr())
+		cfg.Observer = bridge.MachineObserver(label, *warmup+*window)
+	}
 
 	var mach *machine.Machine
 	if *restore != "" {
@@ -172,9 +202,36 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// writeLedger appends this run's record — success or failure — so
+	// the ledger is a complete history, not a survivor's log.
+	writeLedger := func(met *machine.Metrics, runErr error, wall time.Duration) {
+		if *ledger == "" {
+			return
+		}
+		rec := obs.NewRunRecord("simrun")
+		rec.Label = label
+		rec.Kernel = kernel.String()
+		rec.Shards = *shards
+		rec.FillMachine(mach)
+		rec.FillOutcome(wall, mach.Now())
+		if runErr != nil {
+			rec.Error = runErr.Error()
+		}
+		rec.Metrics = met
+		if err := obs.AppendLedger(*ledger, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+		}
+	}
+
+	t0 := time.Now()
 	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: *warmup, Window: *window, ResumeFrom: true})
 	met := res.Metrics
 	if err != nil {
+		if bridge != nil {
+			bridge.Fail("machine", err)
+		}
+		writeLedger(nil, err, time.Since(t0))
 		var rep *faults.StallReport
 		if errors.As(err, &rep) {
 			fmt.Fprintf(os.Stderr, "simrun: %v\ndiagnostic snapshot:\n%s\n", rep, rep.Snapshot)
@@ -188,6 +245,7 @@ func main() {
 		}
 		fatal(err)
 	}
+	writeLedger(&met, nil, time.Since(t0))
 
 	fmt.Printf("machine                  %v, %d context(s), network %dx processor clock\n", tor, *contexts, *ratio)
 	fmt.Printf("mapping                  %s (d = %.2f hops)\n", m.Name, m.AvgDistance(tor))
@@ -231,6 +289,9 @@ func main() {
 		if err := cfg.Telemetry.Dump(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+	if *analyze {
+		report.RenderBottlenecks(os.Stdout, cfg.Telemetry.Export())
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

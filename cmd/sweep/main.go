@@ -41,8 +41,13 @@
 // — telemetry never touches simulated results); -slice N with
 // -slice-dir writes one time-sliced sample file per cell; -trace-dir
 // writes one Perfetto-loadable Chrome trace JSON per cell; -heartbeat
-// prints periodic completed/total + ETA lines to stderr; -pprof serves
-// net/http/pprof on the given address for live profiling.
+// prints periodic completed/total + ETA lines to stderr; -obs serves
+// the live observability endpoints (/metrics Prometheus exposition,
+// /statusz run status with per-cell progress and ETA, /healthz, and
+// /debug/pprof) on the given address while the sweep runs; -ledger
+// appends one structured run record per invocation to a JSONL ledger
+// for cmd/perfcheck. -pprof is a deprecated alias for -obs, kept one
+// release: the obs server includes the pprof handlers.
 //
 // -capture-dir writes one replayable reference trace (<cell>.lref,
 // package internal/replay) per cell: the recorded streams can be
@@ -58,8 +63,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -67,12 +70,14 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"locality/internal/engine"
 	"locality/internal/faults"
 	"locality/internal/machine"
 	"locality/internal/mapping"
 	"locality/internal/mapsel"
+	"locality/internal/obs"
 	"locality/internal/replay"
 	"locality/internal/sim"
 	"locality/internal/telemetry"
@@ -129,6 +134,10 @@ type cell struct {
 	traceCap   int
 	captureDir string
 	fileStem   string // per-cell output file name, sans extension
+	// bridge, when non-nil, receives live snapshots at the cell's
+	// run-loop chunk boundaries under key (the engine cell key).
+	bridge *obs.Bridge
+	key    string
 }
 
 // runCell builds and measures one machine. Panics from deep inside the
@@ -176,6 +185,14 @@ func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 	}
 	if c.captureDir != "" {
 		cfg.Capture = replay.NewCapture()
+	}
+	if c.bridge != nil {
+		// The bridge needs a registry to snapshot; attaching one is
+		// observational, so the CSV stays byte-identical either way.
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = telemetry.New()
+		}
+		cfg.Observer = c.bridge.MachineObserver(c.key, c.warmup+c.window)
 	}
 	mach, err := machine.New(cfg)
 	if err != nil {
@@ -322,7 +339,9 @@ func main() {
 	traceCap := flag.Int("trace-cap", 1<<16, "per-cell trace ring-buffer capacity in events")
 	captureDir := flag.String("capture-dir", "", "directory for per-cell replayable reference traces (.lref)")
 	heartbeat := flag.Duration("heartbeat", 0, "periodic progress/ETA line interval on stderr (0 disables)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	obsAddr := flag.String("obs", "", "serve live observability (/metrics, /statusz, /healthz, /debug/pprof) on this address, e.g. localhost:9090")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -obs (will be removed next release; the obs server serves /debug/pprof)")
+	ledger := flag.String("ledger", "", "append a structured run record to this JSONL ledger (e.g. ledger.jsonl)")
 	resume := flag.String("resume", "", "partial output CSV from an interrupted sweep: reuse its completed rows, run only missing or errored cells")
 	flag.Parse()
 
@@ -330,11 +349,20 @@ func main() {
 	defer stop()
 
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "sweep: pprof server:", err)
-			}
-		}()
+		fmt.Fprintln(os.Stderr, "sweep: -pprof is deprecated, use -obs (same address, adds /metrics, /statusz, /healthz)")
+		if *obsAddr == "" {
+			*obsAddr = *pprofAddr
+		}
+	}
+	var bridge *obs.Bridge
+	if *obsAddr != "" {
+		bridge = obs.NewBridge()
+		srv, err := obs.NewServer(*obsAddr, bridge)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: observability at http://%s/\n", srv.Addr())
 	}
 	if *slice > 0 && *sliceDir == "" {
 		fatal(fmt.Errorf("-slice requires -slice-dir"))
@@ -459,15 +487,17 @@ func main() {
 				reused++
 				continue
 			}
+			key := fmt.Sprintf("%s p=%d", m.Name, p)
 			c := cell{
 				tor: tor, m: m, contexts: p, prefetch: *prefetch, ratio: *ratio,
 				spec: spec, watchdog: wd, warmup: *warmup, window: *window, kernel: kernel, shards: *shards,
 				telemetry: *telemetry_, slice: *slice, sliceDir: *sliceDir, sliceFmt: *sliceFormat,
 				traceDir: *traceDir, traceCap: *traceCap, captureDir: *captureDir, fileStem: fileStem(m.Name, p),
+				bridge: bridge, key: key,
 			}
 			fullIndex = append(fullIndex, idx)
 			cells = append(cells, engine.Cell[machine.Metrics]{
-				Key: fmt.Sprintf("%s p=%d", m.Name, p),
+				Key: key,
 				Run: func(ctx context.Context) (machine.Metrics, error) {
 					return runCell(ctx, c)
 				},
@@ -498,17 +528,24 @@ func main() {
 	if *progress || *heartbeat > 0 {
 		prog = os.Stderr
 	}
+	var gridObs func(engine.Progress)
+	if bridge != nil {
+		gridObs = bridge.PublishGrid
+	}
 	// OnResult fires in grid order regardless of which worker finished
 	// first, so rows stream to the CSV exactly as the sequential sweep
 	// emitted them.
 	opts := engine.Options[machine.Metrics]{
-		Exec: engine.Exec{Workers: *workers, Progress: prog, Heartbeat: *heartbeat},
+		Exec: engine.Exec{Workers: *workers, Progress: prog, Heartbeat: *heartbeat, Observer: gridObs},
 		OnResult: func(r engine.Result[machine.Metrics]) {
 			idx := fullIndex[r.Index]
 			m, p, met := metas[idx].m, metas[idx].p, r.Row
 			var row []string
 			if r.Err != nil {
 				failed++
+				if bridge != nil {
+					bridge.Fail(r.Key, r.Err)
+				}
 				fmt.Fprintf(os.Stderr, "sweep: %s p=%d: %v\n", m.Name, p, r.Err)
 				row = []string{m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch),
 					"error=" + r.Err.Error()}
@@ -532,7 +569,21 @@ func main() {
 			emit()
 		},
 	}
-	engine.Grid(ctx, cells, opts)
+	t0 := time.Now()
+	_, stats := engine.Grid(ctx, cells, opts)
+	if *ledger != "" {
+		rec := obs.NewRunRecord("sweep")
+		rec.Label = fmt.Sprintf("%s p=%s k=%d n=%d (%d cells, %d reused)", *mappingsFlag, *contextsFlag, *k, *n, len(metas), reused)
+		rec.Radix, rec.Dims, rec.Nodes, rec.Mapping = *k, *n, tor.Nodes(), *mappingsFlag
+		rec.Kernel, rec.Shards = kernel.String(), *shards
+		rec.FillOutcome(time.Since(t0), int64(stats.Started)*(*warmup+*window))
+		if failed > 0 {
+			rec.Error = fmt.Sprintf("%d of %d cells failed", failed, len(cells))
+		}
+		if err := obs.AppendLedger(*ledger, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "sweep: %d of %d cells failed\n", failed, len(cells))
 		os.Exit(1)

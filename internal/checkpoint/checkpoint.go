@@ -16,6 +16,9 @@
 package checkpoint
 
 import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"locality/internal/cohsim"
@@ -140,6 +143,19 @@ func (f *Fingerprint) Equal(g *Fingerprint) bool {
 		f.RetryTimeout == g.RetryTimeout &&
 		f.FaultSpec == g.FaultSpec &&
 		f.Kernel == g.Kernel && f.SliceEvery == g.SliceEvery
+}
+
+// Digest returns a short stable hex digest of the fingerprint's
+// canonical wire encoding — the same bytes Equal compares field by
+// field — so external records (the run ledger) can identify a machine
+// configuration without carrying the per-node Place table, which is
+// 10⁵ entries on the machines the ledger most wants to track.
+func (f *Fingerprint) Digest() string {
+	h := sha256.New()
+	bw := bufio.NewWriter(h)
+	writeFingerprint(bw, f)
+	bw.Flush()
+	return hex.EncodeToString(h.Sum(nil)[:12])
 }
 
 // validate checks the fingerprint's structural invariants and returns

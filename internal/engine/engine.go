@@ -73,6 +73,25 @@ type Exec struct {
 	// Meant for long sweeps where per-cell lines are too chatty or too
 	// sparse.
 	Heartbeat time.Duration
+	// Observer, when non-nil, receives a Progress sample after every
+	// cell completion — the machine-readable twin of the Heartbeat
+	// line, published at exactly the grid's cell boundaries. It is
+	// called under the engine's internal lock and must not block; the
+	// live observability layer stores the sample into an atomic
+	// pointer and returns.
+	Observer func(Progress)
+}
+
+// Progress is a point-in-time view of a running grid, delivered to
+// Exec.Observer at cell boundaries.
+type Progress struct {
+	// Done counts delivered cells (including failures); Failed counts
+	// the failures among them; Total is the grid size.
+	Done, Failed, Total int
+	// Elapsed is the grid's wall time so far. Remaining estimates the
+	// time to completion at the achieved whole-grid rate (zero until
+	// the first cell lands, and zero again when the grid is done).
+	Elapsed, Remaining time.Duration
 }
 
 // Options configures one Grid call.
@@ -132,10 +151,12 @@ func Grid[T any](ctx context.Context, cells []Cell[T], opts Options[T]) ([]Resul
 
 	// deliver marks cell i complete and flushes the contiguous
 	// completed prefix through OnResult, preserving grid order.
+	delivered := 0
 	deliver := func(i int) {
 		mu.Lock()
 		defer mu.Unlock()
 		done[i] = true
+		delivered++
 		if results[i].Err != nil {
 			stats.Failed++
 		}
@@ -145,6 +166,13 @@ func Grid[T any](ctx context.Context, cells []Cell[T], opts Options[T]) ([]Resul
 				opts.OnResult(results[next])
 			}
 			next++
+		}
+		if opts.Observer != nil {
+			p := Progress{Done: delivered, Failed: stats.Failed, Total: n, Elapsed: time.Since(begin)}
+			if delivered > 0 && delivered < n {
+				p.Remaining = time.Duration(float64(p.Elapsed) / float64(delivered) * float64(n-delivered))
+			}
+			opts.Observer(p)
 		}
 	}
 

@@ -270,3 +270,43 @@ func TestEngineHeartbeatRequiresProgress(t *testing.T) {
 		t.Fatalf("err = %v", results[0].Err)
 	}
 }
+
+// TestEngineObserver: the cell-boundary observer sees every completion
+// exactly once, with monotonically increasing Done counts, the right
+// Total, and failures counted; the final sample reports the full grid
+// with no time remaining.
+func TestEngineObserver(t *testing.T) {
+	const n = 12
+	cells := make([]Cell[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = Cell[int]{
+			Key: fmt.Sprintf("cell-%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				if i == 3 {
+					return 0, errors.New("boom")
+				}
+				return i, nil
+			},
+		}
+	}
+	var samples []Progress
+	_, _ = Grid(context.Background(), cells, Options[int]{
+		Exec: Exec{Workers: 4, Observer: func(p Progress) { samples = append(samples, p) }},
+	})
+	if len(samples) != n {
+		t.Fatalf("observer saw %d samples, want %d", len(samples), n)
+	}
+	for i, p := range samples {
+		if p.Done != i+1 || p.Total != n {
+			t.Errorf("sample %d: Done=%d Total=%d, want %d/%d", i, p.Done, p.Total, i+1, n)
+		}
+	}
+	last := samples[n-1]
+	if last.Failed != 1 {
+		t.Errorf("final sample Failed=%d, want 1", last.Failed)
+	}
+	if last.Remaining != 0 {
+		t.Errorf("final sample Remaining=%v, want 0", last.Remaining)
+	}
+}

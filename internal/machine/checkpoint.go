@@ -99,6 +99,11 @@ func (m *Machine) fingerprint() checkpoint.Fingerprint {
 	}
 }
 
+// Fingerprint returns the configuration identity a checkpoint of this
+// machine would carry; its Digest is how ledger records and other
+// external trackers name a machine configuration compactly.
+func (m *Machine) Fingerprint() checkpoint.Fingerprint { return m.fingerprint() }
+
 // BuildCheckpoint assembles a snapshot of the machine's complete
 // simulation state at the current P-cycle boundary. chunkDone is how
 // far into the current RunChecked call the machine is; a restored run

@@ -130,6 +130,16 @@ type Config struct {
 	SliceEvery int64
 	// SliceWriter receives one sample per slice (CSV or JSONL).
 	SliceWriter *telemetry.SliceWriter
+
+	// Observer, when non-nil, is invoked with the machine at every
+	// run-loop chunk boundary (every ctxPollInterval P-cycles, or the
+	// watchdog interval when one is configured). It runs on the
+	// goroutine driving Execute, between chunks — never inside a
+	// kernel step — so it may freely read machine state: the live
+	// observability layer (internal/obs) publishes telemetry exports
+	// from here. Observers must only read; a read-only observer leaves
+	// the run byte-identical to an unobserved one.
+	Observer func(*Machine)
 }
 
 // DefaultRetryTimeout is the protocol retransmission deadline used when
@@ -524,6 +534,9 @@ func (m *Machine) runChecked(ctx context.Context, pCycles int64) error {
 				m.stallCheckpoint(err, phase+done)
 				return err
 			}
+		}
+		if m.cfg.Observer != nil {
+			m.cfg.Observer(m)
 		}
 	}
 	return nil

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLedgerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+
+	recs, err := ReadLedger(path)
+	if err != nil || recs != nil {
+		t.Fatalf("missing ledger = (%v, %v), want empty", recs, err)
+	}
+
+	r1 := NewRunRecord("simrun")
+	r1.Label = "probe"
+	r1.Fingerprint = "abcdef012345"
+	r1.FillOutcome(2*time.Second, 100000)
+	if err := AppendLedger(path, r1); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunRecord("sweep")
+	r2.Error = "stalled"
+	if err := AppendLedger(path, r2); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err = ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records, want 2", len(recs))
+	}
+	if recs[0].Cmd != "simrun" || recs[0].Label != "probe" || recs[0].Fingerprint != "abcdef012345" {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[0].CyclesPerSec < 49000 || recs[0].CyclesPerSec > 51000 {
+		t.Fatalf("cycles/sec = %.0f, want ~50000", recs[0].CyclesPerSec)
+	}
+	if recs[0].GOMAXPROCS <= 0 || recs[0].PeakHeapMB <= 0 {
+		t.Fatalf("environment fields not filled: %+v", recs[0])
+	}
+	if recs[1].Cmd != "sweep" || recs[1].Error != "stalled" {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+}
+
+// TestLedgerTornTail simulates a writer that crashed mid-line: the
+// partial trailing record is skipped, everything before it survives.
+func TestLedgerTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := AppendLedger(path, NewRunRecord("simrun")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"time":"2026-01-01T00:00:00Z","cmd":"swee`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Cmd != "simrun" {
+		t.Fatalf("torn ledger read = %+v, want the one intact record", recs)
+	}
+}

@@ -1,0 +1,445 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"locality/internal/telemetry"
+)
+
+// This file renders a bridge snapshot in the Prometheus text
+// exposition format (version 0.0.4) and validates such output without
+// external tooling. Registry names like "net/msg_latency_by_hops" are
+// sanitized into metric names ("locality_net_msg_latency_by_hops");
+// histograms and histogram vectors become summary families with
+// quantile labels, because the registry's power-of-two buckets carry
+// exact p50/p90/p99 while bucket boundaries themselves are an internal
+// detail no dashboard should depend on.
+
+// promPrefix namespaces every exported series.
+const promPrefix = "locality_"
+
+var invalidNameChar = regexp.MustCompile(`[^a-zA-Z0-9_:]`)
+
+// sanitizeMetricName maps a registry name to a legal Prometheus metric
+// name: every illegal character (the registry uses '/' as a namespace
+// separator) becomes '_', and a leading digit gets a '_' prefix.
+func sanitizeMetricName(name string) string {
+	s := invalidNameChar.ReplaceAllString(name, "_")
+	if s == "" {
+		return "_"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		s = "_" + s
+	}
+	return s
+}
+
+// escapeLabelValue escapes a string for use inside a label value:
+// backslash, double quote, and newline per the exposition format.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// fmtFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteExposition renders the bridge's current snapshot (plus grid
+// progress and health) as Prometheus text exposition. Before the first
+// publish it emits only the meta series, so scrapes during machine
+// construction succeed. The output is deterministic for a given
+// snapshot: metrics arrive sorted from Export and meta series are
+// emitted in a fixed order.
+func WriteExposition(w io.Writer, b *Bridge) error {
+	bw := bufio.NewWriter(w)
+	snap := b.Snapshot()
+
+	// Meta series first: scrape liveness, snapshot bookkeeping, run
+	// identity, and health. locality_obs_up is the constant scrape
+	// marker; everything else describes the run.
+	writeFamily(bw, "obs_up", "gauge", "whether the observability server is serving", nil, 1)
+	h := b.Health()
+	healthy := 0.0
+	if h.Healthy() {
+		healthy = 1
+	}
+	writeFamily(bw, "obs_healthy", "gauge", "1 when /healthz reports ok, 0 when degraded", nil, healthy)
+	if snap != nil {
+		writeFamily(bw, "obs_snapshot_seq", "counter", "sequence number of the published snapshot", nil, float64(snap.Seq))
+		writeFamily(bw, "obs_snapshot_age_seconds", "gauge", "seconds since the snapshot was published", nil, sinceSeconds(snap))
+		writeFamily(bw, "run_info", "gauge", "labels identify the running cell", map[string]string{"label": snap.Label}, 1)
+		writeFamily(bw, "obs_cycle", "gauge", "current machine P-cycle", nil, float64(snap.Cycle))
+		if snap.Target > 0 {
+			writeFamily(bw, "obs_target_cycles", "gauge", "total P-cycles the run will execute", nil, float64(snap.Target))
+		}
+		if snap.CyclesPerSec > 0 {
+			writeFamily(bw, "obs_cycles_per_sec", "gauge", "smoothed simulation rate", nil, snap.CyclesPerSec)
+		}
+		if snap.ETA > 0 {
+			writeFamily(bw, "obs_eta_seconds", "gauge", "projected seconds to the run target", nil, snap.ETA.Seconds())
+		}
+	}
+	if g := b.Grid(); g != nil {
+		writeFamily(bw, "grid_done_cells", "gauge", "sweep cells completed", nil, float64(g.Done))
+		writeFamily(bw, "grid_failed_cells", "gauge", "sweep cells failed", nil, float64(g.Failed))
+		writeFamily(bw, "grid_total_cells", "gauge", "sweep grid size", nil, float64(g.Total))
+		if g.Remaining > 0 {
+			writeFamily(bw, "grid_remaining_seconds", "gauge", "projected seconds to sweep completion", nil, g.Remaining.Seconds())
+		}
+	}
+
+	if snap != nil {
+		for _, m := range snap.Metrics {
+			name := sanitizeMetricName(m.Name)
+			switch m.Kind {
+			case telemetry.KindCounter:
+				writeFamily(bw, name, "counter", "", nil, m.Value)
+			case telemetry.KindGauge:
+				writeFamily(bw, name, "gauge", "", nil, m.Value)
+			case telemetry.KindHistogram, telemetry.KindVec:
+				writeSummary(bw, name, m)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// sinceSeconds is a package-level hook so the golden exposition test
+// can pin the snapshot age without freezing all of time.
+var sinceSeconds = func(s *Snapshot) float64 {
+	return time.Since(s.At).Seconds()
+}
+
+// writeFamily emits one single-sample family: TYPE line (and HELP when
+// provided), then the sample with optional labels.
+func writeFamily(w *bufio.Writer, name, typ, help string, labels map[string]string, v float64) {
+	full := promPrefix + name
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", full, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", full, typ)
+	w.WriteString(full)
+	writeLabels(w, labels)
+	fmt.Fprintf(w, " %s\n", fmtFloat(v))
+}
+
+// writeLabels renders {k="v",...} with keys sorted, or nothing when
+// empty.
+func writeLabels(w *bufio.Writer, labels map[string]string) {
+	if len(labels) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, `%s="%s"`, sanitizeMetricName(k), escapeLabelValue(labels[k]))
+	}
+	w.WriteByte('}')
+}
+
+// writeSummary renders a histogram or histogram-vector metric as one
+// summary family: per-stat quantile samples plus _sum and _count, with
+// the vector key as a "key" label (plain histograms use the bare
+// name). Overflow counts, which have no summary slot, become a
+// companion _overflow gauge family.
+func writeSummary(w *bufio.Writer, name string, m telemetry.Metric) {
+	full := promPrefix + name
+	fmt.Fprintf(w, "# TYPE %s summary\n", full)
+	for _, h := range m.Hists {
+		var key string
+		if h.Key >= 0 {
+			key = strconv.Itoa(h.Key)
+		}
+		writeQuantile(w, full, key, "0.5", float64(h.P50))
+		writeQuantile(w, full, key, "0.9", float64(h.P90))
+		writeQuantile(w, full, key, "0.99", float64(h.P99))
+		sum := h.Mean * float64(h.Count)
+		if key != "" {
+			fmt.Fprintf(w, "%s_sum{key=%q} %s\n", full, key, fmtFloat(sum))
+			fmt.Fprintf(w, "%s_count{key=%q} %d\n", full, key, h.Count)
+		} else {
+			fmt.Fprintf(w, "%s_sum %s\n", full, fmtFloat(sum))
+			fmt.Fprintf(w, "%s_count %d\n", full, h.Count)
+		}
+	}
+	overflowed := false
+	for _, h := range m.Hists {
+		if h.Overflow > 0 {
+			overflowed = true
+		}
+	}
+	if overflowed {
+		fmt.Fprintf(w, "# TYPE %s_overflow gauge\n", full)
+		for _, h := range m.Hists {
+			if h.Key >= 0 {
+				fmt.Fprintf(w, "%s_overflow{key=%q} %d\n", full, strconv.Itoa(h.Key), h.Overflow)
+			} else {
+				fmt.Fprintf(w, "%s_overflow %d\n", full, h.Overflow)
+			}
+		}
+	}
+}
+
+// writeQuantile emits one summary quantile sample, folding in the
+// optional vector-key label.
+func writeQuantile(w *bufio.Writer, full, key, q string, v float64) {
+	if key != "" {
+		fmt.Fprintf(w, "%s{key=%q,quantile=%q} %s\n", full, key, q, fmtFloat(v))
+	} else {
+		fmt.Fprintf(w, "%s{quantile=%q} %s\n", full, q, fmtFloat(v))
+	}
+}
+
+// --- validation -----------------------------------------------------
+
+var validMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var validLabelName = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition — the promtool-equivalent lint CI runs against a live
+// /metrics scrape, in pure Go because the toolchain is the only
+// dependency this repo allows. It verifies metric and label name
+// syntax, label escaping, parseable sample values, TYPE consistency
+// (a family's samples follow its TYPE line; summaries may append _sum,
+// _count, and companion families), quantile labels in [0,1], and that
+// no series (name plus label set) appears twice.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := make(map[string]string)
+	seen := make(map[string]bool)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName.MatchString(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if prev, ok := types[name]; ok && prev != typ {
+					return fmt.Errorf("line %d: metric %q redeclared as %s (was %s)", lineNo, name, typ, prev)
+				}
+				types[name] = typ
+			case "HELP":
+				if len(fields) < 3 {
+					return fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+				}
+				if !validMetricName.MatchString(fields[2]) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validMetricName.MatchString(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			if value != "+Inf" && value != "-Inf" && value != "NaN" {
+				return fmt.Errorf("line %d: unparseable value %q", lineNo, value)
+			}
+		}
+		base := summaryBase(name, types)
+		if typ, ok := types[base]; ok && typ == "summary" {
+			if q, ok := labels["quantile"]; ok {
+				f, err := strconv.ParseFloat(q, 64)
+				if err != nil || f < 0 || f > 1 {
+					return fmt.Errorf("line %d: quantile %q outside [0,1]", lineNo, q)
+				}
+			}
+		}
+		series := seriesKey(name, labels)
+		if seen[series] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+// summaryBase strips a _sum/_count suffix when the remainder is a
+// declared family, so those samples validate against the summary TYPE.
+func summaryBase(name string, types map[string]string) string {
+	for _, suf := range []string{"_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, declared := types[base]; declared {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// seriesKey is the duplicate-detection identity: name plus the sorted
+// label pairs.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parseSample splits one sample line into name, labels, and the value
+// token, decoding label-value escapes and rejecting malformed label
+// syntax.
+func parseSample(line string) (string, map[string]string, string, error) {
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("sample %q has no value", line)
+	}
+	name := line[:i]
+	rest := line[i:]
+	var labels map[string]string
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, "", err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return "", nil, "", fmt.Errorf("sample %q has malformed value section", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+// parseLabels consumes a {k="v",...} block, returning the decoded map
+// and the remainder of the line.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if len(s) == 0 {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName.MatchString(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", name)
+		}
+		val, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %v", name, err)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val
+		s = strings.TrimLeft(rest, " \t")
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+// parseQuoted decodes a double-quoted label value with \\, \", and \n
+// escapes, returning the value and the remainder after the closing
+// quote.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}

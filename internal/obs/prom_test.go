@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"locality/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenBridge builds a bridge with one deterministic published
+// snapshot covering every exposition shape: counter, gauge, plain
+// histogram (with overflow), histogram vector, and a name plus label
+// value that need sanitizing and escaping.
+func goldenBridge() *Bridge {
+	reg := telemetry.New()
+	c := reg.Counter("net/injected")
+	c.Add(42)
+	reg.GaugeFunc("kernel/skip_ratio", func() float64 { return 0.75 })
+	h := reg.Histogram("proto/ack latency", 8, 10) // space needs sanitizing
+	for v := int64(0); v < 40; v++ {
+		h.Add(v)
+	}
+	h.Add(1000) // overflow
+	vec := reg.HistogramVec("net/msg_latency_by_hops", 3, 8, 10)
+	for v := int64(0); v < 30; v++ {
+		vec.Observe(1, v)
+	}
+	vec.Observe(2, 15)
+
+	b := NewBridge()
+	b.Publish(Sample{
+		Label:   `random:1 "p=2"` + "\n", // exercises label escaping
+		Cycle:   5000,
+		Target:  0, // no target: ETA families omitted
+		Metrics: reg.Export(),
+	})
+	return b
+}
+
+// TestExpositionGolden pins the exact /metrics byte stream for a
+// representative snapshot. The golden file is the contract dashboards
+// scrape against; regenerate deliberately with -update.
+func TestExpositionGolden(t *testing.T) {
+	old := sinceSeconds
+	sinceSeconds = func(*Snapshot) float64 { return 0 }
+	defer func() { sinceSeconds = old }()
+
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, goldenBridge()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestExpositionValidates runs the pure-Go promtool-equivalent over
+// the writer's own output — the same pairing CI uses on a live scrape.
+func TestExpositionValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, goldenBridge()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(&buf); err != nil {
+		t.Fatalf("writer output failed validation: %v", err)
+	}
+}
+
+// TestExpositionEmptyBridge checks a scrape before any publish: only
+// meta series, still valid.
+func TestExpositionEmptyBridge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, NewBridge()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "locality_obs_up 1") {
+		t.Fatalf("empty-bridge exposition missing obs_up:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("empty-bridge exposition invalid: %v", err)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"net/msg_latency_by_hops": "net_msg_latency_by_hops",
+		"proto/ack latency":       "proto_ack_latency",
+		"9lives":                  "_9lives",
+		"ok_name:sub":             "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestValidateExpositionRejects feeds the validator the malformations
+// it exists to catch.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":  "0bad_name 1\n",
+		"bad value":        "m notanumber\n",
+		"bad label name":   `m{0l="v"} 1` + "\n",
+		"unquoted label":   "m{l=v} 1\n",
+		"unterminated":     `m{l="v} 1` + "\n",
+		"bad escape":       `m{l="\q"} 1` + "\n",
+		"duplicate series": "m{l=\"v\"} 1\nm{l=\"v\"} 2\n",
+		"duplicate label":  `m{l="a",l="b"} 1` + "\n",
+		"type redeclared":  "# TYPE m counter\nm 1\n# TYPE m gauge\n",
+		"unknown type":     "# TYPE m widget\nm 1\n",
+		"bad quantile":     "# TYPE m summary\nm{quantile=\"1.5\"} 1\n",
+		"empty exposition": "\n\n",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+	// And one well-formed document it must accept.
+	good := "# HELP m help text\n# TYPE m summary\nm{quantile=\"0.5\"} 10\nm_sum 100\nm_count 7\nplain 3 1712345678\n"
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("validator rejected well-formed exposition: %v", err)
+	}
+}

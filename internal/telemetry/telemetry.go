@@ -168,35 +168,143 @@ type Value struct {
 	Value float64
 }
 
-// Snapshot evaluates every counter and gauge (histograms are reported
-// as <name>/count and <name>/mean), sorted by name. Nil-safe.
+// MetricKind distinguishes registry entries in an Export.
+type MetricKind uint8
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+	KindVec
+)
+
+// String names the kind for exposition writers.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	case KindVec:
+		return "histogram_vec"
+	}
+	return "unknown"
+}
+
+// HistStat is a point-in-time summary of one histogram: observation
+// count, sum-derived mean, bucket-granularity percentiles, and the
+// overflow count. Key is the HistogramVec key that produced it, or -1
+// for a plain histogram.
+type HistStat struct {
+	Key           int
+	Count         int64
+	Mean          float64
+	P50, P90, P99 int64
+	Overflow      int64
+}
+
+// Metric is one registry entry's exported state. Counters and gauges
+// carry Value; histograms carry one HistStat (Key -1); vector
+// histograms carry one HistStat per populated key, ascending.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value float64
+	Hists []HistStat
+}
+
+func histStat(key int, h *stats.Histogram) HistStat {
+	return HistStat{
+		Key: key, Count: h.Count(), Mean: h.Mean(),
+		P50: h.Percentile(50), P90: h.Percentile(90), P99: h.Percentile(99),
+		Overflow: h.Overflow(),
+	}
+}
+
+// Export evaluates every entry into a typed, immutable sample sorted
+// by name. It is the single source for external exposition (the obs
+// layer's /metrics and /statusz) and for Snapshot's flat view. Like
+// every registry read it must run on the goroutine that owns the
+// registry — the simulation loop publishes exports at its own chunk
+// boundaries precisely so observers never touch live state. Nil-safe.
+func (r *Registry) Export() []Metric {
+	if r == nil {
+		return nil
+	}
+	out := make([]Metric, 0, len(r.entries))
+	for _, e := range r.entries {
+		switch e.kind {
+		case kindCounter:
+			out = append(out, Metric{Name: e.name, Kind: KindCounter, Value: float64(e.c.Value())})
+		case kindGauge:
+			out = append(out, Metric{Name: e.name, Kind: KindGauge, Value: e.g()})
+		case kindHistogram:
+			out = append(out, Metric{Name: e.name, Kind: KindHistogram, Hists: []HistStat{histStat(-1, e.h)}})
+		case kindVec:
+			m := Metric{Name: e.name, Kind: KindVec}
+			for k := 0; k < e.v.Keys(); k++ {
+				if h := e.v.At(k); h.Count() > 0 {
+					m.Hists = append(m.Hists, histStat(k, h))
+				}
+			}
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot evaluates every entry into flat named scalars, sorted by
+// name. Counters and gauges report directly. Histograms report
+// <name>/count, <name>/mean, <name>/p50, <name>/p99, and
+// <name>/overflow, so the distribution's shape survives flattening.
+// Vector histograms report the same five scalars aggregated across
+// keys (count, mean, and overflow exactly; p50/p99 as the max across
+// keys — an upper bound, consistent with Percentile's own
+// bucket-granularity upper bound) plus a full <name>[k]/... group per
+// populated key — the per-distance latency signal the time-sliced
+// CSVs and the /metrics endpoint both consume. Nil-safe.
 func (r *Registry) Snapshot() []Value {
 	if r == nil {
 		return nil
 	}
 	var out []Value
-	for _, e := range r.entries {
-		switch e.kind {
-		case kindCounter:
-			out = append(out, Value{e.name, float64(e.c.Value())})
-		case kindGauge:
-			out = append(out, Value{e.name, e.g()})
-		case kindHistogram:
-			out = append(out, Value{e.name + "/count", float64(e.h.Count())},
-				Value{e.name + "/mean", e.h.Mean()})
-		case kindVec:
-			var n int64
+	histVals := func(name string, h HistStat) []Value {
+		return []Value{
+			{name + "/count", float64(h.Count)},
+			{name + "/mean", h.Mean},
+			{name + "/p50", float64(h.P50)},
+			{name + "/p99", float64(h.P99)},
+			{name + "/overflow", float64(h.Overflow)},
+		}
+	}
+	for _, m := range r.Export() {
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			out = append(out, Value{m.Name, m.Value})
+		case KindHistogram:
+			out = append(out, histVals(m.Name, m.Hists[0])...)
+		case KindVec:
+			var agg HistStat
 			var sum float64
-			for _, h := range e.v.hs {
-				n += h.Count()
-				sum += h.Mean() * float64(h.Count())
+			for _, h := range m.Hists {
+				agg.Count += h.Count
+				sum += h.Mean * float64(h.Count)
+				agg.Overflow += h.Overflow
+				if h.P50 > agg.P50 {
+					agg.P50 = h.P50
+				}
+				if h.P99 > agg.P99 {
+					agg.P99 = h.P99
+				}
+				out = append(out, histVals(fmt.Sprintf("%s[%d]", m.Name, h.Key), h)...)
 			}
-			mean := 0.0
-			if n > 0 {
-				mean = sum / float64(n)
+			if agg.Count > 0 {
+				agg.Mean = sum / float64(agg.Count)
 			}
-			out = append(out, Value{e.name + "/count", float64(n)},
-				Value{e.name + "/mean", mean})
+			out = append(out, histVals(m.Name, agg)...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

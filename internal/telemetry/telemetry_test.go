@@ -110,8 +110,14 @@ func TestSnapshotSortedAndComplete(t *testing.T) {
 	}
 	want := map[string]float64{
 		"z/counter": 5, "a/gauge": 2.5,
-		"m/hist/count": 2, "m/hist/mean": 15,
-		"v/vec/count": 2, "v/vec/mean": 6,
+		// Plain histograms keep their distribution shape: both
+		// observations land in distinct buckets of width 10, so p50 is
+		// the upper edge of the first populated bucket.
+		"m/hist/count": 2, "m/hist/mean": 15, "m/hist/p50": 20, "m/hist/p99": 30, "m/hist/overflow": 0,
+		// Vector histograms export per-key groups plus the aggregate.
+		"v/vec/count": 2, "v/vec/mean": 6, "v/vec/p50": 10, "v/vec/p99": 10, "v/vec/overflow": 0,
+		"v/vec[0]/count": 1, "v/vec[0]/mean": 4, "v/vec[0]/p50": 10, "v/vec[0]/p99": 10, "v/vec[0]/overflow": 0,
+		"v/vec[1]/count": 1, "v/vec[1]/mean": 8, "v/vec[1]/p50": 10, "v/vec[1]/p99": 10, "v/vec[1]/overflow": 0,
 	}
 	for name, val := range want {
 		if got[name] != val {
@@ -120,6 +126,57 @@ func TestSnapshotSortedAndComplete(t *testing.T) {
 	}
 	if len(snap) != len(want) {
 		t.Errorf("snapshot has %d values, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+// TestExportTypedView: Export carries the kind tags and per-key
+// histogram summaries the exposition writers need, sorted by name,
+// with unpopulated vec keys elided.
+func TestExportTypedView(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.GaugeFunc("g", func() float64 { return 1.5 })
+	h := r.Histogram("h", 8, 10)
+	h.Add(95) // bucket 9 does not exist (8 buckets × 10) -> overflow
+	h.Add(5)  // bucket 0
+	v := r.HistogramVec("v", 4, 8, 10)
+	v.Observe(2, 15)
+	v.Observe(2, 25)
+
+	ex := r.Export()
+	if len(ex) != 4 {
+		t.Fatalf("Export returned %d metrics, want 4: %+v", len(ex), ex)
+	}
+	byName := map[string]Metric{}
+	for i, m := range ex {
+		byName[m.Name] = m
+		if i > 0 && ex[i-1].Name > m.Name {
+			t.Errorf("export not sorted: %q before %q", ex[i-1].Name, m.Name)
+		}
+	}
+	if m := byName["c"]; m.Kind != KindCounter || m.Value != 3 {
+		t.Errorf("counter export = %+v", m)
+	}
+	if m := byName["g"]; m.Kind != KindGauge || m.Value != 1.5 {
+		t.Errorf("gauge export = %+v", m)
+	}
+	hm := byName["h"]
+	if hm.Kind != KindHistogram || len(hm.Hists) != 1 {
+		t.Fatalf("histogram export = %+v", hm)
+	}
+	if hs := hm.Hists[0]; hs.Key != -1 || hs.Count != 2 || hs.Mean != 50 || hs.Overflow != 1 {
+		t.Errorf("histogram stat = %+v", hs)
+	}
+	vm := byName["v"]
+	if vm.Kind != KindVec || len(vm.Hists) != 1 {
+		t.Fatalf("vec export should hold only the populated key: %+v", vm)
+	}
+	if hs := vm.Hists[0]; hs.Key != 2 || hs.Count != 2 || hs.Mean != 20 || hs.P50 != 20 || hs.P99 != 30 {
+		t.Errorf("vec stat = %+v", hs)
+	}
+	var nilReg *Registry
+	if nilReg.Export() != nil {
+		t.Error("nil registry Export is not nil")
 	}
 }
 
