@@ -21,6 +21,10 @@
 //     file's own min_speedup_at_4 gate.
 //   - BENCH_scale.json: each machine size's measured locality gain
 //     must agree with the model's prediction within -gain-tolerance.
+//   - Served-query probe: an in-process modelserver answers a fixed
+//     batch of /v1/solve queries over live HTTP; the batch's p99
+//     latency must not exceed the historical median by more than
+//     -max-latency-growth. Skip with -skip-serve-probe.
 //   - -check-metrics: a saved /metrics scrape must be well-formed
 //     Prometheus text exposition (the pure-Go promtool equivalent).
 //   - -check-statusz: a saved /statusz?format=json document must parse
@@ -32,11 +36,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,6 +52,7 @@ import (
 	"locality/internal/machine"
 	"locality/internal/mapping"
 	"locality/internal/obs"
+	"locality/internal/serve"
 	"locality/internal/telemetry"
 	"locality/internal/topology"
 )
@@ -96,6 +104,116 @@ func runProbe() (obs.RunRecord, error) {
 	rec.FillOutcome(time.Since(t0), probeWarmup+probeWindow)
 	rec.Metrics = &res.Metrics
 	return rec, nil
+}
+
+// servedProbeLabel names the canonical served-query batch.
+const servedProbeLabel = "probe:served-solve"
+
+// servedProbeN is the batch size: enough requests for a meaningful p99
+// (rank 99% of 200 = the 198th latency) while staying well under a
+// second of wall time.
+const servedProbeN = 200
+
+// runServedProbe boots an in-process modelserver, fires the canonical
+// solve batch at it over real HTTP, and returns a ledger record with
+// the batch's latency percentiles.
+func runServedProbe() (obs.RunRecord, error) {
+	s, err := serve.New(serve.Config{Addr: "127.0.0.1:0", BatchWindow: -1})
+	if err != nil {
+		return obs.RunRecord{}, err
+	}
+	defer s.Close()
+	url := "http://" + s.Addr() + "/v1/solve"
+
+	// The batch cycles 16 distinct operating points, so it measures the
+	// full serving stack — JSON decode, cache (both miss and hit), JSON
+	// encode — in the proportions a sweep-shaped client sees.
+	bodies := make([][]byte, 16)
+	for i := range bodies {
+		b, err := json.Marshal(serve.SolveRequest{ConfigSpec: serve.ConfigSpec{
+			Contexts: 1 + i%4, D: 1 + 0.5*float64(i),
+		}})
+		if err != nil {
+			return obs.RunRecord{}, err
+		}
+		bodies[i] = b
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	batch := func(record bool) (p50, p99 float64, err error) {
+		lat := make([]float64, 0, servedProbeN)
+		for i := 0; i < servedProbeN; i++ {
+			q0 := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				return 0, 0, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return 0, 0, fmt.Errorf("served probe request %d: %s", i, resp.Status)
+			}
+			if record {
+				lat = append(lat, float64(time.Since(q0).Microseconds()))
+			}
+		}
+		if !record {
+			return 0, 0, nil
+		}
+		sort.Float64s(lat)
+		return lat[len(lat)/2], lat[len(lat)*99/100], nil
+	}
+
+	rec := obs.NewRunRecord("perfcheck")
+	rec.Label = servedProbeLabel
+	t0 := time.Now()
+	// Warmup pass (connection setup, cache fill, JIT-warm GC heap),
+	// then best-of-reps: the minimum p99 filters scheduler and GC noise
+	// the way testing.B's minimum-style reporting does. The gate is for
+	// "the serving path got slower", not one preempted goroutine.
+	if _, _, err := batch(false); err != nil {
+		return obs.RunRecord{}, err
+	}
+	const reps = 3
+	for r := 0; r < reps; r++ {
+		p50, p99, err := batch(true)
+		if err != nil {
+			return obs.RunRecord{}, err
+		}
+		if rec.P99Micros == 0 || p99 < rec.P99Micros {
+			rec.P50Micros, rec.P99Micros = p50, p99
+		}
+	}
+	rec.WallSeconds = time.Since(t0).Seconds()
+	rec.PeakHeapMB = obs.HeapMB()
+	rec.Requests = servedProbeN * reps
+	return rec, nil
+}
+
+// gateServedProbe compares the fresh batch's p99 against the median
+// p99 of comparable history: same label and GOMAXPROCS (served latency
+// is host-shaped, not machine-fingerprinted).
+func gateServedProbe(history []obs.RunRecord, cur obs.RunRecord, maxGrowth float64) {
+	var p99s []float64
+	for _, r := range history {
+		if r.Cmd == cur.Cmd && r.Label == cur.Label && r.GOMAXPROCS == cur.GOMAXPROCS &&
+			r.Error == "" && r.P99Micros > 0 {
+			p99s = append(p99s, r.P99Micros)
+		}
+	}
+	if len(p99s) == 0 {
+		passf("served probe p99 %.0fµs over %d queries (first comparable record, baseline established)",
+			cur.P99Micros, cur.Requests)
+		return
+	}
+	sort.Float64s(p99s)
+	median := p99s[len(p99s)/2]
+	ceil := median * (1 + maxGrowth)
+	if cur.P99Micros > ceil {
+		failf("served probe p99 %.0fµs exceeds %.0fµs (median %.0fµs of %d prior runs, -max-latency-growth %.0f%%)",
+			cur.P99Micros, ceil, median, len(p99s), maxGrowth*100)
+		return
+	}
+	passf("served probe p99 %.0fµs vs median %.0fµs (%d prior runs)", cur.P99Micros, median, len(p99s))
 }
 
 // gateProbe compares the fresh probe against the median of comparable
@@ -259,7 +377,9 @@ func main() {
 	benchDir := flag.String("bench-dir", ".", "directory holding the BENCH_*.json baselines")
 	maxSlowdown := flag.Float64("max-slowdown", 0.5, "allowed fractional cycles/sec drop vs the historical median")
 	gainTol := flag.Float64("gain-tolerance", 0.15, "allowed relative measured-vs-model gain divergence in BENCH_scale.json")
+	maxLatGrowth := flag.Float64("max-latency-growth", 1.0, "allowed fractional served-probe p99 growth vs the historical median")
 	skipProbe := flag.Bool("skip-probe", false, "skip the live probe run; validate baselines and documents only")
+	skipServeProbe := flag.Bool("skip-serve-probe", false, "skip the served-query latency probe")
 	checkMetrics := flag.String("check-metrics", "", "validate a saved /metrics scrape file")
 	checkStatusz := flag.String("check-statusz", "", "validate a saved /statusz?format=json document")
 	flag.Parse()
@@ -277,6 +397,21 @@ func main() {
 			fatal(err)
 		}
 		gateProbe(history, rec, *maxSlowdown)
+	}
+
+	if !*skipProbe && !*skipServeProbe {
+		history, err := obs.ReadLedger(*ledger)
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := runServedProbe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.AppendLedger(*ledger, rec); err != nil {
+			fatal(err)
+		}
+		gateServedProbe(history, rec, *maxLatGrowth)
 	}
 
 	checkTelemetryBench(filepath.Join(*benchDir, "BENCH_telemetry.json"))

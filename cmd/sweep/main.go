@@ -13,6 +13,11 @@
 // -link-mttf), four accounting columns are appended: retries,
 // home_retries, dropped, fault_cycles.
 //
+// The grid definition, cell configuration, and row formatting live in
+// internal/sweepgrid, shared with the model-serving /v1/sweep endpoint
+// and its remote workers — the same grid produces byte-identical rows
+// from any of them.
+//
 // Cells run on -workers goroutines (default GOMAXPROCS) through the
 // experiment engine; rows are still emitted in grid order, so the CSV
 // is byte-identical at any worker count. A cell that fails
@@ -75,15 +80,11 @@ import (
 	"locality/internal/engine"
 	"locality/internal/faults"
 	"locality/internal/machine"
-	"locality/internal/mapping"
-	"locality/internal/mapsel"
 	"locality/internal/obs"
 	"locality/internal/replay"
-	"locality/internal/sim"
+	"locality/internal/sweepgrid"
 	"locality/internal/telemetry"
-	"locality/internal/topology"
 	"locality/internal/trace"
-	"locality/internal/workload"
 )
 
 func fatal(err error) {
@@ -110,22 +111,10 @@ func parseContexts(s string) ([]int, error) {
 	return out, nil
 }
 
-// cell is one grid point's configuration.
-type cell struct {
-	tor      *topology.Torus
-	m        *mapping.Mapping
-	contexts int
-	prefetch bool
-	ratio    int
-	spec     faults.Spec
-	watchdog faults.Watchdog
-	warmup   int64
-	window   int64
-	kernel   machine.KernelMode
-	shards   int
-
-	// Observability (all optional). Each cell owns its registry — the
-	// engine runs cells concurrently and registries are single-owner.
+// cellExtras is the per-cell observability configuration layered on
+// top of the sweepgrid cell: telemetry, time slices, traces, capture,
+// and the live bridge. None of it changes the simulated results.
+type cellExtras struct {
 	telemetry  bool
 	slice      int64
 	sliceDir   string
@@ -133,72 +122,50 @@ type cell struct {
 	traceDir   string
 	traceCap   int
 	captureDir string
-	fileStem   string // per-cell output file name, sans extension
-	// bridge, when non-nil, receives live snapshots at the cell's
-	// run-loop chunk boundaries under key (the engine cell key).
-	bridge *obs.Bridge
-	key    string
+	bridge     *obs.Bridge
 }
 
-// runCell builds and measures one machine. Panics from deep inside the
-// simulator are recovered by the engine, so one broken cell cannot
-// kill the sweep.
-func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
-	cfg := machine.DefaultConfig(c.tor, c.m, c.contexts)
-	cfg.Kernel = c.kernel
-	cfg.Shards = c.shards
-	cfg.ClockRatio = c.ratio
-	if c.prefetch {
-		cfg.Workload = workload.RelaxationConfig{
-			Graph:        c.tor,
-			Map:          c.m,
-			Instances:    c.contexts,
-			LineSize:     cfg.LineSize,
-			ReadCompute:  cfg.ReadCompute,
-			WriteCompute: cfg.WriteCompute,
-			Prefetch:     true,
-		}
-	}
-	if c.spec.Enabled() {
-		spec := c.spec
-		cfg.Faults = &spec
-	}
-	cfg.Watchdog = c.watchdog
-	if c.telemetry {
+// runCell builds and measures one grid cell, attaching the requested
+// observability. Panics from deep inside the simulator are recovered
+// by the engine, so one broken cell cannot kill the sweep.
+func runCell(ctx context.Context, g *sweepgrid.Grid, i int, x cellExtras) (machine.Metrics, error) {
+	cfg := g.Config(i)
+	stem := g.FileStem(i)
+	if x.telemetry {
 		cfg.Telemetry = telemetry.New()
 	}
-	if c.slice > 0 {
-		f, err := os.Create(filepath.Join(c.sliceDir, c.fileStem+".slices."+c.sliceFmt))
+	if x.slice > 0 {
+		f, err := os.Create(filepath.Join(x.sliceDir, stem+".slices."+x.sliceFmt))
 		if err != nil {
 			return machine.Metrics{}, err
 		}
 		defer f.Close()
-		writer, err := telemetry.NewSliceWriter(f, c.sliceFmt)
+		writer, err := telemetry.NewSliceWriter(f, x.sliceFmt)
 		if err != nil {
 			return machine.Metrics{}, err
 		}
-		cfg.SliceEvery = c.slice
+		cfg.SliceEvery = x.slice
 		cfg.SliceWriter = writer
 	}
-	if c.traceDir != "" {
-		cfg.Trace = trace.New(c.traceCap)
+	if x.traceDir != "" {
+		cfg.Trace = trace.New(x.traceCap)
 	}
-	if c.captureDir != "" {
+	if x.captureDir != "" {
 		cfg.Capture = replay.NewCapture()
 	}
-	if c.bridge != nil {
+	if x.bridge != nil {
 		// The bridge needs a registry to snapshot; attaching one is
 		// observational, so the CSV stays byte-identical either way.
 		if cfg.Telemetry == nil {
 			cfg.Telemetry = telemetry.New()
 		}
-		cfg.Observer = c.bridge.MachineObserver(c.key, c.warmup+c.window)
+		cfg.Observer = x.bridge.MachineObserver(g.Key(i), g.Spec.Warmup+g.Spec.Window)
 	}
 	mach, err := machine.New(cfg)
 	if err != nil {
 		return machine.Metrics{}, err
 	}
-	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: c.warmup, Window: c.window})
+	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: g.Spec.Warmup, Window: g.Spec.Window})
 	if err != nil {
 		return machine.Metrics{}, err
 	}
@@ -209,8 +176,8 @@ func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 			return machine.Metrics{}, err
 		}
 	}
-	if c.traceDir != "" {
-		f, err := os.Create(filepath.Join(c.traceDir, c.fileStem+".trace.json"))
+	if x.traceDir != "" {
+		f, err := os.Create(filepath.Join(x.traceDir, stem+".trace.json"))
 		if err != nil {
 			return machine.Metrics{}, err
 		}
@@ -222,35 +189,22 @@ func runCell(ctx context.Context, c cell) (machine.Metrics, error) {
 			return machine.Metrics{}, err
 		}
 	}
-	if c.captureDir != "" {
-		tr, err := mach.CapturedTrace(c.warmup, c.window)
+	if x.captureDir != "" {
+		tr, err := mach.CapturedTrace(g.Spec.Warmup, g.Spec.Window)
 		if err != nil {
 			return machine.Metrics{}, err
 		}
-		if err := replay.WriteFile(filepath.Join(c.captureDir, c.fileStem+".lref"), tr); err != nil {
+		if err := replay.WriteFile(filepath.Join(x.captureDir, stem+".lref"), tr); err != nil {
 			return machine.Metrics{}, err
 		}
 	}
 	return met, nil
 }
 
-// fileStem turns a cell's mapping/context pair into a filesystem-safe
-// output file stem.
-func fileStem(mappingName string, contexts int) string {
-	r := strings.NewReplacer(":", "-", "/", "-", " ", "_")
-	return fmt.Sprintf("%s_p%d", r.Replace(mappingName), contexts)
-}
-
 // rowKey identifies a grid cell in a sweep CSV: mapping name and
 // context count, the two columns that vary across the grid.
 func rowKey(mappingName, contexts string) string {
 	return mappingName + "\x00" + contexts
-}
-
-// kernelComment is the header comment recording which execution kernel
-// produced a sweep CSV, written as the file's first line.
-func kernelComment(kernel machine.KernelMode) string {
-	return "# kernel=" + kernel.String()
 }
 
 // resumeRows parses a partial sweep output. The kernel comment, when
@@ -262,7 +216,7 @@ func kernelComment(kernel machine.KernelMode) string {
 // flags and its rows are not comparable). A row cut off mid-write by
 // the interruption — or anything after it — is dropped; completed rows
 // are returned keyed by rowKey, later duplicates winning.
-func resumeRows(r io.Reader, header []string, kernel machine.KernelMode) (map[string][]string, error) {
+func resumeRows(r io.Reader, g *sweepgrid.Grid) (map[string][]string, error) {
 	br := bufio.NewReader(r)
 	if peek, _ := br.Peek(1); len(peek) == 1 && peek[0] == '#' {
 		line, err := br.ReadString('\n')
@@ -270,9 +224,9 @@ func resumeRows(r io.Reader, header []string, kernel machine.KernelMode) (map[st
 			return nil, fmt.Errorf("reading resume kernel comment: %w", err)
 		}
 		line = strings.TrimSpace(line)
-		if got, want := line, kernelComment(kernel); got != want {
+		if got, want := line, g.KernelComment(); got != want {
 			return nil, fmt.Errorf("resume file was swept with %q, this sweep runs %q: refusing to mix rows from different kernels (rerun with the matching -kernel)",
-				strings.TrimPrefix(got, "# kernel="), kernel)
+				strings.TrimPrefix(got, "# kernel="), g.Kernel)
 		}
 	}
 	cr := csv.NewReader(br)
@@ -282,9 +236,9 @@ func resumeRows(r io.Reader, header []string, kernel machine.KernelMode) (map[st
 	if err != nil {
 		return nil, fmt.Errorf("reading resume header: %w", err)
 	}
-	if !slices.Equal(first, header) {
+	if !slices.Equal(first, g.Header()) {
 		return nil, fmt.Errorf("resume file header %q does not match this sweep's %q (different fault flags?)",
-			strings.Join(first, ","), strings.Join(header, ","))
+			strings.Join(first, ","), strings.Join(g.Header(), ","))
 	}
 	rows := make(map[string][]string)
 	for {
@@ -387,23 +341,17 @@ func main() {
 		}
 	}
 
-	tor, err := topology.New(*k, *n)
-	if err != nil {
-		fatal(err)
-	}
-	maps, err := mapsel.List(tor, *mappingsFlag)
-	if err != nil {
-		fatal(err)
-	}
 	contexts, err := parseContexts(*contextsFlag)
 	if err != nil {
 		fatal(err)
 	}
-	kernel, err := sim.ParseKernel(*kernelFlag)
-	if err != nil {
-		fatal(err)
+	spec := sweepgrid.Spec{
+		Radix: *k, Dims: *n, Contexts: contexts, Mappings: *mappingsFlag,
+		Warmup: *warmup, Window: *window, Ratio: *ratio, Prefetch: *prefetch,
+		Kernel: *kernelFlag, Shards: *shards,
+		FaultRate: *faultRate, FaultSeed: *faultSeed, LinkMTTF: *linkMTTF,
+		Watchdog: *watchdog,
 	}
-	spec := faults.Spec{Seed: *faultSeed, LossRate: *faultRate, LinkMTTF: *linkMTTF}
 	if *linkStall != "" {
 		stall, err := faults.ParseSpec("stall=" + *linkStall)
 		if err != nil {
@@ -411,17 +359,9 @@ func main() {
 		}
 		spec.StallMin, spec.StallMax = stall.StallMin, stall.StallMax
 	}
-	if err := spec.Validate(); err != nil {
+	g, err := sweepgrid.New(spec)
+	if err != nil {
 		fatal(err)
-	}
-	wd := faults.Watchdog{StallCycles: *watchdog}
-	if *watchdog == 0 && spec.Enabled() {
-		wd.StallCycles = 20 * (*warmup + *window)
-	}
-
-	header := []string{"mapping", "d", "contexts", "prefetch", "B", "g", "tm", "rm", "Tm", "Tt", "tt", "rt", "utilization"}
-	if spec.Enabled() {
-		header = append(header, "retries", "home_retries", "dropped", "fault_cycles")
 	}
 
 	// Read the resume file in full before creating the output: -out and
@@ -432,7 +372,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cached, err = resumeRows(rf, header, kernel)
+		cached, err = resumeRows(rf, g)
 		rf.Close()
 		if err != nil {
 			fatal(err)
@@ -450,62 +390,46 @@ func main() {
 	}
 	// The kernel comment precedes the CSV header so resumed sweeps can
 	// refuse rows produced under a different kernel.
-	if _, err := fmt.Fprintln(w, kernelComment(kernel)); err != nil {
+	if _, err := fmt.Fprintln(w, g.KernelComment()); err != nil {
 		fatal(err)
 	}
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(g.Header()); err != nil {
 		fatal(err)
 	}
 
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
-
-	// The grid: contexts-major, mappings-minor, matching the CSV's
-	// historical row order. Cells whose rows the resume file already
-	// holds are prefilled and never run; the rest are submitted to the
-	// engine with their position in the full grid remembered, so the
-	// merged output streams in grid order.
-	type meta struct {
-		m *mapping.Mapping
-		p int
+	// The grid streams in sweepgrid's cell order (contexts-major,
+	// mappings-minor). Cells whose rows the resume file already holds
+	// are prefilled and never run; the rest are submitted to the engine
+	// with their position in the full grid remembered, so the merged
+	// output streams in grid order.
+	extras := cellExtras{
+		telemetry: *telemetry_, slice: *slice, sliceDir: *sliceDir, sliceFmt: *sliceFormat,
+		traceDir: *traceDir, traceCap: *traceCap, captureDir: *captureDir, bridge: bridge,
 	}
-	var metas []meta    // full grid
 	var fullIndex []int // submitted cell -> full-grid position
-	var rows [][]string // full grid, nil = not yet available
+	rows := make([][]string, g.Len())
 	var cells []engine.Cell[machine.Metrics]
 	reused := 0
-	for _, p := range contexts {
-		for _, m := range maps {
-			p, m := p, m
-			idx := len(metas)
-			metas = append(metas, meta{m: m, p: p})
-			rows = append(rows, nil)
-			prefix := []string{m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch)}
-			if row, ok := cached[rowKey(m.Name, strconv.Itoa(p))]; ok && usableResumeRow(row, prefix, len(header)) {
-				rows[idx] = row
-				reused++
-				continue
-			}
-			key := fmt.Sprintf("%s p=%d", m.Name, p)
-			c := cell{
-				tor: tor, m: m, contexts: p, prefetch: *prefetch, ratio: *ratio,
-				spec: spec, watchdog: wd, warmup: *warmup, window: *window, kernel: kernel, shards: *shards,
-				telemetry: *telemetry_, slice: *slice, sliceDir: *sliceDir, sliceFmt: *sliceFormat,
-				traceDir: *traceDir, traceCap: *traceCap, captureDir: *captureDir, fileStem: fileStem(m.Name, p),
-				bridge: bridge, key: key,
-			}
-			fullIndex = append(fullIndex, idx)
-			cells = append(cells, engine.Cell[machine.Metrics]{
-				Key: key,
-				Run: func(ctx context.Context) (machine.Metrics, error) {
-					return runCell(ctx, c)
-				},
-			})
+	for i := 0; i < g.Len(); i++ {
+		i := i
+		_, p := g.Cell(i)
+		if row, ok := cached[rowKey(g.Prefix(i)[0], strconv.Itoa(p))]; ok && usableResumeRow(row, g.Prefix(i), len(g.Header())) {
+			rows[i] = row
+			reused++
+			continue
 		}
+		fullIndex = append(fullIndex, i)
+		cells = append(cells, engine.Cell[machine.Metrics]{
+			Key: g.Key(i),
+			Run: func(ctx context.Context) (machine.Metrics, error) {
+				return runCell(ctx, g, i, extras)
+			},
+		})
 	}
 	if *resume != "" {
-		fmt.Fprintf(os.Stderr, "sweep: resuming: %d of %d rows reused, %d to run\n", reused, len(metas), len(cells))
+		fmt.Fprintf(os.Stderr, "sweep: resuming: %d of %d rows reused, %d to run\n", reused, g.Len(), len(cells))
 	}
 
 	// emit flushes the longest completed prefix of the full grid, so
@@ -539,33 +463,16 @@ func main() {
 		Exec: engine.Exec{Workers: *workers, Progress: prog, Heartbeat: *heartbeat, Observer: gridObs},
 		OnResult: func(r engine.Result[machine.Metrics]) {
 			idx := fullIndex[r.Index]
-			m, p, met := metas[idx].m, metas[idx].p, r.Row
-			var row []string
 			if r.Err != nil {
 				failed++
 				if bridge != nil {
 					bridge.Fail(r.Key, r.Err)
 				}
-				fmt.Fprintf(os.Stderr, "sweep: %s p=%d: %v\n", m.Name, p, r.Err)
-				row = []string{m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch),
-					"error=" + r.Err.Error()}
-				for len(row) < len(header) {
-					row = append(row, "")
-				}
+				fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", r.Key, r.Err)
+				rows[idx] = g.ErrorRow(idx, r.Err)
 			} else {
-				row = []string{
-					m.Name, f(m.AvgDistance(tor)), strconv.Itoa(p), strconv.FormatBool(*prefetch),
-					f(met.MsgSize), f(met.MsgsPerTxn), f(met.InterMsgTime), f(met.MsgRate),
-					f(met.MsgLatency), f(met.TxnLatency), f(met.InterTxnTime), f(met.TxnRate),
-					f(met.ChannelUtilization),
-				}
-				if spec.Enabled() {
-					row = append(row,
-						strconv.FormatInt(met.Retries, 10), strconv.FormatInt(met.HomeRetries, 10),
-						strconv.FormatInt(met.DroppedMsgs, 10), strconv.FormatInt(met.LinkFaultCycles, 10))
-				}
+				rows[idx] = g.FormatRow(idx, r.Row)
 			}
-			rows[idx] = row
 			emit()
 		},
 	}
@@ -573,9 +480,9 @@ func main() {
 	_, stats := engine.Grid(ctx, cells, opts)
 	if *ledger != "" {
 		rec := obs.NewRunRecord("sweep")
-		rec.Label = fmt.Sprintf("%s p=%s k=%d n=%d (%d cells, %d reused)", *mappingsFlag, *contextsFlag, *k, *n, len(metas), reused)
-		rec.Radix, rec.Dims, rec.Nodes, rec.Mapping = *k, *n, tor.Nodes(), *mappingsFlag
-		rec.Kernel, rec.Shards = kernel.String(), *shards
+		rec.Label = fmt.Sprintf("%s p=%s k=%d n=%d (%d cells, %d reused)", *mappingsFlag, *contextsFlag, *k, *n, g.Len(), reused)
+		rec.Radix, rec.Dims, rec.Nodes, rec.Mapping = *k, *n, g.Tor.Nodes(), *mappingsFlag
+		rec.Kernel, rec.Shards = g.Kernel.String(), *shards
 		rec.FillOutcome(time.Since(t0), int64(stats.Started)*(*warmup+*window))
 		if failed > 0 {
 			rec.Error = fmt.Sprintf("%d of %d cells failed", failed, len(cells))

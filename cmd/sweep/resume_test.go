@@ -4,21 +4,36 @@ import (
 	"strings"
 	"testing"
 
-	"locality/internal/machine"
+	"locality/internal/sweepgrid"
 )
+
+// testGrid builds a minimal fault-free grid under the named kernel, so
+// resume parsing can be exercised against real Header/KernelComment
+// values.
+func testGrid(t *testing.T, kernel string) *sweepgrid.Grid {
+	t.Helper()
+	g, err := sweepgrid.New(sweepgrid.Spec{
+		Radix: 4, Dims: 2, Contexts: []int{1}, Mappings: "identity",
+		Warmup: 1, Window: 1, Ratio: 2, Kernel: kernel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
 
 var testHeader = []string{"mapping", "d", "contexts", "prefetch", "B", "g", "tm", "rm", "Tm", "Tt", "tt", "rt", "utilization"}
 
 func TestResumeRowsParsesPartialOutput(t *testing.T) {
 	csv := strings.Join([]string{
-		kernelComment(machine.KernelEvent),
+		testGrid(t, "event").KernelComment(),
 		strings.Join(testHeader, ","),
 		"identity,1,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138",
 		"random:1,2.5,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138",
 		"transpose,2,1,false,error=machine stalled,,,,,,,,",
 		"identity,1,2,false,11.9,3.2", // cut off mid-write
 	}, "\n") + "\n"
-	rows, err := resumeRows(strings.NewReader(csv), testHeader, machine.KernelEvent)
+	rows, err := resumeRows(strings.NewReader(csv), testGrid(t, "event"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +61,7 @@ func TestResumeRowsDropsTrailingGarbage(t *testing.T) {
 	csv := strings.Join(testHeader, ",") + "\n" +
 		"identity,1,1,false,11.9,3.2,21.4,0.046,12.8,34.4,35.1,0.0285,0.138\n" +
 		`random:1,2.5,1,false,"11.9`
-	rows, err := resumeRows(strings.NewReader(csv), testHeader, machine.KernelEvent)
+	rows, err := resumeRows(strings.NewReader(csv), testGrid(t, "event"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,10 +75,10 @@ func TestResumeRowsDropsTrailingGarbage(t *testing.T) {
 
 func TestResumeRowsRejectsHeaderMismatch(t *testing.T) {
 	faultHeader := strings.Join(append(append([]string{}, testHeader...), "retries", "home_retries", "dropped", "fault_cycles"), ",")
-	if _, err := resumeRows(strings.NewReader(faultHeader+"\n"), testHeader, machine.KernelEvent); err == nil {
+	if _, err := resumeRows(strings.NewReader(faultHeader+"\n"), testGrid(t, "event")); err == nil {
 		t.Error("fault-sweep output accepted for a fault-free resume")
 	}
-	if _, err := resumeRows(strings.NewReader(""), testHeader, machine.KernelEvent); err == nil {
+	if _, err := resumeRows(strings.NewReader(""), testGrid(t, "event")); err == nil {
 		t.Error("empty resume file accepted")
 	}
 }
@@ -74,8 +89,8 @@ func TestResumeRowsRejectsKernelMismatch(t *testing.T) {
 
 	// A sharded sweep must refuse rows recorded under the tick kernel,
 	// and name both kernels in the error.
-	in := kernelComment(machine.KernelTick) + "\n" + body
-	_, err := resumeRows(strings.NewReader(in), testHeader, machine.KernelSharded)
+	in := testGrid(t, "tick").KernelComment() + "\n" + body
+	_, err := resumeRows(strings.NewReader(in), testGrid(t, "sharded"))
 	if err == nil {
 		t.Fatal("tick-kernel resume file accepted for a sharded sweep")
 	}
@@ -86,8 +101,8 @@ func TestResumeRowsRejectsKernelMismatch(t *testing.T) {
 	}
 
 	// Matching kernel comment: accepted, rows indexed.
-	in = kernelComment(machine.KernelSharded) + "\n" + body
-	rows, err := resumeRows(strings.NewReader(in), testHeader, machine.KernelSharded)
+	in = testGrid(t, "sharded").KernelComment() + "\n" + body
+	rows, err := resumeRows(strings.NewReader(in), testGrid(t, "sharded"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +111,7 @@ func TestResumeRowsRejectsKernelMismatch(t *testing.T) {
 	}
 
 	// Legacy file with no kernel comment: accepted for compatibility.
-	if _, err := resumeRows(strings.NewReader(body), testHeader, machine.KernelSharded); err != nil {
+	if _, err := resumeRows(strings.NewReader(body), testGrid(t, "sharded")); err != nil {
 		t.Errorf("legacy resume file without kernel comment rejected: %v", err)
 	}
 }

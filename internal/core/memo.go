@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -11,17 +12,138 @@ import (
 // (d=1) solve, Figure 8 revisits Figure 7's configurations, and the
 // parallel engine makes repeated solves concurrent — so the analytical
 // half of a figures run collapses to one bisection per distinct
-// configuration. Safe for concurrent use; a concurrent miss on the
-// same key may solve twice, which is harmless because Solve is
-// deterministic.
+// configuration. The model-serving front end put the same cache on a
+// request path that never exits, which is why it is bounded: entries
+// live in power-of-two shards, each a mutex-guarded hash map plus an
+// intrusive LRU list, and once a shard reaches its capacity every
+// insert evicts the shard's least-recently-used entry. Hits, misses,
+// and evictions are counted for the /metrics exposition.
+//
+// Safe for concurrent use. A concurrent miss on the same key may solve
+// twice, which is harmless because Solve is deterministic; sharding
+// means two hot keys contend only when they hash to the same shard.
+// The zero value is usable and sizes itself to DefaultCacheCapacity on
+// first use; NewSolveCache picks an explicit bound.
 type SolveCache struct {
-	m            sync.Map // Config -> solveEntry
-	hits, misses atomic.Int64
+	capacity int // requested total capacity; 0 → DefaultCacheCapacity
+	once     sync.Once
+	shards   []solveShard
+	mask     uint64
+
+	hits, misses, evictions atomic.Int64
+}
+
+// DefaultCacheCapacity bounds the process-wide DefaultSolveCache. An
+// entry is a Config key plus a Solution and list pointers — a few
+// hundred bytes — so the default caps the cache around tens of MB
+// while still covering every distinct operating point any of the
+// repo's experiment grids resolves.
+const DefaultCacheCapacity = 1 << 16
+
+// solveShardCount is the number of power-of-two shards. 16 keeps
+// per-shard mutex contention negligible at the serving layer's
+// GOMAXPROCS-scale concurrency without fragmenting the LRU bound into
+// meaninglessly small per-shard slices.
+const solveShardCount = 16
+
+type solveShard struct {
+	// front is the entry this shard most recently served or stored.
+	// Repeated queries for one operating point — the serving layer's
+	// hot case — resolve against it without taking the lock. Entries
+	// are immutable once published, so a front hit stays correct even
+	// after the entry is evicted from the map.
+	front atomic.Pointer[solveEntry]
+
+	mu sync.Mutex
+	// m maps the precomputed key hash to a chain of entries. Keying by
+	// uint64 instead of the 13-field Config struct keeps the hot hit
+	// path off the runtime's generic struct hasher (measurably ~3× the
+	// whole lookup cost); genuine 64-bit collisions chain through
+	// collide and are resolved by full key comparison.
+	m    map[uint64]*solveEntry
+	size int // resident entries; len(m) undercounts chained collisions
+	cap  int // per-shard entry bound, ≥ 1
+	// Intrusive LRU list: head is most recent, tail the eviction
+	// candidate. nil/nil when empty.
+	head, tail *solveEntry
 }
 
 type solveEntry struct {
-	sol Solution
-	err error
+	key        Config
+	hash       uint64
+	sol        Solution
+	err        error
+	collide    *solveEntry // next entry with the same 64-bit hash
+	prev, next *solveEntry
+}
+
+// NewSolveCache returns a cache bounded to roughly capacity entries
+// (rounded up so each of the power-of-two shards holds at least one).
+// capacity <= 0 selects DefaultCacheCapacity.
+func NewSolveCache(capacity int) *SolveCache {
+	sc := &SolveCache{capacity: capacity}
+	sc.init()
+	return sc
+}
+
+func (sc *SolveCache) init() {
+	sc.once.Do(func() {
+		total := sc.capacity
+		if total <= 0 {
+			total = DefaultCacheCapacity
+		}
+		per := (total + solveShardCount - 1) / solveShardCount
+		if per < 1 {
+			per = 1
+		}
+		sc.shards = make([]solveShard, solveShardCount)
+		for i := range sc.shards {
+			sc.shards[i].cap = per
+			sc.shards[i].m = make(map[uint64]*solveEntry)
+		}
+		sc.mask = solveShardCount - 1
+	})
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	h ^= v
+	return h * fnvPrime
+}
+
+// hash folds every field that participates in map-key equality with
+// FNV-1a over the fields' bit patterns, so canonically equal configs
+// land on the same shard and the same collision chain. Two independent
+// lanes halve the multiply dependency chain — the hash sits on the
+// lock-free hit path, where serial FNV latency was the largest single
+// cost — and a final cross-mix folds them together.
+func (c *Config) hash() uint64 {
+	a := uint64(fnvOffset)
+	b := uint64(fnvOffset) ^ fnvPrime
+	a = fnvMix(a, math.Float64bits(c.App.Grain))
+	b = fnvMix(b, math.Float64bits(c.App.SwitchTime))
+	a = fnvMix(a, uint64(c.App.Contexts))
+	b = fnvMix(b, math.Float64bits(c.Txn.CriticalPath))
+	a = fnvMix(a, math.Float64bits(c.Txn.MessagesPer))
+	b = fnvMix(b, math.Float64bits(c.Txn.FixedOverhead))
+	a = fnvMix(a, uint64(c.Net.Dims))
+	b = fnvMix(b, math.Float64bits(c.Net.MsgSize))
+	a = fnvMix(a, math.Float64bits(c.Net.FixedOverhead))
+	var flags uint64
+	if c.Net.NodeChannelContention {
+		flags |= 1
+	}
+	if c.AssumeUnmasked {
+		flags |= 2
+	}
+	b = fnvMix(b, flags)
+	a = fnvMix(a, math.Float64bits(c.ClockRatio))
+	b = fnvMix(b, math.Float64bits(c.D))
+	return fnvMix(a, b)
 }
 
 // Solve returns cfg.Solve(), memoized. Configurations that cannot be
@@ -33,33 +155,166 @@ func (sc *SolveCache) Solve(cfg Config) (Solution, error) {
 		sc.misses.Add(1)
 		return cfg.Solve()
 	}
-	if e, found := sc.m.Load(key); found {
+	sc.init()
+	h := key.hash()
+	sh := &sc.shards[h&sc.mask]
+	if e := sh.front.Load(); e != nil && e.hash == h && e.key == key {
 		sc.hits.Add(1)
-		ent := e.(solveEntry)
-		return ent.sol, ent.err
+		return e.sol, e.err
 	}
+	sh.mu.Lock()
+	if e := sh.lookup(h, key); e != nil {
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		sh.front.Store(e)
+		sc.hits.Add(1)
+		return e.sol, e.err
+	}
+	sh.mu.Unlock()
+
+	// Solve outside the shard lock: a bisection takes microseconds and
+	// must not serialize unrelated keys behind it.
 	sc.misses.Add(1)
 	sol, err := cfg.Solve()
-	sc.m.Store(key, solveEntry{sol: sol, err: err})
+
+	sh.mu.Lock()
+	if sh.lookup(h, key) == nil {
+		if sh.size >= sh.cap {
+			sh.evictOldest()
+			sc.evictions.Add(1)
+		}
+		e := &solveEntry{key: key, hash: h, sol: sol, err: err}
+		sh.insert(e)
+		sh.front.Store(e)
+	}
+	sh.mu.Unlock()
 	return sol, err
 }
 
-// Stats returns the cache's lifetime hit and miss counts.
-func (sc *SolveCache) Stats() (hits, misses int64) {
-	return sc.hits.Load(), sc.misses.Load()
+// lookup walks the collision chain for h to the entry whose full key
+// matches. Caller holds the shard lock.
+func (sh *solveShard) lookup(h uint64, key Config) *solveEntry {
+	for e := sh.m[h]; e != nil; e = e.collide {
+		if e.key == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// insert links a fresh entry into the hash chain and the LRU head.
+// Caller holds the shard lock and has checked the key is absent.
+func (sh *solveShard) insert(e *solveEntry) {
+	e.collide = sh.m[e.hash]
+	sh.m[e.hash] = e
+	sh.pushFront(e)
+	sh.size++
+}
+
+// moveToFront marks e most-recently-used. Caller holds the shard lock.
+func (sh *solveShard) moveToFront(e *solveEntry) {
+	if sh.head == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if sh.tail == e {
+		sh.tail = e.prev
+	}
+	// Relink at head.
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// pushFront links a fresh entry at the head. Caller holds the lock.
+func (sh *solveShard) pushFront(e *solveEntry) {
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// evictOldest removes the tail entry. Caller holds the lock and has
+// checked the shard is non-empty.
+func (sh *solveShard) evictOldest() {
+	old := sh.tail
+	if old == nil {
+		return
+	}
+	sh.tail = old.prev
+	if sh.tail != nil {
+		sh.tail.next = nil
+	} else {
+		sh.head = nil
+	}
+	old.prev, old.next = nil, nil
+	// Unlink from the collision chain.
+	if head := sh.m[old.hash]; head == old {
+		if old.collide != nil {
+			sh.m[old.hash] = old.collide
+		} else {
+			delete(sh.m, old.hash)
+		}
+	} else {
+		for e := head; e != nil; e = e.collide {
+			if e.collide == old {
+				e.collide = old.collide
+				break
+			}
+		}
+	}
+	old.collide = nil
+	sh.size--
+}
+
+// CacheStats is a point-in-time view of the cache's counters and size.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	// Entries counts currently resident entries; Capacity is the
+	// configured bound (summed across shards).
+	Entries, Capacity int
+}
+
+// Stats returns the cache's lifetime counters and current occupancy.
+func (sc *SolveCache) Stats() CacheStats {
+	sc.init()
+	st := CacheStats{
+		Hits:      sc.hits.Load(),
+		Misses:    sc.misses.Load(),
+		Evictions: sc.evictions.Load(),
+	}
+	for i := range sc.shards {
+		sh := &sc.shards[i]
+		sh.mu.Lock()
+		st.Entries += sh.size
+		st.Capacity += sh.cap
+		sh.mu.Unlock()
+	}
+	return st
 }
 
 // Len counts the stored entries.
-func (sc *SolveCache) Len() int {
-	n := 0
-	sc.m.Range(func(any, any) bool { n++; return true })
-	return n
-}
+func (sc *SolveCache) Len() int { return sc.Stats().Entries }
 
-// DefaultSolveCache is the process-wide cache behind SolveCached. The
-// entry set is bounded by the distinct configurations a process
-// solves, each a couple of hundred bytes.
-var DefaultSolveCache SolveCache
+// DefaultSolveCache is the process-wide cache behind SolveCached,
+// bounded to DefaultCacheCapacity entries.
+var DefaultSolveCache = NewSolveCache(DefaultCacheCapacity)
 
 // SolveCached is Solve through the process-wide memoization cache. Use
 // it on analytical sweep paths that revisit operating points; results

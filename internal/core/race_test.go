@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled lets timing-sensitive tests skip themselves under the
+// race detector, whose instrumentation distorts nanosecond-scale
+// paths far more than microsecond-scale ones.
+const raceEnabled = true

@@ -1,0 +1,331 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Policy selects how a Scheduler carves a contiguous iteration space
+// into chunks for self-scheduling workers. The family is the classic
+// loop-scheduling progression (Loci's lbmethods): static partitioning
+// for uniform work on uniform workers, fixed-size chunking when the
+// per-chunk dispatch overhead must be amortized, guided
+// self-scheduling and factoring when per-item cost varies, and
+// adaptive weighted factoring when the workers themselves run at
+// measurably different speeds (heterogeneous hosts, contended serving
+// processes).
+type Policy int
+
+const (
+	// PolicyStatic hands each worker one ⌈N/P⌉ slice up front. Lowest
+	// dispatch overhead, no rebalancing.
+	PolicyStatic Policy = iota
+	// PolicyFSC (fixed-size chunking) hands out constant-size chunks,
+	// ⌈N/8P⌉, so a straggler strands at most one small chunk.
+	PolicyFSC
+	// PolicyGSS (guided self-scheduling) hands out ⌈remaining/P⌉ —
+	// large chunks early for low overhead, small chunks late for
+	// balance.
+	PolicyGSS
+	// PolicyFactoring schedules batches of half the remaining work,
+	// split evenly into P chunks; the geometric decay tolerates
+	// variance that GSS's front-loaded chunks cannot.
+	PolicyFactoring
+	// PolicyAWF (adaptive weighted factoring) is factoring with each
+	// worker's chunk scaled by its measured rate, so persistently fast
+	// workers draw proportionally more of every batch.
+	PolicyAWF
+)
+
+var policyNames = map[Policy]string{
+	PolicyStatic:    "static",
+	PolicyFSC:       "fsc",
+	PolicyGSS:       "gss",
+	PolicyFactoring: "factoring",
+	PolicyAWF:       "awf",
+}
+
+func (p Policy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Policies lists every scheduling policy in a stable order.
+func Policies() []Policy {
+	return []Policy{PolicyStatic, PolicyFSC, PolicyGSS, PolicyFactoring, PolicyAWF}
+}
+
+// ParsePolicy maps a policy name ("static", "fsc", "gss", "factoring",
+// "awf") to its Policy, case-insensitively.
+func ParsePolicy(name string) (Policy, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for p, s := range policyNames {
+		if s == want {
+			return p, nil
+		}
+	}
+	var known []string
+	for _, p := range Policies() {
+		known = append(known, p.String())
+	}
+	sort.Strings(known)
+	return 0, fmt.Errorf("engine: unknown scheduling policy %q (have %s)", name, strings.Join(known, ", "))
+}
+
+// Chunk is a contiguous half-open range [Start, Start+Count) of the
+// iteration space.
+type Chunk struct {
+	Start, Count int
+}
+
+// Scheduler carves the iteration space [0, total) into chunks under a
+// Policy. Workers pull with Next, report completions with Record (which
+// also feeds AWF's rate estimates), and return the unfinished chunks of
+// a dead worker with Requeue. Chunk boundaries depend on request order
+// and measured rates, so they are not deterministic across runs — but
+// every chunk is a contiguous slice of the same iteration space, so
+// results reassembled by index are identical no matter how the space
+// was carved (the determinism test pins exactly this).
+//
+// Safe for concurrent use.
+type Scheduler struct {
+	mu       sync.Mutex
+	policy   Policy
+	total    int
+	workers  int
+	minChunk int
+	fixed    int // FSC chunk size, precomputed
+
+	next      int     // first index never yet dispatched
+	completed int     // items acknowledged via Record
+	requeued  []Chunk // returned by dead workers; served before fresh work
+
+	// Factoring/AWF batch state: batchRem counts the iterations left in
+	// the current batch; batchSize is the batch's original extent (the
+	// base for per-worker chunk shares).
+	batchRem  int
+	batchSize int
+
+	rates map[string]*workerRate
+
+	dispatched int64 // chunks handed out, for observability
+	requeues   int64 // chunks requeued, for observability
+}
+
+type workerRate struct {
+	items   int
+	elapsed time.Duration
+}
+
+// NewScheduler builds a scheduler over [0, total) for the given worker
+// count. workers <= 0 is treated as 1; minChunk <= 0 defaults to 1.
+// Chunks never exceed the remaining work and never undercut minChunk
+// except for the final fragment.
+func NewScheduler(policy Policy, total, workers, minChunk int) *Scheduler {
+	if total < 0 {
+		total = 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	s := &Scheduler{
+		policy:   policy,
+		total:    total,
+		workers:  workers,
+		minChunk: minChunk,
+		rates:    make(map[string]*workerRate),
+	}
+	// FSC: ⌈N/8P⌉ yields ~8 chunks per worker — enough slack to absorb
+	// a straggler without per-item dispatch overhead.
+	s.fixed = ceilDiv(total, 8*workers)
+	if s.fixed < minChunk {
+		s.fixed = minChunk
+	}
+	return s
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// Next hands worker id its next chunk. ok is false when no work is
+// available right now — which is not the same as the sweep being
+// finished: a chunk held by a dying worker may still come back through
+// Requeue. Callers coordinating multiple workers should treat !ok as
+// "wait or exit depending on Done".
+func (s *Scheduler) Next(id string) (ch Chunk, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.requeued) > 0 {
+		ch = s.requeued[0]
+		s.requeued = s.requeued[1:]
+		s.dispatched++
+		return ch, true
+	}
+	remaining := s.total - s.next
+	if remaining <= 0 {
+		return Chunk{}, false
+	}
+	n := s.chunkSizeLocked(id, remaining)
+	if n > remaining {
+		n = remaining
+	}
+	ch = Chunk{Start: s.next, Count: n}
+	s.next += n
+	if s.policy == PolicyFactoring || s.policy == PolicyAWF {
+		s.batchRem -= n
+	}
+	s.dispatched++
+	return ch, true
+}
+
+// chunkSizeLocked computes the next chunk extent for the policy.
+// Caller holds the lock and guarantees remaining > 0.
+func (s *Scheduler) chunkSizeLocked(id string, remaining int) int {
+	var n int
+	switch s.policy {
+	case PolicyStatic:
+		n = ceilDiv(s.total, s.workers)
+	case PolicyFSC:
+		n = s.fixed
+	case PolicyGSS:
+		n = ceilDiv(remaining, s.workers)
+	case PolicyFactoring:
+		s.refillBatchLocked(remaining)
+		n = ceilDiv(s.batchSize, s.workers)
+	case PolicyAWF:
+		s.refillBatchLocked(remaining)
+		n = int(float64(ceilDiv(s.batchSize, s.workers)) * s.weightLocked(id))
+	default:
+		n = ceilDiv(s.total, s.workers)
+	}
+	if n < s.minChunk {
+		n = s.minChunk
+	}
+	if cap := s.batchCapLocked(); cap > 0 && n > cap {
+		n = cap
+	}
+	return n
+}
+
+// refillBatchLocked starts a new factoring batch of half the remaining
+// work when the current one is exhausted.
+func (s *Scheduler) refillBatchLocked(remaining int) {
+	if s.batchRem > 0 {
+		return
+	}
+	s.batchSize = ceilDiv(remaining, 2)
+	s.batchRem = s.batchSize
+}
+
+// batchCapLocked bounds a chunk to the current batch for the batched
+// policies; 0 means no batch bound applies.
+func (s *Scheduler) batchCapLocked() int {
+	if s.policy == PolicyFactoring || s.policy == PolicyAWF {
+		return s.batchRem
+	}
+	return 0
+}
+
+// weightLocked is worker id's measured rate normalized so the mean
+// worker weighs 1.0. Unmeasured workers weigh 1.0, which makes AWF
+// degrade to plain factoring until Record calls arrive.
+func (s *Scheduler) weightLocked(id string) float64 {
+	r := s.rates[id]
+	if r == nil || r.elapsed <= 0 || r.items == 0 {
+		return 1
+	}
+	mine := float64(r.items) / r.elapsed.Seconds()
+	var sum float64
+	var n int
+	for _, o := range s.rates {
+		if o.elapsed <= 0 || o.items == 0 {
+			continue
+		}
+		sum += float64(o.items) / o.elapsed.Seconds()
+		n++
+	}
+	if sum <= 0 || n == 0 {
+		return 1
+	}
+	w := mine * float64(n) / sum
+	// Clamp so one noisy measurement can neither starve a worker nor
+	// hand it the whole batch.
+	if w < 0.25 {
+		w = 0.25
+	}
+	if w > 4 {
+		w = 4
+	}
+	return w
+}
+
+// Record acknowledges that worker id finished ch in elapsed wall time.
+// It advances the completion count and updates the worker's AWF rate.
+func (s *Scheduler) Record(id string, ch Chunk, elapsed time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.completed += ch.Count
+	r := s.rates[id]
+	if r == nil {
+		r = &workerRate{}
+		s.rates[id] = r
+	}
+	r.items += ch.Count
+	r.elapsed += elapsed
+}
+
+// Requeue returns a dispatched-but-unfinished chunk (a dead worker's
+// outstanding work) to the front of the queue.
+func (s *Scheduler) Requeue(ch Chunk) {
+	if ch.Count <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requeued = append(s.requeued, ch)
+	s.requeues++
+}
+
+// Done reports whether every iteration has been Recorded complete.
+func (s *Scheduler) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed >= s.total
+}
+
+// SchedStats is a point-in-time view of scheduler progress for the
+// metrics exposition.
+type SchedStats struct {
+	Policy     Policy
+	Total      int
+	Completed  int
+	Dispatched int64 // chunks handed out (including requeue re-issues)
+	Requeues   int64 // chunks returned by dead workers
+	Pending    int   // requeued chunks awaiting re-dispatch
+}
+
+// Stats returns the scheduler's progress counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedStats{
+		Policy:     s.policy,
+		Total:      s.total,
+		Completed:  s.completed,
+		Dispatched: s.dispatched,
+		Requeues:   s.requeues,
+		Pending:    len(s.requeued),
+	}
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drain pulls chunks for one synthetic worker until the space is
+// exhausted, returning the chunks in dispatch order.
+func drain(s *Scheduler, id string) []Chunk {
+	var got []Chunk
+	for {
+		ch, ok := s.Next(id)
+		if !ok {
+			return got
+		}
+		got = append(got, ch)
+		s.Record(id, ch, time.Millisecond)
+	}
+}
+
+func TestSchedulerPartitionsExactly(t *testing.T) {
+	// Every policy must carve [0, total) into disjoint chunks that
+	// cover it exactly, for degenerate and awkward sizes alike.
+	for _, policy := range Policies() {
+		for _, workers := range []int{1, 3, 4, 16} {
+			for _, total := range []int{0, 1, 7, 64, 1000} {
+				s := NewScheduler(policy, total, workers, 1)
+				covered := make([]bool, total)
+				for _, ch := range drain(s, "w0") {
+					if ch.Count <= 0 {
+						t.Fatalf("%v P=%d N=%d: empty chunk %+v", policy, workers, total, ch)
+					}
+					for i := ch.Start; i < ch.Start+ch.Count; i++ {
+						if i < 0 || i >= total {
+							t.Fatalf("%v P=%d N=%d: chunk %+v out of range", policy, workers, total, ch)
+						}
+						if covered[i] {
+							t.Fatalf("%v P=%d N=%d: index %d dispatched twice", policy, workers, total, i)
+						}
+						covered[i] = true
+					}
+				}
+				for i, c := range covered {
+					if !c {
+						t.Fatalf("%v P=%d N=%d: index %d never dispatched", policy, workers, total, i)
+					}
+				}
+				if !s.Done() {
+					t.Fatalf("%v P=%d N=%d: not Done after full drain", policy, workers, total)
+				}
+			}
+		}
+	}
+}
+
+func TestSchedulerChunkShapes(t *testing.T) {
+	// Static: first chunk is the even ⌈N/P⌉ share.
+	s := NewScheduler(PolicyStatic, 100, 4, 1)
+	if ch, _ := s.Next("w"); ch.Count != 25 {
+		t.Errorf("static first chunk = %d, want 25", ch.Count)
+	}
+	// GSS: ⌈remaining/P⌉ decays as work drains.
+	s = NewScheduler(PolicyGSS, 100, 4, 1)
+	first, _ := s.Next("w")
+	second, _ := s.Next("w")
+	if first.Count != 25 || second.Count != 19 {
+		t.Errorf("gss chunks = %d,%d, want 25,19", first.Count, second.Count)
+	}
+	// Factoring: batch of ⌈remaining/2⌉ split P ways — ⌈50/4⌉ = 13
+	// until the 50-item batch drains (final fragment 11), then the
+	// next batch halves to 25 and chunks shrink to ⌈25/4⌉ = 7.
+	s = NewScheduler(PolicyFactoring, 100, 4, 1)
+	var sizes []int
+	for i := 0; i < 5; i++ {
+		ch, _ := s.Next("w")
+		sizes = append(sizes, ch.Count)
+	}
+	want := []int{13, 13, 13, 11, 7}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("factoring chunk sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestSchedulerAWFWeightsFastWorkers(t *testing.T) {
+	s := NewScheduler(PolicyAWF, 10_000, 2, 1)
+	// Seed measured rates: "fast" runs 3× the rate of "slow".
+	s.Record("fast", Chunk{0, 300}, time.Second)
+	s.Record("slow", Chunk{0, 100}, time.Second)
+	s.mu.Lock()
+	s.completed = 0 // rate seeding above is not real progress
+	s.mu.Unlock()
+	chFast, _ := s.Next("fast")
+	chSlow, _ := s.Next("slow")
+	if chFast.Count <= chSlow.Count {
+		t.Errorf("awf gave fast worker %d and slow worker %d; want fast > slow",
+			chFast.Count, chSlow.Count)
+	}
+	// Weights are clamped so even an extreme rate skew cannot starve
+	// the slow worker below a quarter share.
+	base := ceilDiv(s.batchSize, s.workers)
+	if chSlow.Count < base/4 {
+		t.Errorf("slow worker chunk %d under the 0.25 weight floor of %d", chSlow.Count, base/4)
+	}
+}
+
+func TestSchedulerRequeueServesFirst(t *testing.T) {
+	s := NewScheduler(PolicyGSS, 100, 4, 1)
+	lost, _ := s.Next("w1") // dispatched, worker dies
+	fresh, _ := s.Next("w2")
+	s.Requeue(lost)
+	back, ok := s.Next("w2")
+	if !ok || back != lost {
+		t.Fatalf("requeued chunk not served first: got %+v ok=%v, want %+v", back, ok, lost)
+	}
+	if back.Start == fresh.Start {
+		t.Fatal("requeued chunk collided with fresh dispatch")
+	}
+	st := s.Stats()
+	if st.Requeues != 1 || st.Pending != 0 {
+		t.Errorf("stats = %+v, want Requeues=1 Pending=0", st)
+	}
+}
+
+func TestSchedulerPolicyDeterminism(t *testing.T) {
+	// The acceptance criterion for the serving layer: however the
+	// iteration space is carved — any policy, any worker count, any
+	// interleaving — results reassembled by index are byte-identical.
+	// Workers race concurrently here so the chunk boundaries genuinely
+	// differ between configurations.
+	render := func(policy Policy, workers int) []byte {
+		const total = 500
+		s := NewScheduler(policy, total, workers, 1)
+		out := make([]int, total)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				for {
+					ch, ok := s.Next(id)
+					if !ok {
+						return
+					}
+					t0 := time.Now()
+					for i := ch.Start; i < ch.Start+ch.Count; i++ {
+						out[i] = i * i
+					}
+					s.Record(id, ch, time.Since(t0))
+				}
+			}(fmt.Sprintf("w%d", w))
+		}
+		wg.Wait()
+		if !s.Done() {
+			t.Fatalf("%v P=%d: drain did not complete", policy, workers)
+		}
+		var buf bytes.Buffer
+		for i, v := range out {
+			fmt.Fprintf(&buf, "%d,%d\n", i, v)
+		}
+		return buf.Bytes()
+	}
+
+	want := render(PolicyStatic, 1)
+	for _, policy := range Policies() {
+		for _, workers := range []int{1, 4} {
+			if got := render(policy, workers); !bytes.Equal(got, want) {
+				t.Errorf("%v with %d workers produced different bytes", policy, workers)
+			}
+		}
+	}
+}

@@ -26,7 +26,9 @@ func captureRelaxationTrace(t *testing.T, contexts int, warmup, window int64) *r
 	if err != nil {
 		t.Fatal(err)
 	}
-	mach.Run(warmup + window)
+	if _, err := mach.Execute(context.Background(), machine.RunSpec{Cycles: warmup + window}); err != nil {
+		t.Fatal(err)
+	}
 	tr, err := mach.CapturedTrace(warmup, window)
 	if err != nil {
 		t.Fatal(err)

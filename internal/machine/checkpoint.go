@@ -1,7 +1,6 @@
 package machine
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -265,21 +264,4 @@ func RestoreFrom(cfg Config, ck *checkpoint.Checkpoint) (*Machine, error) {
 	}
 	m.resumePhase = ck.ChunkDone
 	return m, nil
-}
-
-// ResumeMeasuredChecked continues the standard experiment protocol
-// (warmup, stats reset, measurement window) from wherever the restored
-// machine left off, and returns the window's metrics. It reproduces
-// the uninterrupted RunMeasuredChecked(warmup, window) byte for byte:
-// if the checkpoint landed during warmup the stats reset still happens
-// at exactly cycle warmup; afterward, only the remaining window runs.
-//
-// Deprecated: use Execute(ctx, RunSpec{Warmup: warmup, Window: window,
-// ResumeFrom: true}).
-func (m *Machine) ResumeMeasuredChecked(ctx context.Context, warmup, window int64) (Metrics, error) {
-	res, err := m.Execute(ctx, RunSpec{Warmup: warmup, Window: window, ResumeFrom: true})
-	if err != nil {
-		return Metrics{}, err
-	}
-	return res.Metrics, nil
 }

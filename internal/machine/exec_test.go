@@ -87,10 +87,11 @@ func TestRunSpecValidate(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersMatchExecute pins the compatibility contract
-// for the one-PR deprecation window: each legacy entry point is a thin
-// forwarder producing exactly what the equivalent Execute call does.
-func TestDeprecatedWrappersMatchExecute(t *testing.T) {
+// TestExecutePhaseSplitIsInvisible pins the protocol equivalence the
+// deleted legacy wrappers used to embody: running warmup and window as
+// two separate Execute calls with a manual stats reset produces the
+// same metrics as the one-call measured protocol.
+func TestExecutePhaseSplitIsInvisible(t *testing.T) {
 	tor := topology.MustNew(4, 2)
 	build := func() *Machine {
 		m, err := New(DefaultConfig(tor, mapping.Random(tor, 3), 2))
@@ -104,32 +105,24 @@ func TestDeprecatedWrappersMatchExecute(t *testing.T) {
 
 	want := execMeasured(t, build(), warmup, window)
 
-	if got := build().RunMeasured(warmup, window); got != want {
-		t.Errorf("RunMeasured diverged from Execute:\n%+v\n%+v", got, want)
+	split := build()
+	if _, err := split.Execute(ctx, RunSpec{Cycles: warmup}); err != nil {
+		t.Fatal(err)
 	}
-	if got, err := build().RunMeasuredChecked(ctx, warmup, window); err != nil || got != want {
-		t.Errorf("RunMeasuredChecked diverged from Execute (err %v):\n%+v\n%+v", err, got, want)
+	split.ResetStats()
+	if _, err := split.Execute(ctx, RunSpec{Cycles: window}); err != nil {
+		t.Fatal(err)
 	}
-	// ResumeFrom on a fresh machine degenerates to the fresh protocol.
-	if got, err := build().ResumeMeasuredChecked(ctx, warmup, window); err != nil || got != want {
-		t.Errorf("ResumeMeasuredChecked diverged from Execute (err %v):\n%+v\n%+v", err, got, want)
+	if got := split.Measure(); got != want {
+		t.Errorf("split Execute diverged from measured protocol:\n%+v\n%+v", got, want)
 	}
 
-	a, b := build(), build()
-	a.Run(warmup)
-	a.ResetStats()
-	a.Run(window)
-	if got := a.Measure(); got != want {
-		t.Errorf("Run diverged from Execute:\n%+v\n%+v", got, want)
-	}
-	if err := b.RunChecked(ctx, warmup); err != nil {
+	// ResumeFrom on a fresh machine degenerates to the fresh protocol.
+	res, err := build().Execute(ctx, RunSpec{Warmup: warmup, Window: window, ResumeFrom: true})
+	if err != nil {
 		t.Fatal(err)
 	}
-	b.ResetStats()
-	if err := b.RunChecked(ctx, window); err != nil {
-		t.Fatal(err)
-	}
-	if got := b.Measure(); got != want {
-		t.Errorf("RunChecked diverged from Execute:\n%+v\n%+v", got, want)
+	if res.Metrics != want {
+		t.Errorf("fresh ResumeFrom diverged from measured protocol:\n%+v\n%+v", res.Metrics, want)
 	}
 }

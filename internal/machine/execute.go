@@ -51,13 +51,12 @@ type Result struct {
 
 // Execute advances the machine according to spec, under the configured
 // watchdog and checkpointing, stopping early with the context's error
-// if ctx is canceled at a poll point. It subsumes the historical
-// Run/RunChecked/RunMeasured/RunMeasuredChecked/ResumeMeasuredChecked
-// entry points:
+// if ctx is canceled at a poll point. It is the machine's only run
+// entry point:
 //
-//	Execute(ctx, RunSpec{Cycles: n})                              // Run / RunChecked
-//	Execute(ctx, RunSpec{Warmup: w, Window: n})                   // RunMeasured(Checked)
-//	Execute(ctx, RunSpec{Warmup: w, Window: n, ResumeFrom: true}) // ResumeMeasuredChecked
+//	Execute(ctx, RunSpec{Cycles: n})                              // plain advance
+//	Execute(ctx, RunSpec{Warmup: w, Window: n})                   // measured protocol
+//	Execute(ctx, RunSpec{Warmup: w, Window: n, ResumeFrom: true}) // continue a restored run
 //
 // On error the returned Result is the zero value.
 func (m *Machine) Execute(ctx context.Context, spec RunSpec) (Result, error) {

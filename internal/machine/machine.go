@@ -82,7 +82,7 @@ type Config struct {
 	// A nil or zero spec leaves the machine behaviorally identical to a
 	// fault-free build.
 	Faults *faults.Spec
-	// Watchdog, when enabled, makes RunChecked abort with a
+	// Watchdog, when enabled, makes Execute abort with a
 	// faults.StallReport if the machine stops making forward progress.
 	Watchdog faults.Watchdog
 	// RetryTimeout is the protocol's retransmission deadline in
@@ -440,29 +440,11 @@ func (a memAdapter) Join(node, thread int, addr uint64, now int64) bool {
 	return a.m.proto.Join(node, thread, addr, now)
 }
 
-// Run advances the machine by pCycles processor cycles with the error
-// discarded: with the watchdog disabled (the default) no error can
-// occur; with a watchdog configured, prefer Execute — a stall silently
-// ends a plain Run early.
-//
-// Deprecated: use Execute(ctx, RunSpec{Cycles: pCycles}).
-func (m *Machine) Run(pCycles int64) {
-	_, _ = m.Execute(context.Background(), RunSpec{Cycles: pCycles})
-}
-
-// RunChecked advances the machine by pCycles processor cycles under
-// the configured watchdog and checkpointing.
-//
-// Deprecated: use Execute(ctx, RunSpec{Cycles: pCycles}).
-func (m *Machine) RunChecked(ctx context.Context, pCycles int64) error {
-	_, err := m.Execute(ctx, RunSpec{Cycles: pCycles})
-	return err
-}
-
-// ctxPollInterval is the granularity, in P-cycles, at which RunChecked
-// polls for context cancellation when the watchdog is disabled. Run is
-// a straight loop, so chunking it changes nothing but adds a poll
-// point every few thousand cycles (microseconds of simulated work).
+// ctxPollInterval is the granularity, in P-cycles, at which Execute
+// polls for context cancellation when the watchdog is disabled. The
+// kernel is a straight loop, so chunking it changes nothing but adds a
+// poll point every few thousand cycles (microseconds of simulated
+// work).
 const ctxPollInterval = 4096
 
 // runChecked is the run loop backing Execute: it advances the machine
@@ -708,27 +690,4 @@ func (m *Machine) Measure() Metrics {
 		mt.TxnRate = 1 / mt.InterTxnTime
 	}
 	return mt
-}
-
-// RunMeasured performs the standard experiment protocol: warm up for
-// warmup P-cycles, reset statistics, run the measurement window, and
-// return its metrics.
-//
-// Deprecated: use Execute(ctx, RunSpec{Warmup: warmup, Window: window}).
-func (m *Machine) RunMeasured(warmup, window int64) Metrics {
-	res, _ := m.Execute(context.Background(), RunSpec{Warmup: warmup, Window: window})
-	return res.Metrics
-}
-
-// RunMeasuredChecked is RunMeasured under the configured watchdog and
-// context: it returns early with a *faults.StallReport if either phase
-// stalls, or with the context error if ctx is canceled mid-run.
-//
-// Deprecated: use Execute(ctx, RunSpec{Warmup: warmup, Window: window}).
-func (m *Machine) RunMeasuredChecked(ctx context.Context, warmup, window int64) (Metrics, error) {
-	res, err := m.Execute(ctx, RunSpec{Warmup: warmup, Window: window})
-	if err != nil {
-		return Metrics{}, err
-	}
-	return res.Metrics, nil
 }

@@ -49,6 +49,11 @@ type RunRecord struct {
 	PCycles      int64   `json:"p_cycles,omitempty"`
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 	Error        string  `json:"error,omitempty"`
+	// Served-query summary, written by modelserver per request class
+	// and by perfcheck's served-latency probe.
+	Requests  int64   `json:"requests,omitempty"`
+	P50Micros float64 `json:"p50_micros,omitempty"`
+	P99Micros float64 `json:"p99_micros,omitempty"`
 	// Metrics is the run's final measurement-window summary, when the
 	// command produced one.
 	Metrics *machine.Metrics `json:"metrics,omitempty"`

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locality/internal/core"
+)
+
+// batcher coalesces concurrent point queries. Two layers:
+//
+//   - Singleflight: requests for a configuration already being solved
+//     join the in-flight call instead of solving again, so a burst of
+//     identical queries costs one bisection (then the cache serves the
+//     rest).
+//   - Micro-batching: the first request of a quiet period opens a
+//     bounded window (Window, ~ms); requests arriving within it are
+//     solved together in one flush. The window trades a bounded
+//     latency floor for fewer wakeups under load — and since distinct
+//     configs dedup against the cache anyway, the window's job is
+//     purely to shape bursty arrival into batched work.
+//
+// The zero value is not usable; build with newBatcher.
+type batcher struct {
+	cache  *core.SolveCache
+	window time.Duration
+
+	mu      sync.Mutex
+	calls   map[core.Config]*batchCall
+	queue   []core.Config
+	pending bool // a flush goroutine is armed
+
+	batches   atomic.Int64 // flushes executed
+	coalesced atomic.Int64 // requests that joined an in-flight call
+}
+
+type batchCall struct {
+	done chan struct{}
+	sol  core.Solution
+	err  error
+}
+
+func newBatcher(cache *core.SolveCache, window time.Duration) *batcher {
+	return &batcher{
+		cache:  cache,
+		window: window,
+		calls:  make(map[core.Config]*batchCall),
+	}
+}
+
+// solve resolves cfg through the batch pipeline. coalesced reports
+// that the request joined an identical in-flight call. A canceled
+// context abandons the wait (the solve itself completes and lands in
+// the cache for the next asker).
+func (b *batcher) solve(ctx context.Context, cfg core.Config) (sol core.Solution, coalesced bool, err error) {
+	if cfg != cfg {
+		// NaN fields break map-key equality; solve directly and let the
+		// model's own validation reject it.
+		sol, err := b.cache.Solve(cfg)
+		return sol, false, err
+	}
+	b.mu.Lock()
+	if c, ok := b.calls[cfg]; ok {
+		b.mu.Unlock()
+		b.coalesced.Add(1)
+		select {
+		case <-c.done:
+			return c.sol, true, c.err
+		case <-ctx.Done():
+			return core.Solution{}, true, ctx.Err()
+		}
+	}
+	c := &batchCall{done: make(chan struct{})}
+	b.calls[cfg] = c
+	b.queue = append(b.queue, cfg)
+	arm := !b.pending
+	if arm {
+		b.pending = true
+	}
+	b.mu.Unlock()
+	if arm {
+		go b.flush()
+	}
+	select {
+	case <-c.done:
+		return c.sol, false, c.err
+	case <-ctx.Done():
+		return core.Solution{}, false, ctx.Err()
+	}
+}
+
+// flush waits out the batching window, then solves everything that
+// accumulated. Requests that arrive mid-flush for a config still in
+// calls join its call; ones that arrive after its removal start a new
+// batch and hit the cache.
+func (b *batcher) flush() {
+	if b.window > 0 {
+		time.Sleep(b.window)
+	}
+	b.mu.Lock()
+	queue := b.queue
+	b.queue = nil
+	b.pending = false
+	b.mu.Unlock()
+	b.batches.Add(1)
+	for _, cfg := range queue {
+		sol, err := b.cache.Solve(cfg)
+		b.mu.Lock()
+		c := b.calls[cfg]
+		delete(b.calls, cfg)
+		b.mu.Unlock()
+		c.sol, c.err = sol, err
+		close(c.done)
+	}
+}

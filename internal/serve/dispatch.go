@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locality/internal/engine"
+	"locality/internal/sweepgrid"
+)
+
+// workerState is one registered modelworker.
+type workerState struct {
+	ID       string    `json:"id"`
+	Addr     string    `json:"addr"`
+	LastBeat time.Time `json:"last_heartbeat"`
+}
+
+// registry tracks registered workers and their heartbeat freshness.
+// Safe for concurrent use; registration and heartbeats are rare
+// relative to request traffic.
+type registry struct {
+	mu         sync.Mutex
+	workers    map[string]*workerState
+	staleAfter time.Duration
+}
+
+func newRegistry(staleAfter time.Duration) *registry {
+	return &registry{
+		workers:    make(map[string]*workerState),
+		staleAfter: staleAfter,
+	}
+}
+
+// upsert registers (or re-registers) a worker.
+func (r *registry) upsert(id, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.workers[id] = &workerState{ID: id, Addr: addr, LastBeat: time.Now()}
+}
+
+// heartbeat refreshes a known worker and reports whether it was known
+// (an unknown ID means the worker must re-register, e.g. after a
+// server restart).
+func (r *registry) heartbeat(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if ok {
+		w.LastBeat = time.Now()
+	}
+	return ok
+}
+
+func (r *registry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.workers, id)
+}
+
+// snapshot returns every worker sorted by ID, plus the IDs whose last
+// heartbeat is older than staleAfter.
+func (r *registry) snapshot() (all []workerState, stale []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := time.Now().Add(-r.staleAfter)
+	for _, w := range r.workers {
+		all = append(all, *w)
+		if w.LastBeat.Before(cutoff) {
+			stale = append(stale, w.ID)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	sort.Strings(stale)
+	return all, stale
+}
+
+// live returns the non-stale workers, sorted by ID.
+func (r *registry) live() []workerState {
+	all, stale := r.snapshot()
+	if len(stale) == 0 {
+		return all
+	}
+	dead := make(map[string]bool, len(stale))
+	for _, id := range stale {
+		dead[id] = true
+	}
+	out := all[:0]
+	for _, w := range all {
+		if !dead[w.ID] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// chunkRunner executes one contiguous chunk of a sweep grid and
+// returns its rows in cell order.
+type chunkRunner interface {
+	id() string
+	run(ctx context.Context, spec sweepgrid.Spec, ch engine.Chunk) ([][]string, error)
+}
+
+// httpRunner proxies chunks to a remote modelworker. Any transport or
+// status failure marks the worker dead for this sweep: its chunk is
+// requeued and the runner retired.
+type httpRunner struct {
+	wid    string
+	addr   string
+	client *http.Client
+}
+
+func (r *httpRunner) id() string { return r.wid }
+
+func (r *httpRunner) run(ctx context.Context, spec sweepgrid.Spec, ch engine.Chunk) ([][]string, error) {
+	body, err := json.Marshal(runChunkRequest{Spec: spec, Start: ch.Start, Count: ch.Count})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(r.addr, "/")+"/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("worker %s: %s: %s", r.wid, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out runChunkResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("worker %s: decoding rows: %w", r.wid, err)
+	}
+	if len(out.Rows) != ch.Count {
+		return nil, fmt.Errorf("worker %s: returned %d rows for a %d-cell chunk", r.wid, len(out.Rows), ch.Count)
+	}
+	return out.Rows, nil
+}
+
+// localRunner executes chunks in-process — the standalone fallback,
+// and the rescue path when every remote worker has died mid-sweep.
+type localRunner struct {
+	wid string
+	g   *sweepgrid.Grid
+}
+
+func (r *localRunner) id() string { return r.wid }
+
+func (r *localRunner) run(ctx context.Context, _ sweepgrid.Spec, ch engine.Chunk) ([][]string, error) {
+	rows := make([][]string, 0, ch.Count)
+	for i := ch.Start; i < ch.Start+ch.Count; i++ {
+		row, err := r.g.RunRow(ctx, i)
+		if err != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Cell failures become error= rows, exactly as cmd/sweep emits
+		// them; only cancellation aborts the chunk.
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// sweepCounters aggregates dispatcher activity across sweeps for the
+// metrics exposition.
+type sweepCounters struct {
+	sweeps, rows, chunks, requeues, workerDeaths atomic.Int64
+}
+
+// chunkResult is what a runner goroutine reports back: a completed
+// chunk's rows, or a runner death (err != nil).
+type chunkResult struct {
+	ch     engine.Chunk
+	rows   [][]string
+	runner chunkRunner
+	err    error
+}
+
+// dispatch drives one sweep: it carves the grid with the policy
+// scheduler, fans chunks out to the runners, requeues the chunks of
+// runners that die, falls back to a local runner if every remote dies,
+// and calls emit for each row in grid order (the completed-prefix
+// cursor). It returns the number of error= rows.
+func (s *Server) dispatch(ctx context.Context, g *sweepgrid.Grid, policy engine.Policy, runners []chunkRunner, emit func([]string) error) (failed int, err error) {
+	total := g.Len()
+	if total == 0 {
+		return 0, nil
+	}
+	sched := engine.NewScheduler(policy, total, len(runners), 1)
+	rows := make([][]string, total)
+	results := make(chan chunkResult)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	launch := func(r chunkRunner) {
+		go func() {
+			for {
+				ch, ok := sched.Next(r.id())
+				if !ok {
+					if sched.Done() {
+						return
+					}
+					// Another runner holds outstanding work that may yet
+					// be requeued; poll briefly rather than exiting.
+					select {
+					case <-time.After(10 * time.Millisecond):
+						continue
+					case <-runCtx.Done():
+						return
+					}
+				}
+				t0 := time.Now()
+				out, err := r.run(runCtx, g.Spec, ch)
+				if err != nil {
+					sched.Requeue(ch)
+					s.sweepStats.requeues.Add(1)
+					s.sweepStats.workerDeaths.Add(1)
+					select {
+					case results <- chunkResult{runner: r, err: err}:
+					case <-runCtx.Done():
+					}
+					return
+				}
+				sched.Record(r.id(), ch, time.Since(t0))
+				s.sweepStats.chunks.Add(1)
+				select {
+				case results <- chunkResult{ch: ch, rows: out}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+	liveRunners := len(runners)
+	for _, r := range runners {
+		launch(r)
+	}
+
+	s.sweepStats.sweeps.Add(1)
+	emitted := 0
+	localRescues := 0
+	for emitted < total {
+		select {
+		case <-ctx.Done():
+			return failed, ctx.Err()
+		case res := <-results:
+			if res.err != nil {
+				liveRunners--
+				if hr, ok := res.runner.(*httpRunner); ok {
+					// A dead worker stops heartbeating on its own, but
+					// dropping it now keeps /healthz honest immediately.
+					s.workers.remove(hr.wid)
+				}
+				if liveRunners == 0 {
+					// Every runner died; finish the sweep ourselves so a
+					// submitted grid always completes.
+					localRescues++
+					r := &localRunner{wid: fmt.Sprintf("local-rescue-%d", localRescues), g: g}
+					launch(r)
+					liveRunners++
+				}
+				continue
+			}
+			for i := 0; i < res.ch.Count; i++ {
+				rows[res.ch.Start+i] = res.rows[i]
+			}
+			s.sweepStats.rows.Add(int64(res.ch.Count))
+			for emitted < total && rows[emitted] != nil {
+				if isErrorRow(rows[emitted]) {
+					failed++
+				}
+				if err := emit(rows[emitted]); err != nil {
+					return failed, err
+				}
+				emitted++
+			}
+		}
+	}
+	return failed, nil
+}
+
+// isErrorRow recognizes the error= marker sweepgrid.ErrorRow writes in
+// the first measurement column.
+func isErrorRow(row []string) bool {
+	return len(row) > 4 && strings.HasPrefix(row[4], "error=")
+}

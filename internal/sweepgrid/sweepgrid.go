@@ -1,0 +1,248 @@
+// Package sweepgrid is the single definition of a sweep grid: how a
+// (mappings × context counts) specification expands into cells, how a
+// cell becomes a machine configuration, and how its measurements
+// become a CSV row. cmd/sweep, the model-serving /v1/sweep endpoint,
+// and the remote sweep workers all run cells through this package, so
+// a grid produces byte-identical rows no matter which process ran it —
+// the property the serving layer's parity tests pin.
+package sweepgrid
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"locality/internal/faults"
+	"locality/internal/machine"
+	"locality/internal/mapping"
+	"locality/internal/mapsel"
+	"locality/internal/sim"
+	"locality/internal/topology"
+	"locality/internal/workload"
+)
+
+// Spec is the serializable description of a sweep grid. The zero value
+// of every optional field matches cmd/sweep's flag default where one
+// exists, so a Spec round-tripped through JSON runs the same grid the
+// CLI would.
+type Spec struct {
+	Radix    int    `json:"k"`
+	Dims     int    `json:"n"`
+	Contexts []int  `json:"contexts"`
+	Mappings string `json:"mappings"`
+	Warmup   int64  `json:"warmup"`
+	Window   int64  `json:"window"`
+	Ratio    int    `json:"ratio"`
+	Prefetch bool   `json:"prefetch,omitempty"`
+	Kernel   string `json:"kernel,omitempty"`
+	Shards   int    `json:"shards,omitempty"`
+
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	FaultSeed int64   `json:"fault_seed,omitempty"`
+	LinkMTTF  float64 `json:"link_mttf,omitempty"`
+	StallMin  int64   `json:"stall_min,omitempty"`
+	StallMax  int64   `json:"stall_max,omitempty"`
+	Watchdog  int64   `json:"watchdog,omitempty"`
+}
+
+// Grid is a resolved Spec: topology constructed, mapping selectors
+// expanded, kernel parsed, fault spec validated. Cells are indexed
+// 0..Len()-1 in the CSV's historical row order — contexts-major,
+// mappings-minor.
+type Grid struct {
+	Spec   Spec
+	Tor    *topology.Torus
+	Maps   []*mapping.Mapping
+	Kernel machine.KernelMode
+	Fault  faults.Spec
+	Watch  faults.Watchdog
+
+	header []string
+}
+
+// New resolves a Spec into a runnable Grid.
+func New(spec Spec) (*Grid, error) {
+	if len(spec.Contexts) == 0 {
+		return nil, fmt.Errorf("sweepgrid: empty context list")
+	}
+	for _, p := range spec.Contexts {
+		if p < 1 {
+			return nil, fmt.Errorf("sweepgrid: bad context count %d", p)
+		}
+	}
+	if spec.Warmup < 0 || spec.Window <= 0 {
+		return nil, fmt.Errorf("sweepgrid: need warmup >= 0 and window > 0, have %d/%d", spec.Warmup, spec.Window)
+	}
+	if spec.Ratio == 0 {
+		spec.Ratio = 2 // cmd/sweep's -ratio default
+	}
+	tor, err := topology.New(spec.Radix, spec.Dims)
+	if err != nil {
+		return nil, err
+	}
+	sel := spec.Mappings
+	if sel == "" {
+		sel = "suite"
+	}
+	maps, err := mapsel.List(tor, sel)
+	if err != nil {
+		return nil, err
+	}
+	kname := spec.Kernel
+	if kname == "" {
+		kname = "event"
+	}
+	kernel, err := sim.ParseKernel(kname)
+	if err != nil {
+		return nil, err
+	}
+	fs := faults.Spec{
+		Seed: spec.FaultSeed, LossRate: spec.FaultRate, LinkMTTF: spec.LinkMTTF,
+		StallMin: spec.StallMin, StallMax: spec.StallMax,
+	}
+	if fs.Enabled() && fs.Seed == 0 {
+		fs.Seed = 1 // cmd/sweep's -fault-seed default
+	}
+	if err := fs.Validate(); err != nil {
+		return nil, err
+	}
+	wd := faults.Watchdog{StallCycles: spec.Watchdog}
+	if spec.Watchdog == 0 && fs.Enabled() {
+		wd.StallCycles = 20 * (spec.Warmup + spec.Window)
+	}
+	g := &Grid{Spec: spec, Tor: tor, Maps: maps, Kernel: kernel, Fault: fs, Watch: wd}
+	g.header = []string{"mapping", "d", "contexts", "prefetch", "B", "g", "tm", "rm", "Tm", "Tt", "tt", "rt", "utilization"}
+	if fs.Enabled() {
+		g.header = append(g.header, "retries", "home_retries", "dropped", "fault_cycles")
+	}
+	return g, nil
+}
+
+// Len counts the grid's cells.
+func (g *Grid) Len() int { return len(g.Spec.Contexts) * len(g.Maps) }
+
+// Cell returns cell i's mapping and context count in grid order:
+// contexts-major, mappings-minor.
+func (g *Grid) Cell(i int) (*mapping.Mapping, int) {
+	return g.Maps[i%len(g.Maps)], g.Spec.Contexts[i/len(g.Maps)]
+}
+
+// Key labels cell i for progress displays and engine cells.
+func (g *Grid) Key(i int) string {
+	m, p := g.Cell(i)
+	return fmt.Sprintf("%s p=%d", m.Name, p)
+}
+
+// Header is the CSV header row; the fault accounting columns appear
+// exactly when the spec enables fault injection.
+func (g *Grid) Header() []string { return g.header }
+
+// KernelComment is the "# kernel=<kind>" provenance line written as a
+// sweep CSV's first line.
+func (g *Grid) KernelComment() string { return "# kernel=" + g.Kernel.String() }
+
+// fmtFloat is the sweep CSV's float format; every producer must use it
+// for rows to compare byte-equal.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// Prefix is cell i's identity columns — mapping, d, contexts, prefetch
+// — shared by measurement and error rows.
+func (g *Grid) Prefix(i int) []string {
+	m, p := g.Cell(i)
+	return []string{m.Name, fmtFloat(m.AvgDistance(g.Tor)), strconv.Itoa(p), strconv.FormatBool(g.Spec.Prefetch)}
+}
+
+// Config builds cell i's machine configuration: the same defaults,
+// kernel, ratio, workload, fault, and watchdog shaping cmd/sweep
+// applies. Callers may attach observability (telemetry, tracing,
+// capture) afterwards; none of it changes the simulated results.
+func (g *Grid) Config(i int) machine.Config {
+	m, p := g.Cell(i)
+	cfg := machine.DefaultConfig(g.Tor, m, p)
+	cfg.Kernel = g.Kernel
+	cfg.Shards = g.Spec.Shards
+	cfg.ClockRatio = g.Spec.Ratio
+	if g.Spec.Prefetch {
+		cfg.Workload = workload.RelaxationConfig{
+			Graph:        g.Tor,
+			Map:          m,
+			Instances:    p,
+			LineSize:     cfg.LineSize,
+			ReadCompute:  cfg.ReadCompute,
+			WriteCompute: cfg.WriteCompute,
+			Prefetch:     true,
+		}
+	}
+	if g.Fault.Enabled() {
+		spec := g.Fault
+		cfg.Faults = &spec
+	}
+	cfg.Watchdog = g.Watch
+	return cfg
+}
+
+// FormatRow renders cell i's measurements as its CSV row.
+func (g *Grid) FormatRow(i int, met machine.Metrics) []string {
+	row := append(g.Prefix(i),
+		fmtFloat(met.MsgSize), fmtFloat(met.MsgsPerTxn), fmtFloat(met.InterMsgTime), fmtFloat(met.MsgRate),
+		fmtFloat(met.MsgLatency), fmtFloat(met.TxnLatency), fmtFloat(met.InterTxnTime), fmtFloat(met.TxnRate),
+		fmtFloat(met.ChannelUtilization),
+	)
+	if g.Fault.Enabled() {
+		row = append(row,
+			strconv.FormatInt(met.Retries, 10), strconv.FormatInt(met.HomeRetries, 10),
+			strconv.FormatInt(met.DroppedMsgs, 10), strconv.FormatInt(met.LinkFaultCycles, 10))
+	}
+	return row
+}
+
+// ErrorRow renders a failed cell: identity prefix, error=<message> in
+// the first measurement column, empty padding to full width.
+func (g *Grid) ErrorRow(i int, err error) []string {
+	row := append(g.Prefix(i), "error="+err.Error())
+	for len(row) < len(g.header) {
+		row = append(row, "")
+	}
+	return row
+}
+
+// RunRow builds, runs, and formats cell i with no observability
+// attachments — the path the serving workers take. Failures come back
+// as the same error= row cmd/sweep writes, plus the error itself for
+// callers that count failures.
+func (g *Grid) RunRow(ctx context.Context, i int) ([]string, error) {
+	met, err := g.runCell(ctx, i)
+	if err != nil {
+		return g.ErrorRow(i, err), err
+	}
+	return g.FormatRow(i, met), nil
+}
+
+func (g *Grid) runCell(ctx context.Context, i int) (met machine.Metrics, err error) {
+	// Panics from deep inside the simulator surface as error rows, like
+	// the experiment engine's recovery in cmd/sweep.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	cfg := g.Config(i)
+	mach, err := machine.New(cfg)
+	if err != nil {
+		return machine.Metrics{}, err
+	}
+	res, err := mach.Execute(ctx, machine.RunSpec{Warmup: g.Spec.Warmup, Window: g.Spec.Window})
+	if err != nil {
+		return machine.Metrics{}, err
+	}
+	return res.Metrics, nil
+}
+
+// FileStem turns cell i's mapping/context pair into a filesystem-safe
+// output file stem for per-cell artifacts.
+func (g *Grid) FileStem(i int) string {
+	m, p := g.Cell(i)
+	r := strings.NewReplacer(":", "-", "/", "-", " ", "_")
+	return fmt.Sprintf("%s_p%d", r.Replace(m.Name), p)
+}

@@ -1,0 +1,105 @@
+package sweepgrid
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func mustGrid(t *testing.T, spec Spec) *Grid {
+	t.Helper()
+	g, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridOrderIsContextsMajor(t *testing.T) {
+	g := mustGrid(t, Spec{
+		Radix: 4, Dims: 2, Contexts: []int{1, 2}, Mappings: "identity,random:1",
+		Warmup: 100, Window: 300, Ratio: 2,
+	})
+	if g.Len() != 4 {
+		t.Fatalf("len = %d, want 4", g.Len())
+	}
+	var keys []string
+	for i := 0; i < g.Len(); i++ {
+		keys = append(keys, g.Key(i))
+	}
+	want := []string{"identity p=1", "random-1 p=1", "identity p=2", "random-1 p=2"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("grid order = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestGridHeaderTracksFaultColumns(t *testing.T) {
+	plain := mustGrid(t, Spec{Radix: 4, Dims: 2, Contexts: []int{1}, Mappings: "identity", Warmup: 1, Window: 1, Ratio: 2})
+	if got := strings.Join(plain.Header(), ","); strings.Contains(got, "retries") {
+		t.Errorf("fault-free header contains fault columns: %s", got)
+	}
+	faulty := mustGrid(t, Spec{
+		Radix: 4, Dims: 2, Contexts: []int{1}, Mappings: "identity",
+		Warmup: 1, Window: 1, Ratio: 2, FaultRate: 0.01,
+	})
+	if got := strings.Join(faulty.Header(), ","); !strings.HasSuffix(got, "retries,home_retries,dropped,fault_cycles") {
+		t.Errorf("fault header missing accounting columns: %s", got)
+	}
+}
+
+func TestGridRunRowDeterministic(t *testing.T) {
+	spec := Spec{
+		Radix: 4, Dims: 2, Contexts: []int{1}, Mappings: "identity",
+		Warmup: 200, Window: 600, Ratio: 2,
+	}
+	a, err := mustGrid(t, spec).RunRow(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mustGrid(t, spec).RunRow(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("same cell produced different rows:\n%v\n%v", a, b)
+	}
+	if len(a) != len(mustGrid(t, spec).Header()) {
+		t.Errorf("row width %d != header width", len(a))
+	}
+	if a[0] != "identity" || a[2] != "1" {
+		t.Errorf("row identity columns wrong: %v", a)
+	}
+}
+
+func TestGridErrorRowShape(t *testing.T) {
+	g := mustGrid(t, Spec{Radix: 4, Dims: 2, Contexts: []int{1}, Mappings: "identity", Warmup: 1, Window: 1, Ratio: 2})
+	row := g.ErrorRow(0, context.DeadlineExceeded)
+	if len(row) != len(g.Header()) {
+		t.Fatalf("error row width %d != header width %d", len(row), len(g.Header()))
+	}
+	if !strings.HasPrefix(row[4], "error=") {
+		t.Errorf("first measurement column = %q, want error= marker", row[4])
+	}
+	for _, cell := range row[5:] {
+		if cell != "" {
+			t.Errorf("error row padding not empty: %v", row)
+		}
+	}
+}
+
+func TestGridSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Radix: 4, Dims: 2, Mappings: "identity", Window: 1},                                     // no contexts
+		{Radix: 4, Dims: 2, Contexts: []int{0}, Mappings: "identity", Window: 1},                 // bad context
+		{Radix: 4, Dims: 2, Contexts: []int{1}, Mappings: "identity"},                            // no window
+		{Radix: 4, Dims: 2, Contexts: []int{1}, Mappings: "nosuch", Window: 1},                   // bad selector
+		{Radix: 4, Dims: 2, Contexts: []int{1}, Mappings: "identity", Window: 1, Kernel: "warp"}, // bad kernel
+	}
+	for i, spec := range bad {
+		if _, err := New(spec); err == nil {
+			t.Errorf("spec %d accepted, want error", i)
+		}
+	}
+}
